@@ -1,0 +1,134 @@
+"""E7 — RVaaS vs provider-trusting tools under a compromised control plane.
+
+Reproduces the paper's central comparison (§I, §V): traceroute-style and
+trajectory-sampling verification consume provider-reported state, so a
+compromised management system hides every attack from them; RVaaS's own
+monitoring channel plus logical verification detects each one.
+
+Expected shape: baselines 0/5, RVaaS 5/5, and nobody false-positives on
+the benign configuration.
+"""
+
+import pytest
+
+from repro.attacks import (
+    BlackholeAttack,
+    DiversionAttack,
+    ExfiltrationAttack,
+    GeoViolationAttack,
+    JoinAttack,
+)
+from repro.baselines import TracerouteVerifier, TrajectorySamplingVerifier
+from repro.core.queries import (
+    IsolationQuery,
+    PathLengthQuery,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+def rvaas_detectors(bed):
+    return {
+        "join-attack": lambda: not bed.service.answer_locally(
+            "alice", IsolationQuery()
+        ).isolated,
+        "exfiltration": lambda: "h_off1"
+        in {
+            e.host
+            for e in bed.service.answer_locally(
+                "alice", ReachableDestinationsQuery(authenticate=False)
+            ).endpoints
+        },
+        "diversion": lambda: not bed.service.answer_locally(
+            "alice", PathLengthQuery()
+        ).optimal,
+        "geo-violation": lambda: not bed.service.answer_locally(
+            "alice", WaypointAvoidanceQuery(forbidden_regions=("offshore",))
+        ).avoided,
+        "blackhole": lambda: "h_fra1"
+        not in {
+            e.host
+            for e in bed.service.answer_locally(
+                "alice", ReachingSourcesQuery(destination_host="h_ber1")
+            ).endpoints
+        },
+    }
+
+
+ATTACKS = [
+    ("join-attack", lambda: JoinAttack("h_ber2", "h_fra1")),
+    ("exfiltration", lambda: ExfiltrationAttack("h_fra1", "h_off1")),
+    ("diversion", lambda: DiversionAttack("h_ber1", "h_fra1", "off")),
+    ("geo-violation", lambda: GeoViolationAttack("h_ber1", "h_par1", "offshore")),
+    ("blackhole", lambda: BlackholeAttack("h_fra1", "h_ber1")),
+]
+
+
+def run_comparison():
+    rows = []
+    scores = {"traceroute": 0, "trajectory": 0, "rvaas": 0}
+    for name, factory in ATTACKS:
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=29
+        )
+        traceroute = TracerouteVerifier(bed.provider)
+        trajectory = TrajectorySamplingVerifier(bed.provider, bed.network)
+        bed.provider.compromise(factory())
+        bed.run(0.5)
+        # Give trajectory sampling real traffic to observe.
+        bed.network.host("h_ber1").send_udp(
+            bed.network.host("h_fra1").ip, 1000, b"probe"
+        )
+        bed.run(0.5)
+        tr = traceroute.detects_attack("h_ber1", "h_fra1")
+        tj = trajectory.detects_attack("h_ber1", "h_fra1")
+        rv = rvaas_detectors(bed)[name]()
+        scores["traceroute"] += tr
+        scores["trajectory"] += tj
+        scores["rvaas"] += rv
+        rows.append((name, tr, tj, rv))
+    return rows, scores
+
+
+def test_baseline_comparison_matrix(benchmark, report):
+    rows, scores = run_comparison()
+    rep = report("E7", "Detection under a compromised control plane")
+    rep.table(["attack", "traceroute", "trajectory-sampling", "rvaas"], rows)
+
+    # Benign false-positive check.
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=29
+    )
+    traceroute = TracerouteVerifier(bed.provider)
+    benign_fp = (
+        traceroute.detects_attack("h_ber1", "h_fra1")
+        or not bed.service.answer_locally("alice", IsolationQuery()).isolated
+    )
+    rep.line()
+    rep.line(
+        f"totals: traceroute {scores['traceroute']}/5, trajectory "
+        f"{scores['trajectory']}/5, rvaas {scores['rvaas']}/5; "
+        f"false positives on benign config: {benign_fp}"
+    )
+    rep.line()
+    rep.line("shape check: provider-trusting tools detect nothing because")
+    rep.line('"an unreliable network operator may simply not reply with the')
+    rep.line('correct information" (§I); RVaaS detects all five.')
+    rep.finish()
+
+    assert scores["traceroute"] == 0
+    assert scores["trajectory"] == 0
+    assert scores["rvaas"] == 5
+    assert not benign_fp
+
+    bed2 = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=29
+    )
+    bed2.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed2.run(0.5)
+    benchmark(
+        lambda: bed2.service.answer_locally("alice", IsolationQuery())
+    )

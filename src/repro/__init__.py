@@ -1,0 +1,91 @@
+"""RVaaS: Routing-Verification-as-a-Service.
+
+A complete reproduction of *"Routing-Verification-as-a-Service (RVaaS):
+Trustworthy Routing Despite Insecure Providers"* (Schiff, Thimmaraju,
+Schmid — DSN 2016), including every substrate the paper relies on:
+
+* :mod:`repro.netlib` — packets and addressing
+* :mod:`repro.crypto` — signatures, hybrid encryption, SGX-style attestation
+* :mod:`repro.openflow` — the OpenFlow protocol and switch model
+* :mod:`repro.dataplane` — a deterministic discrete-event network emulator
+* :mod:`repro.controlplane` — the provider's (compromisable) controller
+* :mod:`repro.hsa` — Header Space Analysis
+* :mod:`repro.attacks` — the adversary library
+* :mod:`repro.baselines` — provider-trusting verifiers for comparison
+* :mod:`repro.core` — the RVaaS service, client library, and federation
+
+Quickstart::
+
+    from repro import build_testbed, isp_topology, IsolationQuery
+
+    bed = build_testbed(isp_topology(clients=["alice", "bob"]),
+                        isolate_clients=True, seed=42)
+    handle = bed.ask("alice", IsolationQuery())
+    print(handle.response.answer.isolated)
+"""
+
+from repro.core import (
+    AuthResponder,
+    BandwidthQuery,
+    ExposureHistoryQuery,
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    ProviderDomain,
+    Query,
+    RVaaSClient,
+    RVaaSController,
+    RVaaSFederation,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.dataplane import (
+    Network,
+    Topology,
+    abilene_topology,
+    fat_tree_topology,
+    isp_topology,
+    linear_topology,
+    ring_topology,
+    single_switch_topology,
+    tree_topology,
+    waxman_topology,
+)
+from repro.testbed import Testbed, build_testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthResponder",
+    "BandwidthQuery",
+    "ExposureHistoryQuery",
+    "FairnessQuery",
+    "GeoLocationQuery",
+    "IsolationQuery",
+    "Network",
+    "PathLengthQuery",
+    "ProviderDomain",
+    "Query",
+    "RVaaSClient",
+    "RVaaSController",
+    "RVaaSFederation",
+    "ReachableDestinationsQuery",
+    "ReachingSourcesQuery",
+    "Testbed",
+    "Topology",
+    "TransferFunctionQuery",
+    "WaypointAvoidanceQuery",
+    "abilene_topology",
+    "build_testbed",
+    "fat_tree_topology",
+    "isp_topology",
+    "linear_topology",
+    "ring_topology",
+    "single_switch_topology",
+    "tree_topology",
+    "waxman_topology",
+    "__version__",
+]

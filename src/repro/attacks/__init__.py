@@ -1,0 +1,31 @@
+"""The adversary library: what a hacked control plane does.
+
+Each attack is an object a :class:`~repro.controlplane.malicious.CompromisedController`
+executes through its *legitimate* control channels — exactly the power
+the paper's threat model grants ("an adversary with access to the control
+plane can in principle arbitrarily change the network forwarding
+behavior", §I) and nothing more: switches, links and the RVaaS channels
+stay untouchable.
+
+Attacks carry their own ground truth (victim, violated property) so the
+experiments can score detection without peeking into RVaaS internals.
+"""
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.blackhole import BlackholeAttack
+from repro.attacks.diversion import DiversionAttack
+from repro.attacks.exfiltration import ExfiltrationAttack
+from repro.attacks.geo import GeoViolationAttack
+from repro.attacks.joinattack import JoinAttack
+from repro.attacks.reconfig import ShortLivedReconfigurationAttack
+
+__all__ = [
+    "Attack",
+    "AttackReport",
+    "BlackholeAttack",
+    "DiversionAttack",
+    "ExfiltrationAttack",
+    "GeoViolationAttack",
+    "JoinAttack",
+    "ShortLivedReconfigurationAttack",
+]

@@ -1,0 +1,94 @@
+"""Attack interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+
+#: Priority attackers use — above the provider's routes (10), below the
+#: RVaaS interception rules (1000), i.e. stealthy against traffic but
+#: unable to suppress client<->RVaaS signalling without detection.
+ATTACK_PRIORITY = 20
+
+#: Cookie marking adversarial rules; used only by test ground-truthing,
+#: never by RVaaS (a real attacker would of course reuse cookie 1).
+ATTACK_COOKIE = 666
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Ground truth about an armed attack, for experiment scoring."""
+
+    name: str
+    victim_client: str
+    violated_property: str  # "isolation" | "geo" | "path" | "delivery" | ...
+    details: str = ""
+
+
+class Attack(abc.ABC):
+    """One adversarial manipulation of the data-plane configuration."""
+
+    name: str = "attack"
+
+    def __init__(self) -> None:
+        self.armed = False
+        self._installed: List[Tuple[str, object, int]] = []  # (switch, match, prio)
+
+    @abc.abstractmethod
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        """Install the malicious configuration via ``controller``."""
+
+    def disarm(self, controller: ControllerApp) -> None:
+        """Remove every rule this attack installed (strict delete)."""
+        for switch, match, priority in self._installed:
+            controller.remove_flow(switch, match, priority=priority, strict=True)  # type: ignore[arg-type]
+        self._installed.clear()
+        self.armed = False
+
+    def _install(
+        self,
+        controller: ControllerApp,
+        switch: str,
+        match,
+        actions,
+        *,
+        priority: int = ATTACK_PRIORITY,
+    ) -> None:
+        controller.install_flow(
+            switch, match, actions, priority=priority, cookie=ATTACK_COOKIE
+        )
+        self._installed.append((switch, match, priority))
+
+
+def path_via(
+    topology: Topology, src_switch: str, via_switch: str, dst_switch: str
+) -> List[str]:
+    """A detour path src -> via -> dst (simple concatenation, deduped)."""
+    graph = topology.graph()
+    first = nx.shortest_path(graph, src_switch, via_switch, weight="latency")
+    second = nx.shortest_path(graph, via_switch, dst_switch, weight="latency")
+    path = list(first) + list(second[1:])
+    # Collapse immediate backtracking (a-b-a) pairs that arise when the
+    # detour doubles back; forwarding rules cannot express them anyway.
+    cleaned: List[str] = []
+    for node in path:
+        if len(cleaned) >= 2 and cleaned[-2] == node:
+            cleaned.pop()
+        else:
+            cleaned.append(node)
+    return cleaned
+
+
+def port_toward(topology: Topology, here: str, there: str) -> int:
+    for link in topology.links:
+        if (link.switch_a, link.switch_b) == (here, there):
+            return link.port_a
+        if (link.switch_b, link.switch_a) == (here, there):
+            return link.port_b
+    raise ValueError(f"no link between {here} and {there}")

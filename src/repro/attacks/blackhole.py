@@ -1,0 +1,39 @@
+"""Blackhole: silently drop a victim flow.
+
+Unlike diversion/exfiltration this attack *is* end-to-end observable
+(packets stop arriving), but it demonstrates the complementary RVaaS
+query: the victim asks "for which sources do routes to me exist?" and
+the expected peer is missing from the answer.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackReport
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+from repro.openflow.actions import Drop
+from repro.openflow.match import Match
+
+
+class BlackholeAttack(Attack):
+    """Drop all traffic from ``src_host`` to ``dst_host`` at the ingress."""
+
+    name = "blackhole"
+
+    def __init__(self, src_host: str, dst_host: str) -> None:
+        super().__init__()
+        self.src_host = src_host
+        self.dst_host = dst_host
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        src = topology.hosts[self.src_host]
+        dst = topology.hosts[self.dst_host]
+        match = Match(ip_src=src.ip, ip_dst=dst.ip)
+        self._install(controller, src.switch, match, (Drop(),))
+        self.armed = True
+        return AttackReport(
+            name=self.name,
+            victim_client=dst.client or dst.name,
+            violated_property="delivery",
+            details=f"{self.src_host}->{self.dst_host} blackholed at {src.switch}",
+        )

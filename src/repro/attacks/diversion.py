@@ -1,0 +1,126 @@
+"""Traffic diversion: route a victim flow through an attacker-chosen switch.
+
+The flow still arrives at its legitimate destination (stealthy against
+end-to-end acknowledgements — paper §I: a signed receiver ACK "does not
+provide any information about which paths have been taken"), but it now
+crosses an extra switch, e.g. one in a jurisdiction where a tap is
+planned.
+
+Implementation detail: a detour src -> via -> dst generally revisits
+switches, which per-flow IP matching cannot express.  The attack
+therefore uses the classic two-phase VLAN trick: the ingress switch tags
+the flow and the tagged rules steer it to ``via``, which pops the tag;
+untagged rules then carry it to the real destination.  This is exactly
+the kind of header-rewriting configuration that makes naive path
+reasoning fail — and that HSA-based verification handles (§IV-A2).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.attacks.base import (
+    ATTACK_PRIORITY,
+    Attack,
+    AttackReport,
+    port_toward,
+)
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+from repro.openflow.actions import Output, PopVlan, PushVlan
+from repro.openflow.match import Match
+
+#: VLAN id used to mark the "toward the detour point" phase.
+DETOUR_TAG = 1337
+
+
+class DiversionAttack(Attack):
+    """Divert (src_host -> dst_host) traffic through ``via_switch``."""
+
+    name = "diversion"
+
+    def __init__(self, src_host: str, dst_host: str, via_switch: str) -> None:
+        super().__init__()
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.via_switch = via_switch
+        self.detour_switches: tuple[str, ...] = ()
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        src = topology.hosts[self.src_host]
+        dst = topology.hosts[self.dst_host]
+        graph = topology.graph()
+        to_via = nx.shortest_path(graph, src.switch, self.via_switch, weight="latency")
+        from_via = nx.shortest_path(graph, self.via_switch, dst.switch, weight="latency")
+        self.detour_switches = tuple(to_via) + tuple(from_via[1:])
+
+        pair = dict(ip_src=src.ip, ip_dst=dst.ip)
+
+        if len(to_via) == 1:
+            # via == ingress switch: traffic already passes through it;
+            # plain untagged routing to dst suffices.
+            self._install_untagged_segment(controller, topology, from_via, dst)
+            self.armed = True
+            return self._report(src)
+
+        # Phase 1 (tagged): ingress tags packets from the victim's port
+        # and every switch on the way forwards the tagged flow to `via`.
+        first_hop = port_toward(topology, src.switch, to_via[1])
+        self._install(
+            controller,
+            src.switch,
+            Match(in_port=src.port, vlan_id=0, **pair),
+            (PushVlan(DETOUR_TAG), Output(first_hop)),
+            priority=ATTACK_PRIORITY + 5,
+        )
+        tagged = Match(vlan_id=DETOUR_TAG, **pair)
+        for here, there in zip(to_via[1:], to_via[2:]):
+            self._install(
+                controller, here, tagged, (Output(port_toward(topology, here, there)),)
+            )
+
+        # Phase 2 (untagged): `via` pops the tag and sends toward dst.
+        if len(from_via) == 1:
+            # via == destination switch: pop and deliver directly.
+            self._install(
+                controller, self.via_switch, tagged, (PopVlan(), Output(dst.port))
+            )
+        else:
+            via_out = port_toward(topology, self.via_switch, from_via[1])
+            self._install(
+                controller, self.via_switch, tagged, (PopVlan(), Output(via_out))
+            )
+            self._install_untagged_segment(
+                controller, topology, from_via[1:], dst
+            )
+        self.armed = True
+        return self._report(src)
+
+    def _install_untagged_segment(
+        self,
+        controller: ControllerApp,
+        topology: Topology,
+        path: list[str],
+        dst,
+    ) -> None:
+        src = topology.hosts[self.src_host]
+        untagged = Match(vlan_id=0, ip_src=src.ip, ip_dst=dst.ip)
+        for here, there in zip(path, path[1:]):
+            self._install(
+                controller,
+                here,
+                untagged,
+                (Output(port_toward(topology, here, there)),),
+            )
+        self._install(controller, dst.switch, untagged, (Output(dst.port),))
+
+    def _report(self, src) -> AttackReport:
+        return AttackReport(
+            name=self.name,
+            victim_client=src.client or src.name,
+            violated_property="path",
+            details=(
+                f"{self.src_host}->{self.dst_host} diverted via {self.via_switch}; "
+                f"detour path {' -> '.join(self.detour_switches)}"
+            ),
+        )

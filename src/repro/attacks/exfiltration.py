@@ -1,0 +1,70 @@
+"""Exfiltration: covertly mirror a victim's traffic to an eavesdropper.
+
+The paper's §I motivates this directly: a compromised control plane can
+"exfiltrate confidential traffic".  The attack duplicates matched
+packets: one copy continues on the legitimate route, the second is
+forwarded hop-by-hop to an attacker-controlled host.  End-to-end checks
+(delivery, latency) notice nothing; the set of *reached destinations*
+grows — which is precisely what an RVaaS reachability query exposes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.attacks.base import Attack, AttackReport, port_toward
+from repro.controlplane.controller import ControllerApp
+from repro.controlplane.provider import ProviderController
+from repro.dataplane.topology import Topology
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+
+
+class ExfiltrationAttack(Attack):
+    """Mirror traffic addressed to ``victim_host`` toward ``eavesdropper_host``."""
+
+    name = "exfiltration"
+
+    def __init__(self, victim_host: str, eavesdropper_host: str) -> None:
+        super().__init__()
+        self.victim_host = victim_host
+        self.eavesdropper_host = eavesdropper_host
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        victim = topology.hosts[self.victim_host]
+        spy = topology.hosts[self.eavesdropper_host]
+        match = Match(ip_dst=victim.ip)
+
+        # At the victim's switch: deliver normally AND fork toward the spy.
+        if victim.switch == spy.switch:
+            fork_actions = (Output(victim.port), Output(spy.port))
+            self._install(controller, victim.switch, match, fork_actions)
+        else:
+            path = nx.shortest_path(
+                topology.graph(), victim.switch, spy.switch, weight="latency"
+            )
+            fork_port = port_toward(topology, victim.switch, path[1])
+            self._install(
+                controller,
+                victim.switch,
+                match,
+                (Output(victim.port), Output(fork_port)),
+            )
+            # Carry the mirrored copy the rest of the way to the spy.
+            for here, there in zip(path[1:], path[2:]):
+                self._install(
+                    controller,
+                    here,
+                    match,
+                    (Output(port_toward(topology, here, there)),),
+                )
+            self._install(controller, spy.switch, match, (Output(spy.port),))
+        self.armed = True
+        return AttackReport(
+            name=self.name,
+            victim_client=victim.client or victim.name,
+            violated_property="isolation",
+            details=(
+                f"traffic to {self.victim_host} mirrored to {self.eavesdropper_host}"
+            ),
+        )

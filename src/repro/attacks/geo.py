@@ -1,0 +1,49 @@
+"""Geo-violation: route client traffic through a forbidden jurisdiction.
+
+The concrete scenario of the paper's second case study (§IV-B2):
+"different jurisdictions exercise different privacy policies regarding
+user data", and a compromised control plane reroutes traffic through a
+region the client's policy forbids.  Implemented as a diversion through
+a switch located in the forbidden region.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackReport
+from repro.attacks.diversion import DiversionAttack
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+
+
+class GeoViolationAttack(DiversionAttack):
+    """Divert a flow through any switch located in ``forbidden_region``."""
+
+    name = "geo-violation"
+
+    def __init__(self, src_host: str, dst_host: str, forbidden_region: str) -> None:
+        # via_switch is resolved lazily in arm(), once we see the topology.
+        super().__init__(src_host, dst_host, via_switch="")
+        self.forbidden_region = forbidden_region
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        candidates = [
+            name
+            for name, spec in sorted(topology.switches.items())
+            if spec.location is not None
+            and spec.location.region == self.forbidden_region
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no switch located in region {self.forbidden_region!r}"
+            )
+        self.via_switch = candidates[0]
+        report = super().arm(controller, topology)
+        return AttackReport(
+            name=self.name,
+            victim_client=report.victim_client,
+            violated_property="geo",
+            details=(
+                f"{self.src_host}->{self.dst_host} routed through region "
+                f"{self.forbidden_region} (switch {self.via_switch})"
+            ),
+        )

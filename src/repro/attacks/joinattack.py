@@ -1,0 +1,66 @@
+"""Join attack: a secret access point into a client's isolated network.
+
+Paper §IV-B1: "an attacker first manipulates the network operation, and
+secretly adds access points which can then be used to access and/or
+damage client assets".  Concretely the compromised controller installs
+routes letting an attacker-controlled host (a different tenant, or an
+unassigned port) send traffic to a victim host — violating the isolation
+policy the provider agreed to.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackReport, port_toward
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+
+import networkx as nx
+
+
+class JoinAttack(Attack):
+    """Give ``attacker_host`` a covert route into ``victim_host``."""
+
+    name = "join-attack"
+
+    def __init__(
+        self, attacker_host: str, victim_host: str, *, bidirectional: bool = False
+    ) -> None:
+        super().__init__()
+        self.attacker_host = attacker_host
+        self.victim_host = victim_host
+        self.bidirectional = bidirectional
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        self._install_route(controller, topology, self.attacker_host, self.victim_host)
+        if self.bidirectional:
+            self._install_route(
+                controller, topology, self.victim_host, self.attacker_host
+            )
+        self.armed = True
+        victim = topology.hosts[self.victim_host]
+        return AttackReport(
+            name=self.name,
+            victim_client=victim.client or victim.name,
+            violated_property="isolation",
+            details=(
+                f"covert access point: {self.attacker_host} can now reach "
+                f"{self.victim_host}"
+            ),
+        )
+
+    def _install_route(
+        self, controller: ControllerApp, topology: Topology, src_name: str, dst_name: str
+    ) -> None:
+        src = topology.hosts[src_name]
+        dst = topology.hosts[dst_name]
+        match = Match(ip_src=src.ip, ip_dst=dst.ip)
+        path = nx.shortest_path(
+            topology.graph(), src.switch, dst.switch, weight="latency"
+        )
+        for here, there in zip(path, path[1:]):
+            self._install(
+                controller, here, match, (Output(port_toward(topology, here, there)),)
+            )
+        self._install(controller, dst.switch, match, (Output(dst.port),))

@@ -1,0 +1,100 @@
+"""Short-lived reconfiguration (flapping) attack.
+
+Paper §IV-A: an adversary that knows *when* snapshots are taken "may
+simply set the correct rules for the short time periods in which the box
+checks the configuration".  This attack arms an inner attack for
+``active_duration`` seconds out of every ``period``, optionally phase-
+aligned to a predicted (periodic) polling schedule — the scenario the
+random-time polling of RVaaS is designed to defeat (experiment E6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.attacks.base import Attack, AttackReport
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.simulator import Simulator
+from repro.dataplane.topology import Topology
+
+
+class ShortLivedReconfigurationAttack(Attack):
+    """Periodically arm/disarm ``inner`` to evade configuration snapshots."""
+
+    name = "short-lived-reconfiguration"
+
+    def __init__(
+        self,
+        inner: Attack,
+        *,
+        period: float,
+        active_duration: float,
+        phase: float = 0.0,
+        total_duration: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if not 0 < active_duration <= period:
+            raise ValueError("need 0 < active_duration <= period")
+        self.inner = inner
+        self.period = period
+        self.active_duration = active_duration
+        self.phase = phase
+        self.total_duration = total_duration
+        self.activations: List[tuple[float, float]] = []  # (on, off) times
+        self._sim: Optional[Simulator] = None
+        self._stopped = False
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        """Start the on/off schedule on the controller's simulator."""
+        assert controller.network is not None, "controller must be attached"
+        self._sim = controller.network.sim
+        self._controller = controller
+        self._topology = topology
+        start = self._sim.now + self.phase
+        self._sim.schedule_at(start, self._activate)
+        self.armed = True
+        return AttackReport(
+            name=self.name,
+            victim_client="",
+            violated_property="timing",
+            details=(
+                f"inner={self.inner.name} duty cycle "
+                f"{self.active_duration:.3f}/{self.period:.3f}s"
+            ),
+        )
+
+    def stop(self) -> None:
+        """Cease flapping (inner attack is disarmed if currently active)."""
+        self._stopped = True
+        if self.inner.armed:
+            self.inner.disarm(self._controller)
+
+    def _activate(self) -> None:
+        assert self._sim is not None
+        if self._stopped or self._past_end():
+            return
+        on_time = self._sim.now
+        self.inner.arm(self._controller, self._topology)
+        self.activations.append((on_time, on_time + self.active_duration))
+        self._sim.schedule(self.active_duration, self._deactivate)
+
+    def _deactivate(self) -> None:
+        assert self._sim is not None
+        self.inner.disarm(self._controller)
+        if self._stopped or self._past_end():
+            return
+        self._sim.schedule(self.period - self.active_duration, self._activate)
+
+    def _past_end(self) -> bool:
+        assert self._sim is not None
+        if self.total_duration is None:
+            return False
+        first = self.activations[0][0] if self.activations else self._sim.now
+        return self._sim.now >= first + self.total_duration
+
+    def was_active_at(self, t: float) -> bool:
+        """Ground truth: was the inner attack installed at time ``t``?"""
+        return any(on <= t < off for on, off in self.activations)
+
+    def duty_cycle(self) -> float:
+        return self.active_duration / self.period

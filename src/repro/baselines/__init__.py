@@ -1,0 +1,22 @@
+"""Baseline verifiers that trust the provider (for experiment E7).
+
+The paper's introduction argues that "traceroute and trajectory sampling
+tools ... are insufficient in non-cooperative and adversarial
+environments: an unreliable network operator may simply not reply with
+the correct information".  These baselines implement exactly that broken
+trust model — they consume the provider controller's self-reported state
+— so the comparison experiments can show where they fail and RVaaS does
+not.
+"""
+
+from repro.baselines.traceroute import TracerouteVerifier
+from repro.baselines.trajectory import (
+    TrajectorySamplingVerifier,
+    TrustedCollectorTrajectoryVerifier,
+)
+
+__all__ = [
+    "TracerouteVerifier",
+    "TrajectorySamplingVerifier",
+    "TrustedCollectorTrajectoryVerifier",
+]

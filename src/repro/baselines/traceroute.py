@@ -1,0 +1,75 @@
+"""Traceroute-style verification against provider-reported paths.
+
+Classic operational practice: ask the network for the path (the network
+answers from its management system), compare with expectations.  Under
+the paper's threat model the management system is the compromised
+component, so its answers reflect the *benign* plan regardless of what
+the data plane does — every check below therefore passes even while an
+attack is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.controlplane.provider import ProviderController
+
+
+@dataclass(frozen=True)
+class TracerouteFinding:
+    """The verdict of one traceroute-style check."""
+
+    src_host: str
+    dst_host: str
+    reported_path: Tuple[str, ...]
+    expected_path: Tuple[str, ...]
+    suspicious: bool
+    reason: str = ""
+
+
+class TracerouteVerifier:
+    """Verifies routing by interrogating the provider's control plane."""
+
+    def __init__(self, provider: ProviderController) -> None:
+        self.provider = provider
+
+    def check_path(
+        self,
+        src_host: str,
+        dst_host: str,
+        expected_path: Optional[Tuple[str, ...]] = None,
+    ) -> TracerouteFinding:
+        """Compare the provider-reported path against the expectation.
+
+        With no explicit expectation, the agreed (shortest-path) route is
+        used — which is also what a benign provider reports, so the check
+        is vacuous under compromise: the lie matches the expectation.
+        """
+        reported = self.provider.report_path(src_host, dst_host) or ()
+        expected = expected_path if expected_path is not None else reported
+        suspicious = reported != expected
+        return TracerouteFinding(
+            src_host=src_host,
+            dst_host=dst_host,
+            reported_path=tuple(reported),
+            expected_path=tuple(expected),
+            suspicious=suspicious,
+            reason="reported path deviates from expectation" if suspicious else "",
+        )
+
+    def check_reachable_set(
+        self, src_host: str, expected_hosts: Tuple[str, ...]
+    ) -> bool:
+        """True iff the provider-reported reachable set matches expectations."""
+        reported = set(self.provider.report_reachable_hosts(src_host))
+        return reported == set(expected_hosts)
+
+    def detects_attack(self, src_host: str, dst_host: str) -> bool:
+        """Would this tool flag the currently-armed attack?  (Spoiler: no.)
+
+        The provider keeps reporting the benign plan, so the reported
+        path always equals the agreed path and nothing is flagged.
+        """
+        finding = self.check_path(src_host, dst_host)
+        return finding.suspicious

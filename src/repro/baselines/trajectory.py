@@ -1,0 +1,118 @@
+"""Trajectory-sampling verification with provider-controlled reporting.
+
+Duffield & Grossglauser's trajectory sampling has routers hash-sample
+packets and report (packet-label, router) observations to a collector.
+In an SDN, the *controller* configures what gets sampled and relays the
+reports — so a compromised control plane can censor observations from
+switches a flow should not be crossing, and fabricate observations for
+the agreed path.  This verifier faithfully implements that failure mode:
+sampling reports pass through the provider, which filters them down to
+the benign plan.
+
+(With a trusted collection channel the tool would work; the point of the
+comparison is that under the paper's threat model no such channel exists
+outside RVaaS.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.controlplane.provider import ProviderController
+from repro.dataplane.network import Network
+
+
+@dataclass(frozen=True)
+class TrajectoryReport:
+    """One (sampled) packet trajectory as presented to the analyst."""
+
+    src_host: str
+    dst_host: str
+    observed_switches: Tuple[str, ...]
+
+
+class TrajectorySamplingVerifier:
+    """Samples packet trajectories — through the provider's reporting path."""
+
+    def __init__(self, provider: ProviderController, network: Network) -> None:
+        self.provider = provider
+        self.network = network
+        self.reports: List[TrajectoryReport] = []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self, src_host: str, dst_host: str) -> TrajectoryReport:
+        """Sample the trajectory of the (src, dst) flow.
+
+        The switches *do* observe the true trajectory (the packet trace),
+        but reports are relayed by the provider's management system,
+        which replaces them with the benign plan when compromised —
+        "an unreliable network operator may simply not reply with the
+        correct information" (§I).
+        """
+        true_trajectory = self._true_trajectory(src_host, dst_host)
+        reported = self._provider_filter(src_host, dst_host, true_trajectory)
+        report = TrajectoryReport(
+            src_host=src_host, dst_host=dst_host, observed_switches=reported
+        )
+        self.reports.append(report)
+        return report
+
+    def _true_trajectory(self, src_host: str, dst_host: str) -> Tuple[str, ...]:
+        dst = self.network.host(dst_host)
+        for packet in reversed(dst.received):
+            src_spec = self.network.topology.hosts[src_host]
+            if packet.ip_src == src_spec.ip:
+                return tuple(switch for switch, _port in packet.trace)
+        return ()
+
+    def _provider_filter(
+        self, src_host: str, dst_host: str, true_trajectory: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        """What the compromised management system lets the analyst see."""
+        claimed = self.provider.report_path(src_host, dst_host)
+        if claimed is None:
+            return true_trajectory
+        # Censorship: only observations on the claimed path survive, and
+        # missing ones are fabricated — the report equals the claim.
+        return tuple(claimed)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def detects_attack(self, src_host: str, dst_host: str) -> bool:
+        """Does the sampled trajectory deviate from the agreed path?"""
+        report = self.collect(src_host, dst_host)
+        expected = self.provider.report_path(src_host, dst_host) or ()
+        return tuple(report.observed_switches) != tuple(expected)
+
+    def observed_switch_set(self) -> Set[str]:
+        observed: Set[str] = set()
+        for report in self.reports:
+            observed.update(report.observed_switches)
+        return observed
+
+
+class TrustedCollectorTrajectoryVerifier(TrajectorySamplingVerifier):
+    """Trajectory sampling with an *uncompromised* collection channel.
+
+    The counterfactual the paper implies: the tool itself is fine — its
+    trust model is what breaks.  With switch observations reaching the
+    analyst directly (which in an SDN would require exactly the kind of
+    independent secure channel RVaaS builds), trajectory deviations
+    become visible again.
+
+    Even then the tool remains reactive and sampling-based: it sees only
+    flows that actually carried traffic, while RVaaS's logical
+    verification covers every potential flow, including ones the victim
+    never sent.
+    """
+
+    def _provider_filter(
+        self, src_host: str, dst_host: str, true_trajectory: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        return true_trajectory  # observations arrive untampered

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Run the compromised-controller story inline: deploy, attack, detect.
+``query``
+    Build a deployment, optionally arm an attack, and run one query
+    through the full in-band protocol.
+``topologies``
+    List the built-in topology generators with their sizes.
+``experiments``
+    List the reproduction's experiment index (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.core.queries import (
+    BandwidthQuery,
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    Query,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.dataplane.topologies import (
+    abilene_topology,
+    fat_tree_topology,
+    isp_topology,
+    linear_topology,
+    ring_topology,
+    single_switch_topology,
+    tree_topology,
+    waxman_topology,
+)
+from repro.dataplane.topology import Topology
+from repro.testbed import Testbed, build_testbed
+
+QUERIES: Dict[str, Callable[[], Query]] = {
+    "isolation": IsolationQuery,
+    "reachable": ReachableDestinationsQuery,
+    "sources": ReachingSourcesQuery,
+    "geo": GeoLocationQuery,
+    "avoid-offshore": lambda: WaypointAvoidanceQuery(
+        forbidden_regions=("offshore",)
+    ),
+    "path-length": PathLengthQuery,
+    "fairness": FairnessQuery,
+    "bandwidth": lambda: BandwidthQuery(minimum_mbps=500),
+    "transfer-function": TransferFunctionQuery,
+}
+
+EXPERIMENTS = [
+    ("E1", "Fig. 1 integrity-request flow", "bench_fig1_integrity_request.py"),
+    ("E2", "Fig. 2 auth-reply flow", "bench_fig2_auth_reply.py"),
+    ("E3", "isolation case study (§IV-B1)", "bench_isolation_case_study.py"),
+    ("E4", "geo-location case study (§IV-B2)", "bench_geo_case_study.py"),
+    ("E5", "low resource requirements", "bench_resource_requirements.py"),
+    ("E6", "random polling vs flapping attacks", "bench_random_polling.py"),
+    ("E7", "RVaaS vs provider-trusting baselines", "bench_baseline_comparison.py"),
+    ("E8", "confidentiality / topology leakage", "bench_confidentiality.py"),
+    ("E9", "multi-provider federation", "bench_multiprovider.py"),
+    ("E10", "HSA scaling + ablations", "bench_hsa_scaling.py"),
+    ("E11", "monitoring overhead & staleness", "bench_monitoring_overhead.py"),
+    ("E12", "fairness / neutrality queries", "bench_fairness_queries.py"),
+    ("E13", "attack traceback from history", "bench_traceback.py"),
+    ("E14", "HSA vs emulation backends", "bench_verification_backends.py"),
+    ("E15", "proactive alerts vs polling", "bench_proactive_alerts.py"),
+]
+
+
+def parse_topology(spec: str, clients) -> Topology:
+    """Parse ``isp`` / ``linear:6`` / ``fat-tree:4`` / ... into a topology."""
+    name, _, arg = spec.partition(":")
+    if name == "isp":
+        return isp_topology(clients=clients)
+    if name == "abilene":
+        return abilene_topology(clients=clients)
+    if name == "single":
+        return single_switch_topology(int(arg or 2), clients=clients)
+    if name == "linear":
+        return linear_topology(int(arg or 4), clients=clients)
+    if name == "ring":
+        return ring_topology(int(arg or 4), clients=clients)
+    if name == "tree":
+        return tree_topology(int(arg or 2), 2, clients=clients)
+    if name == "fat-tree":
+        return fat_tree_topology(int(arg or 4), clients=clients)
+    if name == "waxman":
+        return waxman_topology(int(arg or 12), seed=1, clients=clients)
+    raise SystemExit(f"unknown topology spec: {spec!r}")
+
+
+def arm_attack(bed: Testbed, name: str) -> str:
+    from repro.attacks import (
+        BlackholeAttack,
+        DiversionAttack,
+        ExfiltrationAttack,
+        GeoViolationAttack,
+        JoinAttack,
+    )
+
+    hosts = [h.name for h in bed.topology.hosts.values() if h.client]
+    if len(hosts) < 3:
+        raise SystemExit("topology too small to arm an attack")
+    factories = {
+        "join": lambda: JoinAttack(hosts[1], hosts[0]),
+        "exfiltration": lambda: ExfiltrationAttack(hosts[0], hosts[1]),
+        "blackhole": lambda: BlackholeAttack(hosts[2], hosts[0]),
+        "diversion": lambda: DiversionAttack(
+            hosts[0], hosts[2], sorted(bed.topology.switches)[-1]
+        ),
+        "geo": lambda: GeoViolationAttack(hosts[0], hosts[2], "offshore"),
+    }
+    try:
+        attack = factories[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown attack {name!r}; choose from {sorted(factories)}"
+        ) from None
+    report = bed.provider.compromise(attack)
+    bed.run(0.5)
+    return report.details
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.attacks import JoinAttack
+
+    print("deploying isolated two-tenant ISP network with RVaaS...")
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=args.seed
+    )
+    answer = bed.ask("alice", IsolationQuery()).response.answer
+    print(f"benign isolation check : isolated={answer.isolated}")
+    report = bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+    bed.run(0.5)
+    print(f"control plane hacked   : {report.details}")
+    answer = bed.ask("alice", IsolationQuery()).response.answer
+    print(f"post-attack check      : isolated={answer.isolated}")
+    for endpoint in answer.violating_endpoints:
+        print(f"  covert access point  : {endpoint.labelled()}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    clients = args.clients.split(",")
+    topology = parse_topology(args.topology, clients)
+    bed = build_testbed(
+        topology, isolate_clients=not args.flat_routing, seed=args.seed
+    )
+    if args.attack:
+        print("adversary:", arm_attack(bed, args.attack))
+    client = args.client or bed.client_names()[0]
+    try:
+        query = QUERIES[args.query]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown query {args.query!r}; choose from {sorted(QUERIES)}"
+        ) from None
+    handle = bed.ask(client, query)
+    response = handle.response
+    print(f"client          : {client}")
+    print(f"query           : {type(query).__name__}")
+    print(f"virtual latency : {handle.latency * 1000:.1f} ms")
+    print(f"snapshot version: {response.snapshot_version}")
+    print(f"answer          : {response.answer}")
+    return 0
+
+
+def cmd_topologies(_args: argparse.Namespace) -> int:
+    specs = [
+        ("single[:H]", single_switch_topology(2)),
+        ("linear[:N]", linear_topology(4)),
+        ("ring[:N]", ring_topology(4)),
+        ("tree[:D]", tree_topology(2, 2)),
+        ("fat-tree[:K]", fat_tree_topology(4)),
+        ("waxman[:N]", waxman_topology(12, seed=1)),
+        ("isp", isp_topology()),
+        ("abilene", abilene_topology()),
+    ]
+    for spec, topo in specs:
+        print(f"{spec:<14} {topo.describe()}")
+    return 0
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    for exp_id, title, bench in EXPERIMENTS:
+        print(f"{exp_id:<5} {title:<42} benchmarks/{bench}")
+    print("\nrun all:   pytest benchmarks/ --benchmark-only -s")
+    print("run one:   pytest benchmarks/<file> --benchmark-only -s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RVaaS reproduction — trustworthy routing verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="attack-and-detect walkthrough")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=cmd_demo)
+
+    query = sub.add_parser("query", help="run one query on a fresh deployment")
+    query.add_argument("query", choices=sorted(QUERIES))
+    query.add_argument("--client", default=None, help="querying client name")
+    query.add_argument("--clients", default="alice,bob")
+    query.add_argument("--topology", default="isp", help="e.g. isp, linear:6")
+    query.add_argument("--attack", default=None, help="arm an attack first")
+    query.add_argument(
+        "--flat-routing",
+        action="store_true",
+        help="any-to-any routing instead of per-client isolation",
+    )
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=cmd_query)
+
+    topologies = sub.add_parser("topologies", help="list topology generators")
+    topologies.set_defaults(func=cmd_topologies)
+
+    experiments = sub.add_parser("experiments", help="list the experiment index")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Controller framework and the provider's control plane.
+
+:class:`~repro.controlplane.controller.ControllerApp` is a Ryu/POX-style
+event-dispatching base class used by both the provider's controller and
+the RVaaS controller.  :class:`~repro.controlplane.provider.ProviderController`
+implements proactive shortest-path routing (the benign network management
+system); :class:`~repro.controlplane.malicious.CompromisedController`
+models the paper's threat: the same controller after a cyber attack,
+executing attacks from :mod:`repro.attacks` through its legitimate
+control channels.
+"""
+
+from repro.controlplane.controller import ControllerApp
+from repro.controlplane.malicious import CompromisedController
+from repro.controlplane.provider import ProviderController
+from repro.controlplane.routing import RoutePlan, compute_route_plan
+
+__all__ = [
+    "CompromisedController",
+    "ControllerApp",
+    "ProviderController",
+    "RoutePlan",
+    "compute_route_plan",
+]

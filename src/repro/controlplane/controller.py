@@ -1,0 +1,207 @@
+"""Base class for OpenFlow controller applications.
+
+Provides channel management, message dispatch to ``on_*`` handlers, and
+the convenience senders (flow installation, packet-out, stats/monitor
+requests) that both the provider controller and RVaaS are written
+against.  One controller may manage many switches, each over its own
+authenticated channel (:meth:`attach`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.dataplane.network import Network
+from repro.netlib.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.channel import ControlChannel
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    EchoReply,
+    FeaturesReply,
+    FlowMod,
+    FlowModCommand,
+    FlowMonitorRequest,
+    FlowMonitorUpdate,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    MeterMod,
+    MeterStatsReply,
+    MeterStatsRequest,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
+from repro.openflow.meters import MeterBand
+from repro.openflow.actions import Output
+
+
+class ControllerApp:
+    """An OpenFlow controller application managing a set of switches."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: Optional[Network] = None
+        self.channels: Dict[str, ControlChannel] = {}
+        self._dpid_to_switch: Dict[int, str] = {}
+        self._stats_callbacks: Dict[int, Callable[[OpenFlowMessage], None]] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, network: Network, switches: Optional[Iterable[str]] = None
+    ) -> None:
+        """Open control channels to ``switches`` (default: all)."""
+        self.network = network
+        names = list(switches) if switches is not None else sorted(network.switches)
+        for switch_name in names:
+            channel = network.open_control_channel(self.name, switch_name)
+            channel.controller_end.set_handler(
+                lambda message, _sw=switch_name: self._dispatch(_sw, message)
+            )
+            self.channels[switch_name] = channel
+            self._dpid_to_switch[network.switches[switch_name].dpid] = switch_name
+
+    def channel_for(self, switch: str) -> ControlChannel:
+        try:
+            return self.channels[switch]
+        except KeyError:
+            raise KeyError(f"{self.name} has no channel to switch {switch!r}") from None
+
+    def switch_name_for_dpid(self, dpid: int) -> str:
+        return self._dpid_to_switch[dpid]
+
+    @property
+    def now(self) -> float:
+        assert self.network is not None, "controller not attached"
+        return self.network.sim.now
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, switch: str, message: OpenFlowMessage) -> None:
+        callback = self._stats_callbacks.pop(message.xid, None)
+        if callback is not None and isinstance(
+            message, (FlowStatsReply, MeterStatsReply)
+        ):
+            callback(message)
+            return
+        if isinstance(message, PacketIn):
+            self.on_packet_in(switch, message)
+        elif isinstance(message, FlowMonitorUpdate):
+            self.on_monitor_update(switch, message)
+        elif isinstance(message, FlowRemoved):
+            self.on_flow_removed(switch, message)
+        elif isinstance(message, PortStatus):
+            self.on_port_status(switch, message)
+        elif isinstance(message, FlowStatsReply):
+            self.on_flow_stats(switch, message)
+        elif isinstance(message, MeterStatsReply):
+            self.on_meter_stats(switch, message)
+        elif isinstance(message, (EchoReply, BarrierReply, FeaturesReply)):
+            self.on_control_reply(switch, message)
+
+    # Handlers for subclasses ------------------------------------------------
+
+    def on_packet_in(self, switch: str, message: PacketIn) -> None:
+        """Called for every Packet-In from ``switch``."""
+
+    def on_monitor_update(self, switch: str, message: FlowMonitorUpdate) -> None:
+        """Called for every flow-monitor change notification."""
+
+    def on_flow_removed(self, switch: str, message: FlowRemoved) -> None:
+        """Called when a flow expires or is deleted with notification."""
+
+    def on_port_status(self, switch: str, message: PortStatus) -> None:
+        """Called on port up/down transitions."""
+
+    def on_flow_stats(self, switch: str, message: FlowStatsReply) -> None:
+        """Called for unsolicited stats replies (solicited ones use callbacks)."""
+
+    def on_meter_stats(self, switch: str, message: MeterStatsReply) -> None:
+        """Called for unsolicited meter stats replies."""
+
+    def on_control_reply(self, switch: str, message: OpenFlowMessage) -> None:
+        """Echo/Barrier/Features replies."""
+
+    # ------------------------------------------------------------------
+    # Senders
+    # ------------------------------------------------------------------
+
+    def install_flow(
+        self,
+        switch: str,
+        match: Match,
+        actions: tuple[Action, ...],
+        *,
+        priority: int = 0,
+        table_id: int = 0,
+        cookie: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+    ) -> None:
+        self.channel_for(switch).send_to_switch(
+            FlowMod(
+                command=FlowModCommand.ADD,
+                match=match,
+                actions=actions,
+                priority=priority,
+                table_id=table_id,
+                cookie=cookie,
+                idle_timeout=idle_timeout,
+                hard_timeout=hard_timeout,
+            )
+        )
+
+    def remove_flow(
+        self,
+        switch: str,
+        match: Match,
+        *,
+        priority: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        command = FlowModCommand.DELETE_STRICT if strict else FlowModCommand.DELETE
+        self.channel_for(switch).send_to_switch(
+            FlowMod(command=command, match=match, priority=priority or 0)
+        )
+
+    def send_packet(self, switch: str, packet: Packet, out_port: int) -> None:
+        """Inject a packet at a switch via Packet-Out."""
+        self.channel_for(switch).send_to_switch(
+            PacketOut(packet=packet, actions=(Output(out_port),))
+        )
+
+    def install_meter(self, switch: str, meter_id: int, band: MeterBand) -> None:
+        self.channel_for(switch).send_to_switch(
+            MeterMod(command=FlowModCommand.ADD, meter_id=meter_id, band=band)
+        )
+
+    def request_flow_stats(
+        self, switch: str, callback: Callable[[FlowStatsReply], None]
+    ) -> None:
+        """Active configuration poll with a per-request callback."""
+        request = FlowStatsRequest()
+        self._stats_callbacks[request.xid] = callback  # type: ignore[arg-type]
+        self.channel_for(switch).send_to_switch(request)
+
+    def request_meter_stats(
+        self, switch: str, callback: Callable[[MeterStatsReply], None]
+    ) -> None:
+        request = MeterStatsRequest()
+        self._stats_callbacks[request.xid] = callback  # type: ignore[arg-type]
+        self.channel_for(switch).send_to_switch(request)
+
+    def subscribe_flow_monitor(self, switch: str) -> None:
+        """Passive monitoring subscription (OpenFlow flow monitor)."""
+        self.channel_for(switch).send_to_switch(FlowMonitorRequest())
+
+    def control_message_count(self) -> int:
+        """Total control messages this controller has exchanged."""
+        return sum(channel.total_messages() for channel in self.channels.values())

@@ -1,0 +1,51 @@
+"""The compromised provider controller.
+
+Models the paper's central threat (§III): an external attacker has taken
+over the network management system / SDN control plane.  The controller
+first behaves benignly (deploys the agreed routing policy), then executes
+:mod:`repro.attacks` through its own legitimate channels — and keeps
+*lying* in its out-of-band reports: ``report_path`` and
+``report_reachable_hosts`` still answer from the original benign plan,
+which is why provider-trusting verifiers (traceroute, trajectory
+sampling) observe nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import Attack, AttackReport
+from repro.controlplane.provider import ProviderController
+
+
+class CompromisedController(ProviderController):
+    """A provider controller under adversary control."""
+
+    def __init__(self, name: str = "provider") -> None:
+        super().__init__(name)
+        self.active_attacks: List[Attack] = []
+        self.attack_reports: List[AttackReport] = []
+
+    def compromise(self, attack: Attack) -> AttackReport:
+        """Execute ``attack`` through this controller's channels."""
+        assert self.topology is not None, "attach() and deploy() first"
+        report = attack.arm(self, self.topology)
+        self.active_attacks.append(attack)
+        self.attack_reports.append(report)
+        return report
+
+    def retreat(self, attack: Attack) -> None:
+        """Remove one attack's rules (e.g. when the attacker covers tracks)."""
+        attack.disarm(self)
+        if attack in self.active_attacks:
+            self.active_attacks.remove(attack)
+
+    # ------------------------------------------------------------------
+    # Lies
+    # ------------------------------------------------------------------
+    # report_path / report_reachable_hosts are inherited unchanged: they
+    # answer from self.route_plan, which still holds the benign plan.
+    # That *is* the lie — the data plane no longer matches it.
+
+    def is_compromised(self) -> bool:
+        return bool(self.active_attacks)

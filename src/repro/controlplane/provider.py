@@ -1,0 +1,177 @@
+"""The provider's network management system / SDN controller.
+
+Benign behaviour: proactively install latency-weighted shortest-path
+routing for every host (``deploy``), reroute around failed links, and
+answer out-of-band path queries — the latter is what the *provider-
+trusting* baseline verifiers (:mod:`repro.baselines`) consume, and what a
+compromised controller can lie about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controlplane.controller import ControllerApp
+from repro.controlplane.routing import (
+    ROUTE_PRIORITY,
+    RoutePlan,
+    compute_pair_route_plan,
+    compute_route_plan,
+    isolation_pairs,
+)
+from repro.dataplane.network import Network
+from repro.dataplane.topology import Topology
+from repro.openflow.match import Match
+from repro.openflow.messages import PortStatus
+
+
+class ProviderController(ControllerApp):
+    """Proactive shortest-path routing over the whole topology."""
+
+    def __init__(self, name: str = "provider") -> None:
+        super().__init__(name)
+        self.topology: Optional[Topology] = None
+        self.route_plan: Optional[RoutePlan] = None
+        self.deployed = False
+        self.isolated = False
+        self.port_events: List[Tuple[float, str, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def attach(self, network: Network, switches=None) -> None:  # type: ignore[override]
+        super().attach(network, switches)
+        self.topology = network.topology
+
+    def deploy(self, *, isolate_clients: bool = False) -> RoutePlan:
+        """Compute and install the routing configuration on all switches.
+
+        With ``isolate_clients=True`` the agreed policy is per-client
+        isolation: routes exist only between hosts of the same client.
+        The compiled pipeline is then two-staged:
+
+        * table 0 — ingress guards: packets from an edge port are
+          admitted to routing only with the attached host's source IP
+          (anti-spoofing); packets from internal ports are admitted
+          unconditionally; everything else at an edge port drops.
+        * table 1 — pair routes matching both ``ip_src`` and ``ip_dst``.
+
+        Without isolation, plain destination-based shortest-path routes
+        go into table 0 directly.
+        """
+        assert self.topology is not None, "attach() before deploy()"
+        if isolate_clients:
+            plan = compute_pair_route_plan(
+                self.topology, isolation_pairs(self.topology)
+            )
+            self._install_ingress_guards()
+            route_table = 1
+        else:
+            plan = compute_route_plan(self.topology)
+            route_table = 0
+        for rule in plan.rules:
+            self.install_flow(
+                rule.switch,
+                rule.match,
+                rule.actions,
+                priority=rule.priority,
+                table_id=route_table,
+                cookie=1,  # provider cookie, distinguishes provider rules
+            )
+        self.route_plan = plan
+        self.isolated = isolate_clients
+        self.deployed = True
+        return plan
+
+    #: Priorities of the ingress-guard tier (all below attack/RVaaS tiers).
+    GUARD_ADMIT_PRIORITY = 8
+    GUARD_DROP_PRIORITY = 6
+
+    def _install_ingress_guards(self) -> None:
+        assert self.topology is not None
+        from repro.openflow.actions import Drop, GotoTable
+
+        for host in self.topology.hosts.values():
+            self.install_flow(
+                host.switch,
+                Match(in_port=host.port, ip_src=host.ip),
+                (GotoTable(1),),
+                priority=self.GUARD_ADMIT_PRIORITY,
+                cookie=1,
+            )
+            self.install_flow(
+                host.switch,
+                Match(in_port=host.port),
+                (Drop(),),
+                priority=self.GUARD_DROP_PRIORITY,
+                cookie=1,
+            )
+        for switch, ports in self.topology.internal_port_map().items():
+            for port in sorted(ports):
+                self.install_flow(
+                    switch,
+                    Match(in_port=port),
+                    (GotoTable(1),),
+                    priority=self.GUARD_ADMIT_PRIORITY,
+                    cookie=1,
+                )
+
+    def withdraw_all(self) -> None:
+        """Remove every provider-installed rule (cookie-selected)."""
+        for switch in self.channels:
+            from repro.openflow.messages import FlowMod, FlowModCommand
+
+            self.channel_for(switch).send_to_switch(
+                FlowMod(command=FlowModCommand.DELETE, match=Match.any(), cookie=1)
+            )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def on_port_status(self, switch: str, message: PortStatus) -> None:
+        """Note topology changes (the demos keep the physical plant stable).
+
+        Rerouting policy is orthogonal to verification — RVaaS checks
+        whatever configuration is installed, however the provider reacts
+        to failures — so the reference provider just records the event.
+        """
+        self.port_events.append((self.now, switch, message.port, message.status))
+
+    # ------------------------------------------------------------------
+    # The provider's self-reported answers (for baseline verifiers)
+    # ------------------------------------------------------------------
+
+    def report_path(self, src_host: str, dst_host: str) -> Optional[Tuple[str, ...]]:
+        """The path the provider *claims* traffic takes.
+
+        A benign provider answers truthfully from its route plan.  A
+        compromised one (see :class:`~repro.controlplane.malicious.CompromisedController`)
+        keeps answering from the *original* plan while the data plane
+        does something else — which is exactly why traceroute-style
+        verification fails in this threat model (paper §I).
+        """
+        if self.route_plan is None:
+            return None
+        return self.route_plan.path_between(src_host, dst_host)
+
+    def report_reachable_hosts(self, src_host: str) -> Tuple[str, ...]:
+        """Hosts the provider claims are reachable from ``src_host``."""
+        if self.route_plan is None or self.topology is None:
+            return ()
+        return tuple(
+            sorted(
+                dst
+                for (src, dst) in self.route_plan.paths
+                if src == src_host
+            )
+        )
+
+    def expected_rules(self) -> Dict[str, List]:
+        """The benign configuration, per switch (ground truth for tests)."""
+        assert self.route_plan is not None
+        by_switch: Dict[str, List] = {}
+        for rule in self.route_plan.rules:
+            by_switch.setdefault(rule.switch, []).append(rule)
+        return by_switch

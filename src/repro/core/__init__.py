@@ -1,0 +1,100 @@
+"""Routing-Verification-as-a-Service — the paper's contribution.
+
+The package wires together the three mechanisms of §IV-A:
+
+* :mod:`~repro.core.monitor` — passive + randomly-timed active
+  configuration monitoring over the RVaaS controller's own secure
+  OpenFlow sessions;
+* :mod:`~repro.core.verifier` — logical data-plane verification (HSA)
+  answering the client query taxonomy of :mod:`~repro.core.queries`;
+* :mod:`~repro.core.inband` — in-band client interaction: magic-header
+  query interception, authentication-request rounds, signed responses.
+
+:class:`~repro.core.service.RVaaSController` is the deployable artifact:
+a stand-alone, attested controller (:mod:`~repro.core.attestation`)
+independent of the provider's control plane.
+:class:`~repro.core.client.RVaaSClient` is the client-side library;
+:class:`~repro.core.multiprovider.RVaaSFederation` chains services across
+provider domains (§IV-C).
+"""
+
+from repro.core.attestation import AttestedService, setup_attested_service
+from repro.core.client import AuthResponder, RVaaSClient, SilentResponder
+from repro.core.emulation import EmulationVerifier, ShadowNetwork
+from repro.core.history import SnapshotHistory
+from repro.core.replication import (
+    CompromisedReplica,
+    QuorumError,
+    QuorumResult,
+    ReplicatedRVaaS,
+)
+from repro.core.traceback import AttackTraceback, ExposureWindow, TracebackReport
+from repro.core.monitor import ConfigurationMonitor, MonitorMode
+from repro.core.multiprovider import ProviderDomain, RVaaSFederation
+from repro.core.protocol import (
+    AuthChallenge,
+    AuthReply,
+    ClientRegistration,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.core.queries import (
+    Answer,
+    BandwidthQuery,
+    ExposureHistoryQuery,
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    Query,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.core.service import RVaaSController, TamperAlarm
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+
+__all__ = [
+    "Answer",
+    "BandwidthQuery",
+    "AttackTraceback",
+    "AttestedService",
+    "AuthChallenge",
+    "AuthReply",
+    "AuthResponder",
+    "ClientRegistration",
+    "CompromisedReplica",
+    "ConfigurationMonitor",
+    "EmulationVerifier",
+    "ExposureHistoryQuery",
+    "ExposureWindow",
+    "QuorumError",
+    "QuorumResult",
+    "ReplicatedRVaaS",
+    "ShadowNetwork",
+    "TracebackReport",
+    "FairnessQuery",
+    "GeoLocationQuery",
+    "IsolationQuery",
+    "LogicalVerifier",
+    "MonitorMode",
+    "NetworkSnapshot",
+    "PathLengthQuery",
+    "ProviderDomain",
+    "Query",
+    "QueryRequest",
+    "QueryResponse",
+    "RVaaSClient",
+    "RVaaSController",
+    "RVaaSFederation",
+    "ReachableDestinationsQuery",
+    "ReachingSourcesQuery",
+    "SilentResponder",
+    "SnapshotHistory",
+    "TamperAlarm",
+    "TransferFunctionQuery",
+    "WaypointAvoidanceQuery",
+    "setup_attested_service",
+]

@@ -1,0 +1,76 @@
+"""Binding the RVaaS service to an attested enclave (§I-B, §IV-A).
+
+The deployment story: the provider (or a certification authority)
+provisions a secure server; the RVaaS application is loaded into an
+enclave; the enclave generates the service key pair *inside* and quotes
+its own measurement with the key fingerprint as report data.  Clients
+verify the quote before trusting any response signature; the provider
+verifies the same quote to convince itself "the correct RVaaS application
+is operating on the server, and not a fake one that may leak sensitive
+information".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.enclave import (
+    AttestationVerifier,
+    Enclave,
+    Measurement,
+    Quote,
+)
+from repro.crypto.keys import KeyPair, generate_keypair
+
+#: The code identity of this reproduction's RVaaS build; clients pin it.
+RVAAS_CODE_IDENTITY = "rvaas-core-1.0.0"
+
+
+@dataclass(frozen=True)
+class AttestedService:
+    """Everything a freshly attested RVaaS deployment hands out."""
+
+    enclave: Enclave
+    service_keypair: KeyPair
+    quote: Quote
+
+    @property
+    def measurement(self) -> Measurement:
+        return self.enclave.measurement
+
+
+def expected_measurement() -> Measurement:
+    """The measurement clients should pin for this RVaaS version."""
+    return Measurement.of_code(RVAAS_CODE_IDENTITY)
+
+
+def setup_attested_service(
+    attestation_key: KeyPair,
+    rng: random.Random,
+    *,
+    code_identity: str = RVAAS_CODE_IDENTITY,
+    service_name: str = "rvaas",
+) -> AttestedService:
+    """Load the RVaaS enclave and produce its key-binding quote."""
+    enclave = Enclave(code_identity, attestation_key)
+    service_keypair = enclave.run(
+        generate_keypair, service_name, rng=rng
+    )
+    quote = enclave.quote(report_data=service_keypair.public.fingerprint())
+    return AttestedService(
+        enclave=enclave, service_keypair=service_keypair, quote=quote
+    )
+
+
+def provider_accepts(
+    service: AttestedService, verifier: AttestationVerifier
+) -> bool:
+    """The provider-side check before hosting the server (§IV-A)."""
+    from repro.crypto.enclave import AttestationError
+
+    try:
+        verifier.verify_quote(service.quote, expected_measurement())
+    except AttestationError:
+        return False
+    return service.quote.report_data == service.service_keypair.public.fingerprint()

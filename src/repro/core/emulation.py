@@ -1,0 +1,303 @@
+"""Emulation-based verification: the paper's alternative to HSA.
+
+§IV-A2: "the RVaaS controller may perform Header Space Analysis, or
+simply **emulate the network** based on the current configuration."
+
+This module implements that second backend.  A :class:`ShadowNetwork`
+instantiates a throwaway copy of the data plane *from a configuration
+snapshot* — fresh switches, the wiring plan, probe endpoints at every
+edge port — and replays the snapshot's rules into it.  The
+:class:`EmulationVerifier` then answers reachability questions by
+injecting concrete probe packets and observing where they emerge.
+
+Relative to HSA the emulation backend is:
+
+* **sound but not complete** — a probe that arrives proves
+  reachability; absence of arrival only covers the probed headers, not
+  the whole header space.  (HSA is exact.)
+* cheaper per question when the interesting header set is small, and
+  trivially parallel.
+
+Because both backends answer the same questions from the same snapshot,
+they also serve as differential tests of one another — see
+``tests/test_emulation_differential.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.protocol import ClientRegistration
+from repro.core.queries import Endpoint, TrafficScope
+from repro.core.snapshot import NetworkSnapshot
+from repro.hsa.network_tf import PortRef
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import IP_PROTO_UDP
+from repro.netlib.packet import Packet, udp_packet
+from repro.openflow.flowtable import FlowEntry
+from repro.openflow.switch import OpenFlowSwitch
+
+#: Link latency used inside shadow networks (value is irrelevant to
+#: reachability; it only orders events).
+_SHADOW_LATENCY = 0.0001
+
+
+@dataclass
+class ProbeResult:
+    """Where the probes injected at one ingress emerged."""
+
+    ingress: PortRef
+    arrivals: Dict[PortRef, List[Packet]] = field(default_factory=dict)
+    controller_copies: int = 0
+    probes_sent: int = 0
+
+    def reached_ports(self) -> frozenset[PortRef]:
+        return frozenset(self.arrivals)
+
+
+class ShadowNetwork:
+    """A disposable data-plane replica built from a snapshot.
+
+    No hosts, no controllers — just switches wired per the snapshot's
+    wiring plan, with collection buckets on every edge port and a
+    counter for control-plane punts.
+    """
+
+    def __init__(self, snapshot: NetworkSnapshot) -> None:
+        from repro.dataplane.simulator import Simulator
+
+        self.snapshot = snapshot
+        self.sim = Simulator(seed=0)
+        self.switches: Dict[str, OpenFlowSwitch] = {}
+        self.arrivals: Dict[PortRef, List[Packet]] = {}
+        self.controller_copies = 0
+        self._build()
+
+    def _build(self) -> None:
+        wiring = self.snapshot.wiring
+        for name, ports in self.snapshot.switch_ports.items():
+            switch = OpenFlowSwitch(
+                name,
+                dpid=abs(hash(name)) % (1 << 32),
+                clock=lambda: self.sim.now,
+            )
+            edge = self.snapshot.edge_ports.get(name, frozenset())
+            for port in ports:
+                if (name, port) in wiring:
+                    kind = "link"
+                elif port in edge:
+                    kind = "host"
+                else:
+                    kind = "unbound"
+                switch.add_port(port, kind=kind)
+            switch.transmit = self._on_transmit
+            self.switches[name] = switch
+
+        meters_by_switch: Dict[str, list] = {}
+        for meter in self.snapshot.meters:
+            meters_by_switch.setdefault(meter.switch, []).append(meter)
+        for name, rules in self.snapshot.rules.items():
+            switch = self.switches.get(name)
+            if switch is None:
+                continue
+            max_table = max((rule.table_id for rule in rules), default=0)
+            while len(switch.tables) <= max_table:
+                from repro.openflow.flowtable import FlowTable
+
+                switch.tables.append(FlowTable(table_id=len(switch.tables)))
+            for rule in rules:
+                switch.tables[rule.table_id].add(
+                    FlowEntry(
+                        match=rule.match,
+                        actions=tuple(rule.actions),
+                        priority=rule.priority,
+                        cookie=rule.cookie,
+                    )
+                )
+            for meter in meters_by_switch.get(name, []):
+                switch.meters.add(meter.meter_id, meter.band)
+
+        # Shadow switches have no control channels; count punts instead
+        # of delivering Packet-Ins.
+        for switch in self.switches.values():
+            switch._send_packet_in = (  # type: ignore[method-assign]
+                lambda pkt, in_port, table_id: self._note_punt()
+            )
+
+    # ------------------------------------------------------------------
+    # Fabric
+    # ------------------------------------------------------------------
+
+    def _on_transmit(
+        self, switch: OpenFlowSwitch, out_port: int, packet: Packet
+    ) -> None:
+        ref = (switch.name, out_port)
+        peer = self.snapshot.wiring.get(ref)
+        if peer is not None:
+            peer_switch, peer_port = peer
+            target = self.switches[peer_switch]
+            self.sim.schedule(
+                _SHADOW_LATENCY, lambda: target.receive_packet(packet, peer_port)
+            )
+            return
+        if out_port in self.snapshot.edge_ports.get(switch.name, frozenset()):
+            self.arrivals.setdefault(ref, []).append(packet)
+        # unbound port: packet vanishes, as on real hardware
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def inject(self, switch: str, port: int, packet: Packet) -> None:
+        self.switches[switch].receive_packet(packet, port)
+
+    def _note_punt(self) -> None:
+        self.controller_copies += 1
+
+    def run_probe_round(
+        self, ingress: PortRef, packets: Iterable[Packet]
+    ) -> ProbeResult:
+        """Inject ``packets`` at ``ingress`` and collect all arrivals."""
+        self.arrivals = {}
+        self.controller_copies = 0
+        result = ProbeResult(ingress=ingress)
+        switch, port = ingress
+        for packet in packets:
+            self.inject(switch, port, packet)
+            result.probes_sent += 1
+        self.sim.run_until_idle(max_time=self.sim.now + 60.0)
+        result.arrivals = dict(self.arrivals)
+        result.controller_copies = self.controller_copies
+        return result
+
+
+def _registered_endpoints(
+    registrations: Dict[str, ClientRegistration],
+) -> Dict[PortRef, Tuple[str, str]]:
+    owners: Dict[PortRef, Tuple[str, str]] = {}
+    for registration in registrations.values():
+        for host in registration.hosts:
+            owners[host.access_point] = (host.name, registration.name)
+    return owners
+
+
+class EmulationVerifier:
+    """Sampling-based reachability verification over shadow networks.
+
+    The probe set for a source host covers: every registered IP as
+    ``ip_dst`` (the destinations a routing policy can name), plus
+    ``extra_random_probes`` headers drawn uniformly to catch rules that
+    match none of the registered addresses (e.g. exfiltration matches on
+    oddball destinations).
+    """
+
+    def __init__(
+        self,
+        registrations: Dict[str, ClientRegistration],
+        *,
+        extra_random_probes: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.registrations = dict(registrations)
+        self.extra_random_probes = extra_random_probes
+        self.seed = seed
+        self._owners = _registered_endpoints(self.registrations)
+        self.probes_injected = 0
+
+    # ------------------------------------------------------------------
+    # Probe construction
+    # ------------------------------------------------------------------
+
+    def _probe_packets(
+        self, src_ip: int, src_mac: MacAddress, scope: TrafficScope
+    ) -> List[Packet]:
+        rng = random.Random(self.seed ^ src_ip)
+        constraints = scope.constraints()
+        sport = constraints.get("tp_src", 41000)
+        dport = constraints.get("tp_dst", 42000)
+        vlan = constraints.get("vlan_id", 0)
+        packets: List[Packet] = []
+        destination_ips: List[int] = sorted(
+            {
+                host.ip
+                for registration in self.registrations.values()
+                for host in registration.hosts
+            }
+        )
+        for _ in range(self.extra_random_probes):
+            destination_ips.append(rng.getrandbits(32))
+        for dst in destination_ips:
+            packets.append(
+                udp_packet(
+                    eth_src=src_mac,
+                    eth_dst=MacAddress.from_host_index(0),
+                    ip_src=IPv4Address(src_ip),
+                    ip_dst=IPv4Address(dst),
+                    sport=sport,
+                    dport=dport,
+                    vlan_id=vlan,
+                    payload=("probe", src_ip, dst),
+                )
+            )
+        return packets
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def reachable_ports(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> Dict[PortRef, frozenset[PortRef]]:
+        """Per client access point, the edge ports its probes reached."""
+        shadow = ShadowNetwork(snapshot)
+        reached: Dict[PortRef, frozenset[PortRef]] = {}
+        for index, host in enumerate(registration.hosts, start=1):
+            packets = self._probe_packets(
+                host.ip, MacAddress.from_host_index(index), scope
+            )
+            result = shadow.run_probe_round(host.access_point, packets)
+            self.probes_injected += result.probes_sent
+            reached[host.access_point] = result.reached_ports()
+        return reached
+
+    def reachable_destinations(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> Tuple[Endpoint, ...]:
+        """Endpoint-level answer comparable to the HSA verifier's."""
+        endpoints: Set[Endpoint] = set()
+        for ports in self.reachable_ports(registration, snapshot, scope).values():
+            for switch, port in ports:
+                host, client = self._owners.get((switch, port), ("", ""))
+                endpoints.add(
+                    Endpoint(switch=switch, port=port, host=host, client=client)
+                )
+        return tuple(sorted(endpoints, key=lambda e: (e.switch, e.port)))
+
+    def can_reach(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        src_host: str,
+        target: PortRef,
+        scope: TrafficScope = TrafficScope(),
+    ) -> bool:
+        """Did any probe from ``src_host`` arrive at ``target``?"""
+        record = next(
+            (h for h in registration.hosts if h.name == src_host), None
+        )
+        if record is None:
+            raise KeyError(f"{src_host!r} is not one of {registration.name}'s hosts")
+        shadow = ShadowNetwork(snapshot)
+        packets = self._probe_packets(record.ip, MacAddress.from_host_index(1), scope)
+        result = shadow.run_probe_round(record.access_point, packets)
+        self.probes_injected += result.probes_sent
+        return target in result.reached_ports()

@@ -1,0 +1,145 @@
+"""Snapshot history and short-term reconfiguration detection.
+
+Paper §IV-A: "Short term reconfiguration attacks can also be prevented
+by maintaining some history."  The history keeps a bounded ring of
+snapshot fingerprints plus the cumulative set of *every* rule signature
+ever observed, so a rule that exists only between two polls still leaves
+a trace the moment any poll or passive event catches it — and flapping
+(repeated appear/disappear of the same rule) is flagged explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.snapshot import NetworkSnapshot
+
+
+def entries_with_snapshots(history: "SnapshotHistory"):
+    """Iterate the history entries that retained their full snapshot."""
+    return [entry for entry in history.entries() if entry.snapshot is not None]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    version: int
+    taken_at: float
+    content_hash: str
+    rule_signatures: FrozenSet[tuple]
+    #: Full snapshot, retained only when the history was created with
+    #: ``retain_snapshots=True`` (needed for traceback analysis).
+    snapshot: Optional[NetworkSnapshot] = None
+
+
+@dataclass(frozen=True)
+class FlappingReport:
+    """A rule signature that appeared and disappeared repeatedly."""
+
+    switch: str
+    rule_identity: tuple
+    transitions: int
+    first_seen: float
+    last_seen: float
+
+
+class SnapshotHistory:
+    """Bounded history of configuration states with flapping analysis."""
+
+    def __init__(self, max_entries: int = 256, *, retain_snapshots: bool = False) -> None:
+        self.retain_snapshots = retain_snapshots
+        self._entries: Deque[HistoryEntry] = deque(maxlen=max_entries)
+        #: every rule signature ever observed, with observation times
+        self._ever_seen: Dict[tuple, List[float]] = {}
+        #: per-signature count of absent->present transitions
+        self._appearances: Dict[tuple, int] = {}
+        self._present: FrozenSet[tuple] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, snapshot: NetworkSnapshot) -> None:
+        signatures = snapshot.rule_signatures()
+        entry = HistoryEntry(
+            version=snapshot.version,
+            taken_at=snapshot.taken_at,
+            content_hash=snapshot.content_hash(),
+            rule_signatures=signatures,
+            snapshot=snapshot if self.retain_snapshots else None,
+        )
+        appeared = signatures - self._present
+        for signature in appeared:
+            self._appearances[signature] = self._appearances.get(signature, 0) + 1
+            self._ever_seen.setdefault(signature, []).append(snapshot.taken_at)
+        self._present = signatures
+        self._entries.append(entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Tuple[HistoryEntry, ...]:
+        """All retained entries, oldest first."""
+        return tuple(self._entries)
+
+    def latest(self) -> Optional[HistoryEntry]:
+        return self._entries[-1] if self._entries else None
+
+    def entry_at(self, time: float) -> Optional[HistoryEntry]:
+        """The entry in force at virtual time ``time``."""
+        best: Optional[HistoryEntry] = None
+        for entry in self._entries:
+            if entry.taken_at <= time:
+                best = entry
+            else:
+                break
+        return best
+
+    def distinct_configurations(self) -> int:
+        return len({entry.content_hash for entry in self._entries})
+
+    def ever_seen(self, signature: tuple) -> bool:
+        """Did any snapshot ever contain this rule signature?
+
+        This is the short-term-attack witness: even if the rule is gone
+        *now*, its past presence is on record.
+        """
+        return signature in self._ever_seen
+
+    def signatures_ever_seen(self) -> FrozenSet[tuple]:
+        return frozenset(self._ever_seen)
+
+    def transient_signatures(self) -> FrozenSet[tuple]:
+        """Rules that were observed at some point but are gone now."""
+        return frozenset(self._ever_seen) - self._present
+
+    def flapping(self, min_transitions: int = 2) -> List[FlappingReport]:
+        """Rules with at least ``min_transitions`` absent->present events."""
+        reports: List[FlappingReport] = []
+        for signature, count in self._appearances.items():
+            if count < min_transitions:
+                continue
+            times = self._ever_seen[signature]
+            switch, identity = signature
+            reports.append(
+                FlappingReport(
+                    switch=switch,
+                    rule_identity=identity,
+                    transitions=count,
+                    first_seen=times[0],
+                    last_seen=times[-1],
+                )
+            )
+        reports.sort(key=lambda r: (-r.transitions, r.switch))
+        return reports
+
+    def unexpected_signatures(
+        self, expected: FrozenSet[tuple]
+    ) -> FrozenSet[tuple]:
+        """Every signature ever observed that is outside ``expected``."""
+        return frozenset(self._ever_seen) - expected

@@ -1,0 +1,263 @@
+"""In-band testing and client interaction (§IV-A3, Figures 1 and 2).
+
+The in-band tester owns three jobs:
+
+1. **Interception rules**: high-priority flow entries on every switch
+   punting RVaaS signalling to the control plane — client query packets
+   (magic UDP port), host authentication replies (second magic port),
+   and LLDP-style topology probes.  "RVaaS is only reachable via a very
+   simple OpenFlow interface and indirectly; no special protocols and
+   servers are needed."
+2. **Authentication rounds**: given the candidate endpoints computed by
+   the logical verifier, inject signed Auth-request packets via
+   Packet-Out at each endpoint's egress port, collect the signed replies
+   that come back as Packet-Ins, verify them, and report both the
+   evidence and the issued-request count (so silent endpoints are
+   visible to the client).
+3. **Response dispatch**: deliver sealed integrity replies to the
+   querying client's access point via Packet-Out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.protocol import (
+    AuthChallenge,
+    AuthReply,
+    ClientRegistration,
+    sign_challenge,
+    verify_auth_reply,
+)
+from repro.crypto.keys import KeyPair
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import (
+    ETH_TYPE_LLDP,
+    IP_PROTO_UDP,
+    RVAAS_AUTH_PORT,
+    RVAAS_MAGIC_PORT,
+)
+from repro.netlib.packet import Packet, udp_packet
+from repro.openflow.actions import ToController
+from repro.openflow.match import Match
+from repro.openflow.messages import PacketIn
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.controlplane.controller import ControllerApp
+
+#: Cookie marking RVaaS-owned rules (self-protection watches these).
+RVAAS_COOKIE = 0x5256
+
+#: Priorities of the interception tier — above everything the provider
+#: or an attacker is expected to use for traffic manipulation.
+INTERCEPT_PRIORITY = 1000
+PROBE_PRIORITY = 1001
+
+#: Anycast-style address clients send their query packets toward.
+RVAAS_SERVICE_IP = IPv4Address((10 << 24) | (255 << 16) | (255 << 8) | 254)
+
+#: Source identity of RVaaS-injected packets.
+RVAAS_MAC = MacAddress.from_host_index(0xFFFFFE)
+
+PortRef = Tuple[str, int]
+
+
+def interception_matches() -> tuple[Match, ...]:
+    """The three matches every switch punts to the control plane."""
+    return (
+        Match(ip_proto=IP_PROTO_UDP, tp_dst=RVAAS_MAGIC_PORT),
+        Match(ip_proto=IP_PROTO_UDP, tp_dst=RVAAS_AUTH_PORT),
+        Match(eth_type=ETH_TYPE_LLDP),
+    )
+
+
+@dataclass
+class AuthRoundOutcome:
+    """What one authentication round established."""
+
+    round_id: int
+    nonce: int
+    targets: Tuple[PortRef, ...]
+    verified: Dict[PortRef, str] = field(default_factory=dict)  # port -> host
+    rejected: List[Tuple[PortRef, str]] = field(default_factory=list)
+    unsolicited: List[Tuple[PortRef, str]] = field(default_factory=list)
+
+    @property
+    def issued(self) -> int:
+        return len(self.targets)
+
+    @property
+    def received(self) -> int:
+        return len(self.verified)
+
+    def silent_targets(self) -> Tuple[PortRef, ...]:
+        return tuple(t for t in self.targets if t not in self.verified)
+
+
+@dataclass
+class _PendingRound:
+    outcome: AuthRoundOutcome
+    on_complete: Callable[[AuthRoundOutcome], None]
+    done: bool = False
+
+
+class InBandTester:
+    """Owns interception rules and authentication rounds."""
+
+    def __init__(
+        self,
+        controller: "ControllerApp",
+        keypair: KeyPair,
+        registrations: Mapping[str, ClientRegistration],
+        *,
+        auth_timeout: float = 0.25,
+    ) -> None:
+        self.controller = controller
+        self.keypair = keypair
+        self.registrations = dict(registrations)
+        self.auth_timeout = auth_timeout
+        self._round_ids = itertools.count(1)
+        self._rounds: Dict[int, _PendingRound] = {}
+        self.challenges_sent = 0
+        self.replies_processed = 0
+
+    # ------------------------------------------------------------------
+    # Interception rules
+    # ------------------------------------------------------------------
+
+    def install_interception(self) -> None:
+        """Install the punt rules on every managed switch."""
+        for switch in self.controller.channels:
+            self.install_interception_on(switch)
+
+    def install_interception_on(self, switch: str) -> None:
+        for match in interception_matches():
+            priority = (
+                PROBE_PRIORITY if match.eth_type == ETH_TYPE_LLDP else INTERCEPT_PRIORITY
+            )
+            self.controller.install_flow(
+                switch,
+                match,
+                (ToController(),),
+                priority=priority,
+                cookie=RVAAS_COOKIE,
+            )
+
+    # ------------------------------------------------------------------
+    # Authentication rounds (Fig. 1 step 4, Fig. 2 steps 1-3)
+    # ------------------------------------------------------------------
+
+    def start_round(
+        self,
+        targets: Tuple[PortRef, ...],
+        nonce: int,
+        on_complete: Callable[[AuthRoundOutcome], None],
+    ) -> int:
+        """Challenge every target port; report after the timeout."""
+        assert self.controller.network is not None
+        round_id = next(self._round_ids)
+        outcome = AuthRoundOutcome(round_id=round_id, nonce=nonce, targets=targets)
+        pending = _PendingRound(outcome=outcome, on_complete=on_complete)
+        self._rounds[round_id] = pending
+        challenge = sign_challenge(
+            AuthChallenge(nonce=nonce, round_id=round_id, service=self.controller.name),
+            self.keypair.private,
+        )
+        for switch, port in targets:
+            packet = self._challenge_packet(challenge, switch, port)
+            self.controller.send_packet(switch, packet, port)
+            self.challenges_sent += 1
+        self.controller.network.sim.schedule(
+            self.auth_timeout, lambda: self._finish_round(round_id)
+        )
+        return round_id
+
+    def _challenge_packet(
+        self, challenge: AuthChallenge, switch: str, port: int
+    ) -> Packet:
+        destination = self._host_ip_at(switch, port)
+        return udp_packet(
+            eth_src=RVAAS_MAC,
+            eth_dst=MacAddress.from_host_index(0),
+            ip_src=RVAAS_SERVICE_IP,
+            ip_dst=destination or IPv4Address(0),
+            sport=RVAAS_AUTH_PORT,
+            dport=RVAAS_AUTH_PORT,
+            payload=challenge,
+        )
+
+    def _host_ip_at(self, switch: str, port: int) -> Optional[IPv4Address]:
+        for registration in self.registrations.values():
+            record = registration.host_at(switch, port)
+            if record is not None:
+                return IPv4Address(record.ip)
+        return None
+
+    def handle_auth_reply(self, origin: PortRef, message: PacketIn) -> None:
+        """Process a Packet-In carrying an auth reply (Fig. 2, step 2).
+
+        ``origin`` is the (switch, ingress port) the reply physically
+        entered at — "intercepted and traced back to the origin, due to
+        the logically centralized view".  The origin, not any claim in
+        the payload, is the authenticated location.
+        """
+        packet = message.packet
+        if packet is None or not isinstance(packet.payload, AuthReply):
+            return
+        reply: AuthReply = packet.payload
+        self.replies_processed += 1
+        pending = self._rounds.get(reply.round_id)
+        if pending is None or pending.done:
+            return
+        outcome = pending.outcome
+        key = self._host_key(reply.host)
+        if (
+            key is None
+            or reply.nonce != outcome.nonce
+            or not verify_auth_reply(reply, key)
+        ):
+            outcome.rejected.append((origin, reply.host))
+            return
+        if origin not in outcome.targets:
+            # A verified host answered from a port we never challenged —
+            # itself evidence of unexpected connectivity.
+            outcome.unsolicited.append((origin, reply.host))
+            return
+        outcome.verified[origin] = reply.host
+
+    def _host_key(self, host: str):
+        for registration in self.registrations.values():
+            key = registration.key_for_host(host)
+            if key is not None:
+                return key
+        return None
+
+    def _finish_round(self, round_id: int) -> None:
+        pending = self._rounds.pop(round_id, None)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        pending.on_complete(pending.outcome)
+
+    # ------------------------------------------------------------------
+    # Response dispatch (Fig. 2, step 4)
+    # ------------------------------------------------------------------
+
+    def send_response(
+        self, switch: str, port: int, client_ip: IPv4Address, payload: object
+    ) -> None:
+        """Deliver a sealed integrity reply at the client's access point."""
+        packet = udp_packet(
+            eth_src=RVAAS_MAC,
+            eth_dst=MacAddress.from_host_index(0),
+            ip_src=RVAAS_SERVICE_IP,
+            ip_dst=client_ip,
+            sport=RVAAS_MAGIC_PORT,
+            dport=RVAAS_MAGIC_PORT,
+            payload=payload,
+        )
+        self.controller.send_packet(switch, packet, port)

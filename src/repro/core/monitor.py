@@ -1,0 +1,314 @@
+"""Configuration monitoring: the RVaaS controller's view of the network.
+
+Implements §IV-A1: "the controller maintains an up-to-date snapshot of
+the network configuration, either passively (monitoring events) or
+actively (query the switch state or issue and later intercept LLDP-like
+packets through all internal ports)."
+
+Three mechanisms, individually switchable:
+
+* **Passive**: subscribe to every switch's flow monitor; apply add /
+  remove / modify events to the in-memory rule mirror as they arrive.
+* **Active**: poll full flow-stats dumps.  Poll times are drawn from an
+  exponential distribution — "at random times, which are hard to guess
+  for the adversary" — because a periodic schedule can be evaded by a
+  synchronized short-lived reconfiguration attack (experiment E6).
+* **Topology probing**: LLDP-style probe packets injected via Packet-Out
+  on every internal port and intercepted at the neighbour, verifying the
+  physical wiring against the declared plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.snapshot import NetworkSnapshot, SnapshotMeter
+from repro.dataplane.topology import GeoLocation, Topology
+from repro.hsa.transfer import SnapshotRule
+from repro.netlib.addresses import MacAddress
+from repro.netlib.constants import ETH_TYPE_LLDP
+from repro.netlib.packet import Packet
+from repro.openflow.messages import (
+    FlowMonitorUpdate,
+    FlowStatsReply,
+    MeterStatsReply,
+    PacketIn,
+)
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoids a runtime import cycle with service.py
+    from repro.controlplane.controller import ControllerApp
+
+
+class MonitorMode(enum.Enum):
+    """Which §IV-A1 monitoring mechanisms the service runs."""
+
+    PASSIVE = "passive"
+    ACTIVE = "active"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class TopologyObservation:
+    """One LLDP-style probe interception: an observed physical adjacency."""
+
+    from_switch: str
+    from_port: int
+    to_switch: str
+    to_port: int
+
+
+@dataclass
+class MonitorMetrics:
+    """Accounting read by the monitoring-overhead experiment (E11)."""
+
+    passive_updates: int = 0
+    active_polls: int = 0
+    poll_replies: int = 0
+    probes_sent: int = 0
+    probes_received: int = 0
+    snapshots_built: int = 0
+
+
+class ConfigurationMonitor:
+    """Maintains the rule/meter mirror and builds snapshots on demand."""
+
+    def __init__(
+        self,
+        controller: "ControllerApp",
+        topology: Topology,
+        *,
+        mode: MonitorMode = MonitorMode.HYBRID,
+        mean_poll_interval: float = 5.0,
+        randomize_polls: bool = True,
+    ) -> None:
+        self.controller = controller
+        self.topology = topology
+        self.mode = mode
+        self.mean_poll_interval = mean_poll_interval
+        self.randomize_polls = randomize_polls
+        self.metrics = MonitorMetrics()
+        self._rules: Dict[str, Dict[tuple, SnapshotRule]] = {}
+        self._meters: Dict[str, List[SnapshotMeter]] = {}
+        self._version = 0
+        self._change_listeners: List[Callable[[str], None]] = []
+        self._poll_listeners: List[Callable[[str, float], None]] = []
+        self._polling = False
+        self.poll_times: List[float] = []
+        self.topology_observations: List[TopologyObservation] = []
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Subscribe monitors and/or kick off the random polling loop."""
+        assert self.controller.network is not None, "controller must be attached"
+        if self.mode in (MonitorMode.PASSIVE, MonitorMode.HYBRID):
+            for switch in self.controller.channels:
+                self.controller.subscribe_flow_monitor(switch)
+        if self.mode in (MonitorMode.ACTIVE, MonitorMode.HYBRID):
+            self._polling = True
+            self._schedule_next_poll()
+        # An initial full poll seeds the mirror in every mode.
+        self.poll_all()
+
+    def stop_polling(self) -> None:
+        self._polling = False
+
+    def on_change(self, listener: Callable[[str], None]) -> None:
+        """Register a callback invoked with the switch name on any change."""
+        self._change_listeners.append(listener)
+
+    def on_poll_complete(self, listener: Callable[[str, float], None]) -> None:
+        """Register a callback invoked as (switch, time) after each poll reply."""
+        self._poll_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Passive path
+    # ------------------------------------------------------------------
+
+    def handle_monitor_update(self, switch: str, update: FlowMonitorUpdate) -> None:
+        """Apply one flow-monitor event to the rule mirror."""
+        self.metrics.passive_updates += 1
+        rule = SnapshotRule(
+            table_id=update.table_id,
+            priority=update.priority,
+            match=update.match,
+            actions=tuple(update.actions),
+            cookie=update.cookie,
+        )
+        mirror = self._rules.setdefault(switch, {})
+        key = rule.identity()
+        if update.event in ("added", "modified"):
+            mirror[key] = rule
+        elif update.event == "removed":
+            mirror.pop(key, None)
+        self._bump(switch)
+
+    # ------------------------------------------------------------------
+    # Active path
+    # ------------------------------------------------------------------
+
+    def poll_all(self) -> None:
+        """Poll every switch's full state right now."""
+        for switch in list(self.controller.channels):
+            self.poll_switch(switch)
+
+    def poll_switch(self, switch: str) -> None:
+        self.metrics.active_polls += 1
+        self.controller.request_flow_stats(
+            switch, lambda reply, _sw=switch: self._apply_stats(_sw, reply)
+        )
+        self.controller.request_meter_stats(
+            switch, lambda reply, _sw=switch: self._apply_meter_stats(_sw, reply)
+        )
+
+    def _apply_stats(self, switch: str, reply: FlowStatsReply) -> None:
+        self.metrics.poll_replies += 1
+        now = self.controller.now
+        self.poll_times.append(now)
+        mirror: Dict[tuple, SnapshotRule] = {}
+        for entry in reply.entries:
+            rule = SnapshotRule(
+                table_id=entry.table_id,
+                priority=entry.priority,
+                match=entry.match,
+                actions=tuple(entry.actions),
+                cookie=entry.cookie,
+            )
+            mirror[rule.identity()] = rule
+        self._rules[switch] = mirror
+        self._bump(switch)
+        for listener in self._poll_listeners:
+            listener(switch, now)
+
+    def _apply_meter_stats(self, switch: str, reply: MeterStatsReply) -> None:
+        self._meters[switch] = [
+            SnapshotMeter(switch=switch, meter_id=entry.meter_id, band=entry.band)
+            for entry in reply.entries
+        ]
+
+    def _schedule_next_poll(self) -> None:
+        assert self.controller.network is not None
+        sim = self.controller.network.sim
+        if self.randomize_polls:
+            # Exponential inter-poll times: memoryless, so an adversary
+            # observing past polls learns nothing about the next one.
+            delay = sim.rng.expovariate(1.0 / self.mean_poll_interval)
+        else:
+            delay = self.mean_poll_interval
+        sim.schedule(delay, self._poll_tick)
+
+    def _poll_tick(self) -> None:
+        if not self._polling:
+            return
+        self.poll_all()
+        self._schedule_next_poll()
+
+    # ------------------------------------------------------------------
+    # Topology probing (LLDP-like)
+    # ------------------------------------------------------------------
+
+    def probe_topology(self) -> None:
+        """Inject a probe on every internal port of every switch."""
+        probe_mac = MacAddress.from_host_index(0xFFFFFF)
+        for (switch, port), _peer in self.topology.wiring().items():
+            packet = Packet(
+                eth_src=probe_mac,
+                eth_dst=probe_mac,
+                eth_type=ETH_TYPE_LLDP,
+                payload=("rvaas-probe", switch, port),
+            )
+            self.controller.send_packet(switch, packet, port)
+            self.metrics.probes_sent += 1
+
+    def handle_probe(self, switch: str, message: PacketIn) -> None:
+        """Record an intercepted probe as an observed adjacency."""
+        packet = message.packet
+        if packet is None or not isinstance(packet.payload, tuple):
+            return
+        kind, from_switch, from_port = packet.payload
+        if kind != "rvaas-probe":
+            return
+        self.metrics.probes_received += 1
+        self.topology_observations.append(
+            TopologyObservation(
+                from_switch=from_switch,
+                from_port=from_port,
+                to_switch=switch,
+                to_port=message.in_port,
+            )
+        )
+
+    def verify_wiring(self) -> Tuple[Set[tuple], Set[tuple]]:
+        """(missing, unexpected) adjacencies vs the declared wiring plan."""
+        declared = {
+            (a, ap, b, bp) for (a, ap), (b, bp) in self.topology.wiring().items()
+        }
+        observed = {
+            (o.from_switch, o.from_port, o.to_switch, o.to_port)
+            for o in self.topology_observations
+        }
+        return declared - observed, observed - declared
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def _bump(self, switch: str) -> None:
+        self._version += 1
+        for listener in self._change_listeners:
+            listener(switch)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def current_rules(self, switch: str) -> Tuple[SnapshotRule, ...]:
+        return tuple(self._rules.get(switch, {}).values())
+
+    def snapshot(self, locations: Optional[Dict[str, GeoLocation]] = None) -> NetworkSnapshot:
+        """Freeze the current mirror into a verifiable snapshot."""
+        assert self.controller.network is not None
+        self.metrics.snapshots_built += 1
+        if locations is None:
+            locations = {
+                name: spec.location
+                for name, spec in self.topology.switches.items()
+                if spec.location is not None
+            }
+        switch_ports = {
+            name: tuple(sorted(self.controller.network.switches[name].ports))
+            for name in self.controller.network.switches
+        }
+        edge_ports = {
+            name: frozenset(
+                host.port for host in self.topology.hosts_on(name)
+            )
+            for name in self.topology.switches
+        }
+        meters = tuple(
+            meter for meters in self._meters.values() for meter in meters
+        )
+        link_capacities = {
+            frozenset((link.switch_a, link.switch_b)): link.bandwidth_mbps
+            for link in self.topology.links
+        }
+        return NetworkSnapshot(
+            version=self._version,
+            taken_at=self.controller.now,
+            rules={
+                switch: tuple(mirror.values())
+                for switch, mirror in self._rules.items()
+            },
+            meters=meters,
+            wiring=self.topology.wiring(),
+            edge_ports=edge_ports,
+            switch_ports=switch_ports,
+            locations=locations,
+            link_capacities=link_capacities,
+        )

@@ -1,0 +1,272 @@
+"""Multi-provider federation: recursive queries across domains (§IV-C a).
+
+"Queries may not be limited to a single provider but may recursively
+span consecutive networks along a route.  In this case, queries need to
+be propagated between the RVaaS servers of the respective providers."
+
+Model: one physical internetwork partitioned into provider domains, each
+with its own RVaaS controller attached to (and monitoring) only its own
+switches.  A federated query starts at the client's home domain; whenever
+the analysed traffic exits through an inter-domain link, the surviving
+header space is handed to the peer domain's RVaaS server (one federated
+message), which continues the analysis on *its* snapshot.  Endpoint-level
+answers compose; internal paths never cross the trust boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import ClientRegistration
+from repro.core.queries import Endpoint, TrafficScope
+from repro.core.service import RVaaSController
+from repro.core.snapshot import NetworkSnapshot
+from repro.dataplane.topology import Topology
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import PortRef
+from repro.hsa.reachability import ReachabilityAnalyzer
+from repro.hsa.wildcard import Wildcard
+
+
+@dataclass
+class ProviderDomain:
+    """One provider: a switch set plus its own RVaaS service."""
+
+    name: str
+    switches: frozenset[str]
+    service: RVaaSController
+
+    def owns(self, switch: str) -> bool:
+        return switch in self.switches
+
+
+@dataclass
+class FederatedAnswer:
+    """Result of a recursive cross-domain reachability query."""
+
+    endpoints: Tuple[Endpoint, ...]
+    domains_involved: Tuple[str, ...]
+    federated_messages: int
+    max_chain_depth: int
+
+
+@dataclass
+class _WorkItem:
+    domain: str
+    switch: str
+    port: int
+    space: HeaderSpace
+    depth: int
+
+
+def restrict_snapshot(
+    snapshot: NetworkSnapshot, switches: frozenset[str]
+) -> NetworkSnapshot:
+    """A domain-local view: only this domain's rules and internal wiring.
+
+    Inter-domain links disappear from the wiring, so the HSA propagation
+    naturally terminates at boundary ports (zones of kind "unbound"),
+    which the federation then hands to the peer domain.
+    """
+    return NetworkSnapshot(
+        version=snapshot.version,
+        taken_at=snapshot.taken_at,
+        rules={s: r for s, r in snapshot.rules.items() if s in switches},
+        meters=tuple(m for m in snapshot.meters if m.switch in switches),
+        wiring={
+            here: there
+            for here, there in snapshot.wiring.items()
+            if here[0] in switches and there[0] in switches
+        },
+        edge_ports={
+            s: ports for s, ports in snapshot.edge_ports.items() if s in switches
+        },
+        switch_ports={
+            s: ports for s, ports in snapshot.switch_ports.items() if s in switches
+        },
+        locations={
+            s: loc for s, loc in snapshot.locations.items() if s in switches
+        },
+        link_capacities={
+            pair: capacity
+            for pair, capacity in snapshot.link_capacities.items()
+            if pair <= switches
+        },
+    )
+
+
+class RVaaSFederation:
+    """Coordinates recursive queries across provider domains."""
+
+    def __init__(
+        self,
+        domains: List[ProviderDomain],
+        topology: Topology,
+        *,
+        max_depth: int = 16,
+    ) -> None:
+        self.domains = {domain.name: domain for domain in domains}
+        self.topology = topology
+        self.max_depth = max_depth
+        self._domain_of_switch: Dict[str, str] = {}
+        for domain in domains:
+            for switch in domain.switches:
+                if switch in self._domain_of_switch:
+                    raise ValueError(f"switch {switch} assigned to two domains")
+                self._domain_of_switch[switch] = domain.name
+        self._global_wiring = topology.wiring()
+
+    def domain_of(self, switch: str) -> ProviderDomain:
+        return self.domains[self._domain_of_switch[switch]]
+
+    def boundary_peer(self, switch: str, port: int) -> Optional[PortRef]:
+        """The far end of an inter-domain link, if (switch, port) is one."""
+        peer = self._global_wiring.get((switch, port))
+        if peer is None:
+            return None
+        if self._domain_of_switch[peer[0]] == self._domain_of_switch[switch]:
+            return None
+        return peer
+
+    # ------------------------------------------------------------------
+    # Recursive reachability
+    # ------------------------------------------------------------------
+
+    def reachable_destinations(
+        self,
+        registration: ClientRegistration,
+        *,
+        scope: TrafficScope = TrafficScope(),
+    ) -> FederatedAnswer:
+        """Which endpoints (in any domain) can the client's traffic reach?"""
+        endpoints: set[Endpoint] = set()
+        involved: set[str] = set()
+        seen: Dict[PortRef, HeaderSpace] = {}
+        messages = 0
+        max_depth = 0
+
+        work: List[_WorkItem] = []
+        for host in registration.hosts:
+            fields = {"ip_src": host.ip, "vlan_id": 0}
+            fields.update(scope.constraints())
+            work.append(
+                _WorkItem(
+                    domain=self._domain_of_switch[host.switch],
+                    switch=host.switch,
+                    port=host.port,
+                    space=HeaderSpace.single(Wildcard.from_fields(**fields)),
+                    depth=0,
+                )
+            )
+
+        while work:
+            item = work.pop()
+            if item.depth > self.max_depth:
+                continue
+            covered = seen.get((item.switch, item.port))
+            space = item.space if covered is None else item.space.subtract(covered)
+            if space.is_empty():
+                continue
+            seen[(item.switch, item.port)] = (
+                space if covered is None else covered.union(space)
+            )
+            domain = self.domains[item.domain]
+            involved.add(domain.name)
+            max_depth = max(max_depth, item.depth)
+            snapshot = restrict_snapshot(domain.service.snapshot(), domain.switches)
+            analyzer = ReachabilityAnalyzer(snapshot.network_tf())
+            result = analyzer.analyze(item.switch, item.port, space)
+            for zone in result.zones:
+                if zone.kind == "edge":
+                    endpoints.add(
+                        self._resolve_endpoint(domain, zone.switch, zone.port)
+                    )
+                elif zone.kind == "unbound":
+                    peer = self.boundary_peer(zone.switch, zone.port)
+                    if peer is None:
+                        continue
+                    peer_switch, peer_port = peer
+                    messages += 1  # one RVaaS->RVaaS federated request
+                    work.append(
+                        _WorkItem(
+                            domain=self._domain_of_switch[peer_switch],
+                            switch=peer_switch,
+                            port=peer_port,
+                            space=zone.space,
+                            depth=item.depth + 1,
+                        )
+                    )
+        return FederatedAnswer(
+            endpoints=tuple(sorted(endpoints, key=lambda e: (e.switch, e.port))),
+            domains_involved=tuple(sorted(involved)),
+            federated_messages=messages,
+            max_chain_depth=max_depth,
+        )
+
+    def _resolve_endpoint(
+        self, domain: ProviderDomain, switch: str, port: int
+    ) -> Endpoint:
+        return domain.service.verifier.resolve_endpoint(switch, port)
+
+    # ------------------------------------------------------------------
+    # Federated geo query
+    # ------------------------------------------------------------------
+
+    def regions_traversed(
+        self,
+        registration: ClientRegistration,
+        *,
+        scope: TrafficScope = TrafficScope(),
+    ) -> Tuple[str, ...]:
+        """Union of regions crossed in every involved domain."""
+        regions: set[str] = set()
+        seen: Dict[PortRef, HeaderSpace] = {}
+        work: List[_WorkItem] = []
+        for host in registration.hosts:
+            fields = {"ip_src": host.ip, "vlan_id": 0}
+            fields.update(scope.constraints())
+            work.append(
+                _WorkItem(
+                    domain=self._domain_of_switch[host.switch],
+                    switch=host.switch,
+                    port=host.port,
+                    space=HeaderSpace.single(Wildcard.from_fields(**fields)),
+                    depth=0,
+                )
+            )
+        while work:
+            item = work.pop()
+            if item.depth > self.max_depth:
+                continue
+            covered = seen.get((item.switch, item.port))
+            space = item.space if covered is None else item.space.subtract(covered)
+            if space.is_empty():
+                continue
+            seen[(item.switch, item.port)] = (
+                space if covered is None else covered.union(space)
+            )
+            domain = self.domains[item.domain]
+            snapshot = restrict_snapshot(domain.service.snapshot(), domain.switches)
+            analyzer = ReachabilityAnalyzer(snapshot.network_tf())
+            result = analyzer.analyze(item.switch, item.port, space)
+            for switch in result.switches_traversed:
+                location = snapshot.location_of(switch)
+                if location is not None:
+                    regions.add(location.region)
+            for zone in result.zones:
+                if zone.kind != "unbound":
+                    continue
+                peer = self.boundary_peer(zone.switch, zone.port)
+                if peer is None:
+                    continue
+                work.append(
+                    _WorkItem(
+                        domain=self._domain_of_switch[peer[0]],
+                        switch=peer[0],
+                        port=peer[1],
+                        space=zone.space,
+                        depth=item.depth + 1,
+                    )
+                )
+        return tuple(sorted(regions))

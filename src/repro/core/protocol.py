@@ -1,0 +1,277 @@
+"""Wire messages between clients, hosts, and the RVaaS controller.
+
+All client-to-service traffic is hybrid-encrypted to the RVaaS public
+key (the provider cannot read queries, §III: "the provider should not
+learn about their queries"), and all service-to-client responses are
+signed (clients "verify authenticity of the results", §IV-A3).  Host
+authentication replies are signed with per-host keys registered at
+client onboarding.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.cipher import HybridCiphertext, hybrid_decrypt, hybrid_encrypt
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.sign import SignatureError, sign, verify
+from repro.core.queries import Answer, Query
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """One of a client's machines: identity, address, and access point."""
+
+    name: str
+    ip: int  # raw IPv4 int
+    switch: str
+    port: int
+    public_key: PublicKey
+
+    @property
+    def access_point(self) -> tuple[str, int]:
+        return (self.switch, self.port)
+
+
+@dataclass(frozen=True)
+class ClientRegistration:
+    """What RVaaS knows about one onboarded client.
+
+    The host records come from the client's service contract; they are
+    the *declared* state the data plane is verified against.
+    Registration happens out of band (contract signing), so it is
+    trustworthy even when the provider's control plane is not.
+    """
+
+    name: str
+    public_key: PublicKey
+    hosts: Tuple[HostRecord, ...]
+
+    @property
+    def access_points(self) -> frozenset[tuple[str, int]]:
+        return frozenset(h.access_point for h in self.hosts)
+
+    @property
+    def host_ips(self) -> Tuple[int, ...]:
+        return tuple(h.ip for h in self.hosts)
+
+    def key_for_host(self, host: str) -> Optional[PublicKey]:
+        for record in self.hosts:
+            if record.name == host:
+                return record.public_key
+        return None
+
+    def host_at(self, switch: str, port: int) -> Optional[HostRecord]:
+        for record in self.hosts:
+            if record.access_point == (switch, port):
+                return record
+        return None
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """The plaintext a client encrypts toward RVaaS."""
+
+    client: str
+    query: Query
+    nonce: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class SealedRequest:
+    """What actually travels in the magic-header packet (Fig. 1, step 1)."""
+
+    client: str  # routing hint only; authenticated via the signature
+    ciphertext: HybridCiphertext
+    signature: int  # client's signature over the ciphertext body
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The plaintext RVaaS signs and encrypts back to the client."""
+
+    client: str
+    nonce: int
+    answer: Answer
+    snapshot_version: int
+    answered_at: float
+    auth_requests_issued: int = 0
+    auth_replies_received: int = 0
+
+
+@dataclass(frozen=True)
+class SealedResponse:
+    """What travels in the integrity-reply packet (Fig. 2, step 4)."""
+
+    ciphertext: HybridCiphertext
+    signature: int  # RVaaS signature over the plaintext response bytes
+
+
+@dataclass(frozen=True)
+class ViolationNotice:
+    """A proactive alert RVaaS pushes when a watched invariant breaks.
+
+    Extension beyond the paper's query/response interface, in the spirit
+    of the real-time tools it cites (Veriflow): clients subscribe to an
+    invariant (currently isolation) and are notified in-band the moment
+    a configuration change violates it, rather than on their next poll.
+    """
+
+    client: str
+    invariant: str  # "isolation"
+    raised_at: float
+    snapshot_version: int
+    details: str
+    violating_endpoints: Tuple[object, ...] = ()
+
+
+@dataclass(frozen=True)
+class SealedNotice:
+    """Encrypted, signed wrapper for a pushed violation notice."""
+
+    ciphertext: HybridCiphertext
+    signature: int
+
+
+def seal_notice(
+    notice: ViolationNotice,
+    client_key: PublicKey,
+    rvaas_key: PrivateKey,
+    rng,
+) -> SealedNotice:
+    plaintext = pickle.dumps(notice)
+    return SealedNotice(
+        ciphertext=hybrid_encrypt(plaintext, client_key, rng),
+        signature=sign(plaintext, rvaas_key),
+    )
+
+
+def unseal_notice(
+    sealed: SealedNotice,
+    client_key: PrivateKey,
+    rvaas_public: PublicKey,
+) -> ViolationNotice:
+    plaintext = hybrid_decrypt(sealed.ciphertext, client_key)
+    if not verify(plaintext, sealed.signature, rvaas_public):
+        raise SignatureError("violation notice failed RVaaS signature check")
+    notice = pickle.loads(plaintext)
+    if not isinstance(notice, ViolationNotice):
+        raise ValueError("sealed payload is not a ViolationNotice")
+    return notice
+
+
+@dataclass(frozen=True)
+class AuthChallenge:
+    """The Auth request packet RVaaS injects via Packet-Out (Fig. 1, step 4)."""
+
+    nonce: int
+    round_id: int
+    service: str
+    signature: int = 0  # RVaaS signature so hosts answer only genuine probes
+
+    def statement(self) -> tuple:
+        return ("auth-challenge", self.nonce, self.round_id, self.service)
+
+
+@dataclass(frozen=True)
+class AuthReply:
+    """A host's signed liveness proof (Fig. 2, step 1)."""
+
+    host: str
+    client: str
+    nonce: int
+    round_id: int
+    signature: int = 0
+
+    def statement(self) -> tuple:
+        return ("auth-reply", self.host, self.client, self.nonce, self.round_id)
+
+
+# ----------------------------------------------------------------------
+# Sealing helpers
+# ----------------------------------------------------------------------
+
+
+def seal_request(
+    request: QueryRequest,
+    rvaas_key: PublicKey,
+    client_key: PrivateKey,
+    rng,
+) -> SealedRequest:
+    """Encrypt a query to RVaaS and sign the ciphertext."""
+    plaintext = pickle.dumps(request)
+    ciphertext = hybrid_encrypt(plaintext, rvaas_key, rng)
+    return SealedRequest(
+        client=request.client,
+        ciphertext=ciphertext,
+        signature=sign(ciphertext.body, client_key),
+    )
+
+
+def unseal_request(
+    sealed: SealedRequest,
+    rvaas_key: PrivateKey,
+    client_public: PublicKey,
+) -> QueryRequest:
+    """Verify the client signature and decrypt; raises on any failure."""
+    if not verify(sealed.ciphertext.body, sealed.signature, client_public):
+        raise SignatureError(f"query from {sealed.client!r}: bad client signature")
+    plaintext = hybrid_decrypt(sealed.ciphertext, rvaas_key)
+    request = pickle.loads(plaintext)
+    if not isinstance(request, QueryRequest):
+        raise ValueError("sealed payload is not a QueryRequest")
+    if request.client != sealed.client:
+        raise SignatureError("client name mismatch between envelope and payload")
+    return request
+
+
+def seal_response(
+    response: QueryResponse,
+    client_key: PublicKey,
+    rvaas_key: PrivateKey,
+    rng,
+) -> SealedResponse:
+    """Sign the response plaintext and encrypt it to the client."""
+    plaintext = pickle.dumps(response)
+    return SealedResponse(
+        ciphertext=hybrid_encrypt(plaintext, client_key, rng),
+        signature=sign(plaintext, rvaas_key),
+    )
+
+
+def unseal_response(
+    sealed: SealedResponse,
+    client_key: PrivateKey,
+    rvaas_public: PublicKey,
+) -> QueryResponse:
+    """Decrypt and verify the RVaaS signature; raises on any failure."""
+    plaintext = hybrid_decrypt(sealed.ciphertext, client_key)
+    if not verify(plaintext, sealed.signature, rvaas_public):
+        raise SignatureError("integrity reply failed RVaaS signature check")
+    response = pickle.loads(plaintext)
+    if not isinstance(response, QueryResponse):
+        raise ValueError("sealed payload is not a QueryResponse")
+    return response
+
+
+def sign_challenge(challenge: AuthChallenge, rvaas_key: PrivateKey) -> AuthChallenge:
+    from dataclasses import replace
+
+    return replace(challenge, signature=sign(challenge.statement(), rvaas_key))
+
+
+def verify_challenge(challenge: AuthChallenge, rvaas_public: PublicKey) -> bool:
+    return verify(challenge.statement(), challenge.signature, rvaas_public)
+
+
+def sign_auth_reply(reply: AuthReply, host_key: PrivateKey) -> AuthReply:
+    from dataclasses import replace
+
+    return replace(reply, signature=sign(reply.statement(), host_key))
+
+
+def verify_auth_reply(reply: AuthReply, host_public: PublicKey) -> bool:
+    return verify(reply.statement(), reply.signature, host_public)

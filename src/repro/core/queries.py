@@ -1,0 +1,353 @@
+"""The client query taxonomy and answer types.
+
+Paper §IV-A enumerates the query interface: reachable destinations,
+reaching sources, fairness/neutrality, path-length optimality, traversed
+geographic regions, and a compact transfer-function representation of the
+client's routing service.  Each query class below carries its parameters;
+each answer carries endpoint-level results only — never internal paths —
+preserving the provider's topology confidentiality (§IV-A: "queries can
+be limited to learn only about endpoints, but nothing about the actual
+routing paths inside the network").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: An endpoint as exposed to clients: an access point plus, when the
+#: port is registered to a known host, that host's name and owner.
+@dataclass(frozen=True)
+class Endpoint:
+    switch: str
+    port: int
+    host: str = ""  # "" when no registered host sits at this port
+    client: str = ""  # owning client ("" = unknown / unassigned)
+
+    def labelled(self) -> str:
+        where = f"{self.switch}:{self.port}"
+        return f"{self.host or '?'}@{where}" + (f" [{self.client}]" if self.client else "")
+
+
+@dataclass(frozen=True)
+class TrafficScope:
+    """An optional narrowing of "my traffic" for a query.
+
+    All fields are exact-match constraints; ``None`` leaves the dimension
+    unconstrained.  (Richer scopes — prefixes, ranges — reduce to unions
+    of these.)
+    """
+
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+    vlan_id: Optional[int] = None
+
+    def constraints(self) -> dict[str, int]:
+        return {
+            name: value
+            for name, value in (
+                ("ip_proto", self.ip_proto),
+                ("tp_src", self.tp_src),
+                ("tp_dst", self.tp_dst),
+                ("vlan_id", self.vlan_id),
+            )
+            if value is not None
+        }
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryBase:
+    scope: TrafficScope = field(default_factory=TrafficScope)
+
+
+@dataclass(frozen=True)
+class ReachableDestinationsQuery(QueryBase):
+    """Which endpoints can traffic leaving my network card(s) reach?
+
+    ``authenticate=True`` additionally runs the in-band test of Fig. 1/2:
+    every reachable endpoint is challenged and must prove liveness with a
+    signed reply.
+    """
+
+    authenticate: bool = True
+
+
+@dataclass(frozen=True)
+class ReachingSourcesQuery(QueryBase):
+    """For which sources do routes exist that can reach my network card(s)?
+
+    ``destination_host`` restricts the check to one of the client's own
+    hosts ("" = all of them) — e.g. to verify that an expected peer can
+    still reach a specific site (blackhole detection).
+    """
+
+    destination_host: str = ""
+
+
+@dataclass(frozen=True)
+class IsolationQuery(QueryBase):
+    """Is my sub-network isolated — reachable to/from only my own access points?
+
+    The fundamental security query of §IV-B1, detecting join attacks.
+    """
+
+    authenticate: bool = True
+
+
+@dataclass(frozen=True)
+class GeoLocationQuery(QueryBase):
+    """Which geographic regions can my traffic pass through? (§IV-B2)"""
+
+
+@dataclass(frozen=True)
+class WaypointAvoidanceQuery(QueryBase):
+    """Does my traffic avoid the given regions entirely?"""
+
+    forbidden_regions: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PathLengthQuery(QueryBase):
+    """Are my routes length-optimal (and what is the stretch)?"""
+
+    destination_host: str = ""  # "" = all my destinations
+
+
+@dataclass(frozen=True)
+class FairnessQuery(QueryBase):
+    """Is my traffic forwarded neutrally — no discriminatory rate limits?"""
+
+
+@dataclass(frozen=True)
+class BandwidthQuery(QueryBase):
+    """What bottleneck bandwidth do my routes guarantee? (QoS, §IV-A)
+
+    ``destination_host`` restricts the answer to paths toward one of the
+    client's own hosts ("" = all destinations).  ``minimum_mbps`` is the
+    contracted dedicated bandwidth; the answer's ``meets_contract``
+    compares the worst bottleneck against it.
+    """
+
+    destination_host: str = ""
+    minimum_mbps: float = 0.0
+
+
+@dataclass(frozen=True)
+class TransferFunctionQuery(QueryBase):
+    """A compact endpoint-level transfer function of my routing service."""
+
+
+@dataclass(frozen=True)
+class ExposureHistoryQuery(QueryBase):
+    """Was any of my hosts ever exposed in the recent past? (§IV-C)
+
+    Answered from the service's snapshot history, so attacks that were
+    armed and *removed* between two of the client's own checks are still
+    reported, with their time window and ingress ports.
+    ``victim_host`` restricts the question to one host ("" = all).
+    """
+
+    victim_host: str = ""
+
+
+Query = Union[
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    IsolationQuery,
+    GeoLocationQuery,
+    WaypointAvoidanceQuery,
+    PathLengthQuery,
+    FairnessQuery,
+    BandwidthQuery,
+    TransferFunctionQuery,
+    ExposureHistoryQuery,
+]
+
+
+# ----------------------------------------------------------------------
+# Answers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AuthEvidence:
+    """Outcome of one in-band authentication round (Fig. 2)."""
+
+    requests_issued: int
+    replies_received: int
+    authenticated_endpoints: Tuple[Endpoint, ...]
+    silent_endpoints: Tuple[Endpoint, ...]
+
+    @property
+    def complete(self) -> bool:
+        """True iff every challenged endpoint responded and verified.
+
+        The paper: "the server also forwards to the client the total
+        number of authentication requests that were made, such that it
+        can detect cases where some access points did not respond."
+        """
+        return self.replies_received == self.requests_issued
+
+
+@dataclass(frozen=True)
+class ReachableDestinationsAnswer:
+    endpoints: Tuple[Endpoint, ...]
+    auth: Optional[AuthEvidence] = None
+
+
+@dataclass(frozen=True)
+class ReachingSourcesAnswer:
+    endpoints: Tuple[Endpoint, ...]
+
+
+@dataclass(frozen=True)
+class IsolationAnswer:
+    isolated: bool
+    declared_endpoints: Tuple[Endpoint, ...]
+    violating_endpoints: Tuple[Endpoint, ...]  # reachable but undeclared
+    direction: str = "both"  # "outbound" | "inbound" | "both"
+    auth: Optional[AuthEvidence] = None
+
+
+@dataclass(frozen=True)
+class GeoLocationAnswer:
+    regions: Tuple[str, ...]
+    location_confidence: str = "disclosed"  # how locations were provisioned
+
+
+@dataclass(frozen=True)
+class WaypointAvoidanceAnswer:
+    avoided: bool
+    violating_regions: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PathLengthReport:
+    destination: Endpoint
+    actual_hops: int
+    optimal_hops: int
+
+    @property
+    def stretch(self) -> float:
+        if self.optimal_hops == 0:
+            return 1.0
+        return self.actual_hops / self.optimal_hops
+
+
+@dataclass(frozen=True)
+class PathLengthAnswer:
+    reports: Tuple[PathLengthReport, ...]
+
+    @property
+    def max_stretch(self) -> float:
+        return max((r.stretch for r in self.reports), default=1.0)
+
+    @property
+    def optimal(self) -> bool:
+        return all(r.actual_hops <= r.optimal_hops for r in self.reports)
+
+
+@dataclass(frozen=True)
+class MeterReport:
+    """One rate limit applying to some of the client's traffic."""
+
+    switch: str
+    rate_kbps: int
+    scope_description: str
+
+
+@dataclass(frozen=True)
+class FairnessAnswer:
+    neutral: bool
+    meters_on_my_traffic: Tuple[MeterReport, ...]
+    baseline_rate_kbps: Optional[int] = None  # least-limited comparable traffic
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Bottleneck bandwidth toward one destination endpoint."""
+
+    destination: Endpoint
+    #: worst case over the paths the configuration can actually take
+    min_bottleneck_mbps: float
+    #: best case (a path with this bottleneck exists)
+    max_bottleneck_mbps: float
+
+
+@dataclass(frozen=True)
+class BandwidthAnswer:
+    reports: Tuple[BandwidthReport, ...]
+    minimum_mbps: float = 0.0
+
+    @property
+    def worst_bottleneck_mbps(self) -> float:
+        return min(
+            (r.min_bottleneck_mbps for r in self.reports), default=float("inf")
+        )
+
+    @property
+    def meets_contract(self) -> bool:
+        return self.worst_bottleneck_mbps >= self.minimum_mbps
+
+
+@dataclass(frozen=True)
+class TransferFunctionEntry:
+    """One endpoint-level mapping: ingress AP + scope -> egress AP."""
+
+    ingress: Endpoint
+    egress: Endpoint
+    header_constraint: str  # human-readable wildcard summary
+
+
+@dataclass(frozen=True)
+class TransferFunctionAnswer:
+    entries: Tuple[TransferFunctionEntry, ...]
+
+
+@dataclass(frozen=True)
+class ExposureWindowSummary:
+    """One past exposure interval, as reported to the client."""
+
+    opened_at: float
+    closed_at: Optional[float]  # None = still open
+    ingress_endpoints: Tuple[Endpoint, ...]
+
+
+@dataclass(frozen=True)
+class HostExposureReport:
+    host: str
+    windows: Tuple[ExposureWindowSummary, ...]
+
+    @property
+    def ever_exposed(self) -> bool:
+        return bool(self.windows)
+
+
+@dataclass(frozen=True)
+class ExposureHistoryAnswer:
+    reports: Tuple[HostExposureReport, ...]
+    history_entries_analyzed: int = 0
+
+    @property
+    def any_exposure(self) -> bool:
+        return any(report.ever_exposed for report in self.reports)
+
+
+Answer = Union[
+    ReachableDestinationsAnswer,
+    ReachingSourcesAnswer,
+    IsolationAnswer,
+    GeoLocationAnswer,
+    WaypointAvoidanceAnswer,
+    PathLengthAnswer,
+    FairnessAnswer,
+    BandwidthAnswer,
+    TransferFunctionAnswer,
+    ExposureHistoryAnswer,
+]

@@ -1,0 +1,165 @@
+"""Replicated independent RVaaS servers (paper §I-A, §IV-A).
+
+"To provide the RVaaS service, it is sufficient to deploy a single
+secure server ...; additional (independent) servers can increase the
+security further."  And: "different entities (e.g., a certification
+authority) may provide different independent controllers, reducing the
+attack surface further."
+
+This module deploys *k* fully independent RVaaS controllers — separate
+keys, enclaves, monitors, and OpenFlow sessions — on the same network,
+and lets a client cross-check their answers.  Because the data plane is
+the shared ground truth, honest replicas agree; a replica whose answers
+deviate (compromised, buggy, or fed a stale snapshot) is out-voted and
+named.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import MonitorMode
+from repro.core.protocol import ClientRegistration
+from repro.core.queries import Query
+from repro.core.service import RVaaSController
+from repro.crypto.keys import generate_keypair
+from repro.crypto.sign import canonical_bytes
+from repro.dataplane.network import Network
+
+
+@dataclass
+class QuorumResult:
+    """Outcome of one cross-checked query."""
+
+    answer: object  # the majority answer
+    agreeing: Tuple[str, ...]  # replica names behind the majority
+    dissenting: Tuple[str, ...]  # replicas whose answer deviated
+    unanimous: bool
+
+    @property
+    def suspicious_replicas(self) -> Tuple[str, ...]:
+        return self.dissenting
+
+
+class QuorumError(Exception):
+    """No majority answer exists (split verdicts)."""
+
+
+class ReplicatedRVaaS:
+    """A set of independent verification servers plus quorum logic."""
+
+    def __init__(self, replicas: Sequence[RVaaSController]) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = list(replicas)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def deploy(
+        cls,
+        network: Network,
+        registrations: Dict[str, ClientRegistration],
+        *,
+        count: int = 3,
+        seed: int = 0,
+        monitor_mode: MonitorMode = MonitorMode.HYBRID,
+        mean_poll_interval: float = 5.0,
+    ) -> "ReplicatedRVaaS":
+        """Start ``count`` independent services on ``network``.
+
+        Each replica gets its own key pair (as if operated by a distinct
+        certification authority) and its own secure sessions to every
+        switch.
+        """
+        rng = random.Random(seed ^ 0x5EC5)
+        replicas = []
+        for index in range(count):
+            service = RVaaSController(
+                generate_keypair(f"rvaas-replica-{index}", rng=rng),
+                registrations,
+                name=f"rvaas-{index}",
+                monitor_mode=monitor_mode,
+                mean_poll_interval=mean_poll_interval,
+                record_history=False,
+            )
+            service.start(network)
+            replicas.append(service)
+        return cls(replicas)
+
+    # ------------------------------------------------------------------
+    # Cross-checked queries
+    # ------------------------------------------------------------------
+
+    def cross_check(self, client: str, query: Query) -> QuorumResult:
+        """Ask every replica and majority-vote the canonicalised answers."""
+        answers: List[Tuple[str, object, bytes]] = []
+        for replica in self.replicas:
+            answer = replica.answer_locally(client, query)
+            answers.append((replica.name, answer, canonical_bytes(answer)))
+        buckets: Dict[bytes, List[int]] = {}
+        for index, (_name, _answer, digest) in enumerate(answers):
+            buckets.setdefault(digest, []).append(index)
+        ranked = sorted(buckets.values(), key=len, reverse=True)
+        majority = ranked[0]
+        if len(ranked) > 1 and len(ranked[0]) == len(ranked[1]):
+            raise QuorumError(
+                "no majority: replicas split "
+                + " vs ".join(
+                    ",".join(answers[i][0] for i in group) for group in ranked
+                )
+            )
+        agreeing = tuple(answers[i][0] for i in majority)
+        dissenting = tuple(
+            name
+            for index, (name, _a, _d) in enumerate(answers)
+            if index not in majority
+        )
+        return QuorumResult(
+            answer=answers[majority[0]][1],
+            agreeing=agreeing,
+            dissenting=dissenting,
+            unanimous=not dissenting,
+        )
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+
+class CompromisedReplica(RVaaSController):
+    """A verification server that lies: it doctors every answer.
+
+    Models the residual risk the paper's replication argument addresses:
+    even the *verifier* may be subverted.  This replica claims isolation
+    holds and hides violating endpoints, whatever the snapshot says.
+    """
+
+    def answer_locally(self, client: str, query: Query):
+        from dataclasses import replace
+
+        from repro.core.queries import (
+            IsolationAnswer,
+            ReachableDestinationsAnswer,
+        )
+
+        answer = super().answer_locally(client, query)
+        if isinstance(answer, IsolationAnswer):
+            return replace(
+                answer, isolated=True, violating_endpoints=()
+            )
+        if isinstance(answer, ReachableDestinationsAnswer):
+            declared = {
+                self.verifier.resolve_endpoint(*host.access_point)
+                for host in self.registrations[client].hosts
+            }
+            return replace(
+                answer,
+                endpoints=tuple(
+                    e for e in answer.endpoints if e in declared
+                ),
+            )
+        return answer

@@ -1,0 +1,517 @@
+"""The RVaaS controller: the deployable verification service.
+
+Ties together configuration monitoring, logical verification, and
+in-band client interaction (§IV-A), runs inside an attested enclave
+(:mod:`repro.core.attestation`), maintains snapshot history against
+short-lived reconfiguration attacks, and protects its own interception
+rules (an adversary deleting them is detected and they are reinstalled).
+
+One secure server is sufficient (§I-A); multiple independent instances
+can be attached to the same network for defence in depth — they share
+nothing but the switch certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional
+
+from repro.controlplane.controller import ControllerApp
+from repro.core.history import SnapshotHistory
+from repro.core.inband import (
+    INTERCEPT_PRIORITY,
+    RVAAS_COOKIE,
+    AuthRoundOutcome,
+    InBandTester,
+)
+from repro.core.monitor import ConfigurationMonitor, MonitorMode
+from repro.core.protocol import (
+    ClientRegistration,
+    QueryRequest,
+    QueryResponse,
+    SealedRequest,
+    ViolationNotice,
+    seal_notice,
+    seal_response,
+    unseal_request,
+)
+from repro.core.queries import (
+    AuthEvidence,
+    Endpoint,
+    ExposureHistoryAnswer,
+    ExposureHistoryQuery,
+    ExposureWindowSummary,
+    HostExposureReport,
+    IsolationAnswer,
+    IsolationQuery,
+    Query,
+    ReachableDestinationsAnswer,
+    ReachableDestinationsQuery,
+)
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+from repro.crypto.enclave import Enclave
+from repro.crypto.keys import KeyPair
+from repro.crypto.sign import SignatureError
+from repro.dataplane.network import Network
+from repro.netlib.addresses import IPv4Address
+from repro.netlib.constants import (
+    ETH_TYPE_LLDP,
+    RVAAS_AUTH_PORT,
+    RVAAS_MAGIC_PORT,
+)
+from repro.openflow.messages import FlowMonitorUpdate, PacketIn
+
+
+from repro.core.queries import TrafficScope as _TrafficScope
+
+_EMPTY_SCOPE = _TrafficScope()
+
+
+@dataclass(frozen=True)
+class TamperAlarm:
+    """An integrity event RVaaS raises about its own operation."""
+
+    time: float
+    kind: str  # "interception-removed" | "wiring-mismatch" | "bad-request"
+    switch: str
+    details: str
+
+
+class RVaaSController(ControllerApp):
+    """The stand-alone, trusted verification controller."""
+
+    def __init__(
+        self,
+        keypair: KeyPair,
+        registrations: Dict[str, ClientRegistration],
+        *,
+        name: str = "rvaas",
+        enclave: Optional[Enclave] = None,
+        monitor_mode: MonitorMode = MonitorMode.HYBRID,
+        mean_poll_interval: float = 5.0,
+        randomize_polls: bool = True,
+        auth_timeout: float = 0.25,
+        record_history: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.keypair = keypair
+        self.registrations = dict(registrations)
+        self.enclave = enclave
+        self.verifier = LogicalVerifier(self.registrations)
+        # Full snapshots are retained so AttackTraceback can replay the
+        # recent past (paper §IV-C); the ring buffer bounds memory.
+        self.history = SnapshotHistory(retain_snapshots=True)
+        self.alarms: List[TamperAlarm] = []
+        self.queries_served = 0
+        self._monitor_mode = monitor_mode
+        self._mean_poll_interval = mean_poll_interval
+        self._randomize_polls = randomize_polls
+        self._auth_timeout = auth_timeout
+        self._record_history = record_history
+        self._last_history_version = -1
+        self.monitor: Optional[ConfigurationMonitor] = None
+        self.inband: Optional[InBandTester] = None
+        # Invariant watching (proactive alerting).
+        self._watched_clients: List[str] = []
+        self._watch_verdicts: Dict[str, bool] = {}  # client -> isolated?
+        self._watch_pending = False
+        self.notices_pushed = 0
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def start(self, network: Network) -> None:
+        """Attach to every switch, install interception, begin monitoring."""
+        self.attach(network)
+        self.inband = InBandTester(
+            self,
+            self.keypair,
+            self.registrations,
+            auth_timeout=self._auth_timeout,
+        )
+        self.inband.install_interception()
+        self.monitor = ConfigurationMonitor(
+            self,
+            network.topology,
+            mode=self._monitor_mode,
+            mean_poll_interval=self._mean_poll_interval,
+            randomize_polls=self._randomize_polls,
+        )
+        self.monitor.on_poll_complete(self._after_poll)
+        self.monitor.start()
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+
+    def on_monitor_update(self, switch: str, message: FlowMonitorUpdate) -> None:
+        assert self.monitor is not None
+        self.monitor.handle_monitor_update(switch, message)
+        self._self_protect(switch, message)
+        self._maybe_record_history()
+        self._schedule_watch_check()
+
+    def on_packet_in(self, switch: str, message: PacketIn) -> None:
+        packet = message.packet
+        if packet is None:
+            return
+        if packet.eth_type == ETH_TYPE_LLDP:
+            assert self.monitor is not None
+            self.monitor.handle_probe(switch, message)
+        elif packet.tp_dst == RVAAS_MAGIC_PORT:
+            self._handle_query_packet(switch, message)
+        elif packet.tp_dst == RVAAS_AUTH_PORT:
+            assert self.inband is not None
+            self.inband.handle_auth_reply((switch, message.in_port), message)
+
+    # ------------------------------------------------------------------
+    # Self-protection
+    # ------------------------------------------------------------------
+
+    def _self_protect(self, switch: str, message: FlowMonitorUpdate) -> None:
+        """Detect (and repair) tampering with our interception rules."""
+        if (
+            message.event == "removed"
+            and message.cookie == RVAAS_COOKIE
+            # Only explicit deletions are hostile; timeouts cannot happen
+            # (interception rules are permanent) and "replaced" merely
+            # means another (replicated) RVaaS instance re-asserted the
+            # same rule.
+            and message.reason not in ("timeout", "replaced")
+        ):
+            self.alarms.append(
+                TamperAlarm(
+                    time=self.now,
+                    kind="interception-removed",
+                    switch=switch,
+                    details=message.match.describe(),
+                )
+            )
+            assert self.inband is not None
+            self.inband.install_interception_on(switch)
+
+    def _after_poll(self, switch: str, when: float) -> None:
+        self._maybe_record_history()
+
+    def _maybe_record_history(self) -> None:
+        if not self._record_history or self.monitor is None:
+            return
+        if self.monitor.version == self._last_history_version:
+            return
+        self._last_history_version = self.monitor.version
+        self.history.record(self.snapshot())
+
+    # ------------------------------------------------------------------
+    # Query handling (the Fig. 1 / Fig. 2 pipeline)
+    # ------------------------------------------------------------------
+
+    def _handle_query_packet(self, switch: str, message: PacketIn) -> None:
+        packet = message.packet
+        assert packet is not None
+        payload = packet.payload
+        if not isinstance(payload, SealedRequest):
+            return
+        origin = (switch, message.in_port)
+        try:
+            request = self._unseal(payload)
+        except (SignatureError, ValueError, KeyError) as exc:
+            self.alarms.append(
+                TamperAlarm(
+                    time=self.now,
+                    kind="bad-request",
+                    switch=switch,
+                    details=str(exc),
+                )
+            )
+            return
+        self._serve(request, origin)
+
+    def _unseal(self, sealed: SealedRequest) -> QueryRequest:
+        registration = self.registrations.get(sealed.client)
+        if registration is None:
+            raise KeyError(f"unknown client: {sealed.client!r}")
+        unseal = lambda: unseal_request(
+            sealed, self.keypair.private, registration.public_key
+        )
+        if self.enclave is not None:
+            return self.enclave.run(unseal)
+        return unseal()
+
+    def _serve(self, request: QueryRequest, origin: tuple[str, int]) -> None:
+        """Run the logical analysis, optionally an auth round, and reply."""
+        self.queries_served += 1
+        registration = self.registrations[request.client]
+        snapshot = self.snapshot()
+        if isinstance(request.query, ExposureHistoryQuery):
+            answer = self.exposure_history(
+                request.client, victim_host=request.query.victim_host
+            )
+        else:
+            answer = self.verifier.answer(request.query, registration, snapshot)
+        if self._needs_auth_round(request.query):
+            assert self.inband is not None
+            targets = self.verifier.auth_targets(
+                registration, snapshot, request.query.scope
+            )
+            self.inband.start_round(
+                targets,
+                request.nonce,
+                lambda outcome: self._respond_with_auth(
+                    request, origin, snapshot, answer, outcome
+                ),
+            )
+        else:
+            self._respond(request, origin, snapshot, answer, issued=0, received=0)
+
+    @staticmethod
+    def _needs_auth_round(query: Query) -> bool:
+        return (
+            isinstance(query, (IsolationQuery, ReachableDestinationsQuery))
+            and query.authenticate
+        )
+
+    def _respond_with_auth(
+        self,
+        request: QueryRequest,
+        origin: tuple[str, int],
+        snapshot: NetworkSnapshot,
+        answer,
+        outcome: AuthRoundOutcome,
+    ) -> None:
+        evidence = self._evidence_from(outcome)
+        if isinstance(answer, (IsolationAnswer, ReachableDestinationsAnswer)):
+            answer = dc_replace(answer, auth=evidence)
+        self._respond(
+            request,
+            origin,
+            snapshot,
+            answer,
+            issued=outcome.issued,
+            received=outcome.received,
+        )
+
+    def _evidence_from(self, outcome: AuthRoundOutcome) -> AuthEvidence:
+        authenticated = tuple(
+            self.verifier.resolve_endpoint(switch, port)
+            for (switch, port) in sorted(outcome.verified)
+        )
+        silent = tuple(
+            self.verifier.resolve_endpoint(switch, port)
+            for (switch, port) in sorted(outcome.silent_targets())
+        )
+        return AuthEvidence(
+            requests_issued=outcome.issued,
+            replies_received=outcome.received,
+            authenticated_endpoints=authenticated,
+            silent_endpoints=silent,
+        )
+
+    def _respond(
+        self,
+        request: QueryRequest,
+        origin: tuple[str, int],
+        snapshot: NetworkSnapshot,
+        answer,
+        *,
+        issued: int,
+        received: int,
+    ) -> None:
+        assert self.network is not None and self.inband is not None
+        registration = self.registrations[request.client]
+        response = QueryResponse(
+            client=request.client,
+            nonce=request.nonce,
+            answer=answer,
+            snapshot_version=snapshot.version,
+            answered_at=self.now,
+            auth_requests_issued=issued,
+            auth_replies_received=received,
+        )
+        sealed = seal_response(
+            response,
+            registration.public_key,
+            self.keypair.private,
+            self.network.sim.rng,
+        )
+        switch, port = origin
+        record = registration.host_at(switch, port)
+        client_ip = IPv4Address(record.ip) if record else IPv4Address(0)
+        self.inband.send_response(switch, port, client_ip, sealed)
+
+    # ------------------------------------------------------------------
+    # Direct (out-of-band) access for experiments and operators
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> NetworkSnapshot:
+        assert self.monitor is not None, "service not started"
+        return self.monitor.snapshot()
+
+    def answer_locally(self, client: str, query: Query):
+        """Run a query synchronously on the current snapshot.
+
+        Bypasses the in-band protocol (no crypto, no auth round) — used
+        by benchmarks isolating verifier cost, and by operators with
+        console access to the RVaaS box.
+        """
+        if isinstance(query, ExposureHistoryQuery):
+            return self.exposure_history(client, victim_host=query.victim_host)
+        registration = self.registrations[client]
+        return self.verifier.answer(query, registration, self.snapshot())
+
+    def exposure_history(
+        self, client: str, *, victim_host: str = ""
+    ) -> ExposureHistoryAnswer:
+        """Answer the §IV-C history query from the retained snapshots."""
+        from repro.core.traceback import AttackTraceback
+
+        traceback = AttackTraceback(self.history, self.registrations)
+        registration = self.registrations[client]
+        hosts = [
+            record.name
+            for record in registration.hosts
+            if not victim_host or record.name == victim_host
+        ]
+        reports = []
+        entries = 0
+        for host in hosts:
+            trace = traceback.trace(client, host)
+            entries = max(entries, trace.entries_analyzed)
+            reports.append(
+                HostExposureReport(
+                    host=host,
+                    windows=tuple(
+                        ExposureWindowSummary(
+                            opened_at=window.opened_at,
+                            closed_at=window.closed_at,
+                            ingress_endpoints=window.ingress_ports,
+                        )
+                        for window in trace.windows
+                    ),
+                )
+            )
+        return ExposureHistoryAnswer(
+            reports=tuple(reports), history_entries_analyzed=entries
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant watching: proactive isolation alerts
+    # ------------------------------------------------------------------
+
+    def watch_isolation(self, client: str) -> None:
+        """Subscribe ``client`` to proactive isolation alerts.
+
+        On every configuration change RVaaS re-verifies the client's
+        isolation (coalesced per event batch); the moment the verdict
+        flips to *violated*, a signed, encrypted
+        :class:`~repro.core.protocol.ViolationNotice` is pushed in-band
+        to the client's first access point — no polling needed.
+        """
+        if client not in self.registrations:
+            raise KeyError(f"unknown client: {client!r}")
+        if client not in self._watched_clients:
+            self._watched_clients.append(client)
+            self._watch_verdicts[client] = self._isolation_verdict(client)
+
+    def _isolation_verdict(self, client: str) -> bool:
+        answer = self.verifier.isolation(
+            self.registrations[client], self.snapshot()
+        )
+        return answer.isolated
+
+    def _schedule_watch_check(self) -> None:
+        """Coalesce per-FlowMod events into one re-verification."""
+        if not self._watched_clients or self._watch_pending:
+            return
+        assert self.network is not None
+        self._watch_pending = True
+        self.network.sim.schedule(0.001, self._run_watch_check)
+
+    def _run_watch_check(self) -> None:
+        self._watch_pending = False
+        for client in self._watched_clients:
+            registration = self.registrations[client]
+            answer = self.verifier.isolation(registration, self.snapshot())
+            was_isolated = self._watch_verdicts.get(client, True)
+            self._watch_verdicts[client] = answer.isolated
+            if was_isolated and not answer.isolated:
+                self._push_notice(
+                    client,
+                    ViolationNotice(
+                        client=client,
+                        invariant="isolation",
+                        raised_at=self.now,
+                        snapshot_version=self.monitor.version if self.monitor else 0,
+                        details=(
+                            "isolation violated by "
+                            + ", ".join(
+                                e.labelled() for e in answer.violating_endpoints
+                            )
+                        ),
+                        violating_endpoints=answer.violating_endpoints,
+                    ),
+                )
+
+    def _push_notice(self, client: str, notice: ViolationNotice) -> None:
+        assert self.network is not None and self.inband is not None
+        registration = self.registrations[client]
+        host = registration.hosts[0]
+        sealed = seal_notice(
+            notice,
+            registration.public_key,
+            self.keypair.private,
+            self.network.sim.rng,
+        )
+        self.inband.send_response(
+            host.switch, host.port, IPv4Address(host.ip), sealed
+        )
+        self.notices_pushed += 1
+
+    def audit_dead_ends(self, client: str) -> list:
+        """Operator-level audit: where does this client's traffic die?
+
+        Returns the mid-path :class:`~repro.hsa.reachability.DropZone`
+        list (depth > 0): traffic that was accepted and forwarded, then
+        silently discarded — the structural signature of a blackhole.
+        Ingress policy drops (anti-spoofing guards, isolation) at
+        depth 0 are excluded.  This is an operator/auditor API; it names
+        internal switches, so it is intentionally not exposed through
+        the client query interface.
+        """
+        from repro.hsa.reachability import ReachabilityAnalyzer
+
+        registration = self.registrations[client]
+        snapshot = self.verifier._analysis_snapshot(self.snapshot())
+        analyzer = ReachabilityAnalyzer(
+            snapshot.network_tf(), collect_drops=True
+        )
+        dead_ends = []
+        for host in registration.hosts:
+            result = analyzer.analyze(
+                host.switch,
+                host.port,
+                self.verifier._outbound_space(host, _EMPTY_SCOPE),
+            )
+            dead_ends.extend(z for z in result.drops if z.depth > 0)
+        return dead_ends
+
+    def probe_topology_now(self) -> None:
+        assert self.monitor is not None
+        self.monitor.probe_topology()
+
+    def check_wiring(self) -> bool:
+        """Verify observed adjacencies against the declared wiring plan."""
+        assert self.monitor is not None
+        missing, unexpected = self.monitor.verify_wiring()
+        if missing or unexpected:
+            self.alarms.append(
+                TamperAlarm(
+                    time=self.now,
+                    kind="wiring-mismatch",
+                    switch="",
+                    details=f"missing={sorted(missing)} unexpected={sorted(unexpected)}",
+                )
+            )
+            return False
+        return True

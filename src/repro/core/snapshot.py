@@ -1,0 +1,121 @@
+"""Configuration snapshots: the state RVaaS verifies against.
+
+A :class:`NetworkSnapshot` is a frozen view of everything the monitor
+knows at one instant: per-switch flow rules and meters, the wiring plan,
+edge ports, and element locations.  It compiles lazily into the HSA
+:class:`~repro.hsa.network_tf.NetworkTransferFunction` used by the
+logical verifier, and hashes into a compact content fingerprint used by
+the history / flapping detector.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dataplane.topology import GeoLocation
+from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.transfer import SnapshotRule, SwitchTransferFunction
+from repro.openflow.meters import MeterBand
+
+
+@dataclass(frozen=True)
+class SnapshotMeter:
+    """One meter as recorded in a snapshot."""
+
+    switch: str
+    meter_id: int
+    band: MeterBand
+
+
+@dataclass
+class NetworkSnapshot:
+    """An immutable-by-convention view of the network configuration."""
+
+    version: int
+    taken_at: float
+    rules: Mapping[str, Tuple[SnapshotRule, ...]]  # switch -> rules
+    meters: Tuple[SnapshotMeter, ...]
+    wiring: Mapping[PortRef, PortRef]
+    edge_ports: Mapping[str, frozenset[int]]
+    switch_ports: Mapping[str, Tuple[int, ...]]
+    locations: Mapping[str, GeoLocation] = field(default_factory=dict)
+    #: capacity of each inter-switch link, keyed by the unordered switch
+    #: pair (from the wiring plan / SLA, used by bandwidth queries)
+    link_capacities: Mapping[frozenset, float] = field(default_factory=dict)
+    _network_tf: Optional[NetworkTransferFunction] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Derived artifacts
+    # ------------------------------------------------------------------
+
+    def network_tf(self) -> NetworkTransferFunction:
+        """Compile (and cache) the HSA network transfer function."""
+        if self._network_tf is None:
+            tfs: Dict[str, SwitchTransferFunction] = {}
+            for switch, rules in self.rules.items():
+                n_tables = max((r.table_id for r in rules), default=0) + 1
+                tfs[switch] = SwitchTransferFunction(
+                    switch,
+                    rules,
+                    ports=self.switch_ports.get(switch, ()),
+                    n_tables=max(n_tables, 2),
+                )
+            object.__setattr__(
+                self,
+                "_network_tf",
+                NetworkTransferFunction(tfs, self.wiring, self.edge_ports),
+            )
+        return self._network_tf
+
+    def rule_count(self) -> int:
+        return sum(len(rules) for rules in self.rules.values())
+
+    def switch_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.rules))
+
+    def location_of(self, switch: str) -> Optional[GeoLocation]:
+        return self.locations.get(switch)
+
+    def meters_on(self, switch: str) -> Tuple[SnapshotMeter, ...]:
+        return tuple(m for m in self.meters if m.switch == switch)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Stable fingerprint of the *configuration* (not version/time)."""
+        hasher = hashlib.sha256()
+        for switch in sorted(self.rules):
+            hasher.update(switch.encode())
+            for rule in sorted(self.rules[switch], key=lambda r: repr(r.identity())):
+                hasher.update(repr(rule.identity()).encode())
+        for meter in sorted(self.meters, key=lambda m: (m.switch, m.meter_id)):
+            hasher.update(repr((meter.switch, meter.meter_id, meter.band)).encode())
+        return hasher.hexdigest()
+
+    def rule_signatures(self) -> frozenset[tuple]:
+        """The set of (switch, rule identity) pairs, for diffing."""
+        return frozenset(
+            (switch, rule.identity())
+            for switch, rules in self.rules.items()
+            for rule in rules
+        )
+
+    def diff(self, other: "NetworkSnapshot") -> tuple[frozenset, frozenset]:
+        """(added, removed) rule signatures relative to ``other``."""
+        mine, theirs = self.rule_signatures(), other.rule_signatures()
+        return (mine - theirs, theirs - mine)
+
+    def approximate_size_bytes(self) -> int:
+        """Rough memory footprint, for the resource experiment (E5)."""
+        import sys
+
+        total = sys.getsizeof(self)
+        for rules in self.rules.values():
+            total += sum(sys.getsizeof(rule) for rule in rules)
+        return total

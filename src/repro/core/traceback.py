@@ -1,0 +1,181 @@
+"""Attack traceback over snapshot history (paper §IV-C b).
+
+"A slightly more complex service may also maintain some history of the
+recent past, allowing RVaaS for example to traceback the ingress port of
+an attack."
+
+Given a victim host and the retained snapshot history, the traceback
+replays the logical verification over every historical configuration to
+reconstruct *when* undeclared connectivity toward the victim existed,
+*which ingress ports* could have originated it, and *which rules*
+enabled it (the rule-signature diff at the transition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.history import SnapshotHistory
+from repro.core.protocol import ClientRegistration
+from repro.core.queries import Endpoint
+from repro.core.verifier import LogicalVerifier
+
+PortRef = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ExposureWindow:
+    """A contiguous interval during which the victim was exposed."""
+
+    opened_at: float
+    closed_at: Optional[float]  # None = still open at the latest entry
+    ingress_ports: Tuple[Endpoint, ...]
+    enabling_rules: FrozenSet[tuple]  # signatures added when it opened
+    disabling_rules: FrozenSet[tuple]  # signatures removed when it closed
+
+    @property
+    def still_open(self) -> bool:
+        return self.closed_at is None
+
+    def duration(self, now: Optional[float] = None) -> Optional[float]:
+        end = self.closed_at if self.closed_at is not None else now
+        if end is None:
+            return None
+        return end - self.opened_at
+
+
+@dataclass
+class TracebackReport:
+    """Everything the history reveals about attacks on one victim host."""
+
+    victim_client: str
+    victim_host: str
+    windows: List[ExposureWindow] = field(default_factory=list)
+    entries_analyzed: int = 0
+
+    @property
+    def ever_exposed(self) -> bool:
+        return bool(self.windows)
+
+    def ingress_ports(self) -> FrozenSet[PortRef]:
+        ports: set[PortRef] = set()
+        for window in self.windows:
+            ports.update((e.switch, e.port) for e in window.ingress_ports)
+        return frozenset(ports)
+
+
+class AttackTraceback:
+    """Replays history snapshots to localise attacks in time and space."""
+
+    def __init__(
+        self,
+        history: SnapshotHistory,
+        registrations: Dict[str, ClientRegistration],
+    ) -> None:
+        if not history.retain_snapshots:
+            raise ValueError(
+                "traceback requires a history created with retain_snapshots=True"
+            )
+        self.history = history
+        self.registrations = dict(registrations)
+        self.verifier = LogicalVerifier(self.registrations)
+
+    # ------------------------------------------------------------------
+    # Core analysis
+    # ------------------------------------------------------------------
+
+    def _undeclared_sources(
+        self, registration: ClientRegistration, snapshot, victim_host: str
+    ) -> Tuple[Endpoint, ...]:
+        """Sources that could reach the victim but are not declared."""
+        answer = self.verifier.reaching_sources(
+            registration, snapshot, destination_host=victim_host
+        )
+        declared = {
+            self.verifier.resolve_endpoint(*host.access_point)
+            for host in registration.hosts
+        }
+        return tuple(
+            sorted(
+                set(answer.endpoints) - declared,
+                key=lambda e: (e.switch, e.port),
+            )
+        )
+
+    def trace(self, client: str, victim_host: str) -> TracebackReport:
+        """Reconstruct every exposure window for ``victim_host``."""
+        registration = self.registrations[client]
+        if all(host.name != victim_host for host in registration.hosts):
+            raise KeyError(f"{victim_host!r} is not one of {client}'s hosts")
+        report = TracebackReport(victim_client=client, victim_host=victim_host)
+
+        open_window: Optional[dict] = None
+        previous_signatures: Optional[FrozenSet[tuple]] = None
+        for entry in self.history.entries():
+            if entry.snapshot is None:
+                continue
+            report.entries_analyzed += 1
+            undeclared = self._undeclared_sources(
+                registration, entry.snapshot, victim_host
+            )
+            signatures = entry.rule_signatures
+            if undeclared and open_window is None:
+                added = (
+                    signatures - previous_signatures
+                    if previous_signatures is not None
+                    else frozenset()
+                )
+                open_window = {
+                    "opened_at": entry.taken_at,
+                    "ingress": set(undeclared),
+                    "enabling": frozenset(added),
+                }
+            elif undeclared and open_window is not None:
+                open_window["ingress"].update(undeclared)
+            elif not undeclared and open_window is not None:
+                removed = (
+                    previous_signatures - signatures
+                    if previous_signatures is not None
+                    else frozenset()
+                )
+                report.windows.append(
+                    ExposureWindow(
+                        opened_at=open_window["opened_at"],
+                        closed_at=entry.taken_at,
+                        ingress_ports=tuple(
+                            sorted(
+                                open_window["ingress"],
+                                key=lambda e: (e.switch, e.port),
+                            )
+                        ),
+                        enabling_rules=open_window["enabling"],
+                        disabling_rules=frozenset(removed),
+                    )
+                )
+                open_window = None
+            previous_signatures = signatures
+
+        if open_window is not None:
+            report.windows.append(
+                ExposureWindow(
+                    opened_at=open_window["opened_at"],
+                    closed_at=None,
+                    ingress_ports=tuple(
+                        sorted(
+                            open_window["ingress"], key=lambda e: (e.switch, e.port)
+                        )
+                    ),
+                    enabling_rules=open_window["enabling"],
+                    disabling_rules=frozenset(),
+                )
+            )
+        return report
+
+    def trace_all(self, client: str) -> Dict[str, TracebackReport]:
+        """Traceback every host of one client."""
+        registration = self.registrations[client]
+        return {
+            host.name: self.trace(client, host.name)
+            for host in registration.hosts
+        }

@@ -1,0 +1,568 @@
+"""The logical verification engine: answers queries over a snapshot.
+
+Implements §IV-A2: "relevant routes are computed in the logical space,
+given the current network snapshot collected by the RVaaS controller"
+via Header Space Analysis.  Every public method takes the querying
+client's registration and a :class:`~repro.core.snapshot.NetworkSnapshot`
+and returns one of the answer dataclasses of :mod:`repro.core.queries` —
+endpoint-level information only, never internal paths (§IV-A
+confidentiality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.protocol import ClientRegistration, HostRecord
+from repro.core.queries import (
+    Answer,
+    BandwidthAnswer,
+    BandwidthQuery,
+    BandwidthReport,
+    Endpoint,
+    FairnessAnswer,
+    FairnessQuery,
+    GeoLocationAnswer,
+    GeoLocationQuery,
+    IsolationAnswer,
+    IsolationQuery,
+    MeterReport,
+    PathLengthAnswer,
+    PathLengthQuery,
+    PathLengthReport,
+    Query,
+    ReachableDestinationsAnswer,
+    ReachableDestinationsQuery,
+    ReachingSourcesAnswer,
+    ReachingSourcesQuery,
+    TrafficScope,
+    TransferFunctionAnswer,
+    TransferFunctionEntry,
+    TransferFunctionQuery,
+    WaypointAvoidanceAnswer,
+    WaypointAvoidanceQuery,
+)
+from repro.core.snapshot import NetworkSnapshot
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.reachability import ReachabilityAnalyzer, ReachabilityResult
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address, IPv4Network
+from repro.netlib.constants import (
+    ETH_TYPE_LLDP,
+    IP_PROTO_UDP,
+    RVAAS_AUTH_PORT,
+    RVAAS_MAGIC_PORT,
+)
+from repro.openflow.actions import Meter as MeterAction
+
+#: The header spaces legitimately punted to the control plane by the
+#: RVaaS interception rules; controller zones outside them indicate a
+#: rule that copies client traffic to the (untrusted) control plane.
+_RVAAS_PUNT_SPACE = HeaderSpace(
+    (
+        Wildcard.from_fields(ip_proto=IP_PROTO_UDP, tp_dst=RVAAS_MAGIC_PORT),
+        Wildcard.from_fields(ip_proto=IP_PROTO_UDP, tp_dst=RVAAS_AUTH_PORT),
+        Wildcard.from_fields(eth_type=ETH_TYPE_LLDP),
+    )
+)
+
+#: Pseudo-endpoint reported when client traffic can be copied to the
+#: provider's control plane.
+CONTROL_PLANE_ENDPOINT = Endpoint(
+    switch="<control-plane>", port=-1, host="<controller>", client=""
+)
+
+
+class LogicalVerifier:
+    """Answers the query taxonomy for registered clients."""
+
+    def __init__(
+        self,
+        registrations: Mapping[str, ClientRegistration],
+        *,
+        exclude_own_interception: bool = True,
+    ) -> None:
+        self.registrations = dict(registrations)
+        self.exclude_own_interception = exclude_own_interception
+        self._port_owner: Dict[Tuple[str, int], Tuple[str, str]] = {}
+        for registration in self.registrations.values():
+            for host in registration.hosts:
+                self._port_owner[host.access_point] = (
+                    host.name,
+                    registration.name,
+                )
+        self.queries_answered = 0
+        self._analysis_cache: Tuple[Optional[int], Optional[NetworkSnapshot]] = (
+            None,
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis view of a snapshot
+    # ------------------------------------------------------------------
+
+    def _analysis_snapshot(self, snapshot: NetworkSnapshot) -> NetworkSnapshot:
+        """The snapshot as seen by data-traffic analysis.
+
+        RVaaS's *own* interception rules (identified by cookie, exact
+        match, and punt-only action) are elided: they are the service's
+        signalling plane, not part of the client's routing service, and
+        carrying their high-priority shadows through every switch
+        multiplies wildcard-union sizes by orders of magnitude.  A rule
+        merely *claiming* the cookie but differing in match or action is
+        kept — an adversary cannot hide behaviour behind the cookie.
+        """
+        if not self.exclude_own_interception:
+            return snapshot
+        cached_version, cached = self._analysis_cache
+        if cached is not None and cached_version == snapshot.version:
+            return cached
+        from repro.core.inband import RVAAS_COOKIE, interception_matches
+        from repro.openflow.actions import ToController
+
+        own_matches = set(interception_matches())
+
+        def is_own(rule) -> bool:
+            return (
+                rule.cookie == RVAAS_COOKIE
+                and rule.match in own_matches
+                and len(rule.actions) == 1
+                and isinstance(rule.actions[0], ToController)
+            )
+
+        filtered = NetworkSnapshot(
+            version=snapshot.version,
+            taken_at=snapshot.taken_at,
+            rules={
+                switch: tuple(r for r in rules if not is_own(r))
+                for switch, rules in snapshot.rules.items()
+            },
+            meters=snapshot.meters,
+            wiring=snapshot.wiring,
+            edge_ports=snapshot.edge_ports,
+            switch_ports=snapshot.switch_ports,
+            locations=snapshot.locations,
+            link_capacities=snapshot.link_capacities,
+        )
+        self._analysis_cache = (snapshot.version, filtered)
+        return filtered
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def answer(
+        self,
+        query: Query,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+    ) -> Answer:
+        """Answer any supported query (logical part only)."""
+        self.queries_answered += 1
+        if isinstance(query, ReachableDestinationsQuery):
+            return self.reachable_destinations(registration, snapshot, query.scope)
+        if isinstance(query, ReachingSourcesQuery):
+            return self.reaching_sources(
+                registration, snapshot, query.scope, query.destination_host
+            )
+        if isinstance(query, IsolationQuery):
+            return self.isolation(registration, snapshot, query.scope)
+        if isinstance(query, GeoLocationQuery):
+            return self.geo_location(registration, snapshot, query.scope)
+        if isinstance(query, WaypointAvoidanceQuery):
+            return self.waypoint_avoidance(
+                registration, snapshot, query.forbidden_regions, query.scope
+            )
+        if isinstance(query, PathLengthQuery):
+            return self.path_length(
+                registration, snapshot, query.destination_host, query.scope
+            )
+        if isinstance(query, FairnessQuery):
+            return self.fairness(registration, snapshot, query.scope)
+        if isinstance(query, BandwidthQuery):
+            return self.bandwidth(
+                registration,
+                snapshot,
+                destination_host=query.destination_host,
+                minimum_mbps=query.minimum_mbps,
+                scope=query.scope,
+            )
+        if isinstance(query, TransferFunctionQuery):
+            return self.transfer_function(registration, snapshot, query.scope)
+        raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Header space construction
+    # ------------------------------------------------------------------
+
+    def _outbound_space(
+        self, host: HostRecord, scope: TrafficScope
+    ) -> HeaderSpace:
+        """The traffic this host emits: its source IP, untagged, in scope."""
+        fields = {"ip_src": host.ip, "vlan_id": 0}
+        fields.update(scope.constraints())
+        return HeaderSpace.single(Wildcard.from_fields(**fields))
+
+    def _inbound_space(
+        self, host: HostRecord, scope: TrafficScope
+    ) -> HeaderSpace:
+        """Traffic addressed to this host — any source (spoofing allowed)."""
+        fields = {"ip_dst": host.ip, "vlan_id": 0}
+        fields.update(scope.constraints())
+        return HeaderSpace.single(Wildcard.from_fields(**fields))
+
+    # ------------------------------------------------------------------
+    # Endpoint resolution
+    # ------------------------------------------------------------------
+
+    def resolve_endpoint(self, switch: str, port: int) -> Endpoint:
+        host, client = self._port_owner.get((switch, port), ("", ""))
+        return Endpoint(switch=switch, port=port, host=host, client=client)
+
+    def _endpoints_from_result(
+        self, result: ReachabilityResult, *, include_control_plane: bool = True
+    ) -> List[Endpoint]:
+        endpoints = {
+            self.resolve_endpoint(zone.switch, zone.port)
+            for zone in result.zones
+            if zone.kind in ("edge", "unbound")
+        }
+        if include_control_plane:
+            for zone in result.zones:
+                if zone.kind != "controller":
+                    continue
+                leaked = zone.space.subtract(_RVAAS_PUNT_SPACE)
+                if not leaked.is_empty():
+                    endpoints.add(CONTROL_PLANE_ENDPOINT)
+        return sorted(endpoints, key=lambda e: (e.switch, e.port))
+
+    # ------------------------------------------------------------------
+    # Query implementations
+    # ------------------------------------------------------------------
+
+    def reachable_destinations(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> ReachableDestinationsAnswer:
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        endpoints: set[Endpoint] = set()
+        for host in registration.hosts:
+            result = analyzer.analyze(
+                host.switch, host.port, self._outbound_space(host, scope)
+            )
+            endpoints.update(self._endpoints_from_result(result))
+        return ReachableDestinationsAnswer(
+            endpoints=tuple(sorted(endpoints, key=lambda e: (e.switch, e.port)))
+        )
+
+    def reaching_sources(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+        destination_host: str = "",
+    ) -> ReachingSourcesAnswer:
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        endpoints: set[Endpoint] = set()
+        hosts = [
+            host
+            for host in registration.hosts
+            if not destination_host or host.name == destination_host
+        ]
+        for host in hosts:
+            sources = analyzer.sources_reaching(
+                host.switch, host.port, self._inbound_space(host, scope)
+            )
+            for switch, port in sources:
+                endpoints.add(self.resolve_endpoint(switch, port))
+        return ReachingSourcesAnswer(
+            endpoints=tuple(sorted(endpoints, key=lambda e: (e.switch, e.port)))
+        )
+
+    def isolation(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> IsolationAnswer:
+        """The join-attack detector of §IV-B1.
+
+        Outbound: endpoints my traffic can reach.  Inbound: endpoints
+        whose traffic (any source address — attackers spoof) can reach
+        me.  Both must be subsets of my declared access points.
+        """
+        declared = {
+            self.resolve_endpoint(*host.access_point)
+            for host in registration.hosts
+        }
+        outbound = set(
+            self.reachable_destinations(registration, snapshot, scope).endpoints
+        )
+        inbound = set(
+            self.reaching_sources(registration, snapshot, scope).endpoints
+        )
+        violations = (outbound | inbound) - declared
+        ordered = tuple(sorted(violations, key=lambda e: (e.switch, e.port)))
+        return IsolationAnswer(
+            isolated=not violations,
+            declared_endpoints=tuple(
+                sorted(declared, key=lambda e: (e.switch, e.port))
+            ),
+            violating_endpoints=ordered,
+        )
+
+    def geo_location(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> GeoLocationAnswer:
+        """Which regions can the client's traffic pass through (§IV-B2)."""
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        regions: set[str] = set()
+        for host in registration.hosts:
+            result = analyzer.analyze(
+                host.switch, host.port, self._outbound_space(host, scope)
+            )
+            for switch in result.switches_traversed:
+                location = snapshot.location_of(switch)
+                if location is not None:
+                    regions.add(location.region)
+        return GeoLocationAnswer(regions=tuple(sorted(regions)))
+
+    def waypoint_avoidance(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        forbidden_regions: Tuple[str, ...],
+        scope: TrafficScope = TrafficScope(),
+    ) -> WaypointAvoidanceAnswer:
+        geo = self.geo_location(registration, snapshot, scope)
+        violating = tuple(
+            sorted(set(geo.regions) & set(forbidden_regions))
+        )
+        return WaypointAvoidanceAnswer(
+            avoided=not violating, violating_regions=violating
+        )
+
+    def path_length(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        destination_host: str = "",
+        scope: TrafficScope = TrafficScope(),
+    ) -> PathLengthAnswer:
+        """Route-optimality: actual worst-case hops vs topology shortest."""
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        graph = _graph_from_wiring(snapshot)
+        reports: List[PathLengthReport] = []
+        for host in registration.hosts:
+            result = analyzer.analyze(
+                host.switch, host.port, self._outbound_space(host, scope)
+            )
+            worst: Dict[Tuple[str, int], int] = {}
+            for path in result.paths:
+                zone = path.endpoint
+                if zone.kind != "edge":
+                    continue
+                endpoint = self.resolve_endpoint(zone.switch, zone.port)
+                if destination_host and endpoint.host != destination_host:
+                    continue
+                key = (zone.switch, zone.port)
+                worst[key] = max(worst.get(key, 0), path.length())
+            for (switch, port), actual in sorted(worst.items()):
+                try:
+                    optimal = (
+                        nx.shortest_path_length(graph, host.switch, switch) + 1
+                    )
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    optimal = actual
+                reports.append(
+                    PathLengthReport(
+                        destination=self.resolve_endpoint(switch, port),
+                        actual_hops=actual,
+                        optimal_hops=optimal,
+                    )
+                )
+        return PathLengthAnswer(reports=tuple(reports))
+
+    def fairness(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> FairnessAnswer:
+        """Network-neutrality check over the meter tables (§IV-C).
+
+        Meter attribution: a metered rule belongs to the client whose
+        address the match *constrains* — the sender when ``ip_src`` is
+        set, otherwise the receiver when ``ip_dst`` is set.  A meter with
+        neither constraint limits everyone uniformly and counts on both
+        sides of the comparison (uniform limits are neutral by
+        construction).
+        """
+        my_ips = {IPv4Address(ip) for ip in registration.host_ips}
+
+        def constrains_mine(wanted) -> Optional[bool]:
+            """None = unconstrained; else does the constraint cover me?"""
+            if wanted is None:
+                return None
+            if isinstance(wanted, IPv4Network):
+                return any(wanted.contains(addr) for addr in my_ips)
+            return wanted in my_ips
+
+        meter_rates = {
+            (meter.switch, meter.meter_id): meter.band.rate_kbps
+            for meter in snapshot.meters
+        }
+        mine: List[MeterReport] = []
+        other_rates: List[int] = []
+        for switch, rules in snapshot.rules.items():
+            for rule in rules:
+                meter_ids = [
+                    action.meter_id
+                    for action in rule.actions
+                    if isinstance(action, MeterAction)
+                ]
+                if not meter_ids:
+                    continue
+                src_mine = constrains_mine(rule.match.ip_src)
+                dst_mine = constrains_mine(rule.match.ip_dst)
+                if src_mine is not None:
+                    is_mine, is_other = src_mine, not src_mine
+                elif dst_mine is not None:
+                    is_mine, is_other = dst_mine, not dst_mine
+                else:
+                    is_mine = is_other = True  # uniform limit
+                for meter_id in meter_ids:
+                    rate = meter_rates.get((switch, meter_id))
+                    if rate is None:
+                        continue
+                    if is_mine:
+                        mine.append(
+                            MeterReport(
+                                switch=switch,
+                                rate_kbps=rate,
+                                scope_description=rule.match.describe(),
+                            )
+                        )
+                    if is_other:
+                        other_rates.append(rate)
+        baseline = min(other_rates) if other_rates else None
+        if not mine:
+            neutral = True
+        elif baseline is None:
+            neutral = False  # only my traffic is rate-limited
+        else:
+            neutral = min(report.rate_kbps for report in mine) >= baseline
+        return FairnessAnswer(
+            neutral=neutral,
+            meters_on_my_traffic=tuple(mine),
+            baseline_rate_kbps=baseline,
+        )
+
+    def bandwidth(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        *,
+        destination_host: str = "",
+        minimum_mbps: float = 0.0,
+        scope: TrafficScope = TrafficScope(),
+    ) -> BandwidthAnswer:
+        """Bottleneck bandwidth of the client's routes (QoS query, §IV-A).
+
+        For every destination endpoint the client's traffic can reach,
+        reports the bottleneck link capacity along the worst and best
+        path the *configuration* can take (capacities come from the
+        wiring plan / SLA, which RVaaS holds).  A diversion through a
+        thin transit link shows up as a drop in ``min_bottleneck_mbps``
+        — without revealing which links exist.
+        """
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        per_destination: Dict[Tuple[str, int], List[float]] = {}
+        for host in registration.hosts:
+            result = analyzer.analyze(
+                host.switch, host.port, self._outbound_space(host, scope)
+            )
+            for path in result.paths:
+                zone = path.endpoint
+                if zone.kind != "edge":
+                    continue
+                endpoint = self.resolve_endpoint(zone.switch, zone.port)
+                if destination_host and endpoint.host != destination_host:
+                    continue
+                bottleneck = float("inf")
+                for link_a, link_b in path.links():
+                    capacity = snapshot.link_capacities.get(
+                        frozenset((link_a, link_b))
+                    )
+                    if capacity is not None:
+                        bottleneck = min(bottleneck, capacity)
+                per_destination.setdefault(
+                    (zone.switch, zone.port), []
+                ).append(bottleneck)
+        reports = tuple(
+            BandwidthReport(
+                destination=self.resolve_endpoint(switch, port),
+                min_bottleneck_mbps=min(bottlenecks),
+                max_bottleneck_mbps=max(bottlenecks),
+            )
+            for (switch, port), bottlenecks in sorted(per_destination.items())
+        )
+        return BandwidthAnswer(reports=reports, minimum_mbps=minimum_mbps)
+
+    def transfer_function(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> TransferFunctionAnswer:
+        """Endpoint-level compact transfer function of the routing service."""
+        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        entries: List[TransferFunctionEntry] = []
+        for host in registration.hosts:
+            ingress = self.resolve_endpoint(*host.access_point)
+            result = analyzer.analyze(
+                host.switch, host.port, self._outbound_space(host, scope)
+            )
+            for zone in result.edge_zones():
+                entries.append(
+                    TransferFunctionEntry(
+                        ingress=ingress,
+                        egress=self.resolve_endpoint(zone.switch, zone.port),
+                        header_constraint=zone.space.describe(),
+                    )
+                )
+        entries.sort(key=lambda e: (e.ingress.switch, e.ingress.port, e.egress.switch, e.egress.port))
+        return TransferFunctionAnswer(entries=tuple(entries))
+
+    # ------------------------------------------------------------------
+    # Targets for the in-band tester
+    # ------------------------------------------------------------------
+
+    def auth_targets(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> Tuple[Tuple[str, int], ...]:
+        """Edge ports to challenge in the Fig. 1/2 authentication round:
+        every edge endpoint the client's traffic can reach."""
+        answer = self.reachable_destinations(registration, snapshot, scope)
+        return tuple(
+            (e.switch, e.port) for e in answer.endpoints if e.port >= 0
+        )
+
+
+def _graph_from_wiring(snapshot: NetworkSnapshot) -> nx.Graph:
+    graph = nx.Graph()
+    for switch in snapshot.switch_names():
+        graph.add_node(switch)
+    for (a, _pa), (b, _pb) in snapshot.wiring.items():
+        graph.add_edge(a, b)
+    return graph

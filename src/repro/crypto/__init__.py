@@ -1,0 +1,60 @@
+"""Self-contained, dependency-free crypto substrate.
+
+The RVaaS architecture needs four cryptographic capabilities:
+
+1. *Authenticated encrypted OpenFlow sessions* between RVaaS and every
+   switch (paper §III) — provided by :class:`~repro.crypto.cipher.SecureChannelKeys`
+   (HMAC-SHA256 authentication + keystream confidentiality).
+2. *Client query confidentiality*: clients encrypt queries to the RVaaS
+   public key (§IV-A3) — :func:`~repro.crypto.cipher.hybrid_encrypt`.
+3. *Authenticated responses*: RVaaS signs integrity replies and hosts
+   sign auth replies — :mod:`repro.crypto.sign`.
+4. *Attestation* that the genuine RVaaS application runs on the secure
+   server (§IV-A) — :mod:`repro.crypto.enclave`, an SGX-style
+   measurement/quote model.
+
+Everything here is textbook-grade and deterministic (seedable), which is
+exactly what a reproducible simulation needs; it is **not** production
+cryptography and says so loudly in each module.
+"""
+
+from repro.crypto.cipher import (
+    SecureChannelKeys,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    hmac_tag,
+    hmac_verify,
+    keystream_decrypt,
+    keystream_encrypt,
+)
+from repro.crypto.enclave import (
+    AttestationError,
+    AttestationVerifier,
+    Enclave,
+    Measurement,
+    Quote,
+)
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+from repro.crypto.sign import SignatureError, sign, verify
+
+__all__ = [
+    "AttestationError",
+    "AttestationVerifier",
+    "Enclave",
+    "KeyPair",
+    "Measurement",
+    "PrivateKey",
+    "PublicKey",
+    "Quote",
+    "SecureChannelKeys",
+    "SignatureError",
+    "generate_keypair",
+    "hmac_tag",
+    "hmac_verify",
+    "hybrid_decrypt",
+    "hybrid_encrypt",
+    "keystream_decrypt",
+    "keystream_encrypt",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,131 @@
+"""Confidentiality and channel authentication primitives.
+
+Two building blocks:
+
+* :func:`hybrid_encrypt` / :func:`hybrid_decrypt` — public-key hybrid
+  encryption (RSA-wrapped session key + SHA-256 counter-mode keystream).
+  Clients use this to keep their queries confidential from the provider
+  (paper §III: "the provider should not learn about their queries").
+
+* :class:`SecureChannelKeys` — per-channel symmetric keys providing the
+  authenticated, encrypted OpenFlow sessions between RVaaS and switches
+  (paper §III: "Switch to RVaaS controller sessions are secured").
+
+.. warning:: Simulation-grade cryptography; see :mod:`repro.crypto`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.numbers import bytes_to_int, int_to_bytes
+
+_SESSION_KEY_BYTES = 32
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 in counter mode: KS_i = H(key || nonce || i)."""
+    blocks = []
+    for counter in range((length + 31) // 32):
+        blocks.append(
+            hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def keystream_encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """XOR ``plaintext`` with the (key, nonce) keystream."""
+    stream = _keystream(key, nonce, len(plaintext))
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+# XOR is an involution.
+keystream_decrypt = keystream_encrypt
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """RSA-wrapped session key plus keystream-encrypted body."""
+
+    wrapped_key: int
+    nonce: bytes
+    body: bytes
+
+
+def hybrid_encrypt(
+    plaintext: bytes, recipient: PublicKey, rng: random.Random
+) -> HybridCiphertext:
+    """Encrypt ``plaintext`` so only the holder of ``recipient``'s private key reads it."""
+    session_key = rng.getrandbits(_SESSION_KEY_BYTES * 8).to_bytes(
+        _SESSION_KEY_BYTES, "big"
+    )
+    nonce = rng.getrandbits(96).to_bytes(12, "big")
+    wrapped = pow(bytes_to_int(session_key), recipient.e, recipient.n)
+    body = keystream_encrypt(session_key, nonce, plaintext)
+    return HybridCiphertext(wrapped_key=wrapped, nonce=nonce, body=body)
+
+
+def hybrid_decrypt(ciphertext: HybridCiphertext, key: PrivateKey) -> bytes:
+    """Inverse of :func:`hybrid_encrypt`.
+
+    With the wrong private key the unwrapped value is garbage (possibly
+    wider than the session key); the low bytes are used so decryption
+    yields garbage rather than crashing, as a real cipher would.
+    """
+    session_int = pow(ciphertext.wrapped_key, key.d, key.n)
+    session_key = int_to_bytes(
+        session_int % (1 << (_SESSION_KEY_BYTES * 8)), _SESSION_KEY_BYTES
+    )
+    return keystream_decrypt(session_key, ciphertext.nonce, ciphertext.body)
+
+
+def hmac_tag(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 authentication tag."""
+    return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of an HMAC tag."""
+    return _hmac.compare_digest(hmac_tag(key, message), tag)
+
+
+@dataclass(frozen=True)
+class SecureChannelKeys:
+    """Symmetric key material for one controller<->switch session.
+
+    Modelled after a completed TLS handshake: the switch authenticated
+    the controller's certificate (and vice versa), and both ends derived
+    ``auth_key`` and ``enc_key``.  The handshake itself is abstracted —
+    what matters to the threat model is that the adversary can neither
+    read nor forge channel traffic, which these keys enforce at the
+    channel layer (:mod:`repro.openflow.channel`).
+    """
+
+    channel_id: str
+    auth_key: bytes
+    enc_key: bytes
+
+    @classmethod
+    def derive(cls, channel_id: str, master_secret: bytes) -> "SecureChannelKeys":
+        """Derive the per-channel keys from a master secret (HKDF-like)."""
+        auth = hashlib.sha256(master_secret + channel_id.encode() + b"auth").digest()
+        enc = hashlib.sha256(master_secret + channel_id.encode() + b"enc").digest()
+        return cls(channel_id=channel_id, auth_key=auth, enc_key=enc)
+
+    def protect(self, message: bytes, sequence: int) -> tuple[bytes, bytes]:
+        """Encrypt-then-MAC one channel record."""
+        nonce = sequence.to_bytes(12, "big")
+        ciphertext = keystream_encrypt(self.enc_key, nonce, message)
+        tag = hmac_tag(self.auth_key, nonce + ciphertext)
+        return ciphertext, tag
+
+    def unprotect(self, ciphertext: bytes, tag: bytes, sequence: int) -> bytes:
+        """Verify-then-decrypt one channel record; raises on tamper."""
+        nonce = sequence.to_bytes(12, "big")
+        if not hmac_verify(self.auth_key, nonce + ciphertext, tag):
+            raise ValueError(f"channel {self.channel_id}: record authentication failed")
+        return keystream_decrypt(self.enc_key, nonce, ciphertext)

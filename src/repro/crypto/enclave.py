@@ -1,0 +1,112 @@
+"""SGX-style enclave attestation model.
+
+The paper (§I-B, §IV-A) proposes running the RVaaS application on secure
+hardware such as Intel SGX, so that (a) clients can verify they are
+talking to the genuine RVaaS code and (b) the provider can verify the
+server is not a fake that would leak infrastructure secrets.
+
+We model the trust flow of SGX remote attestation:
+
+* an :class:`Enclave` is loaded with application code; loading computes a
+  :class:`Measurement` (hash of the code identity);
+* the (simulated) CPU holds an attestation key whose public half is known
+  to the :class:`AttestationVerifier` (standing in for Intel's
+  attestation service);
+* :meth:`Enclave.quote` binds the measurement and user data (e.g. the
+  RVaaS public key) under the attestation key;
+* both clients and the provider verify quotes against the measurement
+  they expect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.crypto.sign import sign, verify
+
+
+class AttestationError(Exception):
+    """Raised when a quote fails verification."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """The identity hash (MRENCLAVE analogue) of enclave code."""
+
+    digest: str
+
+    @classmethod
+    def of_code(cls, code_identity: str) -> "Measurement":
+        """Measure a code identity string (stands in for hashing the binary)."""
+        return cls(hashlib.sha256(code_identity.encode()).hexdigest())
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement: measurement + report data."""
+
+    measurement: Measurement
+    report_data: str
+    signature: int
+
+    def statement(self) -> str:
+        return f"{self.measurement.digest}|{self.report_data}"
+
+
+class Enclave:
+    """A loaded enclave: measured code plus a quoting facility.
+
+    ``code_identity`` should uniquely name the application version, e.g.
+    ``"rvaas-core-1.0.0"``.  Calling the enclave (:meth:`run`) executes
+    the protected function; only code loaded into the enclave can produce
+    quotes over its own measurement.
+    """
+
+    def __init__(self, code_identity: str, attestation_key: KeyPair) -> None:
+        self.code_identity = code_identity
+        self.measurement = Measurement.of_code(code_identity)
+        self._attestation_key = attestation_key
+
+    def quote(self, report_data: str) -> Quote:
+        """Produce a quote binding ``report_data`` to this enclave's measurement.
+
+        RVaaS puts its public-key fingerprint in ``report_data`` so that a
+        verified quote also authenticates the service key.
+        """
+        statement = f"{self.measurement.digest}|{report_data}"
+        return Quote(
+            measurement=self.measurement,
+            report_data=report_data,
+            signature=sign(statement, self._attestation_key.private),
+        )
+
+    def run(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute ``func`` inside the enclave boundary (trust marker only)."""
+        return func(*args, **kwargs)
+
+
+class AttestationVerifier:
+    """Verifies quotes; stands in for the hardware vendor's attestation service."""
+
+    def __init__(self, attestation_public_key: PublicKey) -> None:
+        self._public = attestation_public_key
+
+    def verify_quote(self, quote: Quote, expected: Measurement) -> None:
+        """Raise :class:`AttestationError` unless ``quote`` is genuine and matches."""
+        if quote.measurement != expected:
+            raise AttestationError(
+                "measurement mismatch: enclave runs "
+                f"{quote.measurement.digest[:12]}…, expected {expected.digest[:12]}…"
+            )
+        if not verify(quote.statement(), quote.signature, self._public):
+            raise AttestationError("quote signature invalid (fake enclave?)")
+
+
+def make_attestation_root(rng: random.Random) -> tuple[KeyPair, AttestationVerifier]:
+    """Create the platform attestation key and its verifier."""
+    keypair = generate_keypair("attestation-root", rng=rng)
+    return keypair, AttestationVerifier(keypair.public)

@@ -1,0 +1,89 @@
+"""Textbook RSA key pairs (simulation-grade, deterministic).
+
+.. warning::
+   This is *not* production cryptography — no padding (raw RSA on a
+   hash), small default modulus for speed, deterministic keygen from a
+   seed.  Inside the simulation it provides the genuine *properties* the
+   RVaaS protocol relies on (only the private-key holder can sign /
+   decrypt), which is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbers import generate_prime, modinv
+
+DEFAULT_MODULUS_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``; distributed to clients and switches."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in logs and attestation reports."""
+        import hashlib
+
+        digest = hashlib.sha256(f"{self.n}:{self.e}".encode()).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key ``(n, d)``; held only by its owner."""
+
+    n: int
+    d: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A public/private key pair bound to an owner name."""
+
+    owner: str
+    public: PublicKey
+    private: PrivateKey
+
+
+def generate_keypair(
+    owner: str,
+    *,
+    rng: random.Random,
+    bits: int = DEFAULT_MODULUS_BITS,
+) -> KeyPair:
+    """Generate an RSA key pair deterministically from ``rng``.
+
+    ``bits`` is the modulus size; 512 is cryptographically weak but keeps
+    simulated protocol runs fast while still flowing real key material
+    through every protocol message.
+    """
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = modinv(_PUBLIC_EXPONENT, phi)
+        return KeyPair(
+            owner=owner,
+            public=PublicKey(n=n, e=_PUBLIC_EXPONENT),
+            private=PrivateKey(n=n, d=d),
+        )

@@ -1,0 +1,74 @@
+"""Hash-then-RSA signatures for RVaaS protocol messages.
+
+Used for: RVaaS-signed integrity replies, host-signed auth replies, and
+enclave-signed attestation quotes.  Payloads are canonicalised with
+:func:`canonical_bytes` so that signing a protocol dataclass and
+verifying its transmitted copy always agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.numbers import bytes_to_int
+
+
+class SignatureError(Exception):
+    """Raised when a signature fails verification."""
+
+
+def canonical_bytes(message: Any) -> bytes:
+    """Stable byte serialisation of a message for hashing.
+
+    Accepts bytes directly; everything else goes through ``repr`` of a
+    recursively-sorted structure, which is stable for the dataclasses,
+    tuples, frozensets and primitives used in :mod:`repro.core.protocol`.
+    """
+    if isinstance(message, bytes):
+        return message
+    if isinstance(message, str):
+        return message.encode()
+    return _canonical_repr(message).encode()
+
+
+def _canonical_repr(obj: Any) -> str:
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        inner = ",".join(f"{_canonical_repr(k)}:{_canonical_repr(v)}" for k, v in items)
+        return "{" + inner + "}"
+    if isinstance(obj, (set, frozenset)):
+        inner = ",".join(sorted(_canonical_repr(item) for item in obj))
+        return "{" + inner + "}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(_canonical_repr(item) for item in obj)
+        return "[" + inner + "]"
+    if hasattr(obj, "__dataclass_fields__"):
+        fields = sorted(obj.__dataclass_fields__)
+        inner = ",".join(f"{name}={_canonical_repr(getattr(obj, name))}" for name in fields)
+        return f"{type(obj).__name__}({inner})"
+    return repr(obj)
+
+
+def _digest_int(message: Any, n: int) -> int:
+    digest = hashlib.sha256(canonical_bytes(message)).digest()
+    return bytes_to_int(digest) % n
+
+
+def sign(message: Any, key: PrivateKey) -> int:
+    """Sign ``message`` (any canonicalisable object) with ``key``."""
+    return pow(_digest_int(message, key.n), key.d, key.n)
+
+
+def verify(message: Any, signature: int, key: PublicKey) -> bool:
+    """Return True iff ``signature`` is valid for ``message`` under ``key``."""
+    if not 0 <= signature < key.n:
+        return False
+    return pow(signature, key.e, key.n) == _digest_int(message, key.n)
+
+
+def require_valid(message: Any, signature: int, key: PublicKey, what: str = "message") -> None:
+    """Verify or raise :class:`SignatureError` — used on trust boundaries."""
+    if not verify(message, signature, key):
+        raise SignatureError(f"invalid signature on {what}")

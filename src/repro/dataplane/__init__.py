@@ -1,0 +1,46 @@
+"""Deterministic discrete-event network emulator.
+
+This is the reproduction's substitute for physical switches / Mininet: a
+seeded, single-threaded event simulator (:mod:`~repro.dataplane.simulator`)
+moving packets across latency/bandwidth links between OpenFlow switches
+(:mod:`repro.openflow.switch`) and UDP-speaking hosts.  Topology builders
+for the standard shapes used in experiments live in
+:mod:`~repro.dataplane.topologies`.
+"""
+
+from repro.dataplane.host import Host
+from repro.dataplane.link import Link
+from repro.dataplane.network import Network
+from repro.dataplane.simulator import Event, Simulator
+from repro.dataplane.topology import GeoLocation, HostSpec, LinkSpec, SwitchSpec, Topology
+from repro.dataplane.topologies import (
+    abilene_topology,
+    fat_tree_topology,
+    isp_topology,
+    linear_topology,
+    ring_topology,
+    single_switch_topology,
+    tree_topology,
+    waxman_topology,
+)
+
+__all__ = [
+    "Event",
+    "abilene_topology",
+    "GeoLocation",
+    "Host",
+    "HostSpec",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "Simulator",
+    "SwitchSpec",
+    "Topology",
+    "fat_tree_topology",
+    "isp_topology",
+    "linear_topology",
+    "ring_topology",
+    "single_switch_topology",
+    "tree_topology",
+    "waxman_topology",
+]

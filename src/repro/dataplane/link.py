@@ -1,0 +1,46 @@
+"""Point-to-point links with latency and serialisation delay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.topology import LinkSpec
+
+
+@dataclass
+class Link:
+    """A live link instantiated from a :class:`LinkSpec`.
+
+    Links are trusted and lossless per the threat model (§III: "Links are
+    trusted: no physical taps are installed").  The only data-plane
+    behaviour they add is delay: propagation latency plus serialisation
+    time at the configured bandwidth.
+    """
+
+    spec: LinkSpec
+    packets_carried: int = 0
+    bytes_carried: int = 0
+    up: bool = field(default=True)
+
+    def delay_for(self, size_bytes: int) -> float:
+        """Total one-way delay for a packet of ``size_bytes``."""
+        serialisation = (size_bytes * 8) / (self.spec.bandwidth_mbps * 1e6)
+        return self.spec.latency + serialisation
+
+    def account(self, size_bytes: int) -> None:
+        self.packets_carried += 1
+        self.bytes_carried += size_bytes
+
+    def endpoints(self) -> tuple[tuple[str, int], tuple[str, int]]:
+        return (
+            (self.spec.switch_a, self.spec.port_a),
+            (self.spec.switch_b, self.spec.port_b),
+        )
+
+    def other_end(self, switch: str, port: int) -> tuple[str, int]:
+        a, b = self.endpoints()
+        if (switch, port) == a:
+            return b
+        if (switch, port) == b:
+            return a
+        raise ValueError(f"({switch}, {port}) is not an endpoint of this link")

@@ -1,0 +1,175 @@
+"""The live network: topology + simulator + switches + hosts, bound together.
+
+:class:`Network` instantiates :class:`~repro.openflow.switch.OpenFlowSwitch`
+and :class:`~repro.dataplane.host.Host` objects from a
+:class:`~repro.dataplane.topology.Topology`, wires packet forwarding
+through :class:`~repro.dataplane.link.Link` delays on the shared
+:class:`~repro.dataplane.simulator.Simulator`, and hands out secure
+control channels to controllers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Optional
+
+from repro.crypto.cipher import SecureChannelKeys
+from repro.dataplane.host import Host
+from repro.dataplane.link import Link
+from repro.dataplane.simulator import Simulator
+from repro.dataplane.topology import Topology
+from repro.netlib.packet import Packet
+from repro.openflow.channel import ControlChannel
+from repro.openflow.switch import OpenFlowSwitch
+
+#: Access-link latency between a host NIC and its switch port.
+HOST_LINK_LATENCY = 0.0002
+
+#: Default control-channel latency (controller <-> switch).
+CONTROL_LATENCY = 0.0005
+
+
+class Network:
+    """A running emulated network."""
+
+    def __init__(self, topology: Topology, *, seed: int = 0) -> None:
+        topology.validate()
+        self.topology = topology
+        self.sim = Simulator(seed=seed)
+        self.switches: Dict[str, OpenFlowSwitch] = {}
+        self.hosts: Dict[str, Host] = {}
+        self._links: Dict[tuple[str, int], Link] = {}
+        self._host_ports: Dict[tuple[str, int], Host] = {}
+        self.packets_delivered = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for spec in self.topology.switches.values():
+            switch = OpenFlowSwitch(
+                spec.name,
+                spec.dpid,
+                clock=lambda: self.sim.now,
+            )
+            switch.transmit = self._on_switch_transmit
+            self.switches[spec.name] = switch
+
+        for link_spec in self.topology.links:
+            link = Link(spec=link_spec)
+            self._links[(link_spec.switch_a, link_spec.port_a)] = link
+            self._links[(link_spec.switch_b, link_spec.port_b)] = link
+            self.switches[link_spec.switch_a].add_port(
+                link_spec.port_a, kind="link", peer=link_spec.switch_b
+            )
+            self.switches[link_spec.switch_b].add_port(
+                link_spec.port_b, kind="link", peer=link_spec.switch_a
+            )
+
+        for host_spec in self.topology.hosts.values():
+            host = Host(host_spec, send_fn=self._on_host_send)
+            self.hosts[host_spec.name] = host
+            self._host_ports[(host_spec.switch, host_spec.port)] = host
+            self.switches[host_spec.switch].add_port(
+                host_spec.port, kind="host", peer=host_spec.name
+            )
+
+    # ------------------------------------------------------------------
+    # Forwarding fabric
+    # ------------------------------------------------------------------
+
+    def _on_host_send(self, host: Host, packet: Packet) -> None:
+        switch_name, port = host.access_point
+        switch = self.switches[switch_name]
+        self.sim.schedule(
+            HOST_LINK_LATENCY, lambda: switch.receive_packet(packet, port)
+        )
+
+    def _on_switch_transmit(
+        self, switch: OpenFlowSwitch, out_port: int, packet: Packet
+    ) -> None:
+        key = (switch.name, out_port)
+        link = self._links.get(key)
+        if link is not None:
+            if not link.up:
+                return
+            peer_switch, peer_port = link.other_end(switch.name, out_port)
+            link.account(packet.size_bytes)
+            delay = link.delay_for(packet.size_bytes)
+            target = self.switches[peer_switch]
+            self.sim.schedule(delay, lambda: target.receive_packet(packet, peer_port))
+            return
+        host = self._host_ports.get(key)
+        if host is not None:
+            self.packets_delivered += 1
+            self.sim.schedule(HOST_LINK_LATENCY, lambda: host.deliver(packet))
+            return
+        # Port wired to nothing: packet vanishes (counted by the switch).
+
+    # ------------------------------------------------------------------
+    # Control plane attachment
+    # ------------------------------------------------------------------
+
+    def open_control_channel(
+        self,
+        controller_name: str,
+        switch_name: str,
+        *,
+        master_secret: Optional[bytes] = None,
+        latency: float = CONTROL_LATENCY,
+    ) -> ControlChannel:
+        """Create an authenticated encrypted session to one switch.
+
+        The master secret stands for the result of the TLS handshake with
+        the pre-provisioned switch certificate (§III).  Each
+        (controller, switch) pair gets an independent key.
+        """
+        if master_secret is None:
+            master_secret = hashlib.sha256(
+                f"session:{controller_name}:{switch_name}".encode()
+            ).digest()
+        channel_id = f"{controller_name}<->{switch_name}"
+        keys = SecureChannelKeys.derive(channel_id, master_secret)
+        channel = ControlChannel(
+            controller_name, switch_name, keys, self.sim, latency=latency
+        )
+        self.switches[switch_name].connect_controller(channel)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def switch(self, name: str) -> OpenFlowSwitch:
+        return self.switches[name]
+
+    def host_at(self, switch: str, port: int) -> Optional[Host]:
+        return self._host_ports.get((switch, port))
+
+    def link_at(self, switch: str, port: int) -> Optional[Link]:
+        return self._links.get((switch, port))
+
+    def set_link_state(self, switch_a: str, switch_b: str, up: bool) -> None:
+        """Flip a link and emit PortStatus from both attached switches."""
+        link_spec = self.topology.link_between(switch_a, switch_b)
+        if link_spec is None:
+            raise ValueError(f"no link between {switch_a} and {switch_b}")
+        link = self._links[(link_spec.switch_a, link_spec.port_a)]
+        link.up = up
+        status = "up" if up else "down"
+        self.switches[link_spec.switch_a].notify_port_status(link_spec.port_a, status)
+        self.switches[link_spec.switch_b].notify_port_status(link_spec.port_b, status)
+
+    def run(self, duration: float) -> None:
+        self.sim.run(duration)
+
+    def run_until_idle(self, max_time: float = 1e6) -> None:
+        self.sim.run_until_idle(max_time=max_time)
+
+    def total_rules(self) -> int:
+        return sum(switch.rule_count() for switch in self.switches.values())

@@ -1,0 +1,303 @@
+"""Standard topology generators used by examples, tests and benchmarks.
+
+Every generator returns a fully-validated :class:`~repro.dataplane.topology.Topology`
+with deterministic names, addresses and port numbers.  Hosts can be
+pre-assigned to named clients (tenants) via ``clients``: hosts are dealt
+to clients round-robin, which gives every client a geo-spatially spread
+set of access points as in the paper's model (§III: "Each client may be
+connected to the network infrastructure at multiple access points").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.dataplane.topology import GeoLocation, Topology
+
+_DEFAULT_REGIONS = ("eu-central", "eu-west", "us-east", "us-west", "apac")
+
+
+def _client_cycle(clients: Optional[Sequence[str]]):
+    if not clients:
+        return itertools.repeat("")
+    return itertools.cycle(clients)
+
+
+def _region_for(index: int, regions: Sequence[str]) -> GeoLocation:
+    region = regions[index % len(regions)]
+    return GeoLocation(region=region, latitude=float(index), longitude=float(index) * 2)
+
+
+def single_switch_topology(
+    n_hosts: int = 2, *, clients: Optional[Sequence[str]] = None
+) -> Topology:
+    """One switch, ``n_hosts`` hosts — the smallest useful network."""
+    topo = Topology("single")
+    topo.add_switch("s1", location=GeoLocation("eu-central"))
+    assign = _client_cycle(clients)
+    for i in range(1, n_hosts + 1):
+        topo.add_host(f"h{i}", "s1", client=next(assign))
+    topo.validate()
+    return topo
+
+
+def linear_topology(
+    n_switches: int,
+    hosts_per_switch: int = 1,
+    *,
+    clients: Optional[Sequence[str]] = None,
+    regions: Sequence[str] = _DEFAULT_REGIONS,
+) -> Topology:
+    """A chain s1 - s2 - ... - sN with hosts on every switch."""
+    if n_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology(f"linear-{n_switches}")
+    for i in range(1, n_switches + 1):
+        topo.add_switch(f"s{i}", location=_region_for(i - 1, regions))
+    assign = _client_cycle(clients)
+    host_counter = itertools.count(1)
+    for i in range(1, n_switches + 1):
+        for _ in range(hosts_per_switch):
+            topo.add_host(f"h{next(host_counter)}", f"s{i}", client=next(assign))
+    for i in range(1, n_switches):
+        topo.add_link(f"s{i}", f"s{i + 1}")
+    topo.validate()
+    return topo
+
+
+def ring_topology(
+    n_switches: int,
+    hosts_per_switch: int = 1,
+    *,
+    clients: Optional[Sequence[str]] = None,
+    regions: Sequence[str] = _DEFAULT_REGIONS,
+) -> Topology:
+    """A cycle of switches — gives HSA loop detection something to find."""
+    if n_switches < 3:
+        raise ValueError("a ring needs at least three switches")
+    topo = linear_topology(
+        n_switches, hosts_per_switch, clients=clients, regions=regions
+    )
+    topo.name = f"ring-{n_switches}"
+    topo.add_link(f"s{n_switches}", "s1")
+    topo.validate()
+    return topo
+
+
+def tree_topology(
+    depth: int = 2,
+    fanout: int = 2,
+    *,
+    clients: Optional[Sequence[str]] = None,
+    regions: Sequence[str] = _DEFAULT_REGIONS,
+) -> Topology:
+    """A complete ``fanout``-ary tree; hosts hang off the leaves."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    topo = Topology(f"tree-d{depth}-f{fanout}")
+    counter = itertools.count(1)
+
+    def build(level: int) -> str:
+        index = next(counter)
+        name = f"s{index}"
+        topo.add_switch(name, location=_region_for(index - 1, regions))
+        if level < depth:
+            for _ in range(fanout):
+                child = build(level + 1)
+                topo.add_link(name, child)
+        return name
+
+    build(1)
+    assign = _client_cycle(clients)
+    host_counter = itertools.count(1)
+    def degree(name: str) -> int:
+        return sum(1 for link in topo.links if name in (link.switch_a, link.switch_b))
+
+    if len(topo.switches) == 1:
+        leaves = list(topo.switches)
+    else:
+        leaves = [name for name in topo.switches if degree(name) == 1]
+    for leaf in leaves:
+        for _ in range(fanout):
+            topo.add_host(f"h{next(host_counter)}", leaf, client=next(assign))
+    topo.validate()
+    return topo
+
+
+def fat_tree_topology(
+    k: int = 4, *, clients: Optional[Sequence[str]] = None
+) -> Topology:
+    """A k-ary fat-tree (k even): k pods, k^2/4 cores, k^3/4 host slots.
+
+    Hosts are attached one per edge-switch port to keep sizes manageable;
+    this preserves the path diversity that stresses HSA (E10).
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree k must be even and >= 2")
+    topo = Topology(f"fat-tree-{k}")
+    half = k // 2
+    cores = [f"c{i}" for i in range(half * half)]
+    for i, name in enumerate(cores):
+        topo.add_switch(name, location=_region_for(i, _DEFAULT_REGIONS))
+    aggs: list[list[str]] = []
+    edges: list[list[str]] = []
+    for pod in range(k):
+        pod_aggs = [f"a{pod}_{i}" for i in range(half)]
+        pod_edges = [f"e{pod}_{i}" for i in range(half)]
+        for i, name in enumerate(pod_aggs):
+            topo.add_switch(name, location=_region_for(pod, _DEFAULT_REGIONS))
+        for i, name in enumerate(pod_edges):
+            topo.add_switch(name, location=_region_for(pod, _DEFAULT_REGIONS))
+        aggs.append(pod_aggs)
+        edges.append(pod_edges)
+    for pod in range(k):
+        for agg_index, agg in enumerate(aggs[pod]):
+            for edge in edges[pod]:
+                topo.add_link(agg, edge)
+            for core_index in range(half):
+                core = cores[agg_index * half + core_index]
+                topo.add_link(core, agg)
+    assign = _client_cycle(clients)
+    host_counter = itertools.count(1)
+    for pod in range(k):
+        for edge in edges[pod]:
+            for _ in range(half):
+                topo.add_host(f"h{next(host_counter)}", edge, client=next(assign))
+    topo.validate()
+    return topo
+
+
+def waxman_topology(
+    n_switches: int,
+    *,
+    seed: int = 0,
+    alpha: float = 0.5,
+    beta: float = 0.25,
+    hosts_per_switch: int = 1,
+    clients: Optional[Sequence[str]] = None,
+    regions: Sequence[str] = _DEFAULT_REGIONS,
+) -> Topology:
+    """A random Waxman graph — the classic ISP-like random topology.
+
+    Connectivity is repaired by chaining components, so the result is
+    always a single connected network.
+    """
+    rng = random.Random(seed)
+    topo = Topology(f"waxman-{n_switches}-seed{seed}")
+    positions = {}
+    for i in range(1, n_switches + 1):
+        name = f"s{i}"
+        x, y = rng.random(), rng.random()
+        positions[name] = (x, y)
+        region = regions[int(x * len(regions)) % len(regions)]
+        topo.add_switch(name, location=GeoLocation(region, latitude=y, longitude=x))
+    names = list(topo.switches)
+    scale = math.sqrt(2)  # max distance in the unit square
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            ax, ay = positions[a]
+            bx, by = positions[b]
+            distance = math.hypot(ax - bx, ay - by)
+            if rng.random() < alpha * math.exp(-distance / (beta * scale)):
+                topo.add_link(a, b, latency=0.0005 + distance * 0.01)
+    # Repair connectivity deterministically.
+    graph = topo.graph()
+    import networkx as nx
+
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    components.sort(key=lambda c: c[0])
+    for first, second in zip(components, components[1:]):
+        topo.add_link(first[0], second[0])
+    assign = _client_cycle(clients)
+    host_counter = itertools.count(1)
+    for name in names:
+        for _ in range(hosts_per_switch):
+            topo.add_host(f"h{next(host_counter)}", name, client=next(assign))
+    topo.validate()
+    return topo
+
+
+def abilene_topology(
+    *, clients: Optional[Sequence[str]] = None, hosts_per_pop: int = 1
+) -> Topology:
+    """The Internet2 Abilene backbone: 11 PoPs, 14 links.
+
+    A classic research topology with real city locations; link latencies
+    approximate great-circle propagation delay.  Useful as a realistic
+    mid-size network for experiments beyond the synthetic shapes.
+    """
+    pops = {
+        "sea": GeoLocation("us-west", 47.6, -122.3),
+        "sun": GeoLocation("us-west", 37.4, -122.0),
+        "lax": GeoLocation("us-west", 34.1, -118.2),
+        "den": GeoLocation("us-mountain", 39.7, -105.0),
+        "kan": GeoLocation("us-central", 39.1, -94.6),
+        "hou": GeoLocation("us-central", 29.8, -95.4),
+        "chi": GeoLocation("us-central", 41.9, -87.6),
+        "ind": GeoLocation("us-central", 39.8, -86.2),
+        "atl": GeoLocation("us-east", 33.7, -84.4),
+        "was": GeoLocation("us-east", 38.9, -77.0),
+        "nyc": GeoLocation("us-east", 40.7, -74.0),
+    }
+    links = [
+        ("sea", "sun", 0.013), ("sea", "den", 0.020), ("sun", "lax", 0.006),
+        ("sun", "den", 0.016), ("lax", "hou", 0.022), ("den", "kan", 0.009),
+        ("kan", "hou", 0.012), ("kan", "ind", 0.007), ("hou", "atl", 0.011),
+        ("chi", "ind", 0.003), ("ind", "atl", 0.008), ("atl", "was", 0.009),
+        ("chi", "nyc", 0.011), ("nyc", "was", 0.003),
+    ]
+    topo = Topology("abilene")
+    for name, location in pops.items():
+        topo.add_switch(name, location=location)
+    assign = _client_cycle(clients)
+    host_counter = itertools.count(1)
+    for name in pops:
+        for _ in range(hosts_per_pop):
+            topo.add_host(f"h{next(host_counter)}", name, client=next(assign))
+    for a, b, latency in links:
+        topo.add_link(a, b, latency=latency, bandwidth_mbps=10_000.0)
+    topo.validate()
+    return topo
+
+
+def isp_topology(*, clients: Optional[Sequence[str]] = None) -> Topology:
+    """A small multi-jurisdiction ISP backbone for the geo case study (E4).
+
+    Three European regions plus one non-EU transit region ("offshore"),
+    mirroring the paper's motivating scenario of traffic diverted through
+    an undesired jurisdiction.
+    """
+    topo = Topology("isp")
+    berlin = GeoLocation("de-berlin", 52.5, 13.4)
+    frankfurt = GeoLocation("de-frankfurt", 50.1, 8.7)
+    amsterdam = GeoLocation("nl-amsterdam", 52.4, 4.9)
+    paris = GeoLocation("fr-paris", 48.9, 2.3)
+    offshore = GeoLocation("offshore", 0.0, 0.0)
+
+    topo.add_switch("ber", location=berlin)
+    topo.add_switch("fra", location=frankfurt)
+    topo.add_switch("ams", location=amsterdam)
+    topo.add_switch("par", location=paris)
+    topo.add_switch("off", location=offshore)
+
+    assign = _client_cycle(clients)
+    topo.add_host("h_ber1", "ber", client=next(assign))
+    topo.add_host("h_ber2", "ber", client=next(assign))
+    topo.add_host("h_fra1", "fra", client=next(assign))
+    topo.add_host("h_ams1", "ams", client=next(assign))
+    topo.add_host("h_par1", "par", client=next(assign))
+    topo.add_host("h_off1", "off", client=next(assign))
+
+    topo.add_link("ber", "fra", latency=0.004)
+    topo.add_link("fra", "ams", latency=0.005)
+    topo.add_link("ams", "par", latency=0.005)
+    topo.add_link("fra", "par", latency=0.006)
+    # The offshore transit links are long AND thin — a diversion through
+    # them is visible both to geo and to bandwidth (QoS) queries.
+    topo.add_link("fra", "off", latency=0.020, bandwidth_mbps=100.0)
+    topo.add_link("off", "par", latency=0.020, bandwidth_mbps=100.0)
+    topo.validate()
+    return topo

@@ -1,0 +1,226 @@
+"""Topology description: the provider's wiring plan.
+
+A :class:`Topology` is a declarative description — switches, hosts,
+links, geographic locations — from which :class:`repro.dataplane.network.Network`
+instantiates the live simulation.  The paper assumes "internal network
+ports are known, and follow a well-defined wiring plan" (§III); this
+class *is* that wiring plan, and the RVaaS controller receives a copy.
+
+Port numbers are assigned deterministically in declaration order,
+starting at 1 on every switch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.netlib.addresses import IPv4Address, MacAddress, ip as _ip
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A coarse geographic position: jurisdiction plus coordinates."""
+
+    region: str
+    latitude: float = 0.0
+    longitude: float = 0.0
+
+
+@dataclass
+class SwitchSpec:
+    name: str
+    dpid: int
+    location: Optional[GeoLocation] = None
+    next_port: Iterator[int] = field(default_factory=lambda: itertools.count(1))
+
+    def allocate_port(self) -> int:
+        return next(self.next_port)
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    name: str
+    switch: str
+    port: int
+    mac: MacAddress
+    ip: IPv4Address
+    location: Optional[GeoLocation] = None
+    client: str = ""  # owning client/tenant name ("" = unassigned)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    switch_a: str
+    port_a: int
+    switch_b: str
+    port_b: int
+    latency: float = 0.001
+    bandwidth_mbps: float = 1000.0
+    location: Optional[GeoLocation] = None
+
+
+class Topology:
+    """Builder and container for the network layout."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.switches: Dict[str, SwitchSpec] = {}
+        self.hosts: Dict[str, HostSpec] = {}
+        self.links: List[LinkSpec] = []
+        self._host_index = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_switch(
+        self, name: str, location: Optional[GeoLocation] = None
+    ) -> SwitchSpec:
+        if name in self.switches:
+            raise ValueError(f"duplicate switch name: {name}")
+        spec = SwitchSpec(name=name, dpid=len(self.switches) + 1, location=location)
+        self.switches[name] = spec
+        return spec
+
+    def add_host(
+        self,
+        name: str,
+        switch: str,
+        *,
+        ip: Optional[str | IPv4Address] = None,
+        location: Optional[GeoLocation] = None,
+        client: str = "",
+    ) -> HostSpec:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name: {name}")
+        if switch not in self.switches:
+            raise ValueError(f"unknown switch: {switch}")
+        index = next(self._host_index)
+        port = self.switches[switch].allocate_port()
+        address = _ip(ip) if ip is not None else IPv4Address(
+            (10 << 24) | index  # 10.0.x.y, deterministic
+        )
+        spec = HostSpec(
+            name=name,
+            switch=switch,
+            port=port,
+            mac=MacAddress.from_host_index(index),
+            ip=address,
+            location=location or self.switches[switch].location,
+            client=client,
+        )
+        self.hosts[name] = spec
+        return spec
+
+    def add_link(
+        self,
+        switch_a: str,
+        switch_b: str,
+        *,
+        latency: float = 0.001,
+        bandwidth_mbps: float = 1000.0,
+        location: Optional[GeoLocation] = None,
+    ) -> LinkSpec:
+        for name in (switch_a, switch_b):
+            if name not in self.switches:
+                raise ValueError(f"unknown switch: {name}")
+        if switch_a == switch_b:
+            raise ValueError("self-links are not allowed")
+        spec = LinkSpec(
+            switch_a=switch_a,
+            port_a=self.switches[switch_a].allocate_port(),
+            switch_b=switch_b,
+            port_b=self.switches[switch_b].allocate_port(),
+            latency=latency,
+            bandwidth_mbps=bandwidth_mbps,
+            location=location,
+        )
+        self.links.append(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def graph(self) -> nx.Graph:
+        """The switch-level graph (edge attrs: ports, latency)."""
+        g = nx.Graph()
+        for name in self.switches:
+            g.add_node(name)
+        for link in self.links:
+            g.add_edge(
+                link.switch_a,
+                link.switch_b,
+                port_a=link.port_a,
+                port_b=link.port_b,
+                latency=link.latency,
+            )
+        return g
+
+    def hosts_on(self, switch: str) -> tuple[HostSpec, ...]:
+        return tuple(h for h in self.hosts.values() if h.switch == switch)
+
+    def host_by_ip(self, address: IPv4Address) -> Optional[HostSpec]:
+        for host in self.hosts.values():
+            if host.ip == address:
+                return host
+        return None
+
+    def host_at(self, switch: str, port: int) -> Optional[HostSpec]:
+        for host in self.hosts.values():
+            if host.switch == switch and host.port == port:
+                return host
+        return None
+
+    def client_hosts(self, client: str) -> tuple[HostSpec, ...]:
+        return tuple(h for h in self.hosts.values() if h.client == client)
+
+    def access_points(self, client: str) -> frozenset[Tuple[str, int]]:
+        """The (switch, port) pairs where a client legitimately attaches."""
+        return frozenset((h.switch, h.port) for h in self.client_hosts(client))
+
+    def internal_port_map(self) -> Dict[str, frozenset[int]]:
+        """Per switch, the ports wired to other switches (the wiring plan)."""
+        ports: Dict[str, set[int]] = {name: set() for name in self.switches}
+        for link in self.links:
+            ports[link.switch_a].add(link.port_a)
+            ports[link.switch_b].add(link.port_b)
+        return {name: frozenset(values) for name, values in ports.items()}
+
+    def wiring(self) -> Dict[Tuple[str, int], Tuple[str, int]]:
+        """Bidirectional (switch, port) -> (switch, port) adjacency."""
+        table: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        for link in self.links:
+            table[(link.switch_a, link.port_a)] = (link.switch_b, link.port_b)
+            table[(link.switch_b, link.port_b)] = (link.switch_a, link.port_a)
+        return table
+
+    def link_between(self, switch_a: str, switch_b: str) -> Optional[LinkSpec]:
+        for link in self.links:
+            if {link.switch_a, link.switch_b} == {switch_a, switch_b}:
+                return link
+        return None
+
+    def validate(self) -> None:
+        """Sanity-check the wiring plan (no port reuse across links/hosts)."""
+        used: set[Tuple[str, int]] = set()
+        for link in self.links:
+            for key in ((link.switch_a, link.port_a), (link.switch_b, link.port_b)):
+                if key in used:
+                    raise ValueError(f"port used twice in wiring plan: {key}")
+                used.add(key)
+        for host in self.hosts.values():
+            key = (host.switch, host.port)
+            if key in used:
+                raise ValueError(f"port used twice in wiring plan: {key}")
+            used.add(key)
+
+    def describe(self) -> str:
+        return (
+            f"Topology {self.name!r}: {len(self.switches)} switches, "
+            f"{len(self.links)} links, {len(self.hosts)} hosts"
+        )

@@ -1,0 +1,209 @@
+"""Header spaces: finite unions of wildcard expressions.
+
+A :class:`HeaderSpace` is the working set type of every verification
+query: "all headers my traffic could carry", "all headers that reach
+port p", etc.  It is immutable; operations return new spaces.  Subset
+pruning keeps the union small after subtraction chains (the design
+choice ablated in benchmark E10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.hsa.layout import HEADER_BITS
+from repro.hsa.wildcard import Wildcard
+
+
+class HeaderSpace:
+    """An immutable union of wildcards (possibly empty)."""
+
+    __slots__ = ("_wildcards",)
+
+    def __init__(self, wildcards: Iterable[Wildcard] = (), *, prune: bool = False):
+        items = list(wildcards)
+        if prune:
+            items = _prune_subsets(items)
+        self._wildcards: tuple[Wildcard, ...] = tuple(items)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "HeaderSpace":
+        return cls(())
+
+    @classmethod
+    def all(cls) -> "HeaderSpace":
+        return cls((Wildcard.all(),))
+
+    @classmethod
+    def single(cls, wildcard: Wildcard) -> "HeaderSpace":
+        return cls((wildcard,))
+
+    @classmethod
+    def point(cls, vector: int) -> "HeaderSpace":
+        return cls((Wildcard.point(vector),))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def wildcards(self) -> tuple[Wildcard, ...]:
+        return self._wildcards
+
+    def is_empty(self) -> bool:
+        return not self._wildcards
+
+    def contains_point(self, vector: int) -> bool:
+        return any(w.contains_point(vector) for w in self._wildcards)
+
+    def is_subset_of(self, other: "HeaderSpace") -> bool:
+        """Exact subset test: self \\ other == empty."""
+        return self.subtract(other).is_empty()
+
+    def overlaps(self, other: "HeaderSpace") -> bool:
+        return any(
+            a.intersect(b) is not None
+            for a in self._wildcards
+            for b in other._wildcards
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "HeaderSpace") -> "HeaderSpace":
+        # Pruning here keeps long-lived accumulators (e.g. reachability
+        # coverage maps) compact; transient results skip it for speed.
+        return HeaderSpace(self._wildcards + other._wildcards, prune=True)
+
+    def intersect(self, other: "HeaderSpace") -> "HeaderSpace":
+        pieces: List[Wildcard] = []
+        for a in self._wildcards:
+            for b in other._wildcards:
+                joined = a.intersect(b)
+                if joined is not None:
+                    pieces.append(joined)
+        return HeaderSpace(pieces)
+
+    def intersect_wildcard(self, wildcard: Wildcard) -> "HeaderSpace":
+        pieces = []
+        for a in self._wildcards:
+            joined = a.intersect(wildcard)
+            if joined is not None:
+                pieces.append(joined)
+        return HeaderSpace(pieces, prune=False)
+
+    def subtract(self, other: "HeaderSpace") -> "HeaderSpace":
+        # Wildcard.subtract yields pairwise-disjoint pieces, so no piece
+        # can subsume another; skipping the prune keeps this linear.
+        pieces: List[Wildcard] = list(self._wildcards)
+        for b in other._wildcards:
+            next_pieces: List[Wildcard] = []
+            for piece in pieces:
+                next_pieces.extend(piece.subtract(b))
+            pieces = next_pieces
+            if not pieces:
+                break
+        return HeaderSpace(pieces)
+
+    def subtract_wildcard(self, wildcard: Wildcard) -> "HeaderSpace":
+        return self.subtract(HeaderSpace.single(wildcard))
+
+    def complement(self) -> "HeaderSpace":
+        return HeaderSpace.all().subtract(self)
+
+    def compact(self) -> "HeaderSpace":
+        """Semantically-equal space with adjacent wildcards merged.
+
+        Two wildcards with identical masks whose values differ in exactly
+        one care bit cover a single larger wildcard with that bit freed
+        (the classic Quine-McCluskey adjacency step).  One pass of
+        merging plus subset pruning; applied to long-lived accumulators
+        where subtraction chains produce many sibling pieces.
+        """
+        pieces = list(_prune_subsets(self._wildcards))
+        changed = True
+        while changed:
+            changed = False
+            merged: List[Wildcard] = []
+            used = [False] * len(pieces)
+            for i in range(len(pieces)):
+                if used[i]:
+                    continue
+                candidate = pieces[i]
+                for j in range(i + 1, len(pieces)):
+                    if used[j]:
+                        continue
+                    other = pieces[j]
+                    if candidate.mask != other.mask:
+                        continue
+                    delta = candidate.value ^ other.value
+                    if delta and delta & (delta - 1) == 0:  # single bit
+                        candidate = Wildcard(
+                            value=candidate.value & ~delta,
+                            mask=candidate.mask & ~delta,
+                        )
+                        used[j] = True
+                        changed = True
+                merged.append(candidate)
+            pieces = _prune_subsets(merged)
+        return HeaderSpace(pieces, prune=False)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def complexity(self) -> int:
+        """Number of wildcard terms (the cost driver of HSA operations)."""
+        return len(self._wildcards)
+
+    def sample(self, rng: random.Random) -> Optional[int]:
+        """A concrete header from this space, or None when empty."""
+        if not self._wildcards:
+            return None
+        wildcard = rng.choice(self._wildcards)
+        return wildcard.sample(rng)
+
+    def size_log2_upper_bound(self) -> float:
+        """log2 of an upper bound on the number of headers (union bound)."""
+        import math
+
+        if not self._wildcards:
+            return float("-inf")
+        top = max(w.size_log2() for w in self._wildcards)
+        total = sum(2.0 ** (w.size_log2() - top) for w in self._wildcards)
+        return top + math.log2(total)
+
+    def describe(self, limit: int = 4) -> str:
+        if not self._wildcards:
+            return "HeaderSpace(empty)"
+        shown = ", ".join(w.describe() for w in self._wildcards[:limit])
+        extra = len(self._wildcards) - limit
+        suffix = f", … +{extra}" if extra > 0 else ""
+        return f"HeaderSpace[{shown}{suffix}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeaderSpace):
+            return NotImplemented
+        return self.is_subset_of(other) and other.is_subset_of(self)
+
+    def __hash__(self) -> int:  # pragma: no cover - explicitness only
+        raise TypeError("HeaderSpace is unhashable (semantic equality)")
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def _prune_subsets(items: Sequence[Wildcard]) -> List[Wildcard]:
+    """Drop wildcards already covered by another single wildcard."""
+    kept: List[Wildcard] = []
+    # Wider wildcards first so narrower duplicates get absorbed.
+    for candidate in sorted(items, key=lambda w: w.fixed_bits()):
+        if not any(candidate.is_subset_of(existing) for existing in kept):
+            kept.append(candidate)
+    return kept

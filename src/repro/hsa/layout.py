@@ -1,0 +1,86 @@
+"""The packed bit layout of the analysed header.
+
+All nine OpenFlow-matchable fields are packed, little-bit-0-first, into a
+single ``HEADER_BITS``-wide vector.  Every subsystem that converts
+between packets/matches and header-space points uses these offsets, so
+there is exactly one source of truth for "which bit is which".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.netlib.packet import HEADER_FIELDS, Packet
+
+
+@dataclass(frozen=True)
+class FieldSlice:
+    """Bit position of one header field inside the packed vector."""
+
+    name: str
+    offset: int
+    width: int
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask covering this field, shifted into place."""
+        return ((1 << self.width) - 1) << self.offset
+
+    def pack(self, value: int) -> int:
+        if not 0 <= value < 1 << self.width:
+            raise ValueError(
+                f"value {value:#x} does not fit field {self.name} ({self.width} bits)"
+            )
+        return value << self.offset
+
+    def unpack(self, vector: int) -> int:
+        return (vector >> self.offset) & ((1 << self.width) - 1)
+
+
+_FIELD_WIDTHS: Mapping[str, int] = {
+    "eth_src": 48,
+    "eth_dst": 48,
+    "eth_type": 16,
+    "vlan_id": 12,
+    "ip_src": 32,
+    "ip_dst": 32,
+    "ip_proto": 8,
+    "tp_src": 16,
+    "tp_dst": 16,
+}
+
+
+def _build_layout() -> dict[str, FieldSlice]:
+    layout: dict[str, FieldSlice] = {}
+    offset = 0
+    for name in HEADER_FIELDS:
+        width = _FIELD_WIDTHS[name]
+        layout[name] = FieldSlice(name=name, offset=offset, width=width)
+        offset += width
+    return layout
+
+
+FIELD_LAYOUT: Mapping[str, FieldSlice] = _build_layout()
+HEADER_BITS: int = sum(_FIELD_WIDTHS.values())
+ALL_ONES: int = (1 << HEADER_BITS) - 1
+
+
+def field_slice(name: str) -> FieldSlice:
+    try:
+        return FIELD_LAYOUT[name]
+    except KeyError:
+        raise KeyError(f"unknown header field: {name}") from None
+
+
+def pack_headers(packet: Packet) -> int:
+    """Pack a packet's headers into a concrete header-space point."""
+    vector = 0
+    for name, slice_ in FIELD_LAYOUT.items():
+        vector |= slice_.pack(packet.header(name))
+    return vector
+
+
+def unpack_headers(vector: int) -> dict[str, int]:
+    """Inverse of :func:`pack_headers` (field name -> int value)."""
+    return {name: slice_.unpack(vector) for name, slice_ in FIELD_LAYOUT.items()}

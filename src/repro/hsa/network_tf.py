@@ -1,0 +1,72 @@
+"""The network-wide transfer function: switch TFs plus the wiring plan.
+
+Combines per-switch :class:`~repro.hsa.transfer.SwitchTransferFunction`
+objects with the topology function Γ mapping a (switch, out-port) to the
+(switch, in-port) at the other end of the wire, exactly as in the HSA
+formulation.  Edge ports (host-facing) terminate propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.transfer import CONTROLLER_PORT, Emission, SwitchTransferFunction
+
+PortRef = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PortRole:
+    """Classification of one switch port in the wiring plan."""
+
+    kind: str  # "link" | "edge" | "unbound"
+    peer: Optional[PortRef] = None  # for kind == "link"
+
+
+class NetworkTransferFunction:
+    """Everything needed to propagate header spaces across the network."""
+
+    def __init__(
+        self,
+        transfer_functions: Mapping[str, SwitchTransferFunction],
+        wiring: Mapping[PortRef, PortRef],
+        edge_ports: Mapping[str, frozenset[int]],
+    ) -> None:
+        self.transfer_functions = dict(transfer_functions)
+        self.wiring = dict(wiring)
+        self.edge_ports = {name: frozenset(ports) for name, ports in edge_ports.items()}
+        self._roles: Dict[PortRef, PortRole] = {}
+        for here, there in self.wiring.items():
+            self._roles[here] = PortRole(kind="link", peer=there)
+        for switch, ports in self.edge_ports.items():
+            for port in ports:
+                self._roles[(switch, port)] = PortRole(kind="edge")
+
+    def switch_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.transfer_functions))
+
+    def role_of(self, switch: str, port: int) -> PortRole:
+        return self._roles.get((switch, port), PortRole(kind="unbound"))
+
+    def apply_switch(
+        self, switch: str, in_port: int, space: HeaderSpace
+    ) -> list[Emission]:
+        tf = self.transfer_functions.get(switch)
+        if tf is None:
+            return []
+        return tf.apply(in_port, space)
+
+    def all_edge_ports(self) -> tuple[PortRef, ...]:
+        refs = []
+        for switch in sorted(self.edge_ports):
+            for port in sorted(self.edge_ports[switch]):
+                refs.append((switch, port))
+        return tuple(refs)
+
+    def total_rules(self) -> int:
+        return sum(tf.rule_count() for tf in self.transfer_functions.values())
+
+
+CONTROLLER = CONTROLLER_PORT

@@ -1,0 +1,271 @@
+"""Reachability, path and loop analysis over a network transfer function.
+
+This module implements the analyses RVaaS runs to answer client queries
+(paper §IV-A2 and §IV-B): which edge ports a client's traffic can reach
+(isolation), which switches/links it can traverse (geo-location), how
+long its paths are (optimality), and whether forwarding loops exist.
+
+The core routine is a depth-first propagation of header spaces with a
+coverage guard: a (switch, in-port) is re-expanded only for the part of
+the space not already seen there, which guarantees termination even with
+forwarding loops and keeps complexity tied to the real rule interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.transfer import CONTROLLER_PORT
+
+#: One forwarding step: (switch, in_port, out_port).
+Hop = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class ReachableZone:
+    """An endpoint the analysed traffic can arrive at."""
+
+    kind: str  # "edge" | "controller" | "unbound"
+    switch: str
+    port: int
+    space: HeaderSpace
+
+    @property
+    def port_ref(self) -> PortRef:
+        return (self.switch, self.port)
+
+
+@dataclass(frozen=True)
+class ReachablePath:
+    """One concrete path from ingress to an endpoint, with surviving space."""
+
+    hops: Tuple[Hop, ...]
+    endpoint: ReachableZone
+
+    def switches(self) -> Tuple[str, ...]:
+        return tuple(hop[0] for hop in self.hops)
+
+    def length(self) -> int:
+        return len(self.hops)
+
+    def links(self) -> Tuple[Tuple[str, str], ...]:
+        """Inter-switch links traversed, as ordered (from, to) pairs."""
+        pairs = []
+        for (sw_a, _in_a, _out_a), (sw_b, _in_b, _out_b) in zip(
+            self.hops, self.hops[1:]
+        ):
+            pairs.append((sw_a, sw_b))
+        return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class DropZone:
+    """Header space that dies at a switch (table miss or Drop action).
+
+    ``depth`` distinguishes ingress policy drops (0 — e.g. anti-spoofing
+    guards at the access switch) from mid-path dead ends (>0 — traffic
+    that was accepted and forwarded, then silently discarded: the
+    structural signature of a blackhole)."""
+
+    switch: str
+    port: int
+    space: HeaderSpace
+    depth: int
+
+
+@dataclass(frozen=True)
+class LoopReport:
+    """A forwarding loop: the traffic re-entered a port it already crossed."""
+
+    switch: str
+    port: int
+    cycle: Tuple[Hop, ...]
+    space: HeaderSpace
+
+
+@dataclass
+class ReachabilityResult:
+    """Everything one propagation discovered."""
+
+    zones: List[ReachableZone] = field(default_factory=list)
+    paths: List[ReachablePath] = field(default_factory=list)
+    loops: List[LoopReport] = field(default_factory=list)
+    drops: List[DropZone] = field(default_factory=list)
+    switches_traversed: set[str] = field(default_factory=set)
+    links_traversed: set[frozenset[str]] = field(default_factory=set)
+    expansions: int = 0  # work counter for scaling experiments
+
+    def edge_zones(self) -> List[ReachableZone]:
+        return [z for z in self.zones if z.kind == "edge"]
+
+    def edge_port_refs(self) -> frozenset[PortRef]:
+        return frozenset(z.port_ref for z in self.edge_zones())
+
+    def reaches(self, switch: str, port: int) -> bool:
+        return any(
+            z.switch == switch and z.port == port for z in self.edge_zones()
+        )
+
+
+class ReachabilityAnalyzer:
+    """Propagates header spaces over a :class:`NetworkTransferFunction`."""
+
+    def __init__(
+        self,
+        network_tf: NetworkTransferFunction,
+        *,
+        max_depth: int = 64,
+        collect_paths: bool = True,
+        collect_drops: bool = False,
+    ) -> None:
+        self.network_tf = network_tf
+        self.max_depth = max_depth
+        self.collect_paths = collect_paths
+        self.collect_drops = collect_drops
+
+    # ------------------------------------------------------------------
+    # Forward reachability
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self, start_switch: str, start_port: int, space: HeaderSpace
+    ) -> ReachabilityResult:
+        """Propagate ``space`` injected at (start_switch, start_port)."""
+        result = ReachabilityResult()
+        seen: Dict[PortRef, HeaderSpace] = {}
+        self._expand(
+            start_switch, start_port, space, (), result, seen, depth=0
+        )
+        return result
+
+    def _expand(
+        self,
+        switch: str,
+        in_port: int,
+        space: HeaderSpace,
+        path: Tuple[Hop, ...],
+        result: ReachabilityResult,
+        seen: Dict[PortRef, HeaderSpace],
+        depth: int,
+    ) -> None:
+        if space.is_empty() or depth > self.max_depth:
+            return
+        key = (switch, in_port)
+        # Loop check: did this traffic already cross this ingress on the
+        # current path?
+        if any(hop[0] == switch and hop[1] == in_port for hop in path):
+            result.loops.append(
+                LoopReport(switch=switch, port=in_port, cycle=path, space=space)
+            )
+            return
+        covered = seen.get(key)
+        if covered is not None:
+            space = space.subtract(covered)
+            if space.is_empty():
+                return
+            seen[key] = covered.union(space)
+        else:
+            seen[key] = space
+        result.expansions += 1
+        result.switches_traversed.add(switch)
+        if self.collect_drops:
+            tf = self.network_tf.transfer_functions.get(switch)
+            if tf is None:
+                return
+            emissions, dropped = tf.apply_with_drops(in_port, space)
+            if not dropped.is_empty():
+                result.drops.append(
+                    DropZone(switch=switch, port=in_port, space=dropped, depth=depth)
+                )
+        else:
+            emissions = self.network_tf.apply_switch(switch, in_port, space)
+        for out_port, out_space in emissions:
+            if out_space.is_empty():
+                continue
+            hop: Hop = (switch, in_port, out_port)
+            if out_port == CONTROLLER_PORT:
+                self._record_zone(
+                    result, "controller", switch, out_port, out_space, path + (hop,)
+                )
+                continue
+            role = self.network_tf.role_of(switch, out_port)
+            if role.kind == "edge":
+                self._record_zone(
+                    result, "edge", switch, out_port, out_space, path + (hop,)
+                )
+            elif role.kind == "link" and role.peer is not None:
+                peer_switch, peer_port = role.peer
+                result.links_traversed.add(frozenset((switch, peer_switch)))
+                self._expand(
+                    peer_switch,
+                    peer_port,
+                    out_space,
+                    path + (hop,),
+                    result,
+                    seen,
+                    depth + 1,
+                )
+            else:
+                self._record_zone(
+                    result, "unbound", switch, out_port, out_space, path + (hop,)
+                )
+
+    def _record_zone(
+        self,
+        result: ReachabilityResult,
+        kind: str,
+        switch: str,
+        port: int,
+        space: HeaderSpace,
+        hops: Tuple[Hop, ...],
+    ) -> None:
+        zone = ReachableZone(kind=kind, switch=switch, port=port, space=space)
+        result.zones.append(zone)
+        if self.collect_paths:
+            result.paths.append(ReachablePath(hops=hops, endpoint=zone))
+
+    # ------------------------------------------------------------------
+    # Inverse queries
+    # ------------------------------------------------------------------
+
+    def sources_reaching(
+        self,
+        target_switch: str,
+        target_port: int,
+        space: HeaderSpace,
+        *,
+        candidate_ports: Optional[tuple[PortRef, ...]] = None,
+    ) -> Dict[PortRef, HeaderSpace]:
+        """Which edge ports can inject traffic that arrives at the target?
+
+        Computed by forward propagation from every candidate edge port —
+        exact, and at the network sizes of this reproduction cheaper than
+        maintaining inverted transfer functions.
+        """
+        sources: Dict[PortRef, HeaderSpace] = {}
+        candidates = candidate_ports or self.network_tf.all_edge_ports()
+        for switch, port in candidates:
+            if (switch, port) == (target_switch, target_port):
+                continue
+            result = self.analyze(switch, port, space)
+            arriving = HeaderSpace.empty()
+            for zone in result.edge_zones():
+                if zone.port_ref == (target_switch, target_port):
+                    arriving = arriving.union(zone.space)
+            if not arriving.is_empty():
+                sources[(switch, port)] = arriving
+        return sources
+
+    # ------------------------------------------------------------------
+    # Whole-network sweeps
+    # ------------------------------------------------------------------
+
+    def detect_all_loops(self, space: HeaderSpace) -> List[LoopReport]:
+        """Check every edge ingress for forwarding loops on ``space``."""
+        loops: List[LoopReport] = []
+        for switch, port in self.network_tf.all_edge_ports():
+            loops.extend(self.analyze(switch, port, space).loops)
+        return loops

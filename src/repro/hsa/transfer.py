@@ -1,0 +1,221 @@
+"""Per-switch transfer functions derived from flow-table snapshots.
+
+A transfer function T maps (in_port, header space) to a set of
+(out_port, header space) pairs, with exact priority shadowing: the space
+handed to rule *r* is the input minus the matches of all applicable
+higher-priority rules.  GotoTable instructions compose tables; SetField /
+Push/PopVlan become header-space rewrites.
+
+Transfer functions are built from :class:`SnapshotRule` records — plain
+data extracted from flow-monitor updates or flow-stats dumps — never from
+live switch objects, because RVaaS reasons over its *snapshot* of the
+configuration (paper §IV-A1), not over privileged access to the switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.layout import field_slice
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import VLAN_NONE
+from repro.openflow.actions import (
+    Action,
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.match import Match
+
+#: Symbolic output meaning "punted to the control plane".
+CONTROLLER_PORT = -1
+
+
+@dataclass(frozen=True)
+class SnapshotRule:
+    """One flow entry as recorded in a configuration snapshot."""
+
+    table_id: int
+    priority: int
+    match: Match
+    actions: Tuple[Action, ...]
+    cookie: int = 0
+
+    def identity(self) -> tuple:
+        return (self.table_id, self.priority, self.match, self.actions)
+
+
+@dataclass(frozen=True)
+class TransferRule:
+    """A compiled rule: match wildcard plus port constraint plus actions."""
+
+    table_id: int
+    priority: int
+    in_port: Optional[int]
+    match_wc: Wildcard
+    actions: Tuple[Action, ...]
+    source: SnapshotRule
+
+
+#: One output of a transfer application.
+Emission = Tuple[int, HeaderSpace]
+
+
+class SwitchTransferFunction:
+    """The HSA view of one switch's configuration."""
+
+    def __init__(
+        self,
+        switch_name: str,
+        rules: Sequence[SnapshotRule],
+        ports: Sequence[int],
+        *,
+        n_tables: int = 2,
+    ) -> None:
+        self.switch_name = switch_name
+        self.ports = tuple(sorted(ports))
+        self._tables: Dict[int, List[TransferRule]] = {
+            table_id: [] for table_id in range(n_tables)
+        }
+        for rule in rules:
+            compiled = TransferRule(
+                table_id=rule.table_id,
+                priority=rule.priority,
+                in_port=rule.match.in_port,
+                match_wc=Wildcard.from_match(rule.match),
+                actions=tuple(rule.actions),
+                source=rule,
+            )
+            self._tables.setdefault(rule.table_id, []).append(compiled)
+        for table_rules in self._tables.values():
+            # Deterministic precedence: priority desc, then stable identity.
+            table_rules.sort(key=lambda r: (-r.priority, repr(r.source.identity())))
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(self, in_port: int, space: HeaderSpace) -> List[Emission]:
+        """Run ``space`` arriving on ``in_port`` through the pipeline.
+
+        Returns (out_port, space) emissions; ``CONTROLLER_PORT`` marks
+        Packet-In punts.  Dropped space is simply absent from the result.
+        """
+        return self._apply_table(0, in_port, space)
+
+    def apply_with_drops(
+        self, in_port: int, space: HeaderSpace
+    ) -> Tuple[List[Emission], HeaderSpace]:
+        """Like :meth:`apply`, but also return the space this switch drops.
+
+        The dropped space is the input minus every matched segment whose
+        action list produced at least one emission (accounted by the
+        *matched* input segment, so rewrites do not confuse the
+        bookkeeping).  Conservative on multi-table pipelines: a segment
+        that a GotoTable forwards partially is treated as forwarded.
+        Table-miss and Drop-action space is exact — which is what the
+        blackhole-localization diagnostics need.
+        """
+        emissions: List[Emission] = []
+        forwarded_input = HeaderSpace.empty()
+        remaining = space
+        for rule in self._tables.get(0, ()):
+            if remaining.is_empty():
+                break
+            if rule.in_port is not None and rule.in_port != in_port:
+                continue
+            segment = remaining.intersect_wildcard(rule.match_wc)
+            if segment.is_empty():
+                continue
+            produced = self._apply_actions(rule, in_port, segment)
+            emissions.extend(produced)
+            if produced:
+                forwarded_input = forwarded_input.union(segment)
+            remaining = remaining.subtract_wildcard(rule.match_wc)
+        dropped = space.subtract(forwarded_input)
+        return emissions, dropped
+
+    def _apply_table(
+        self, table_id: int, in_port: int, space: HeaderSpace
+    ) -> List[Emission]:
+        emissions: List[Emission] = []
+        remaining = space
+        for rule in self._tables.get(table_id, ()):
+            if remaining.is_empty():
+                break
+            if rule.in_port is not None and rule.in_port != in_port:
+                continue
+            segment = remaining.intersect_wildcard(rule.match_wc)
+            if segment.is_empty():
+                continue
+            emissions.extend(self._apply_actions(rule, in_port, segment))
+            if all(
+                piece.is_subset_of(rule.match_wc) for piece in remaining.wildcards
+            ):
+                break  # this rule swallows everything still unmatched
+            remaining = remaining.subtract_wildcard(rule.match_wc)
+        # Table miss: OpenFlow 1.3 default-drops; nothing emitted.
+        return emissions
+
+    def _apply_actions(
+        self, rule: TransferRule, in_port: int, segment: HeaderSpace
+    ) -> List[Emission]:
+        emissions: List[Emission] = []
+        current = segment
+        for action in rule.actions:
+            if isinstance(action, SetField):
+                current = _rewrite(current, action.field, action.value)
+            elif isinstance(action, PushVlan):
+                current = _rewrite(current, "vlan_id", action.vlan_id)
+            elif isinstance(action, PopVlan):
+                current = _rewrite(current, "vlan_id", VLAN_NONE)
+            elif isinstance(action, Output):
+                emissions.append((action.port, current))
+            elif isinstance(action, Flood):
+                for port in self.ports:
+                    if port != in_port:
+                        emissions.append((port, current))
+            elif isinstance(action, ToController):
+                emissions.append((CONTROLLER_PORT, current))
+            elif isinstance(action, GotoTable):
+                emissions.extend(
+                    self._apply_table(action.table_id, in_port, current)
+                )
+                break  # goto terminates this action list
+            elif isinstance(action, Meter):
+                continue  # metering does not change reachability
+            elif isinstance(action, Drop):
+                break
+        return emissions
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def rule_count(self) -> int:
+        return sum(len(rules) for rules in self._tables.values())
+
+    def rules(self) -> List[TransferRule]:
+        collected: List[TransferRule] = []
+        for table_id in sorted(self._tables):
+            collected.extend(self._tables[table_id])
+        return collected
+
+
+def _rewrite(
+    space: HeaderSpace, field: str, value: Union[int, MacAddress, IPv4Address]
+) -> HeaderSpace:
+    slice_ = field_slice(field)
+    raw = value.value if isinstance(value, (MacAddress, IPv4Address)) else int(value)
+    return HeaderSpace(
+        (w.rewrite_field(slice_, raw) for w in space.wildcards), prune=False
+    )

@@ -1,0 +1,186 @@
+"""Ternary wildcard expressions: the atoms of header space.
+
+A :class:`Wildcard` denotes the set of header vectors agreeing with
+``value`` on every bit where ``mask`` is 1; all other bits are free
+("don't care").  Invariant: ``value & ~mask == 0``.
+
+The algebra (intersection, subset, disjoint subtraction, complement) is
+exactly the HSA wildcard calculus; Python's arbitrary-precision ints make
+the 228-bit vectors one machine word conceptually.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional
+
+from repro.hsa.layout import ALL_ONES, FIELD_LAYOUT, HEADER_BITS, FieldSlice
+from repro.netlib.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.openflow.match import Match
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """One ternary expression over the packed header vector."""
+
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if self.mask & ~ALL_ONES:
+            raise ValueError("mask bits set outside header width")
+        if self.value & ~self.mask:
+            raise ValueError("value bits set outside mask")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def all(cls) -> "Wildcard":
+        """The full header space (every bit wildcarded)."""
+        return cls(value=0, mask=0)
+
+    @classmethod
+    def point(cls, vector: int) -> "Wildcard":
+        """The singleton containing exactly one concrete header."""
+        return cls(value=vector & ALL_ONES, mask=ALL_ONES)
+
+    @classmethod
+    def from_match(cls, match: Match) -> "Wildcard":
+        """Translate an OpenFlow match into a wildcard (ignores in_port)."""
+        value = 0
+        mask = 0
+        for name, slice_ in FIELD_LAYOUT.items():
+            wanted = getattr(match, name)
+            if wanted is None:
+                continue
+            if isinstance(wanted, IPv4Network):
+                prefix_mask = wanted.mask  # high 'prefix_len' bits of 32
+                value |= (wanted.address.value & prefix_mask) << slice_.offset
+                mask |= prefix_mask << slice_.offset
+            elif isinstance(wanted, (MacAddress, IPv4Address)):
+                value |= slice_.pack(wanted.value)
+                mask |= slice_.mask
+            else:
+                value |= slice_.pack(int(wanted))
+                mask |= slice_.mask
+        return cls(value=value, mask=mask)
+
+    @classmethod
+    def from_fields(cls, **fields: int) -> "Wildcard":
+        """Build a wildcard constraining the named fields to exact values."""
+        value = 0
+        mask = 0
+        for name, wanted in fields.items():
+            slice_ = FIELD_LAYOUT[name]
+            value |= slice_.pack(int(wanted))
+            mask |= slice_.mask
+        return cls(value=value, mask=mask)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def intersect(self, other: "Wildcard") -> Optional["Wildcard"]:
+        """Intersection, or None when empty."""
+        common = self.mask & other.mask
+        if (self.value ^ other.value) & common:
+            return None
+        return Wildcard(
+            value=self.value | other.value, mask=self.mask | other.mask
+        )
+
+    def is_subset_of(self, other: "Wildcard") -> bool:
+        """True iff every header in ``self`` is also in ``other``."""
+        if other.mask & ~self.mask:
+            return False  # other constrains a bit self leaves free
+        return not ((self.value ^ other.value) & other.mask)
+
+    def subtract(self, other: "Wildcard") -> List["Wildcard"]:
+        """``self`` minus ``other`` as a list of pairwise-disjoint wildcards."""
+        if self.intersect(other) is None:
+            return [self]
+        pieces: List[Wildcard] = []
+        fixed_value, fixed_mask = self.value, self.mask
+        remaining = other.mask & ~self.mask
+        while remaining:
+            bit = remaining & -remaining
+            remaining &= remaining - 1
+            other_bit = other.value & bit
+            # Headers agreeing with `fixed` so far but differing from
+            # `other` on this bit are outside `other`.
+            pieces.append(
+                Wildcard(
+                    value=(fixed_value & ~bit) | (bit ^ other_bit),
+                    mask=fixed_mask | bit,
+                )
+            )
+            # Later pieces agree with `other` on this bit (disjointness).
+            fixed_value = (fixed_value & ~bit) | other_bit
+            fixed_mask |= bit
+        return pieces
+
+    def contains_point(self, vector: int) -> bool:
+        return not ((vector ^ self.value) & self.mask)
+
+    def overlaps(self, other: "Wildcard") -> bool:
+        return self.intersect(other) is not None
+
+    # ------------------------------------------------------------------
+    # Rewriting (SetField semantics)
+    # ------------------------------------------------------------------
+
+    def rewrite_field(self, slice_: FieldSlice, new_value: int) -> "Wildcard":
+        """Force one field to a concrete value (header rewrite action)."""
+        field_mask = slice_.mask
+        return Wildcard(
+            value=(self.value & ~field_mask) | slice_.pack(new_value),
+            mask=self.mask | field_mask,
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def field_constraint(self, name: str) -> tuple[int, int]:
+        """(value, mask) of one field within this wildcard (field-local)."""
+        slice_ = FIELD_LAYOUT[name]
+        local_mask = (self.mask >> slice_.offset) & ((1 << slice_.width) - 1)
+        local_value = (self.value >> slice_.offset) & ((1 << slice_.width) - 1)
+        return local_value, local_mask
+
+    def fixed_bits(self) -> int:
+        """Number of constrained bits."""
+        return self.mask.bit_count()
+
+    def size_log2(self) -> int:
+        """log2 of the number of headers in this wildcard."""
+        return HEADER_BITS - self.fixed_bits()
+
+    def sample(self, rng: random.Random) -> int:
+        """A uniformly random concrete header from this wildcard."""
+        free = ~self.mask & ALL_ONES
+        noise = rng.getrandbits(HEADER_BITS) & free
+        return self.value | noise
+
+    def describe(self) -> str:
+        parts = []
+        for name in FIELD_LAYOUT:
+            value, mask = self.field_constraint(name)
+            if mask:
+                width = FIELD_LAYOUT[name].width
+                if mask == (1 << width) - 1:
+                    parts.append(f"{name}={value:#x}")
+                else:
+                    parts.append(f"{name}~{value:#x}/{mask:#x}")
+        return "Wildcard(" + ", ".join(parts) + ")" if parts else "Wildcard(*)"
+
+
+def enumerate_bits(mask: int) -> Iterator[int]:
+    """Yield each set bit of ``mask`` as a single-bit integer."""
+    while mask:
+        bit = mask & -mask
+        yield bit
+        mask &= mask - 1

@@ -1,0 +1,45 @@
+"""Packet and addressing primitives shared by every other subsystem.
+
+This package is the lowest layer of the reproduction: it defines the
+hashable, integer-backed address types (:class:`MacAddress`,
+:class:`IPv4Address`, :class:`IPv4Network`), the mutable-by-copy
+:class:`Packet` model carrying the nine OpenFlow-matchable header fields,
+and the protocol constants (EtherTypes, IP protocol numbers, and the RVaaS
+"magic" values used for in-band client interaction).
+"""
+
+from repro.netlib.addresses import (
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    ip,
+    mac,
+)
+from repro.netlib.constants import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IPV4,
+    ETH_TYPE_LLDP,
+    IP_PROTO_ICMP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    RVAAS_AUTH_PORT,
+    RVAAS_MAGIC_PORT,
+)
+from repro.netlib.packet import Packet
+
+__all__ = [
+    "ETH_TYPE_ARP",
+    "ETH_TYPE_IPV4",
+    "ETH_TYPE_LLDP",
+    "IP_PROTO_ICMP",
+    "IP_PROTO_TCP",
+    "IP_PROTO_UDP",
+    "IPv4Address",
+    "IPv4Network",
+    "MacAddress",
+    "Packet",
+    "RVAAS_AUTH_PORT",
+    "RVAAS_MAGIC_PORT",
+    "ip",
+    "mac",
+]

@@ -1,0 +1,161 @@
+"""Integer-backed, hashable network address types.
+
+All addresses are immutable wrappers around a single ``int`` so that they
+hash and compare quickly, pack directly into the Header Space Analysis
+bit-vectors (:mod:`repro.hsa.layout`), and render in the conventional
+human-readable notations.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit IEEE 802 MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 48:
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse colon- or dash-separated hex notation, e.g. ``aa:bb:cc:dd:ee:ff``."""
+        if not _MAC_RE.match(text):
+            raise ValueError(f"invalid MAC address: {text!r}")
+        return cls(int(text.replace("-", ":").replace(":", ""), 16))
+
+    @classmethod
+    def from_host_index(cls, index: int) -> "MacAddress":
+        """Deterministic per-host MAC used by the topology builders.
+
+        Hosts get locally-administered unicast addresses ``02:00:00:xx:xx:xx``.
+        """
+        if not 0 <= index < 1 << 24:
+            raise ValueError(f"host index out of range: {index}")
+        return cls((0x02 << 40) | index)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool((self.value >> 40) & 0x01)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 1 << 32:
+            raise ValueError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        match = _IP_RE.match(text)
+        if not match:
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octets = [int(group) for group in match.groups()]
+        if any(octet > 255 for octet in octets):
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return cls(value)
+
+    def in_network(self, network: "IPv4Network") -> bool:
+        return network.contains(self)
+
+    def __str__(self) -> str:
+        return ".".join(
+            str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+        )
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Network:
+    """An IPv4 CIDR prefix, e.g. ``10.0.0.0/8``."""
+
+    address: IPv4Address
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"invalid prefix length: {self.prefix_len}")
+        if self.address.value & ~self.mask:
+            raise ValueError(
+                f"host bits set in network address {self.address}/{self.prefix_len}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Network":
+        try:
+            addr_text, prefix_text = text.split("/")
+        except ValueError:
+            raise ValueError(f"invalid CIDR notation: {text!r}") from None
+        return cls(IPv4Address.parse(addr_text), int(prefix_text))
+
+    @property
+    def mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return ((1 << self.prefix_len) - 1) << (32 - self.prefix_len)
+
+    def contains(self, addr: IPv4Address) -> bool:
+        return (addr.value & self.mask) == self.address.value
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate usable host addresses (network/broadcast excluded for /0../30)."""
+        size = 1 << (32 - self.prefix_len)
+        if size <= 2:
+            yield from (IPv4Address(self.address.value + off) for off in range(size))
+            return
+        for offset in range(1, size - 1):
+            yield IPv4Address(self.address.value + offset)
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network('{self}')"
+
+
+def mac(value: Union[str, int, MacAddress]) -> MacAddress:
+    """Coerce a string, int, or MacAddress into a :class:`MacAddress`."""
+    if isinstance(value, MacAddress):
+        return value
+    if isinstance(value, int):
+        return MacAddress(value)
+    return MacAddress.parse(value)
+
+
+def ip(value: Union[str, int, IPv4Address]) -> IPv4Address:
+    """Coerce a string, int, or IPv4Address into an :class:`IPv4Address`."""
+    if isinstance(value, IPv4Address):
+        return value
+    if isinstance(value, int):
+        return IPv4Address(value)
+    return IPv4Address.parse(value)

@@ -1,0 +1,31 @@
+"""Protocol numbers and RVaaS in-band signalling constants.
+
+The RVaaS paper (Section IV-A3) has clients talk to the verification
+service *in-band*: request packets carry a distinct "magic" header value
+which ingress switches match and punt to the RVaaS controller via
+Packet-In.  Authentication replies from endpoint hosts use a second magic
+value so they can be intercepted and traced back to their origin port.
+We realise both magics as well-known UDP destination ports.
+"""
+
+# EtherType values (IEEE 802.3).
+ETH_TYPE_IPV4 = 0x0800
+ETH_TYPE_ARP = 0x0806
+ETH_TYPE_LLDP = 0x88CC
+ETH_TYPE_VLAN = 0x8100
+
+# IP protocol numbers (IANA).
+IP_PROTO_ICMP = 1
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+# UDP destination port carried by client->RVaaS query packets
+# ("integrity request" in Fig. 1 of the paper).
+RVAAS_MAGIC_PORT = 17999
+
+# UDP destination port carried by host auth replies ("Auth reply" in
+# Fig. 2) and by the auth requests RVaaS injects via Packet-Out.
+RVAAS_AUTH_PORT = 17998
+
+# VLAN id meaning "no 802.1Q tag present".
+VLAN_NONE = 0

@@ -1,0 +1,136 @@
+"""The packet model forwarded through the emulated data plane.
+
+A :class:`Packet` carries exactly the nine header fields an OpenFlow
+match can inspect (the classic 12-tuple minus the three per-switch
+metadata fields, which live on the switch side), plus an opaque payload.
+Packets are treated as immutable by convention: actions that rewrite
+headers produce a copy via :meth:`Packet.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Mapping, Optional
+
+from repro.netlib.addresses import IPv4Address, MacAddress, ip, mac
+from repro.netlib.constants import (
+    ETH_TYPE_IPV4,
+    IP_PROTO_UDP,
+    VLAN_NONE,
+)
+
+# Canonical ordering of header fields; shared with the HSA bit layout and
+# the OpenFlow match so that every subsystem agrees on field names.
+HEADER_FIELDS = (
+    "eth_src",
+    "eth_dst",
+    "eth_type",
+    "vlan_id",
+    "ip_src",
+    "ip_dst",
+    "ip_proto",
+    "tp_src",
+    "tp_dst",
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A network packet with OpenFlow-matchable headers and a payload.
+
+    ``payload`` is deliberately ``Any``: hosts exchange small Python
+    objects (bytes for real traffic, protocol dataclasses for RVaaS
+    messages).  The emulator never inspects payloads; only endpoints and
+    the RVaaS controller do, which mirrors the paper's requirement that
+    forwarding needs no per-packet cryptography or payload parsing.
+    """
+
+    eth_src: MacAddress
+    eth_dst: MacAddress
+    eth_type: int = ETH_TYPE_IPV4
+    vlan_id: int = VLAN_NONE
+    ip_src: Optional[IPv4Address] = None
+    ip_dst: Optional[IPv4Address] = None
+    ip_proto: int = IP_PROTO_UDP
+    tp_src: int = 0
+    tp_dst: int = 0
+    payload: Any = b""
+    trace: tuple = field(default_factory=tuple, compare=False)
+
+    def header(self, name: str) -> int:
+        """Return the integer value of a header field (0 when unset)."""
+        if name not in HEADER_FIELDS:
+            raise KeyError(f"unknown header field: {name}")
+        value = getattr(self, name)
+        if value is None:
+            return 0
+        if isinstance(value, (MacAddress, IPv4Address)):
+            return value.value
+        return int(value)
+
+    def headers(self) -> Mapping[str, int]:
+        """All header fields as a name->int mapping (for matching / HSA)."""
+        return {name: self.header(name) for name in HEADER_FIELDS}
+
+    def replace(self, **changes: Any) -> "Packet":
+        """Functional update — used by header-rewrite actions."""
+        coerced = dict(changes)
+        for key in ("eth_src", "eth_dst"):
+            if key in coerced and not isinstance(coerced[key], MacAddress):
+                coerced[key] = mac(coerced[key])
+        for key in ("ip_src", "ip_dst"):
+            if key in coerced and coerced[key] is not None:
+                if not isinstance(coerced[key], IPv4Address):
+                    coerced[key] = ip(coerced[key])
+        return _dc_replace(self, **coerced)
+
+    def with_hop(self, switch_name: str, port: int) -> "Packet":
+        """Append a (switch, ingress-port) hop to the packet's debug trace.
+
+        The trace exists purely for test assertions and experiment
+        bookkeeping *outside* the modelled system: no component of RVaaS
+        or the provider ever reads it (that would be trajectory
+        sampling, which the paper's threat model rules out).
+        """
+        return _dc_replace(self, trace=self.trace + ((switch_name, port),))
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size, used for bandwidth accounting."""
+        base = 64
+        if isinstance(self.payload, (bytes, bytearray, str)):
+            return base + len(self.payload)
+        return base + 256
+
+    def describe(self) -> str:
+        proto = {1: "icmp", 6: "tcp", 17: "udp"}.get(self.ip_proto, str(self.ip_proto))
+        return (
+            f"{self.ip_src}:{self.tp_src} -> {self.ip_dst}:{self.tp_dst}"
+            f" [{proto}] eth {self.eth_src}->{self.eth_dst}"
+        )
+
+
+def udp_packet(
+    *,
+    eth_src: MacAddress,
+    eth_dst: MacAddress,
+    ip_src: IPv4Address,
+    ip_dst: IPv4Address,
+    sport: int,
+    dport: int,
+    payload: Any = b"",
+    vlan_id: int = VLAN_NONE,
+) -> Packet:
+    """Convenience constructor for the UDP packets hosts exchange."""
+    return Packet(
+        eth_src=eth_src,
+        eth_dst=eth_dst,
+        eth_type=ETH_TYPE_IPV4,
+        vlan_id=vlan_id,
+        ip_src=ip_src,
+        ip_dst=ip_dst,
+        ip_proto=IP_PROTO_UDP,
+        tp_src=sport,
+        tp_dst=dport,
+        payload=payload,
+    )

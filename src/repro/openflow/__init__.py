@@ -1,0 +1,99 @@
+"""OpenFlow 1.3-style protocol model and switch implementation.
+
+This package provides the match-action abstraction the paper builds on
+(§II Background): wildcardable :class:`~repro.openflow.match.Match`
+structures, header-rewrite and output :mod:`~repro.openflow.actions`,
+priority-ordered :class:`~repro.openflow.flowtable.FlowTable` instances
+with timeouts and counters, the controller-facing message set
+(:mod:`~repro.openflow.messages`), meter tables for fairness queries, and
+an :class:`~repro.openflow.switch.OpenFlowSwitch` that connects to
+multiple controllers over authenticated encrypted channels
+(:mod:`~repro.openflow.channel`).
+"""
+
+from repro.openflow.actions import (
+    Action,
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.channel import ChannelEndpoint, ControlChannel
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowMonitorRequest,
+    FlowMonitorUpdate,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    Hello,
+    MeterMod,
+    MeterStatsReply,
+    MeterStatsRequest,
+    OpenFlowMessage,
+    PacketIn,
+    PacketInReason,
+    PacketOut,
+    PortStatus,
+)
+from repro.openflow.meters import MeterBand, MeterEntry, MeterTable
+from repro.openflow.switch import OpenFlowSwitch, SwitchPort
+
+__all__ = [
+    "Action",
+    "BarrierReply",
+    "BarrierRequest",
+    "ChannelEndpoint",
+    "ControlChannel",
+    "Drop",
+    "EchoReply",
+    "EchoRequest",
+    "FeaturesReply",
+    "FeaturesRequest",
+    "Flood",
+    "FlowEntry",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowMonitorRequest",
+    "FlowMonitorUpdate",
+    "FlowRemoved",
+    "FlowStatsReply",
+    "FlowStatsRequest",
+    "FlowTable",
+    "GotoTable",
+    "Hello",
+    "Match",
+    "Meter",
+    "MeterBand",
+    "MeterEntry",
+    "MeterMod",
+    "MeterStatsReply",
+    "MeterStatsRequest",
+    "MeterTable",
+    "OpenFlowMessage",
+    "OpenFlowSwitch",
+    "Output",
+    "PacketIn",
+    "PacketInReason",
+    "PacketOut",
+    "PopVlan",
+    "PortStatus",
+    "PushVlan",
+    "SetField",
+    "SwitchPort",
+    "ToController",
+]

@@ -1,0 +1,108 @@
+"""OpenFlow actions.
+
+Actions are small frozen dataclasses applied in order by the switch
+pipeline (:meth:`repro.openflow.switch.OpenFlowSwitch.receive_packet`)
+and interpreted symbolically by the HSA transfer-function builder
+(:mod:`repro.hsa.transfer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.packet import HEADER_FIELDS
+
+
+@dataclass(frozen=True)
+class Output:
+    """Forward the packet out of a specific switch port."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class ToController:
+    """Punt the packet to the control plane as a Packet-In.
+
+    Per OpenFlow with multiple equal controllers, the Packet-In is
+    delivered to *every* connected controller; confidentiality of RVaaS
+    client queries is preserved by payload encryption, not by channel
+    addressing (paper §IV-A3).
+    """
+
+    max_len: int = 65535
+
+
+@dataclass(frozen=True)
+class Flood:
+    """Forward out of every port except the ingress port."""
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Explicitly discard the packet (empty action list is equivalent)."""
+
+
+@dataclass(frozen=True)
+class SetField:
+    """Rewrite one header field before subsequent actions."""
+
+    field: str
+    value: Union[int, MacAddress, IPv4Address]
+
+    def __post_init__(self) -> None:
+        if self.field not in HEADER_FIELDS:
+            raise ValueError(f"cannot set unknown field: {self.field}")
+
+
+@dataclass(frozen=True)
+class PushVlan:
+    """Tag the packet with an 802.1Q VLAN id."""
+
+    vlan_id: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vlan_id < 4096:
+            raise ValueError(f"invalid VLAN id: {self.vlan_id}")
+
+
+@dataclass(frozen=True)
+class PopVlan:
+    """Remove the 802.1Q VLAN tag."""
+
+
+@dataclass(frozen=True)
+class GotoTable:
+    """Continue matching in a later table of the pipeline."""
+
+    table_id: int
+
+    def __post_init__(self) -> None:
+        if self.table_id < 1:
+            raise ValueError("goto must target a later table (>= 1)")
+
+
+@dataclass(frozen=True)
+class Meter:
+    """Send the packet through a meter before the remaining actions."""
+
+    meter_id: int
+
+
+Action = Union[
+    Output, ToController, Flood, Drop, SetField, PushVlan, PopVlan, GotoTable, Meter
+]
+
+#: Actions that terminate pipeline processing for a packet.
+TERMINAL_ACTIONS = (Output, ToController, Flood, Drop)
+
+
+def output_ports(actions: tuple[Action, ...]) -> tuple[int, ...]:
+    """The data-plane ports an action list forwards to (ignores controller)."""
+    return tuple(action.port for action in actions if isinstance(action, Output))
+
+
+def sends_to_controller(actions: tuple[Action, ...]) -> bool:
+    return any(isinstance(action, ToController) for action in actions)

@@ -1,0 +1,191 @@
+"""Flow entries and priority-ordered flow tables.
+
+The flow table is the unit of state RVaaS monitors: every mutation
+produces a change record so the switch can emit flow-monitor updates to
+subscribed controllers (paper §II: "to stay informed about the current
+configuration of a switch ... the controller should use the OpenFlow add
+flow monitor command").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.netlib.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One match-action rule with priority, timeouts, and counters."""
+
+    match: Match
+    actions: tuple[Action, ...]
+    priority: int = 0
+    cookie: int = 0
+    idle_timeout: float = 0.0  # 0 = never
+    hard_timeout: float = 0.0  # 0 = never
+    installed_at: float = 0.0
+    last_used_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+
+    def account(self, packet: Packet, now: float) -> None:
+        self.packet_count += 1
+        self.byte_count += packet.size_bytes
+        self.last_used_at = now
+
+    def is_expired(self, now: float) -> bool:
+        if self.hard_timeout and now >= self.installed_at + self.hard_timeout:
+            return True
+        if self.idle_timeout:
+            reference = self.last_used_at or self.installed_at
+            if now >= reference + self.idle_timeout:
+                return True
+        return False
+
+    def signature(self) -> tuple:
+        """Identity of the rule for snapshot comparison (no counters)."""
+        return (self.priority, self.match, self.actions, self.cookie)
+
+    def describe(self) -> str:
+        acts = ", ".join(repr(action) for action in self.actions)
+        return f"[prio={self.priority}] {self.match.describe()} -> ({acts})"
+
+
+@dataclass(frozen=True)
+class TableChange:
+    """A single mutation of a flow table, for monitor subscribers."""
+
+    kind: str  # "added" | "removed" | "modified"
+    entry: FlowEntry
+    reason: str = ""
+
+
+class FlowTable:
+    """A priority-ordered flow table.
+
+    Lookup returns the highest-priority matching entry; ties are broken
+    by earliest installation (OpenFlow leaves ties undefined — we pick a
+    deterministic rule so simulations are reproducible).
+    """
+
+    def __init__(self, table_id: int = 0) -> None:
+        self.table_id = table_id
+        self._entries: list[FlowEntry] = []
+        self._observers: list[Callable[[TableChange], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observation (flow-monitor support)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, observer: Callable[[TableChange], None]) -> None:
+        """Register a callback invoked on every table mutation."""
+        self._observers.append(observer)
+
+    def _notify(self, change: TableChange) -> None:
+        for observer in self._observers:
+            observer(change)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, entry: FlowEntry) -> None:
+        """Install an entry; replaces an existing (match, priority) entry.
+
+        Re-adding a rule whose actions and cookie are also identical is a
+        no-op (counters preserved, no change events) — matching OpenFlow
+        semantics and preventing event storms when several controllers
+        maintain the same rule.
+        """
+        replaced = [
+            existing
+            for existing in self._entries
+            if existing.priority == entry.priority and existing.match == entry.match
+        ]
+        if any(
+            existing.signature() == entry.signature()
+            and existing.idle_timeout == entry.idle_timeout
+            and existing.hard_timeout == entry.hard_timeout
+            for existing in replaced
+        ):
+            return
+        for existing in replaced:
+            self._entries.remove(existing)
+            self._notify(TableChange("removed", existing, reason="replaced"))
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.priority, e.entry_id))
+        self._notify(TableChange("added", entry))
+
+    def remove(
+        self,
+        match: Optional[Match] = None,
+        *,
+        priority: Optional[int] = None,
+        cookie: Optional[int] = None,
+        strict: bool = False,
+        reason: str = "delete",
+    ) -> list[FlowEntry]:
+        """Remove entries selected OpenFlow-style.
+
+        Non-strict: every entry whose match is a subset of ``match``.
+        Strict: exact (match, priority) equality.
+        """
+        removed = []
+        for entry in list(self._entries):
+            if cookie is not None and entry.cookie != cookie:
+                continue
+            if strict:
+                if match is not None and entry.match != match:
+                    continue
+                if priority is not None and entry.priority != priority:
+                    continue
+            else:
+                if match is not None and not entry.match.is_subset_of(match):
+                    continue
+            self._entries.remove(entry)
+            removed.append(entry)
+            self._notify(TableChange("removed", entry, reason=reason))
+        return removed
+
+    def expire(self, now: float) -> list[FlowEntry]:
+        """Remove and return entries whose timeouts have elapsed."""
+        expired = [entry for entry in self._entries if entry.is_expired(now)]
+        for entry in expired:
+            self._entries.remove(entry)
+            self._notify(TableChange("removed", entry, reason="timeout"))
+        return expired
+
+    def clear(self) -> None:
+        for entry in list(self._entries):
+            self._entries.remove(entry)
+            self._notify(TableChange("removed", entry, reason="clear"))
+
+    # ------------------------------------------------------------------
+    # Lookup & inspection
+    # ------------------------------------------------------------------
+
+    def lookup(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """Highest-priority entry matching ``packet`` on ``in_port``."""
+        for entry in self._entries:  # kept sorted by (-priority, entry_id)
+            if entry.match.matches(packet, in_port):
+                return entry
+        return None
+
+    def entries(self) -> Iterator[FlowEntry]:
+        """Iterate entries in match-precedence order."""
+        return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def signature(self) -> tuple:
+        """Order-insensitive content signature, for snapshot hashing."""
+        return tuple(sorted((e.signature() for e in self._entries), key=repr))

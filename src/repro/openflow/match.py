@@ -1,0 +1,166 @@
+"""OpenFlow match structures.
+
+A :class:`Match` wildcards any subset of the nine packet header fields
+plus the ingress port.  IP source/destination additionally support CIDR
+prefix matching.  Besides packet classification, matches provide the
+overlap/subsumption tests the HSA transfer-function builder and the
+logical verifier rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional, Union
+
+from repro.netlib.addresses import IPv4Address, IPv4Network, MacAddress, ip, mac
+from repro.netlib.packet import HEADER_FIELDS, Packet
+
+IpMatch = Union[IPv4Address, IPv4Network]
+
+MATCH_FIELDS = ("in_port",) + HEADER_FIELDS
+
+
+@dataclass(frozen=True)
+class Match:
+    """A wildcardable match over ingress port and packet headers.
+
+    ``None`` means "don't care".  ``ip_src``/``ip_dst`` accept either an
+    exact :class:`IPv4Address` or an :class:`IPv4Network` prefix.
+    """
+
+    in_port: Optional[int] = None
+    eth_src: Optional[MacAddress] = None
+    eth_dst: Optional[MacAddress] = None
+    eth_type: Optional[int] = None
+    vlan_id: Optional[int] = None
+    ip_src: Optional[IpMatch] = None
+    ip_dst: Optional[IpMatch] = None
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    @classmethod
+    def any(cls) -> "Match":
+        """The all-wildcard match (table-miss)."""
+        return cls()
+
+    @classmethod
+    def build(cls, **kwargs: object) -> "Match":
+        """Construct a match, coercing strings/ints to address types.
+
+        Example::
+
+            Match.build(eth_dst="02:00:00:00:00:01", ip_dst="10.0.1.0/24")
+        """
+        coerced: dict = {}
+        for key, value in kwargs.items():
+            if key not in MATCH_FIELDS:
+                raise KeyError(f"unknown match field: {key}")
+            if value is None:
+                continue
+            if key in ("eth_src", "eth_dst"):
+                coerced[key] = mac(value)  # type: ignore[arg-type]
+            elif key in ("ip_src", "ip_dst"):
+                if isinstance(value, (IPv4Address, IPv4Network)):
+                    coerced[key] = value
+                elif isinstance(value, str) and "/" in value:
+                    coerced[key] = IPv4Network.parse(value)
+                else:
+                    coerced[key] = ip(value)  # type: ignore[arg-type]
+            else:
+                coerced[key] = int(value)  # type: ignore[call-overload]
+        return cls(**coerced)
+
+    # ------------------------------------------------------------------
+    # Packet classification
+    # ------------------------------------------------------------------
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True iff ``packet`` arriving on ``in_port`` satisfies this match."""
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        for name in HEADER_FIELDS:
+            wanted = getattr(self, name)
+            if wanted is None:
+                continue
+            actual = getattr(packet, name)
+            if name in ("ip_src", "ip_dst"):
+                if actual is None:
+                    return False
+                if isinstance(wanted, IPv4Network):
+                    if not wanted.contains(actual):
+                        return False
+                elif wanted != actual:
+                    return False
+            else:
+                if isinstance(wanted, (MacAddress,)):
+                    if wanted != actual:
+                        return False
+                elif int(wanted) != packet.header(name):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Set relations (used by FlowMod selectors and verification)
+    # ------------------------------------------------------------------
+
+    def is_subset_of(self, other: "Match") -> bool:
+        """True iff every packet matching ``self`` also matches ``other``."""
+        for field_info in fields(self):
+            name = field_info.name
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if theirs is None:
+                continue
+            if mine is None:
+                return False
+            if name in ("ip_src", "ip_dst"):
+                if not _ip_subset(mine, theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def overlaps(self, other: "Match") -> bool:
+        """True iff some packet can match both ``self`` and ``other``."""
+        for field_info in fields(self):
+            name = field_info.name
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine is None or theirs is None:
+                continue
+            if name in ("ip_src", "ip_dst"):
+                if not _ip_overlap(mine, theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def specified_fields(self) -> tuple[str, ...]:
+        """Names of the fields this match constrains."""
+        return tuple(
+            f.name for f in fields(self) if getattr(self, f.name) is not None
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}={getattr(self, name)}" for name in self.specified_fields()
+        ]
+        return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"
+
+
+def _as_network(value: IpMatch) -> IPv4Network:
+    if isinstance(value, IPv4Network):
+        return value
+    return IPv4Network(value, 32)
+
+
+def _ip_subset(mine: IpMatch, theirs: IpMatch) -> bool:
+    mine_net, theirs_net = _as_network(mine), _as_network(theirs)
+    if mine_net.prefix_len < theirs_net.prefix_len:
+        return False
+    return theirs_net.contains(mine_net.address)
+
+
+def _ip_overlap(a: IpMatch, b: IpMatch) -> bool:
+    a_net, b_net = _as_network(a), _as_network(b)
+    shorter, longer = (a_net, b_net) if a_net.prefix_len <= b_net.prefix_len else (b_net, a_net)
+    return shorter.contains(longer.address)

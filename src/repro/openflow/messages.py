@@ -1,0 +1,229 @@
+"""The OpenFlow message set exchanged over control channels.
+
+Messages are plain frozen dataclasses; the secure channel
+(:mod:`repro.openflow.channel`) serialises them with pickle, encrypts and
+MACs the record, and the peer decrypts/verifies before dispatch — so
+every control-plane byte in the simulation genuinely flows through the
+cryptographic channel layer, as the paper's threat model requires.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netlib.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+from repro.openflow.meters import MeterBand
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    """Allocate a transaction id (global, monotonically increasing)."""
+    return next(_xids)
+
+
+@dataclass(frozen=True)
+class OpenFlowMessage:
+    """Base class: every message carries a transaction id."""
+
+    xid: int = field(default_factory=next_xid, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# Session management
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello(OpenFlowMessage):
+    version: int = 4  # OpenFlow 1.3
+
+
+@dataclass(frozen=True)
+class EchoRequest(OpenFlowMessage):
+    data: bytes = b""
+
+
+@dataclass(frozen=True)
+class EchoReply(OpenFlowMessage):
+    data: bytes = b""
+
+
+@dataclass(frozen=True)
+class FeaturesRequest(OpenFlowMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class FeaturesReply(OpenFlowMessage):
+    dpid: int = 0
+    n_tables: int = 1
+    ports: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class BarrierRequest(OpenFlowMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class BarrierReply(OpenFlowMessage):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Flow programming
+# ----------------------------------------------------------------------
+
+
+class FlowModCommand(enum.Enum):
+    """The four flow-programming operations of OFPT_FLOW_MOD."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    DELETE_STRICT = "delete_strict"
+
+
+@dataclass(frozen=True)
+class FlowMod(OpenFlowMessage):
+    command: FlowModCommand = FlowModCommand.ADD
+    match: Match = field(default_factory=Match)
+    actions: tuple[Action, ...] = ()
+    priority: int = 0
+    cookie: int = 0
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    table_id: int = 0
+
+
+@dataclass(frozen=True)
+class FlowRemoved(OpenFlowMessage):
+    match: Match = field(default_factory=Match)
+    priority: int = 0
+    cookie: int = 0
+    reason: str = "timeout"
+    table_id: int = 0
+
+
+@dataclass(frozen=True)
+class MeterMod(OpenFlowMessage):
+    command: FlowModCommand = FlowModCommand.ADD
+    meter_id: int = 0
+    band: Optional[MeterBand] = None
+
+
+# ----------------------------------------------------------------------
+# Packet punting and injection
+# ----------------------------------------------------------------------
+
+
+class PacketInReason(enum.Enum):
+    """Why a switch punted a packet to the control plane."""
+
+    ACTION = "action"  # explicit ToController action
+    NO_MATCH = "no_match"  # table miss
+
+
+@dataclass(frozen=True)
+class PacketIn(OpenFlowMessage):
+    dpid: int = 0
+    in_port: int = 0
+    reason: PacketInReason = PacketInReason.ACTION
+    packet: Optional[Packet] = None
+    table_id: int = 0
+    cookie: int = 0
+
+
+@dataclass(frozen=True)
+class PacketOut(OpenFlowMessage):
+    packet: Optional[Packet] = None
+    actions: tuple[Action, ...] = ()
+    in_port: int = 0  # OFPP_CONTROLLER semantics when 0
+
+
+# ----------------------------------------------------------------------
+# State collection (passive + active monitoring)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlowStatsRequest(OpenFlowMessage):
+    """Active snapshot poll: dump all entries of all tables."""
+
+    table_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowStatsEntry:
+    table_id: int
+    priority: int
+    match: Match
+    actions: tuple[Action, ...]
+    cookie: int
+    packet_count: int
+    byte_count: int
+    idle_timeout: float
+    hard_timeout: float
+
+
+@dataclass(frozen=True)
+class FlowStatsReply(OpenFlowMessage):
+    dpid: int = 0
+    entries: tuple[FlowStatsEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class MeterStatsRequest(OpenFlowMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class MeterStatsEntry:
+    meter_id: int
+    band: MeterBand
+    packets_passed: int
+    packets_dropped: int
+
+
+@dataclass(frozen=True)
+class MeterStatsReply(OpenFlowMessage):
+    dpid: int = 0
+    entries: tuple[MeterStatsEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class FlowMonitorRequest(OpenFlowMessage):
+    """Subscribe to table-change notifications (OF 1.4 flow monitor)."""
+
+    table_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowMonitorUpdate(OpenFlowMessage):
+    dpid: int = 0
+    event: str = "added"  # "added" | "removed" | "modified"
+    table_id: int = 0
+    priority: int = 0
+    match: Match = field(default_factory=Match)
+    actions: tuple[Action, ...] = ()
+    cookie: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PortStatus(OpenFlowMessage):
+    dpid: int = 0
+    port: int = 0
+    status: str = "up"  # "up" | "down"
+
+
+@dataclass(frozen=True)
+class ErrorMessage(OpenFlowMessage):
+    error_type: str = ""
+    detail: str = ""

@@ -1,0 +1,89 @@
+"""Meter tables for rate limiting.
+
+Meters let the provider implement traffic shaping; RVaaS inspects them to
+answer fairness / network-neutrality queries (paper §IV-C: "RVaaS could
+be used to check whether allocated routes and meter tables meet network
+neutrality requirements").
+
+The data-plane effect is modelled as token buckets evaluated at packet
+granularity, which is enough for the fairness experiments (E12) to show
+real throttling of metered traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class MeterBand:
+    """A drop band: packets beyond ``rate_kbps`` are discarded."""
+
+    rate_kbps: int
+    burst_kb: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rate_kbps <= 0:
+            raise ValueError("meter band rate must be positive")
+
+
+@dataclass
+class MeterEntry:
+    """One meter: a token bucket enforcing its band's rate."""
+
+    meter_id: int
+    band: MeterBand
+    tokens_bits: float = field(default=0.0)
+    last_refill: float = field(default=0.0)
+    packets_dropped: int = 0
+    packets_passed: int = 0
+
+    def __post_init__(self) -> None:
+        self.tokens_bits = self.band.burst_kb * 8_000.0
+
+    def allow(self, size_bytes: int, now: float) -> bool:
+        """Refill the bucket to ``now`` and charge the packet against it."""
+        elapsed = max(0.0, now - self.last_refill)
+        self.last_refill = now
+        capacity = self.band.burst_kb * 8_000.0
+        self.tokens_bits = min(
+            capacity, self.tokens_bits + elapsed * self.band.rate_kbps * 1_000.0
+        )
+        needed = size_bytes * 8.0
+        if self.tokens_bits >= needed:
+            self.tokens_bits -= needed
+            self.packets_passed += 1
+            return True
+        self.packets_dropped += 1
+        return False
+
+    def signature(self) -> tuple:
+        return (self.meter_id, self.band)
+
+
+class MeterTable:
+    """The switch's collection of meters, keyed by meter id."""
+
+    def __init__(self) -> None:
+        self._meters: Dict[int, MeterEntry] = {}
+
+    def add(self, meter_id: int, band: MeterBand, now: float = 0.0) -> MeterEntry:
+        entry = MeterEntry(meter_id=meter_id, band=band, last_refill=now)
+        self._meters[meter_id] = entry
+        return entry
+
+    def remove(self, meter_id: int) -> Optional[MeterEntry]:
+        return self._meters.pop(meter_id, None)
+
+    def get(self, meter_id: int) -> Optional[MeterEntry]:
+        return self._meters.get(meter_id)
+
+    def entries(self) -> tuple[MeterEntry, ...]:
+        return tuple(self._meters[mid] for mid in sorted(self._meters))
+
+    def signature(self) -> tuple:
+        return tuple(entry.signature() for entry in self.entries())
+
+    def __len__(self) -> int:
+        return len(self._meters)

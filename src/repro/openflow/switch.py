@@ -1,0 +1,403 @@
+"""The OpenFlow switch model.
+
+Implements the trusted data-plane element of the paper's threat model:
+switches behave exactly per their flow tables, accept FlowMods from any
+*connected* controller (provider or RVaaS), punt Packet-Ins to all
+connected controllers, and support active state dumps and passive
+flow-monitor subscriptions.
+
+The switch is pure mechanism — it has no idea which controller is benign.
+That is the point: trust is rooted in the switch's faithful execution of
+its configuration plus the authenticated channels, not in any controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netlib.packet import Packet
+from repro.openflow.actions import (
+    Action,
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.channel import ControlChannel
+from repro.openflow.flowtable import FlowEntry, FlowTable, TableChange
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowMonitorRequest,
+    FlowMonitorUpdate,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    MeterMod,
+    MeterStatsEntry,
+    MeterStatsReply,
+    MeterStatsRequest,
+    OpenFlowMessage,
+    PacketIn,
+    PacketInReason,
+    PacketOut,
+    PortStatus,
+)
+from repro.openflow.meters import MeterTable
+from repro.netlib.constants import VLAN_NONE
+
+
+@dataclass
+class SwitchPort:
+    """One switch port and what it is wired to (per the wiring plan)."""
+
+    port_no: int
+    kind: str = "unbound"  # "link" | "host" | "unbound"
+    peer: str = ""  # peer switch or host name, for diagnostics
+    up: bool = True
+    rx_packets: int = 0
+    tx_packets: int = 0
+
+
+# Signature: (switch, out_port, packet) -> None, provided by the network.
+TransmitFn = Callable[["OpenFlowSwitch", int, Packet], None]
+
+
+class OpenFlowSwitch:
+    """A multi-table, multi-controller OpenFlow switch."""
+
+    def __init__(
+        self,
+        name: str,
+        dpid: int,
+        *,
+        n_tables: int = 2,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.dpid = dpid
+        self.ports: Dict[int, SwitchPort] = {}
+        self.tables: List[FlowTable] = [FlowTable(table_id=i) for i in range(n_tables)]
+        self.meters = MeterTable()
+        self._channels: List[ControlChannel] = []
+        self._monitor_subscribers: List[ControlChannel] = []
+        self._clock = clock or (lambda: 0.0)
+        self.transmit: Optional[TransmitFn] = None
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        for table in self.tables:
+            table.subscribe(self._on_table_change)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def add_port(self, port_no: int, kind: str = "unbound", peer: str = "") -> SwitchPort:
+        if port_no in self.ports:
+            raise ValueError(f"{self.name}: port {port_no} already exists")
+        port = SwitchPort(port_no=port_no, kind=kind, peer=peer)
+        self.ports[port_no] = port
+        return port
+
+    def internal_ports(self) -> tuple[int, ...]:
+        """Ports wired to other switches (the paper's 'internal network ports')."""
+        return tuple(p.port_no for p in self.ports.values() if p.kind == "link")
+
+    def edge_ports(self) -> tuple[int, ...]:
+        """Ports wired to hosts — candidate client access points."""
+        return tuple(p.port_no for p in self.ports.values() if p.kind == "host")
+
+    # ------------------------------------------------------------------
+    # Control plane attachment
+    # ------------------------------------------------------------------
+
+    def connect_controller(self, channel: ControlChannel) -> None:
+        """Attach a controller session; the switch serves all of them equally."""
+        self._channels.append(channel)
+        channel.switch_end.set_handler(
+            lambda message: self.handle_controller_message(channel, message)
+        )
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def handle_controller_message(
+        self, channel: ControlChannel, message: OpenFlowMessage
+    ) -> None:
+        """Dispatch one decrypted controller->switch message."""
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, FlowStatsRequest):
+            channel.send_to_controller(self._flow_stats_reply(message))
+        elif isinstance(message, MeterStatsRequest):
+            channel.send_to_controller(self._meter_stats_reply(message))
+        elif isinstance(message, FlowMonitorRequest):
+            if channel not in self._monitor_subscribers:
+                self._monitor_subscribers.append(channel)
+        elif isinstance(message, EchoRequest):
+            channel.send_to_controller(EchoReply(data=message.data, xid=message.xid))
+        elif isinstance(message, FeaturesRequest):
+            channel.send_to_controller(
+                FeaturesReply(
+                    dpid=self.dpid,
+                    n_tables=len(self.tables),
+                    ports=tuple(sorted(self.ports)),
+                    xid=message.xid,
+                )
+            )
+        elif isinstance(message, BarrierRequest):
+            channel.send_to_controller(BarrierReply(xid=message.xid))
+        elif isinstance(message, MeterMod):
+            self._handle_meter_mod(message)
+        # Unknown messages are silently ignored, as real switches do for
+        # unsupported experimenter messages.
+
+    def _handle_flow_mod(self, message: FlowMod) -> None:
+        table = self.tables[message.table_id]
+        if message.command is FlowModCommand.ADD:
+            table.add(
+                FlowEntry(
+                    match=message.match,
+                    actions=tuple(message.actions),
+                    priority=message.priority,
+                    cookie=message.cookie,
+                    idle_timeout=message.idle_timeout,
+                    hard_timeout=message.hard_timeout,
+                    installed_at=self.now,
+                )
+            )
+        elif message.command is FlowModCommand.MODIFY:
+            modified = False
+            for entry in table.entries():
+                if entry.match == message.match and entry.priority == message.priority:
+                    entry.actions = tuple(message.actions)
+                    table._notify(TableChange("modified", entry))
+                    modified = True
+            if not modified:
+                self._handle_flow_mod(
+                    FlowMod(
+                        command=FlowModCommand.ADD,
+                        match=message.match,
+                        actions=message.actions,
+                        priority=message.priority,
+                        cookie=message.cookie,
+                        idle_timeout=message.idle_timeout,
+                        hard_timeout=message.hard_timeout,
+                        table_id=message.table_id,
+                    )
+                )
+        elif message.command is FlowModCommand.DELETE:
+            table.remove(message.match, cookie=message.cookie or None)
+        elif message.command is FlowModCommand.DELETE_STRICT:
+            table.remove(message.match, priority=message.priority, strict=True)
+
+    def _handle_meter_mod(self, message: MeterMod) -> None:
+        if message.command is FlowModCommand.ADD and message.band is not None:
+            self.meters.add(message.meter_id, message.band, now=self.now)
+        elif message.command is FlowModCommand.DELETE:
+            self.meters.remove(message.meter_id)
+
+    def _handle_packet_out(self, message: PacketOut) -> None:
+        if message.packet is None:
+            return
+        self._apply_actions(
+            message.packet, in_port=message.in_port, actions=tuple(message.actions)
+        )
+
+    def _flow_stats_reply(self, request: FlowStatsRequest) -> FlowStatsReply:
+        self.expire_flows()
+        entries = []
+        for table in self.tables:
+            if request.table_id is not None and table.table_id != request.table_id:
+                continue
+            for entry in table.entries():
+                entries.append(
+                    FlowStatsEntry(
+                        table_id=table.table_id,
+                        priority=entry.priority,
+                        match=entry.match,
+                        actions=entry.actions,
+                        cookie=entry.cookie,
+                        packet_count=entry.packet_count,
+                        byte_count=entry.byte_count,
+                        idle_timeout=entry.idle_timeout,
+                        hard_timeout=entry.hard_timeout,
+                    )
+                )
+        return FlowStatsReply(dpid=self.dpid, entries=tuple(entries), xid=request.xid)
+
+    def _meter_stats_reply(self, request: MeterStatsRequest) -> MeterStatsReply:
+        entries = tuple(
+            MeterStatsEntry(
+                meter_id=meter.meter_id,
+                band=meter.band,
+                packets_passed=meter.packets_passed,
+                packets_dropped=meter.packets_dropped,
+            )
+            for meter in self.meters.entries()
+        )
+        return MeterStatsReply(dpid=self.dpid, entries=entries, xid=request.xid)
+
+    # ------------------------------------------------------------------
+    # Passive monitoring
+    # ------------------------------------------------------------------
+
+    def _on_table_change(self, change: TableChange) -> None:
+        update = FlowMonitorUpdate(
+            dpid=self.dpid,
+            event=change.kind,
+            table_id=0,
+            priority=change.entry.priority,
+            match=change.entry.match,
+            actions=tuple(change.entry.actions),
+            cookie=change.entry.cookie,
+            reason=change.reason,
+        )
+        for channel in self._monitor_subscribers:
+            channel.send_to_controller(update)
+        if change.reason == "timeout":
+            removed = FlowRemoved(
+                match=change.entry.match,
+                priority=change.entry.priority,
+                cookie=change.entry.cookie,
+                reason="timeout",
+            )
+            for channel in self._channels:
+                channel.send_to_controller(removed)
+
+    def notify_port_status(self, port_no: int, status: str) -> None:
+        """Report a port up/down transition to every controller."""
+        port = self.ports[port_no]
+        port.up = status == "up"
+        for channel in self._channels:
+            channel.send_to_controller(
+                PortStatus(dpid=self.dpid, port=port_no, status=status)
+            )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def expire_flows(self) -> None:
+        now = self.now
+        for table in self.tables:
+            table.expire(now)
+
+    def receive_packet(self, packet: Packet, in_port: int) -> None:
+        """Run one packet through the match-action pipeline."""
+        if in_port not in self.ports:
+            raise ValueError(f"{self.name}: no such port {in_port}")
+        port = self.ports[in_port]
+        if not port.up:
+            return
+        port.rx_packets += 1
+        self.expire_flows()
+        packet = packet.with_hop(self.name, in_port)
+        self._run_pipeline(packet, in_port, table_id=0)
+
+    def _run_pipeline(self, packet: Packet, in_port: int, table_id: int) -> None:
+        table = self.tables[table_id]
+        entry = table.lookup(packet, in_port)
+        if entry is None:
+            # OpenFlow 1.3 default: table-miss drops unless a miss entry exists.
+            self.packets_dropped += 1
+            return
+        entry.account(packet, self.now)
+        self._apply_actions(packet, in_port, entry.actions, from_table=table_id)
+
+    def _apply_actions(
+        self,
+        packet: Packet,
+        in_port: int,
+        actions: tuple[Action, ...],
+        from_table: int = 0,
+    ) -> None:
+        current = packet
+        forwarded = False
+        for action in actions:
+            if isinstance(action, SetField):
+                current = current.replace(**{action.field: action.value})
+            elif isinstance(action, PushVlan):
+                current = current.replace(vlan_id=action.vlan_id)
+            elif isinstance(action, PopVlan):
+                current = current.replace(vlan_id=VLAN_NONE)
+            elif isinstance(action, Meter):
+                meter = self.meters.get(action.meter_id)
+                if meter is not None and not meter.allow(current.size_bytes, self.now):
+                    self.packets_dropped += 1
+                    return
+            elif isinstance(action, Output):
+                self._transmit(action.port, current, in_port)
+                forwarded = True
+            elif isinstance(action, Flood):
+                for port_no in sorted(self.ports):
+                    if port_no != in_port and self.ports[port_no].up:
+                        self._transmit(port_no, current, in_port)
+                forwarded = True
+            elif isinstance(action, ToController):
+                self._send_packet_in(current, in_port, from_table)
+                forwarded = True
+            elif isinstance(action, GotoTable):
+                self._run_pipeline(current, in_port, action.table_id)
+                return
+            elif isinstance(action, Drop):
+                self.packets_dropped += 1
+                return
+        if not forwarded:
+            self.packets_dropped += 1
+
+    def _transmit(self, out_port: int, packet: Packet, in_port: int) -> None:
+        # Hairpin output (out the ingress port) is permitted, matching
+        # OpenFlow's OFPP_IN_PORT semantics; the HSA transfer function
+        # models the same behaviour so analysis and emulation agree.
+        port = self.ports.get(out_port)
+        if port is None or not port.up:
+            self.packets_dropped += 1
+            return
+        port.tx_packets += 1
+        self.packets_forwarded += 1
+        if self.transmit is not None:
+            self.transmit(self, out_port, packet)
+
+    def _send_packet_in(self, packet: Packet, in_port: int, table_id: int) -> None:
+        message = PacketIn(
+            dpid=self.dpid,
+            in_port=in_port,
+            reason=PacketInReason.ACTION,
+            packet=packet,
+            table_id=table_id,
+        )
+        for channel in self._channels:
+            channel.send_to_controller(message)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def rule_count(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    def configuration_signature(self) -> tuple:
+        """Content identity of this switch's full configuration."""
+        return (
+            self.dpid,
+            tuple(table.signature() for table in self.tables),
+            self.meters.signature(),
+        )

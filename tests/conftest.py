@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Testbeds are expensive (key generation + deployment), so the common ones
+are session-scoped; tests that mutate state (arm attacks, send traffic)
+build their own via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataplane.topologies import isp_topology, linear_topology
+from repro.testbed import Testbed, build_testbed
+
+
+@pytest.fixture(scope="session")
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def isp_bed_readonly() -> Testbed:
+    """A settled isolated ISP deployment — treat as read-only."""
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+@pytest.fixture()
+def isp_bed() -> Testbed:
+    """A fresh isolated ISP deployment per test (mutable)."""
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+@pytest.fixture()
+def linear_bed() -> Testbed:
+    """A small linear network with flat (any-to-any) routing."""
+    return build_testbed(
+        linear_topology(3, hosts_per_switch=1, clients=["alice", "bob"]),
+        isolate_clients=False,
+        seed=7,
+    )

@@ -1,0 +1,108 @@
+"""Unit tests for actions and meter tables."""
+
+import pytest
+
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+    output_ports,
+    sends_to_controller,
+)
+from repro.openflow.meters import MeterBand, MeterEntry, MeterTable
+
+
+class TestActionValidation:
+    def test_setfield_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            SetField("ttl", 1)
+
+    def test_pushvlan_range(self):
+        with pytest.raises(ValueError):
+            PushVlan(0)
+        with pytest.raises(ValueError):
+            PushVlan(4096)
+        assert PushVlan(1).vlan_id == 1
+
+    def test_goto_must_move_forward(self):
+        with pytest.raises(ValueError):
+            GotoTable(0)
+        assert GotoTable(1).table_id == 1
+
+    def test_output_ports_helper(self):
+        actions = (SetField("vlan_id", 2), Output(1), Output(3), Drop())
+        assert output_ports(actions) == (1, 3)
+
+    def test_sends_to_controller_helper(self):
+        assert sends_to_controller((Output(1), ToController()))
+        assert not sends_to_controller((Output(1), Flood()))
+
+    def test_actions_are_hashable_and_comparable(self):
+        assert Output(1) == Output(1)
+        assert len({Output(1), Output(1), Output(2)}) == 2
+        assert PopVlan() == PopVlan()
+
+
+class TestMeterBand:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            MeterBand(rate_kbps=0)
+
+
+class TestMeterEntry:
+    def test_initial_burst_allows_traffic(self):
+        meter = MeterEntry(meter_id=1, band=MeterBand(rate_kbps=100, burst_kb=8))
+        assert meter.allow(size_bytes=500, now=0.0)
+
+    def test_burst_exhaustion_drops(self):
+        meter = MeterEntry(meter_id=1, band=MeterBand(rate_kbps=1, burst_kb=1))
+        # 1 kB burst = 8000 bits = 1000 bytes of budget at t=0.
+        assert meter.allow(900, now=0.0)
+        assert not meter.allow(900, now=0.0)
+        assert meter.packets_dropped == 1
+
+    def test_refill_over_time(self):
+        meter = MeterEntry(meter_id=1, band=MeterBand(rate_kbps=8, burst_kb=1))
+        assert meter.allow(1000, now=0.0)  # drain the bucket
+        assert not meter.allow(1000, now=0.1)
+        # 8 kbps for 1 s = 8000 bits = 1000 bytes.
+        assert meter.allow(1000, now=1.2)
+
+    def test_bucket_capped_at_burst(self):
+        meter = MeterEntry(meter_id=1, band=MeterBand(rate_kbps=1000, burst_kb=1))
+        meter.allow(1, now=100.0)  # long idle must not overfill
+        assert meter.tokens_bits <= meter.band.burst_kb * 8000
+
+    def test_counters(self):
+        meter = MeterEntry(meter_id=1, band=MeterBand(rate_kbps=1, burst_kb=1))
+        meter.allow(100, now=0.0)
+        meter.allow(10000, now=0.0)
+        assert (meter.packets_passed, meter.packets_dropped) == (1, 1)
+
+
+class TestMeterTable:
+    def test_add_get_remove(self):
+        table = MeterTable()
+        table.add(1, MeterBand(rate_kbps=100))
+        assert table.get(1) is not None
+        assert table.remove(1) is not None
+        assert table.get(1) is None
+        assert table.remove(1) is None
+
+    def test_entries_sorted_by_id(self):
+        table = MeterTable()
+        table.add(5, MeterBand(rate_kbps=100))
+        table.add(2, MeterBand(rate_kbps=200))
+        assert [m.meter_id for m in table.entries()] == [2, 5]
+
+    def test_signature_reflects_contents(self):
+        a, b = MeterTable(), MeterTable()
+        a.add(1, MeterBand(rate_kbps=100))
+        assert a.signature() != b.signature()
+        b.add(1, MeterBand(rate_kbps=100))
+        assert a.signature() == b.signature()

@@ -1,0 +1,148 @@
+"""Unit tests for repro.netlib.addresses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlib.addresses import (
+    BROADCAST_MAC,
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    ip,
+    mac,
+)
+
+
+class TestMacAddress:
+    def test_parse_colon_notation(self):
+        addr = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert addr.value == 0xAABBCCDDEEFF
+
+    def test_parse_dash_notation(self):
+        assert MacAddress.parse("aa-bb-cc-dd-ee-ff").value == 0xAABBCCDDEEFF
+
+    def test_str_roundtrip(self):
+        addr = MacAddress(0x020000000102)
+        assert MacAddress.parse(str(addr)) == addr
+
+    def test_str_formats_lowercase_padded(self):
+        assert str(MacAddress(0x01)) == "00:00:00:00:00:01"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_rejects_malformed_text(self):
+        for bad in ("aa:bb:cc", "zz:bb:cc:dd:ee:ff", "aabbccddeeff", ""):
+            with pytest.raises(ValueError):
+                MacAddress.parse(bad)
+
+    def test_from_host_index_is_locally_administered_unicast(self):
+        addr = MacAddress.from_host_index(5)
+        assert not addr.is_multicast
+        assert (addr.value >> 40) == 0x02
+
+    def test_from_host_index_distinct(self):
+        assert MacAddress.from_host_index(1) != MacAddress.from_host_index(2)
+
+    def test_from_host_index_range(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_host_index(1 << 24)
+
+    def test_broadcast(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert BROADCAST_MAC.is_multicast
+        assert not MacAddress(0).is_broadcast
+
+    def test_ordering_and_hash(self):
+        a, b = MacAddress(1), MacAddress(2)
+        assert a < b
+        assert len({a, b, MacAddress(1)}) == 2
+
+
+class TestIPv4Address:
+    def test_parse(self):
+        assert IPv4Address.parse("10.0.0.1").value == (10 << 24) | 1
+
+    def test_str_roundtrip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "192.168.1.42"):
+            assert str(IPv4Address.parse(text)) == text
+
+    def test_rejects_octet_overflow(self):
+        with pytest.raises(ValueError):
+            IPv4Address.parse("256.0.0.1")
+
+    def test_rejects_malformed(self):
+        for bad in ("10.0.0", "10.0.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                IPv4Address.parse(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        addr = IPv4Address(value)
+        assert IPv4Address.parse(str(addr)) == addr
+
+
+class TestIPv4Network:
+    def test_parse_and_str(self):
+        net = IPv4Network.parse("10.0.0.0/8")
+        assert str(net) == "10.0.0.0/8"
+        assert net.prefix_len == 8
+
+    def test_contains(self):
+        net = IPv4Network.parse("10.1.0.0/16")
+        assert net.contains(IPv4Address.parse("10.1.2.3"))
+        assert not net.contains(IPv4Address.parse("10.2.0.0"))
+
+    def test_zero_prefix_contains_everything(self):
+        net = IPv4Network.parse("0.0.0.0/0")
+        assert net.contains(IPv4Address.parse("255.255.255.255"))
+
+    def test_slash32_is_exact(self):
+        net = IPv4Network.parse("10.0.0.1/32")
+        assert net.contains(IPv4Address.parse("10.0.0.1"))
+        assert not net.contains(IPv4Address.parse("10.0.0.2"))
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            IPv4Network.parse("10.0.0.1/8")
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ValueError):
+            IPv4Network(IPv4Address(0), 33)
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(IPv4Network.parse("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_hosts_slash31_keeps_both(self):
+        hosts = list(IPv4Network.parse("10.0.0.0/31").hosts())
+        assert len(hosts) == 2
+
+    def test_in_network_helper(self):
+        assert IPv4Address.parse("10.0.0.1").in_network(
+            IPv4Network.parse("10.0.0.0/24")
+        )
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_has_prefix_len_bits(self, prefix_len):
+        net = IPv4Network(IPv4Address(0), prefix_len)
+        assert bin(net.mask).count("1") == prefix_len
+
+
+class TestCoercionHelpers:
+    def test_mac_coercions(self):
+        assert mac("aa:bb:cc:dd:ee:ff") == MacAddress(0xAABBCCDDEEFF)
+        assert mac(5) == MacAddress(5)
+        assert mac(MacAddress(7)) == MacAddress(7)
+
+    def test_ip_coercions(self):
+        assert ip("10.0.0.1") == IPv4Address.parse("10.0.0.1")
+        assert ip(42) == IPv4Address(42)
+        assert ip(IPv4Address(9)) == IPv4Address(9)

@@ -1,0 +1,96 @@
+"""Tests for the QoS / dedicated-bandwidth query."""
+
+import pytest
+
+from repro.attacks import DiversionAttack, GeoViolationAttack
+from repro.core.queries import BandwidthQuery
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+class TestBenign:
+    def test_all_routes_at_full_capacity(self, bed):
+        answer = bed.service.answer_locally("alice", BandwidthQuery())
+        assert answer.reports
+        assert answer.worst_bottleneck_mbps == 1000.0
+        for report in answer.reports:
+            assert report.min_bottleneck_mbps == report.max_bottleneck_mbps == 1000.0
+
+    def test_contract_check(self, bed):
+        assert bed.service.answer_locally(
+            "alice", BandwidthQuery(minimum_mbps=500)
+        ).meets_contract
+        assert not bed.service.answer_locally(
+            "alice", BandwidthQuery(minimum_mbps=2000)
+        ).meets_contract
+
+    def test_same_switch_destination_is_unconstrained(self):
+        """A destination on the ingress switch crosses no links at all."""
+        from repro.dataplane.topologies import single_switch_topology
+
+        bed = build_testbed(
+            single_switch_topology(2, clients=["alice"]),
+            isolate_clients=True,
+            seed=1,
+        )
+        answer = bed.service.answer_locally("alice", BandwidthQuery())
+        assert answer.reports
+        assert all(
+            r.max_bottleneck_mbps == float("inf") for r in answer.reports
+        )
+        # No finite link on the path => any contract is met.
+        assert bed.service.answer_locally(
+            "alice", BandwidthQuery(minimum_mbps=10_000)
+        ).meets_contract
+
+    def test_destination_filter(self, bed):
+        answer = bed.service.answer_locally(
+            "alice", BandwidthQuery(destination_host="h_fra1")
+        )
+        assert {r.destination.host for r in answer.reports} == {"h_fra1"}
+
+    def test_snapshot_carries_capacities(self, bed):
+        snapshot = bed.service.snapshot()
+        assert snapshot.link_capacities[frozenset(("fra", "off"))] == 100.0
+        assert snapshot.link_capacities[frozenset(("ber", "fra"))] == 1000.0
+
+
+class TestUnderAttack:
+    def test_diversion_degrades_bottleneck(self, bed):
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        answer = bed.service.answer_locally("alice", BandwidthQuery(minimum_mbps=500))
+        assert not answer.meets_contract
+        degraded = next(
+            r for r in answer.reports if r.destination.host == "h_fra1"
+        )
+        assert degraded.min_bottleneck_mbps == 100.0
+
+    def test_other_destinations_unaffected(self, bed):
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        answer = bed.service.answer_locally("alice", BandwidthQuery())
+        untouched = next(
+            r for r in answer.reports if r.destination.host == "h_par1"
+        )
+        assert untouched.min_bottleneck_mbps == 1000.0
+
+    def test_geo_attack_also_visible_as_qos(self, bed):
+        """The same diversion violates two independent queries."""
+        bed.provider.compromise(
+            GeoViolationAttack("h_ber1", "h_fra1", "offshore")
+        )
+        bed.run(0.5)
+        answer = bed.service.answer_locally("alice", BandwidthQuery(minimum_mbps=500))
+        assert not answer.meets_contract
+
+    def test_in_band_roundtrip(self, bed):
+        handle = bed.ask("alice", BandwidthQuery(minimum_mbps=500))
+        assert handle.response.answer.meets_contract

@@ -1,0 +1,169 @@
+"""Tests reproducing the paper's core argument (E7): provider-trusting
+verification fails under a compromised control plane, RVaaS does not."""
+
+import pytest
+
+from repro.attacks import (
+    BlackholeAttack,
+    DiversionAttack,
+    ExfiltrationAttack,
+    GeoViolationAttack,
+    JoinAttack,
+)
+from repro.baselines import TracerouteVerifier, TrajectorySamplingVerifier
+from repro.core.queries import IsolationQuery, PathLengthQuery
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+@pytest.fixture()
+def flat_bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=False, seed=42
+    )
+
+
+class TestTracerouteBaseline:
+    def test_blind_to_diversion(self, flat_bed):
+        bed = flat_bed
+        verifier = TracerouteVerifier(bed.provider)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        assert not verifier.detects_attack("h_ber1", "h_fra1")
+
+    def test_blind_to_exfiltration(self, flat_bed):
+        bed = flat_bed
+        verifier = TracerouteVerifier(bed.provider)
+        bed.provider.compromise(ExfiltrationAttack("h_fra1", "h_off1"))
+        bed.run(0.5)
+        assert not verifier.detects_attack("h_ber1", "h_fra1")
+        # Even the reachable-set report matches expectations (the lie).
+        expected = bed.provider.report_reachable_hosts("h_fra1")
+        assert verifier.check_reachable_set("h_fra1", expected)
+
+    def test_finding_structure(self, flat_bed):
+        verifier = TracerouteVerifier(flat_bed.provider)
+        finding = verifier.check_path("h_ber1", "h_fra1")
+        assert finding.reported_path == ("ber", "fra")
+        assert not finding.suspicious
+
+    def test_detects_only_with_external_expectation(self, flat_bed):
+        """Given ground truth from elsewhere, traceroute *would* flag the
+        mismatch — but under this threat model no honest source exists."""
+        bed = flat_bed
+        verifier = TracerouteVerifier(bed.provider)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        finding = verifier.check_path(
+            "h_ber1", "h_fra1", expected_path=("ber", "fra", "off", "fra")
+        )
+        assert finding.suspicious
+
+
+class TestTrajectorySamplingBaseline:
+    def test_blind_to_diversion(self, flat_bed):
+        bed = flat_bed
+        verifier = TrajectorySamplingVerifier(bed.provider, bed.network)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        bed.network.host("h_ber1").send_udp(
+            bed.network.host("h_fra1").ip, 1000, b"x"
+        )
+        bed.run(0.5)
+        # The packet truly crossed 'off', but the provider's reporting
+        # path censors that observation.
+        assert not verifier.detects_attack("h_ber1", "h_fra1")
+        assert "off" not in verifier.observed_switch_set()
+
+    def test_true_trajectory_vs_reported(self, flat_bed):
+        bed = flat_bed
+        verifier = TrajectorySamplingVerifier(bed.provider, bed.network)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        bed.network.host("h_ber1").send_udp(
+            bed.network.host("h_fra1").ip, 1000, b"x"
+        )
+        bed.run(0.5)
+        true_path = verifier._true_trajectory("h_ber1", "h_fra1")
+        report = verifier.collect("h_ber1", "h_fra1")
+        assert "off" in true_path
+        assert "off" not in report.observed_switches
+
+
+class TestTrustedCollectorCounterfactual:
+    """With an honest collection channel, trajectory sampling recovers
+    its power for *active* flows — the paper's implied counterfactual —
+    but stays blind to attacks on flows that carried no traffic."""
+
+    def test_detects_diversion_on_active_flow(self, flat_bed):
+        from repro.baselines import TrustedCollectorTrajectoryVerifier
+
+        bed = flat_bed
+        verifier = TrustedCollectorTrajectoryVerifier(bed.provider, bed.network)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        bed.network.host("h_ber1").send_udp(
+            bed.network.host("h_fra1").ip, 1000, b"x"
+        )
+        bed.run(0.5)
+        assert verifier.detects_attack("h_ber1", "h_fra1")
+        assert "off" in verifier.observed_switch_set()
+
+    def test_blind_without_traffic_where_rvaas_is_not(self, bed):
+        """A join attack never exercised by packets: sampling sees
+        nothing even with a trusted collector; RVaaS's static analysis
+        flags it anyway."""
+        from repro.baselines import TrustedCollectorTrajectoryVerifier
+
+        verifier = TrustedCollectorTrajectoryVerifier(bed.provider, bed.network)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        # No covert traffic is ever sent.
+        assert not verifier.detects_attack("h_ber2", "h_fra1")
+        assert not bed.service.answer_locally("alice", IsolationQuery()).isolated
+
+
+class TestRVaaSDetectsWhatBaselinesMiss:
+    @pytest.mark.parametrize(
+        "attack_factory, query, check",
+        [
+            (
+                lambda: JoinAttack("h_ber2", "h_fra1"),
+                IsolationQuery(),
+                lambda answer: not answer.isolated,
+            ),
+            (
+                lambda: ExfiltrationAttack("h_fra1", "h_off1"),
+                IsolationQuery(),
+                lambda answer: not answer.isolated,
+            ),
+        ],
+    )
+    def test_isolation_attacks(self, bed, attack_factory, query, check):
+        baseline = TracerouteVerifier(bed.provider)
+        bed.provider.compromise(attack_factory())
+        bed.run(0.5)
+        # Baseline sees nothing.
+        assert not baseline.detects_attack("h_ber1", "h_fra1")
+        # RVaaS does.
+        assert check(bed.service.answer_locally("alice", query))
+
+    def test_diversion_detected_by_path_length(self, flat_bed):
+        bed = flat_bed
+        baseline = TracerouteVerifier(bed.provider)
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        bed.run(0.5)
+        assert not baseline.detects_attack("h_ber1", "h_fra1")
+        answer = bed.service.answer_locally("alice", PathLengthQuery())
+        assert not answer.optimal
+
+    def test_no_false_positives_when_benign(self, bed):
+        baseline = TracerouteVerifier(bed.provider)
+        assert not baseline.detects_attack("h_ber1", "h_fra1")
+        assert bed.service.answer_locally("alice", IsolationQuery()).isolated

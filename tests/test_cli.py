@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, QUERIES, main, parse_topology
+
+
+class TestParsing:
+    def test_parse_topology_specs(self):
+        assert len(parse_topology("isp", ["a"]).switches) == 5
+        assert len(parse_topology("linear:6", ["a"]).switches) == 6
+        assert len(parse_topology("fat-tree:4", ["a"]).switches) == 20
+        assert len(parse_topology("ring:5", ["a"]).switches) == 5
+        assert len(parse_topology("single:3", ["a"]).hosts) == 3
+
+    def test_parse_topology_defaults(self):
+        assert len(parse_topology("linear", ["a"]).switches) == 4
+
+    def test_unknown_topology_exits(self):
+        with pytest.raises(SystemExit):
+            parse_topology("torus:3", ["a"])
+
+    def test_query_registry_complete(self):
+        assert {"isolation", "geo", "bandwidth", "fairness"} <= set(QUERIES)
+        for factory in QUERIES.values():
+            factory()  # constructible
+
+    def test_experiment_index_shape(self):
+        assert len(EXPERIMENTS) == 15
+        assert all(exp[0].startswith("E") for exp in EXPERIMENTS)
+
+
+class TestCommands:
+    def test_topologies_command(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "fat-tree" in out and "isp" in out
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out and "bench_baseline_comparison.py" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "isolated=True" in out
+        assert "isolated=False" in out
+        assert "covert access point" in out
+
+    def test_query_command_benign(self, capsys):
+        assert main(["query", "geo", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "GeoLocationQuery" in out
+        assert "offshore" not in out.split("answer")[-1]
+
+    def test_query_command_with_attack(self, capsys):
+        assert (
+            main(["query", "isolation", "--attack", "join", "--seed", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "isolated=False" in out
+
+    def test_query_unknown_query_exits(self):
+        with pytest.raises(SystemExit):
+            main(["query", "frobnicate"])
+
+    def test_query_unknown_attack_exits(self):
+        with pytest.raises(SystemExit):
+            main(["query", "geo", "--attack", "ddos"])

@@ -1,0 +1,214 @@
+"""Unit tests for the crypto substrate (numbers, keys, sign, cipher)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import (
+    SecureChannelKeys,
+    hmac_tag,
+    hmac_verify,
+    hybrid_decrypt,
+    hybrid_encrypt,
+    keystream_decrypt,
+    keystream_encrypt,
+)
+from repro.crypto.keys import generate_keypair
+from repro.crypto.numbers import (
+    bytes_to_int,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    modinv,
+)
+from repro.crypto.sign import (
+    SignatureError,
+    canonical_bytes,
+    require_valid,
+    sign,
+    verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair("tester", rng=random.Random(99))
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair("other", rng=random.Random(100))
+
+
+class TestNumbers:
+    def test_small_primes_recognised(self):
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_composites_rejected(self):
+        for n in (0, 1, 4, 100, 7917, 561, 41041):  # incl. Carmichael numbers
+            assert not is_probable_prime(n)
+
+    def test_generate_prime_bits_and_primality(self):
+        rng = random.Random(3)
+        p = generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_generate_prime_deterministic(self):
+        assert generate_prime(64, random.Random(5)) == generate_prime(
+            64, random.Random(5)
+        )
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))
+
+    def test_modinv(self):
+        assert (3 * modinv(3, 11)) % 11 == 1
+        with pytest.raises(ValueError):
+            modinv(6, 9)  # gcd != 1
+
+    @given(st.integers(min_value=0, max_value=1 << 128))
+    def test_int_bytes_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_int_to_bytes_fixed_length(self):
+        assert len(int_to_bytes(1, 32)) == 32
+
+    def test_int_to_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+
+class TestKeys:
+    def test_keygen_deterministic(self):
+        a = generate_keypair("x", rng=random.Random(7))
+        b = generate_keypair("x", rng=random.Random(7))
+        assert a.public == b.public and a.private == b.private
+
+    def test_keygen_distinct_seeds(self):
+        a = generate_keypair("x", rng=random.Random(7))
+        b = generate_keypair("x", rng=random.Random(8))
+        assert a.public != b.public
+
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() >= 500
+
+    def test_fingerprint_stable_and_short(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+
+class TestSign:
+    def test_sign_verify_roundtrip(self, keypair):
+        signature = sign(b"message", keypair.private)
+        assert verify(b"message", signature, keypair.public)
+
+    def test_verify_rejects_other_message(self, keypair):
+        signature = sign(b"message", keypair.private)
+        assert not verify(b"other", signature, keypair.public)
+
+    def test_verify_rejects_wrong_key(self, keypair, other_keypair):
+        signature = sign(b"message", keypair.private)
+        assert not verify(b"message", signature, other_keypair.public)
+
+    def test_verify_rejects_out_of_range_signature(self, keypair):
+        assert not verify(b"m", keypair.public.n + 1, keypair.public)
+        assert not verify(b"m", -1, keypair.public)
+
+    def test_sign_structured_objects(self, keypair):
+        message = {"b": (1, 2), "a": frozenset({"x", "y"})}
+        signature = sign(message, keypair.private)
+        # Same content, different construction order -> same signature.
+        equivalent = {"a": frozenset({"y", "x"}), "b": (1, 2)}
+        assert verify(equivalent, signature, keypair.public)
+
+    def test_canonical_bytes_dataclass(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Point:
+            x: int
+            y: int
+
+        assert canonical_bytes(Point(1, 2)) == canonical_bytes(Point(1, 2))
+        assert canonical_bytes(Point(1, 2)) != canonical_bytes(Point(2, 1))
+
+    def test_require_valid_raises(self, keypair):
+        with pytest.raises(SignatureError):
+            require_valid(b"m", 12345, keypair.public)
+
+
+class TestKeystream:
+    def test_roundtrip(self):
+        key, nonce = b"k" * 32, b"n" * 12
+        plaintext = b"the quick brown fox" * 10
+        ciphertext = keystream_encrypt(key, nonce, plaintext)
+        assert ciphertext != plaintext
+        assert keystream_decrypt(key, nonce, ciphertext) == plaintext
+
+    def test_nonce_changes_stream(self):
+        key = b"k" * 32
+        a = keystream_encrypt(key, b"a" * 12, b"same")
+        b = keystream_encrypt(key, b"b" * 12, b"same")
+        assert a != b
+
+    def test_empty_plaintext(self):
+        assert keystream_encrypt(b"k", b"n", b"") == b""
+
+
+class TestHybrid:
+    def test_roundtrip(self, keypair):
+        rng = random.Random(0)
+        ciphertext = hybrid_encrypt(b"secret query", keypair.public, rng)
+        assert hybrid_decrypt(ciphertext, keypair.private) == b"secret query"
+
+    def test_wrong_key_garbles(self, keypair, other_keypair):
+        rng = random.Random(0)
+        ciphertext = hybrid_encrypt(b"secret query", keypair.public, rng)
+        assert hybrid_decrypt(ciphertext, other_keypair.private) != b"secret query"
+
+    def test_ciphertext_hides_plaintext(self, keypair):
+        rng = random.Random(0)
+        ciphertext = hybrid_encrypt(b"secret query", keypair.public, rng)
+        assert b"secret" not in ciphertext.body
+
+    @settings(max_examples=20)
+    @given(st.binary(max_size=512))
+    def test_roundtrip_property(self, plaintext):
+        keypair = generate_keypair("prop", rng=random.Random(55))
+        ciphertext = hybrid_encrypt(plaintext, keypair.public, random.Random(1))
+        assert hybrid_decrypt(ciphertext, keypair.private) == plaintext
+
+
+class TestHmacAndChannelKeys:
+    def test_hmac_verify(self):
+        tag = hmac_tag(b"key", b"message")
+        assert hmac_verify(b"key", b"message", tag)
+        assert not hmac_verify(b"key", b"other", tag)
+        assert not hmac_verify(b"other", b"message", tag)
+
+    def test_channel_protect_roundtrip(self):
+        keys = SecureChannelKeys.derive("chan", b"master")
+        ciphertext, tag = keys.protect(b"flowmod", sequence=3)
+        assert keys.unprotect(ciphertext, tag, sequence=3) == b"flowmod"
+
+    def test_channel_rejects_tamper(self):
+        keys = SecureChannelKeys.derive("chan", b"master")
+        ciphertext, tag = keys.protect(b"flowmod", sequence=3)
+        tampered = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        with pytest.raises(ValueError):
+            keys.unprotect(tampered, tag, sequence=3)
+
+    def test_channel_rejects_replay_at_other_sequence(self):
+        keys = SecureChannelKeys.derive("chan", b"master")
+        ciphertext, tag = keys.protect(b"flowmod", sequence=3)
+        with pytest.raises(ValueError):
+            keys.unprotect(ciphertext, tag, sequence=4)
+
+    def test_derive_is_per_channel(self):
+        a = SecureChannelKeys.derive("chan-a", b"master")
+        b = SecureChannelKeys.derive("chan-b", b"master")
+        assert a.enc_key != b.enc_key and a.auth_key != b.auth_key

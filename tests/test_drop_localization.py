@@ -1,0 +1,147 @@
+"""Tests for drop tracking in HSA and the dead-end audit."""
+
+import pytest
+
+from repro.attacks import BlackholeAttack
+from repro.dataplane.topologies import isp_topology, linear_topology
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import NetworkTransferFunction
+from repro.hsa.reachability import ReachabilityAnalyzer
+from repro.hsa.transfer import SnapshotRule, SwitchTransferFunction
+from repro.hsa.wildcard import Wildcard
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from repro.testbed import build_testbed
+
+
+def rule(match, actions, priority=0):
+    return SnapshotRule(
+        table_id=0, priority=priority, match=match, actions=tuple(actions)
+    )
+
+
+class TestApplyWithDrops:
+    def test_table_miss_drops_everything(self):
+        tf = SwitchTransferFunction("s1", [], ports=(1, 2))
+        emissions, dropped = tf.apply_with_drops(1, HeaderSpace.all())
+        assert emissions == []
+        assert dropped == HeaderSpace.all()
+
+    def test_forwarded_space_not_dropped(self):
+        tf = SwitchTransferFunction(
+            "s1", [rule(Match.any(), (Output(2),))], ports=(1, 2)
+        )
+        emissions, dropped = tf.apply_with_drops(1, HeaderSpace.all())
+        assert len(emissions) == 1
+        assert dropped.is_empty()
+
+    def test_drop_rule_space_accounted(self):
+        tf = SwitchTransferFunction(
+            "s1",
+            [
+                rule(Match.build(tp_dst=80), (Drop(),), priority=10),
+                rule(Match.any(), (Output(2),), priority=1),
+            ],
+            ports=(1, 2),
+        )
+        emissions, dropped = tf.apply_with_drops(1, HeaderSpace.all())
+        assert dropped.contains_point(Wildcard.from_fields(tp_dst=80).value)
+        assert not dropped.contains_point(Wildcard.from_fields(tp_dst=81).value)
+
+    def test_partition_is_exact(self):
+        tf = SwitchTransferFunction(
+            "s1",
+            [rule(Match.build(tp_dst=80), (Output(2),), priority=5)],
+            ports=(1, 2),
+        )
+        emissions, dropped = tf.apply_with_drops(1, HeaderSpace.all())
+        forwarded = emissions[0][1]
+        assert HeaderSpace.all() == forwarded.union(dropped)
+        assert not forwarded.overlaps(dropped)
+
+
+class TestReachabilityDropCollection:
+    def make_chain(self):
+        dst = Match.build(ip_dst="10.0.0.9")
+        tfs = {
+            "s1": SwitchTransferFunction(
+                "s1", [rule(dst, (Output(2),))], ports=(1, 2, 3)
+            ),
+            "s2": SwitchTransferFunction("s2", [], ports=(1, 2, 3)),
+        }
+        wiring = {("s1", 2): ("s2", 3), ("s2", 3): ("s1", 2)}
+        edges = {"s1": frozenset([1]), "s2": frozenset([1])}
+        return NetworkTransferFunction(tfs, wiring, edges)
+
+    def test_midpath_drop_found(self):
+        analyzer = ReachabilityAnalyzer(self.make_chain(), collect_drops=True)
+        space = HeaderSpace.single(
+            Wildcard.from_match(Match.build(ip_dst="10.0.0.9"))
+        )
+        result = analyzer.analyze("s1", 1, space)
+        mid = [z for z in result.drops if z.depth > 0]
+        assert len(mid) == 1
+        assert mid[0].switch == "s2"
+
+    def test_ingress_drop_depth_zero(self):
+        analyzer = ReachabilityAnalyzer(self.make_chain(), collect_drops=True)
+        # Traffic the first switch has no rule for dies at depth 0.
+        space = HeaderSpace.single(
+            Wildcard.from_match(Match.build(ip_dst="10.0.0.8"))
+        )
+        result = analyzer.analyze("s1", 1, space)
+        assert result.drops and all(z.depth == 0 for z in result.drops)
+
+    def test_disabled_by_default(self):
+        analyzer = ReachabilityAnalyzer(self.make_chain())
+        space = HeaderSpace.single(
+            Wildcard.from_match(Match.build(ip_dst="10.0.0.9"))
+        )
+        assert analyzer.analyze("s1", 1, space).drops == []
+
+
+class TestDeadEndAudit:
+    def test_benign_network_has_no_dead_ends(self):
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+        )
+        assert bed.service.audit_dead_ends("alice") == []
+
+    def test_blackhole_localized(self):
+        bed = build_testbed(
+            linear_topology(4, hosts_per_switch=1, clients=["a", "b"]),
+            isolate_clients=True,
+            seed=7,
+        )
+        # Drop a->a traffic NOT at its ingress but mid-path: install the
+        # drop at s2 (transit for h1->h3).
+        h1 = bed.topology.hosts["h1"]
+        h3 = bed.topology.hosts["h3"]
+        bed.provider.install_flow(
+            "s2",
+            Match(ip_src=h1.ip, ip_dst=h3.ip),
+            (Drop(),),
+            priority=20,
+        )
+        bed.run(0.5)
+        dead_ends = bed.service.audit_dead_ends("a")
+        assert dead_ends
+        assert {z.switch for z in dead_ends} == {"s2"}
+        assert all(z.depth > 0 for z in dead_ends)
+
+    def test_ingress_guards_not_flagged(self):
+        """The isolation policy's own guard drops are depth-0 policy,
+        never reported as dead ends."""
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+        )
+        bed.provider.compromise(BlackholeAttack("h_ber1", "h_fra1"))
+        bed.run(0.5)
+        # This blackhole sits at the *ingress* switch of the victim flow
+        # (ber), where alice's own traffic enters -> depth 0 from ber,
+        # but alice's other hosts' traffic toward h_fra1... still flows.
+        dead_ends = bed.service.audit_dead_ends("alice")
+        # The drop happens at depth 0 relative to the h_ber1 ingress, so
+        # the audit (mid-path only) stays quiet; detection of this case
+        # belongs to ReachingSourcesQuery instead.
+        assert dead_ends == []

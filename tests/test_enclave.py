@@ -1,0 +1,107 @@
+"""Unit tests for the SGX-style attestation model."""
+
+import random
+
+import pytest
+
+from repro.crypto.enclave import (
+    AttestationError,
+    AttestationVerifier,
+    Enclave,
+    Measurement,
+    make_attestation_root,
+)
+from repro.crypto.keys import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def root():
+    return make_attestation_root(random.Random(11))
+
+
+class TestMeasurement:
+    def test_same_code_same_measurement(self):
+        assert Measurement.of_code("app-1.0") == Measurement.of_code("app-1.0")
+
+    def test_different_code_different_measurement(self):
+        assert Measurement.of_code("app-1.0") != Measurement.of_code("app-1.1")
+
+
+class TestQuotes:
+    def test_genuine_quote_verifies(self, root):
+        key, verifier = root
+        enclave = Enclave("rvaas-1.0", key)
+        quote = enclave.quote("report-data")
+        verifier.verify_quote(quote, Measurement.of_code("rvaas-1.0"))
+
+    def test_wrong_measurement_rejected(self, root):
+        key, verifier = root
+        enclave = Enclave("evil-1.0", key)
+        quote = enclave.quote("report-data")
+        with pytest.raises(AttestationError, match="measurement mismatch"):
+            verifier.verify_quote(quote, Measurement.of_code("rvaas-1.0"))
+
+    def test_fake_attestation_key_rejected(self, root):
+        _key, verifier = root
+        fake_key = generate_keypair("fake-root", rng=random.Random(12))
+        enclave = Enclave("rvaas-1.0", fake_key)
+        quote = enclave.quote("report-data")
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify_quote(quote, Measurement.of_code("rvaas-1.0"))
+
+    def test_tampered_report_data_rejected(self, root):
+        from dataclasses import replace
+
+        key, verifier = root
+        enclave = Enclave("rvaas-1.0", key)
+        quote = replace(enclave.quote("honest"), report_data="tampered")
+        with pytest.raises(AttestationError):
+            verifier.verify_quote(quote, Measurement.of_code("rvaas-1.0"))
+
+    def test_enclave_run_executes(self, root):
+        key, _verifier = root
+        enclave = Enclave("rvaas-1.0", key)
+        assert enclave.run(lambda a, b: a + b, 2, 3) == 5
+
+
+class TestServiceAttestation:
+    def test_setup_and_provider_acceptance(self, root):
+        from repro.core.attestation import (
+            provider_accepts,
+            setup_attested_service,
+        )
+
+        key, verifier = root
+        service = setup_attested_service(key, random.Random(77))
+        assert provider_accepts(service, verifier)
+
+    def test_fake_service_rejected_by_provider(self, root):
+        from repro.core.attestation import provider_accepts, setup_attested_service
+
+        key, verifier = root
+        service = setup_attested_service(
+            key, random.Random(77), code_identity="trojaned-rvaas"
+        )
+        assert not provider_accepts(service, verifier)
+
+    def test_client_verifies_key_binding(self, root):
+        from repro.core.attestation import (
+            expected_measurement,
+            setup_attested_service,
+        )
+        from repro.core.client import AttestationFailure, RVaaSClient
+
+        key, verifier = root
+        service = setup_attested_service(key, random.Random(78))
+        RVaaSClient.verify_service(
+            service.quote,
+            service.service_keypair.public,
+            expected_measurement(),
+            verifier,
+        )
+        # A different key under the same (valid) quote must fail.
+        imposter = generate_keypair("imposter", rng=random.Random(79))
+        with pytest.raises(AttestationFailure):
+            RVaaSClient.verify_service(
+                service.quote, imposter.public, expected_measurement(), verifier
+            )

@@ -1,0 +1,40 @@
+"""Integration: every example script must run clean, end to end.
+
+Examples are documentation that executes; letting them rot defeats their
+purpose.  Each is run in a subprocess with a generous timeout and must
+exit 0 without tracebacks.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Traceback" not in result.stderr
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "isolation_case_study",
+        "geo_location_case_study",
+        "compromised_controller_tour",
+        "multi_provider_federation",
+        "forensics_and_replication",
+        "proactive_alerts",
+    } <= names

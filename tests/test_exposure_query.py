@@ -1,0 +1,73 @@
+"""Tests for the client-facing exposure-history query (§IV-C)."""
+
+import pytest
+
+from repro.attacks import JoinAttack
+from repro.core.queries import ExposureHistoryQuery
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+def flap_attack(bed, attacker="h_ber2", victim="h_fra1", hold=0.4):
+    attack = JoinAttack(attacker, victim)
+    bed.provider.compromise(attack)
+    bed.run(hold)
+    bed.provider.retreat(attack)
+    bed.run(hold)
+    return attack
+
+
+class TestExposureHistoryQuery:
+    def test_clean_history(self, bed):
+        bed.run(0.5)
+        answer = bed.ask("alice", ExposureHistoryQuery()).response.answer
+        assert not answer.any_exposure
+        assert {r.host for r in answer.reports} == {"h_ber1", "h_fra1", "h_par1"}
+        assert answer.history_entries_analyzed > 0
+
+    def test_removed_attack_still_reported(self, bed):
+        """The point of the query: the client was offline during the
+        attack, the configuration is clean again, yet the answer shows
+        the past exposure with its window and ingress."""
+        flap_attack(bed)
+        answer = bed.ask("alice", ExposureHistoryQuery()).response.answer
+        assert answer.any_exposure
+        exposed = next(r for r in answer.reports if r.host == "h_fra1")
+        window = exposed.windows[0]
+        assert window.closed_at is not None
+        assert {e.host for e in window.ingress_endpoints} == {"h_ber2"}
+
+    def test_victim_host_filter(self, bed):
+        flap_attack(bed)
+        answer = bed.ask(
+            "alice", ExposureHistoryQuery(victim_host="h_par1")
+        ).response.answer
+        assert {r.host for r in answer.reports} == {"h_par1"}
+        assert not answer.any_exposure
+
+    def test_open_window_reported(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.4)
+        answer = bed.service.answer_locally("alice", ExposureHistoryQuery())
+        exposed = next(r for r in answer.reports if r.host == "h_fra1")
+        assert exposed.windows[-1].closed_at is None
+
+    def test_local_and_inband_agree(self, bed):
+        flap_attack(bed)
+        local = bed.service.answer_locally("alice", ExposureHistoryQuery())
+        inband = bed.ask("alice", ExposureHistoryQuery()).response.answer
+        assert local.any_exposure == inband.any_exposure
+        assert len(local.reports) == len(inband.reports)
+
+    def test_other_client_sees_nothing_about_alice(self, bed):
+        flap_attack(bed)
+        answer = bed.service.answer_locally("bob", ExposureHistoryQuery())
+        # bob's own report covers only bob's hosts.
+        assert {r.host for r in answer.reports} == {"h_ber2", "h_ams1", "h_off1"}

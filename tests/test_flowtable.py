@@ -1,0 +1,180 @@
+"""Unit tests for flow entries and priority-ordered tables."""
+
+import pytest
+
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.packet import Packet
+from repro.openflow.actions import Drop, Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+
+
+def packet(dst="10.0.0.2", dport=2000):
+    return Packet(
+        eth_src=MacAddress.from_host_index(1),
+        eth_dst=MacAddress.from_host_index(2),
+        ip_src=IPv4Address.parse("10.0.0.1"),
+        ip_dst=IPv4Address.parse(dst),
+        tp_src=1000,
+        tp_dst=dport,
+    )
+
+
+def entry(match=None, priority=0, actions=(Output(1),), **kwargs):
+    return FlowEntry(
+        match=match or Match.any(),
+        actions=tuple(actions),
+        priority=priority,
+        **kwargs,
+    )
+
+
+class TestLookup:
+    def test_empty_table_misses(self):
+        assert FlowTable().lookup(packet(), 1) is None
+
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = entry(priority=1, actions=(Output(1),))
+        high = entry(priority=10, actions=(Output(2),))
+        table.add(low)
+        table.add(high)
+        assert table.lookup(packet(), 1) is high
+
+    def test_priority_tie_first_installed_wins(self):
+        table = FlowTable()
+        first = entry(priority=5, match=Match.build(tp_dst=2000))
+        second = entry(priority=5, match=Match.build(ip_dst="10.0.0.2"))
+        table.add(first)
+        table.add(second)
+        assert table.lookup(packet(), 1) is first
+
+    def test_non_matching_entries_skipped(self):
+        table = FlowTable()
+        table.add(entry(priority=10, match=Match.build(tp_dst=9999)))
+        table.add(entry(priority=1, match=Match.any()))
+        assert table.lookup(packet(), 1).priority == 1
+
+
+class TestMutation:
+    def test_add_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        table.add(entry(priority=5, actions=(Output(1),)))
+        table.add(entry(priority=5, actions=(Output(2),)))
+        assert len(table) == 1
+        assert table.lookup(packet(), 1).actions == (Output(2),)
+
+    def test_remove_non_strict_subset_semantics(self):
+        table = FlowTable()
+        table.add(entry(match=Match.build(ip_dst="10.0.0.2", tp_dst=80)))
+        table.add(entry(match=Match.build(ip_dst="10.0.0.9")))
+        removed = table.remove(Match.build(ip_dst="10.0.0.0/24"))
+        assert len(removed) == 2
+        assert len(table) == 0
+
+    def test_remove_strict_requires_exact(self):
+        table = FlowTable()
+        table.add(entry(match=Match.build(ip_dst="10.0.0.2"), priority=5))
+        assert not table.remove(
+            Match.build(ip_dst="10.0.0.0/24"), priority=5, strict=True
+        )
+        assert table.remove(
+            Match.build(ip_dst="10.0.0.2"), priority=5, strict=True
+        )
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.add(entry(cookie=1))
+        table.add(entry(match=Match.build(tp_dst=80), cookie=2))
+        removed = table.remove(Match.any(), cookie=2)
+        assert len(removed) == 1 and removed[0].cookie == 2
+
+    def test_clear(self):
+        table = FlowTable()
+        table.add(entry())
+        table.add(entry(match=Match.build(tp_dst=80)))
+        table.clear()
+        assert len(table) == 0
+
+
+class TestTimeouts:
+    def test_hard_timeout(self):
+        table = FlowTable()
+        table.add(entry(hard_timeout=5.0, installed_at=0.0))
+        assert not table.expire(now=4.9)
+        assert table.expire(now=5.0)
+        assert len(table) == 0
+
+    def test_idle_timeout_resets_on_use(self):
+        table = FlowTable()
+        flow = entry(idle_timeout=2.0, installed_at=0.0)
+        table.add(flow)
+        flow.account(packet(), now=1.5)
+        assert not table.expire(now=3.0)  # last used 1.5 + 2.0 = 3.5
+        assert table.expire(now=3.5)
+
+    def test_zero_timeouts_never_expire(self):
+        table = FlowTable()
+        table.add(entry())
+        assert not table.expire(now=1e9)
+
+
+class TestObservers:
+    def test_add_and_remove_events(self):
+        table = FlowTable()
+        events = []
+        table.subscribe(lambda change: events.append((change.kind, change.reason)))
+        flow = entry(hard_timeout=1.0)
+        table.add(flow)
+        table.expire(now=2.0)
+        assert events == [("added", ""), ("removed", "timeout")]
+
+    def test_replace_notifies_removed_then_added(self):
+        table = FlowTable()
+        events = []
+        table.subscribe(lambda change: events.append(change.kind))
+        table.add(entry(priority=3, actions=(Output(1),)))
+        table.add(entry(priority=3, actions=(Output(2),)))  # real change
+        assert events == ["added", "removed", "added"]
+
+    def test_identical_readd_is_silent_noop(self):
+        """Re-asserting an identical rule (e.g. by a second controller)
+        must neither reset counters nor emit change events."""
+        table = FlowTable()
+        events = []
+        table.subscribe(lambda change: events.append(change.kind))
+        table.add(entry(priority=3, actions=(Output(1),)))
+        first = next(iter(table.entries()))
+        first.packet_count = 7
+        table.add(entry(priority=3, actions=(Output(1),)))
+        assert events == ["added"]
+        assert next(iter(table.entries())).packet_count == 7
+
+
+class TestCountersAndSignature:
+    def test_account_updates_counters(self):
+        flow = entry()
+        flow.account(packet(), now=1.0)
+        flow.account(packet(), now=2.0)
+        assert flow.packet_count == 2
+        assert flow.byte_count > 0
+        assert flow.last_used_at == 2.0
+
+    def test_signature_ignores_counters(self):
+        a = entry(priority=5)
+        b = entry(priority=5)
+        a.account(packet(), now=1.0)
+        assert a.signature() == b.signature()
+
+    def test_table_signature_order_insensitive(self):
+        t1, t2 = FlowTable(), FlowTable()
+        e1 = Match.build(tp_dst=80)
+        e2 = Match.build(tp_dst=81)
+        t1.add(entry(match=e1))
+        t1.add(entry(match=e2))
+        t2.add(entry(match=e2))
+        t2.add(entry(match=e1))
+        assert t1.signature() == t2.signature()
+
+    def test_describe_mentions_priority(self):
+        assert "prio=7" in entry(priority=7).describe()

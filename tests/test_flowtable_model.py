@@ -1,0 +1,172 @@
+"""Model-based property test for FlowTable.
+
+A stateful hypothesis test drives random add / delete / strict-delete /
+expire sequences against both the real :class:`FlowTable` and a naive
+reference model (a list with brute-force semantics).  After every step
+the two must agree on contents and on lookup results for a probe packet
+set — catching ordering, replacement, and expiry edge cases that
+example-based tests miss.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.packet import Packet
+from repro.openflow.actions import Drop, Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+
+IPS = [IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2"), None]
+DPORTS = [80, 81, None]
+PRIORITIES = [0, 1, 2]
+
+
+def make_probe(ip_index: int, dport_index: int) -> Packet:
+    return Packet(
+        eth_src=MacAddress.from_host_index(1),
+        eth_dst=MacAddress.from_host_index(2),
+        ip_src=IPv4Address.parse("10.9.9.9"),
+        ip_dst=IPS[ip_index] or IPv4Address.parse("10.0.0.3"),
+        tp_src=5,
+        tp_dst=DPORTS[dport_index] or 99,
+    )
+
+
+PROBES = [make_probe(i, j) for i in range(3) for j in range(3)]
+
+matches = st.builds(
+    Match,
+    ip_dst=st.sampled_from(IPS),
+    tp_dst=st.sampled_from(DPORTS),
+)
+actions = st.sampled_from([(Output(1),), (Output(2),), (Drop(),)])
+priorities = st.sampled_from(PRIORITIES)
+
+
+class ReferenceModel:
+    """Brute-force reimplementation of the specified table semantics."""
+
+    def __init__(self) -> None:
+        self.entries: list[dict] = []
+        self.counter = 0
+
+    def add(self, match, actions, priority, now, hard_timeout):
+        for existing in list(self.entries):
+            if existing["match"] == match and existing["priority"] == priority:
+                if (
+                    existing["actions"] == actions
+                    and existing["hard_timeout"] == hard_timeout
+                ):
+                    return  # idempotent re-add
+                self.entries.remove(existing)
+        self.counter += 1
+        self.entries.append(
+            dict(
+                match=match,
+                actions=actions,
+                priority=priority,
+                order=self.counter,
+                installed_at=now,
+                hard_timeout=hard_timeout,
+            )
+        )
+
+    def delete(self, match):
+        self.entries = [
+            e for e in self.entries if not e["match"].is_subset_of(match)
+        ]
+
+    def delete_strict(self, match, priority):
+        self.entries = [
+            e
+            for e in self.entries
+            if not (e["match"] == match and e["priority"] == priority)
+        ]
+
+    def expire(self, now):
+        self.entries = [
+            e
+            for e in self.entries
+            if not (
+                e["hard_timeout"] and now >= e["installed_at"] + e["hard_timeout"]
+            )
+        ]
+
+    def lookup(self, packet, in_port):
+        best = None
+        for entry in self.entries:
+            if not entry["match"].matches(packet, in_port):
+                continue
+            if (
+                best is None
+                or entry["priority"] > best["priority"]
+                or (
+                    entry["priority"] == best["priority"]
+                    and entry["order"] < best["order"]
+                )
+            ):
+                best = entry
+        return best
+
+
+class FlowTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = FlowTable()
+        self.model = ReferenceModel()
+        self.now = 0.0
+
+    @rule(match=matches, acts=actions, priority=priorities,
+          timeout=st.sampled_from([0.0, 5.0]))
+    def add(self, match, acts, priority, timeout):
+        self.table.add(
+            FlowEntry(
+                match=match,
+                actions=acts,
+                priority=priority,
+                installed_at=self.now,
+                hard_timeout=timeout,
+            )
+        )
+        self.model.add(match, acts, priority, self.now, timeout)
+
+    @rule(match=matches)
+    def delete(self, match):
+        self.table.remove(match)
+        self.model.delete(match)
+
+    @rule(match=matches, priority=priorities)
+    def delete_strict(self, match, priority):
+        self.table.remove(match, priority=priority, strict=True)
+        self.model.delete_strict(match, priority)
+
+    @rule(dt=st.sampled_from([1.0, 3.0, 10.0]))
+    def advance_time(self, dt):
+        self.now += dt
+        self.table.expire(self.now)
+        self.model.expire(self.now)
+
+    @invariant()
+    def same_size(self):
+        assert len(self.table) == len(self.model.entries)
+
+    @invariant()
+    def same_lookups(self):
+        for probe in PROBES:
+            real = self.table.lookup(probe, 1)
+            expected = self.model.lookup(probe, 1)
+            if expected is None:
+                assert real is None
+            else:
+                assert real is not None
+                assert real.priority == expected["priority"]
+                assert real.match == expected["match"]
+                assert real.actions == expected["actions"]
+
+
+FlowTableMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestFlowTableModel = FlowTableMachine.TestCase

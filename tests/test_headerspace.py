@@ -1,0 +1,174 @@
+"""Unit and property tests for header-space set algebra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.wildcard import Wildcard
+
+
+@st.composite
+def wildcards(draw):
+    mask = draw(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    value = draw(st.integers(min_value=0, max_value=(1 << 48) - 1)) & mask
+    return Wildcard(value=value, mask=mask)
+
+
+@st.composite
+def spaces(draw):
+    return HeaderSpace(draw(st.lists(wildcards(), max_size=4)))
+
+
+@st.composite
+def points(draw):
+    return draw(st.integers(min_value=0, max_value=(1 << 48) - 1))
+
+
+def tp(dport):
+    return Wildcard.from_fields(tp_dst=dport)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert HeaderSpace.empty().is_empty()
+        assert not HeaderSpace.all().is_empty()
+
+    def test_contains_point(self):
+        space = HeaderSpace.single(tp(80))
+        assert space.contains_point(tp(80).value)
+        assert not space.contains_point(tp(81).value)
+
+    def test_union_contains_both(self):
+        space = HeaderSpace.single(tp(80)).union(HeaderSpace.single(tp(81)))
+        assert space.contains_point(tp(80).value)
+        assert space.contains_point(tp(81).value)
+
+    def test_union_prunes_subsumed(self):
+        space = HeaderSpace.all().union(HeaderSpace.single(tp(80)))
+        assert space.complexity() == 1
+
+    def test_intersect(self):
+        a = HeaderSpace.single(tp(80))
+        b = HeaderSpace.single(Wildcard.from_fields(ip_proto=17))
+        joined = a.intersect(b)
+        assert not joined.is_empty()
+        assert joined.wildcards[0].field_constraint("tp_dst")[0] == 80
+
+    def test_intersect_disjoint_is_empty(self):
+        assert HeaderSpace.single(tp(80)).intersect(
+            HeaderSpace.single(tp(81))
+        ).is_empty()
+
+    def test_subtract_then_disjoint(self):
+        remaining = HeaderSpace.all().subtract(HeaderSpace.single(tp(80)))
+        assert not remaining.is_empty()
+        assert not remaining.overlaps(HeaderSpace.single(tp(80)))
+
+    def test_complement_partitions(self):
+        space = HeaderSpace.single(tp(80))
+        complement = space.complement()
+        assert not complement.overlaps(space)
+        assert HeaderSpace.all().is_subset_of(space.union(complement))
+
+    def test_subset(self):
+        narrow = HeaderSpace.single(Wildcard.from_fields(tp_dst=80, ip_proto=17))
+        wide = HeaderSpace.single(tp(80))
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+
+    def test_semantic_equality(self):
+        a = HeaderSpace((tp(80), tp(81)))
+        b = HeaderSpace((tp(81), tp(80)))
+        assert a == b
+        assert a != HeaderSpace.single(tp(80))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(HeaderSpace.empty())
+
+    def test_sample(self):
+        rng = random.Random(0)
+        space = HeaderSpace.single(tp(80))
+        assert space.contains_point(space.sample(rng))
+        assert HeaderSpace.empty().sample(rng) is None
+
+    def test_size_bound(self):
+        assert HeaderSpace.empty().size_log2_upper_bound() == float("-inf")
+        assert HeaderSpace.all().size_log2_upper_bound() >= 200
+
+    def test_describe_truncates(self):
+        space = HeaderSpace(tuple(tp(i) for i in range(10)))
+        assert "+6" in space.describe(limit=4)
+
+
+class TestCompaction:
+    def test_adjacent_pair_merges(self):
+        a = Wildcard.from_fields(tp_dst=80)  # ...1010000
+        b = Wildcard.from_fields(tp_dst=81)  # ...1010001
+        compacted = HeaderSpace((a, b)).compact()
+        assert compacted.complexity() == 1
+        assert compacted.contains_point(a.value)
+        assert compacted.contains_point(b.value)
+
+    def test_full_subtract_complement_recompacts(self):
+        """all() minus one wildcard then compacted back with it == all()."""
+        w = Wildcard.from_fields(tp_dst=80, ip_proto=17)
+        pieces = HeaderSpace.all().subtract(HeaderSpace.single(w))
+        rebuilt = pieces.union(HeaderSpace.single(w)).compact()
+        assert rebuilt.complexity() == 1
+        assert rebuilt == HeaderSpace.all()
+
+    def test_non_adjacent_untouched(self):
+        a = Wildcard.from_fields(tp_dst=80)
+        b = Wildcard.from_fields(tp_dst=83)  # differs in 2 bits
+        assert HeaderSpace((a, b)).compact().complexity() == 2
+
+    @settings(max_examples=100)
+    @given(spaces(), points())
+    def test_compact_preserves_semantics(self, a, p):
+        assert a.compact().contains_point(p) == a.contains_point(p)
+
+    @settings(max_examples=50)
+    @given(spaces())
+    def test_compact_never_grows(self, a):
+        assert a.compact().complexity() <= max(a.complexity(), 1) or a.is_empty()
+
+
+class TestPointSemantics:
+    @settings(max_examples=150)
+    @given(spaces(), spaces(), points())
+    def test_union_semantics(self, a, b, p):
+        assert a.union(b).contains_point(p) == (
+            a.contains_point(p) or b.contains_point(p)
+        )
+
+    @settings(max_examples=150)
+    @given(spaces(), spaces(), points())
+    def test_intersect_semantics(self, a, b, p):
+        assert a.intersect(b).contains_point(p) == (
+            a.contains_point(p) and b.contains_point(p)
+        )
+
+    @settings(max_examples=150)
+    @given(spaces(), spaces(), points())
+    def test_subtract_semantics(self, a, b, p):
+        assert a.subtract(b).contains_point(p) == (
+            a.contains_point(p) and not b.contains_point(p)
+        )
+
+    @settings(max_examples=100)
+    @given(spaces())
+    def test_subtract_self_is_empty(self, a):
+        assert a.subtract(a).is_empty()
+
+    @settings(max_examples=100)
+    @given(spaces(), spaces())
+    def test_subset_iff_subtract_empty(self, a, b):
+        assert a.is_subset_of(b) == a.subtract(b).is_empty()
+
+    @settings(max_examples=100)
+    @given(spaces(), points())
+    def test_complement_semantics(self, a, p):
+        assert a.complement().contains_point(p) == (not a.contains_point(p))

@@ -1,0 +1,142 @@
+"""Unit tests for OpenFlow match semantics."""
+
+import pytest
+
+from repro.netlib.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.netlib.packet import Packet
+from repro.openflow.match import Match
+
+
+def packet(**overrides):
+    base = dict(
+        eth_src=MacAddress.from_host_index(1),
+        eth_dst=MacAddress.from_host_index(2),
+        ip_src=IPv4Address.parse("10.0.0.1"),
+        ip_dst=IPv4Address.parse("10.0.0.2"),
+        tp_src=1000,
+        tp_dst=2000,
+        vlan_id=0,
+    )
+    base.update(overrides)
+    return Packet(**base)
+
+
+class TestMatching:
+    def test_wildcard_matches_everything(self):
+        assert Match.any().matches(packet(), in_port=1)
+
+    def test_exact_ip_dst(self):
+        match = Match.build(ip_dst="10.0.0.2")
+        assert match.matches(packet(), 1)
+        assert not match.matches(packet(ip_dst=IPv4Address.parse("10.0.0.3")), 1)
+
+    def test_prefix_ip_dst(self):
+        match = Match.build(ip_dst="10.0.0.0/24")
+        assert match.matches(packet(), 1)
+        assert not match.matches(packet(ip_dst=IPv4Address.parse("10.1.0.2")), 1)
+
+    def test_in_port(self):
+        match = Match(in_port=3)
+        assert match.matches(packet(), 3)
+        assert not match.matches(packet(), 4)
+
+    def test_eth_fields(self):
+        match = Match.build(eth_src="02:00:00:00:00:01")
+        assert match.matches(packet(), 1)
+        assert not match.matches(
+            packet(eth_src=MacAddress.from_host_index(9)), 1
+        )
+
+    def test_transport_ports(self):
+        match = Match.build(tp_src=1000, tp_dst=2000)
+        assert match.matches(packet(), 1)
+        assert not match.matches(packet(tp_dst=2001), 1)
+
+    def test_vlan(self):
+        match = Match.build(vlan_id=100)
+        assert not match.matches(packet(), 1)
+        assert match.matches(packet(vlan_id=100), 1)
+
+    def test_vlan_zero_means_untagged(self):
+        match = Match(vlan_id=0)
+        assert match.matches(packet(vlan_id=0), 1)
+        assert not match.matches(packet(vlan_id=5), 1)
+
+    def test_ip_match_on_none_header_fails(self):
+        match = Match.build(ip_src="10.0.0.1")
+        assert not match.matches(packet(ip_src=None), 1)
+
+    def test_conjunction_of_fields(self):
+        match = Match.build(ip_src="10.0.0.1", ip_dst="10.0.0.2", tp_dst=2000)
+        assert match.matches(packet(), 1)
+        assert not match.matches(packet(tp_dst=1), 1)
+
+
+class TestBuild:
+    def test_build_coerces_cidr(self):
+        match = Match.build(ip_dst="10.0.0.0/8")
+        assert isinstance(match.ip_dst, IPv4Network)
+
+    def test_build_coerces_exact_ip(self):
+        match = Match.build(ip_dst="10.0.0.1")
+        assert isinstance(match.ip_dst, IPv4Address)
+
+    def test_build_rejects_unknown_field(self):
+        with pytest.raises(KeyError):
+            Match.build(ttl=3)
+
+    def test_build_skips_none(self):
+        assert Match.build(ip_dst=None) == Match.any()
+
+
+class TestSetRelations:
+    def test_subset_wildcard_superset(self):
+        narrow = Match.build(ip_dst="10.0.0.1", tp_dst=80)
+        wide = Match.build(ip_dst="10.0.0.1")
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+
+    def test_subset_prefix(self):
+        assert Match.build(ip_dst="10.0.1.0/24").is_subset_of(
+            Match.build(ip_dst="10.0.0.0/16")
+        )
+        assert not Match.build(ip_dst="10.0.0.0/16").is_subset_of(
+            Match.build(ip_dst="10.0.1.0/24")
+        )
+
+    def test_subset_exact_in_prefix(self):
+        assert Match.build(ip_dst="10.0.0.1").is_subset_of(
+            Match.build(ip_dst="10.0.0.0/24")
+        )
+
+    def test_everything_subset_of_any(self):
+        assert Match.build(tp_dst=80, in_port=2).is_subset_of(Match.any())
+
+    def test_overlap_disjoint_fields(self):
+        a = Match.build(tp_dst=80)
+        b = Match.build(ip_dst="10.0.0.1")
+        assert a.overlaps(b)
+
+    def test_overlap_conflicting_values(self):
+        assert not Match.build(tp_dst=80).overlaps(Match.build(tp_dst=81))
+
+    def test_overlap_prefixes(self):
+        assert Match.build(ip_dst="10.0.0.0/8").overlaps(
+            Match.build(ip_dst="10.1.0.0/16")
+        )
+        assert not Match.build(ip_dst="10.0.0.0/16").overlaps(
+            Match.build(ip_dst="10.1.0.0/16")
+        )
+
+
+class TestInspection:
+    def test_specified_fields(self):
+        match = Match.build(ip_dst="10.0.0.1", tp_dst=80)
+        assert set(match.specified_fields()) == {"ip_dst", "tp_dst"}
+
+    def test_describe_wildcard(self):
+        assert Match.any().describe() == "Match(*)"
+
+    def test_describe_lists_fields(self):
+        text = Match.build(tp_dst=80).describe()
+        assert "tp_dst=80" in text

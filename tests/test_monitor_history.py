@@ -1,0 +1,262 @@
+"""Tests for configuration monitoring and snapshot history."""
+
+import pytest
+
+from repro.controlplane.controller import ControllerApp
+from repro.controlplane.provider import ProviderController
+from repro.core.history import SnapshotHistory
+from repro.core.monitor import ConfigurationMonitor, MonitorMode
+from repro.dataplane.network import Network
+from repro.dataplane.topologies import linear_topology
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+
+
+def build(mode=MonitorMode.HYBRID, mean_poll=5.0, randomize=True, seed=0):
+    topo = linear_topology(3, hosts_per_switch=1, clients=["c"])
+    net = Network(topo, seed=seed)
+    provider = ProviderController()
+    provider.attach(net)
+    provider.deploy()
+    watcher = ControllerApp("watcher")
+    watcher.attach(net)
+    monitor = ConfigurationMonitor(
+        watcher,
+        topo,
+        mode=mode,
+        mean_poll_interval=mean_poll,
+        randomize_polls=randomize,
+    )
+    # Wire the watcher's monitor-update events into the monitor.
+    watcher.on_monitor_update = monitor.handle_monitor_update  # type: ignore[assignment]
+    watcher.on_packet_in = lambda sw, msg: monitor.handle_probe(sw, msg)  # type: ignore[assignment]
+    # Probe interception (normally installed by the in-band tester).
+    from repro.netlib.constants import ETH_TYPE_LLDP
+    from repro.openflow.actions import ToController
+
+    for switch in topo.switches:
+        watcher.install_flow(
+            switch,
+            Match(eth_type=ETH_TYPE_LLDP),
+            (ToController(),),
+            priority=1001,
+        )
+    monitor.start()
+    net.run(0.5)
+    return topo, net, provider, watcher, monitor
+
+
+class TestActiveMonitoring:
+    def test_initial_poll_seeds_mirror(self):
+        topo, net, provider, watcher, monitor = build(mode=MonitorMode.ACTIVE)
+        snapshot = monitor.snapshot()
+        assert snapshot.rule_count() == net.total_rules()
+
+    def test_snapshot_matches_switch_state(self):
+        topo, net, provider, watcher, monitor = build(mode=MonitorMode.ACTIVE)
+        snapshot = monitor.snapshot()
+        for switch in topo.switches:
+            assert len(snapshot.rules[switch]) == net.switch(switch).rule_count()
+
+    def test_periodic_polls_happen(self):
+        topo, net, provider, watcher, monitor = build(
+            mode=MonitorMode.ACTIVE, mean_poll=1.0, randomize=False
+        )
+        before = monitor.metrics.active_polls
+        net.run(3.0)
+        assert monitor.metrics.active_polls >= before + 2
+
+    def test_random_polls_are_irregular(self):
+        topo, net, provider, watcher, monitor = build(
+            mode=MonitorMode.ACTIVE, mean_poll=0.5, randomize=True
+        )
+        net.run(5.0)
+        times = monitor.poll_times
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert len(set(round(g, 6) for g in gaps)) > 1  # not all equal
+
+    def test_poll_detects_post_deploy_change(self):
+        topo, net, provider, watcher, monitor = build(
+            mode=MonitorMode.ACTIVE, mean_poll=0.5
+        )
+        provider.install_flow(
+            "s1", Match.build(tp_dst=4444), (Output(1),), priority=99
+        )
+        net.run(5.0)
+        snapshot = monitor.snapshot()
+        assert any(
+            rule.priority == 99 for rule in snapshot.rules["s1"]
+        )
+
+
+class TestPassiveMonitoring:
+    def test_updates_tracked_without_polling(self):
+        topo, net, provider, watcher, monitor = build(mode=MonitorMode.PASSIVE)
+        version_before = monitor.version
+        provider.install_flow(
+            "s2", Match.build(tp_dst=5555), (Output(1),), priority=77
+        )
+        net.run(0.1)
+        assert monitor.version > version_before
+        assert any(r.priority == 77 for r in monitor.current_rules("s2"))
+
+    def test_removal_tracked(self):
+        topo, net, provider, watcher, monitor = build(mode=MonitorMode.PASSIVE)
+        provider.install_flow("s2", Match.build(tp_dst=5555), (Output(1),), priority=77)
+        net.run(0.1)
+        provider.remove_flow("s2", Match.build(tp_dst=5555), priority=77, strict=True)
+        net.run(0.1)
+        assert not any(r.priority == 77 for r in monitor.current_rules("s2"))
+
+    def test_change_listener_fires(self):
+        topo, net, provider, watcher, monitor = build(mode=MonitorMode.PASSIVE)
+        changed = []
+        monitor.on_change(changed.append)
+        provider.install_flow("s1", Match.build(tp_dst=1), (Output(1),), priority=1)
+        net.run(0.1)
+        assert "s1" in changed
+
+
+class TestTopologyProbing:
+    def test_probes_confirm_wiring(self):
+        topo, net, provider, watcher, monitor = build()
+        monitor.probe_topology()
+        net.run(0.5)
+        missing, unexpected = monitor.verify_wiring()
+        assert missing == set() and unexpected == set()
+
+    def test_probe_counters(self):
+        topo, net, provider, watcher, monitor = build()
+        monitor.probe_topology()
+        net.run(0.5)
+        assert monitor.metrics.probes_sent == 4  # 2 links x 2 directions
+        assert monitor.metrics.probes_received == 4
+
+    def test_missing_link_detected(self):
+        topo, net, provider, watcher, monitor = build()
+        net.set_link_state("s1", "s2", up=False)
+        net.run(0.1)
+        monitor.probe_topology()
+        net.run(0.5)
+        missing, _unexpected = monitor.verify_wiring()
+        assert missing  # the downed link's probes never arrived
+
+
+class TestSnapshots:
+    def test_content_hash_stable(self):
+        topo, net, provider, watcher, monitor = build()
+        a = monitor.snapshot()
+        b = monitor.snapshot()
+        assert a.content_hash() == b.content_hash()
+
+    def test_content_hash_changes_on_rule_change(self):
+        topo, net, provider, watcher, monitor = build()
+        before = monitor.snapshot().content_hash()
+        provider.install_flow("s1", Match.build(tp_dst=9), (Output(1),), priority=9)
+        net.run(0.1)
+        assert monitor.snapshot().content_hash() != before
+
+    def test_diff(self):
+        topo, net, provider, watcher, monitor = build()
+        old = monitor.snapshot()
+        provider.install_flow("s1", Match.build(tp_dst=9), (Output(1),), priority=9)
+        net.run(0.1)
+        new = monitor.snapshot()
+        added, removed = new.diff(old)
+        assert len(added) == 1 and not removed
+
+    def test_snapshot_versions_monotone(self):
+        topo, net, provider, watcher, monitor = build()
+        v1 = monitor.snapshot().version
+        provider.install_flow("s1", Match.build(tp_dst=9), (Output(1),), priority=9)
+        net.run(0.1)
+        assert monitor.snapshot().version > v1
+
+    def test_network_tf_compiles(self):
+        topo, net, provider, watcher, monitor = build()
+        ntf = monitor.snapshot().network_tf()
+        assert ntf.total_rules() == net.total_rules()
+
+    def test_approximate_size(self):
+        topo, net, provider, watcher, monitor = build()
+        assert monitor.snapshot().approximate_size_bytes() > 0
+
+
+class TestHistory:
+    def make_snapshots(self, monitor, provider, net, count=3):
+        snapshots = [monitor.snapshot()]
+        for i in range(count - 1):
+            provider.install_flow(
+                "s1", Match.build(tp_dst=6000 + i), (Output(1),), priority=50 + i
+            )
+            net.run(0.1)
+            snapshots.append(monitor.snapshot())
+        return snapshots
+
+    def test_record_and_length(self):
+        topo, net, provider, watcher, monitor = build()
+        history = SnapshotHistory()
+        for snapshot in self.make_snapshots(monitor, provider, net):
+            history.record(snapshot)
+        assert len(history) == 3
+        assert history.distinct_configurations() == 3
+
+    def test_entry_at_time(self):
+        topo, net, provider, watcher, monitor = build()
+        history = SnapshotHistory()
+        snapshots = self.make_snapshots(monitor, provider, net)
+        for snapshot in snapshots:
+            history.record(snapshot)
+        entry = history.entry_at(snapshots[1].taken_at)
+        assert entry is not None and entry.version == snapshots[1].version
+        assert history.entry_at(-1.0) is None
+
+    def test_transient_signature_witness(self):
+        """The short-term-attack record: gone now, but seen forever."""
+        topo, net, provider, watcher, monitor = build()
+        history = SnapshotHistory()
+        history.record(monitor.snapshot())
+        provider.install_flow("s1", Match.build(tp_dst=6666), (Output(1),), priority=66)
+        net.run(0.1)
+        history.record(monitor.snapshot())
+        provider.remove_flow("s1", Match.build(tp_dst=6666), priority=66, strict=True)
+        net.run(0.1)
+        history.record(monitor.snapshot())
+        transients = history.transient_signatures()
+        assert len(transients) == 1
+        assert history.ever_seen(next(iter(transients)))
+
+    def test_flapping_detection(self):
+        topo, net, provider, watcher, monitor = build()
+        history = SnapshotHistory()
+        match = Match.build(tp_dst=6666)
+        for _ in range(3):
+            provider.install_flow("s1", match, (Output(1),), priority=66)
+            net.run(0.1)
+            history.record(monitor.snapshot())
+            provider.remove_flow("s1", match, priority=66, strict=True)
+            net.run(0.1)
+            history.record(monitor.snapshot())
+        reports = history.flapping(min_transitions=3)
+        assert len(reports) == 1
+        assert reports[0].transitions == 3
+        assert reports[0].switch == "s1"
+
+    def test_unexpected_signatures(self):
+        topo, net, provider, watcher, monitor = build()
+        history = SnapshotHistory()
+        baseline = monitor.snapshot()
+        history.record(baseline)
+        provider.install_flow("s1", Match.build(tp_dst=7777), (Output(1),), priority=7)
+        net.run(0.1)
+        history.record(monitor.snapshot())
+        unexpected = history.unexpected_signatures(baseline.rule_signatures())
+        assert len(unexpected) == 1
+
+    def test_bounded_entries(self):
+        history = SnapshotHistory(max_entries=2)
+        topo, net, provider, watcher, monitor = build()
+        for snapshot in self.make_snapshots(monitor, provider, net, count=3):
+            history.record(snapshot)
+        assert len(history) == 2
+        assert history.latest() is not None

@@ -1,0 +1,151 @@
+"""Tests for multi-provider federation (§IV-C a, experiment E9)."""
+
+import pytest
+
+from repro.controlplane.provider import ProviderController
+from repro.core.monitor import MonitorMode
+from repro.core.multiprovider import (
+    ProviderDomain,
+    RVaaSFederation,
+    restrict_snapshot,
+)
+from repro.core.protocol import ClientRegistration, HostRecord
+from repro.core.service import RVaaSController
+from repro.crypto.keys import generate_keypair
+from repro.dataplane.network import Network
+from repro.dataplane.topologies import linear_topology
+
+
+def build_federation(n_domains=2, switches_per_domain=2, seed=0):
+    """A linear internetwork split into consecutive provider domains.
+
+    One client ("acme") has a host in the first and last domain, so a
+    federated reachability query must traverse every domain boundary.
+    """
+    import random
+
+    n_switches = n_domains * switches_per_domain
+    topo = linear_topology(n_switches, hosts_per_switch=1, clients=["acme"])
+    net = Network(topo, seed=seed)
+    provider = ProviderController()
+    provider.attach(net)
+    provider.deploy()
+
+    key_rng = random.Random(seed ^ 0xFED)
+    client_key = generate_keypair("client:acme", rng=key_rng)
+    host_keys = {
+        h.name: generate_keypair(f"host:{h.name}", rng=key_rng)
+        for h in topo.hosts.values()
+    }
+    registration = ClientRegistration(
+        name="acme",
+        public_key=client_key.public,
+        hosts=tuple(
+            HostRecord(
+                name=h.name,
+                ip=h.ip.value,
+                switch=h.switch,
+                port=h.port,
+                public_key=host_keys[h.name].public,
+            )
+            for h in sorted(topo.hosts.values(), key=lambda h: h.name)
+        ),
+    )
+
+    domains = []
+    names = sorted(topo.switches, key=lambda s: int(s[1:]))
+    for d in range(n_domains):
+        owned = frozenset(
+            names[d * switches_per_domain : (d + 1) * switches_per_domain]
+        )
+        service = RVaaSController(
+            generate_keypair(f"rvaas-{d}", rng=key_rng),
+            {"acme": registration},
+            name=f"rvaas-{d}",
+            monitor_mode=MonitorMode.PASSIVE,
+        )
+        service.attach(net, switches=sorted(owned))
+        from repro.core.monitor import ConfigurationMonitor
+
+        service.inband = None  # federation tests exercise verifiers only
+        service.monitor = ConfigurationMonitor(
+            service, topo, mode=MonitorMode.PASSIVE
+        )
+        service.on_monitor_update = (  # type: ignore[assignment]
+            lambda sw, msg, svc=service: svc.monitor.handle_monitor_update(sw, msg)
+        )
+        service.monitor.start()
+        domains.append(ProviderDomain(name=f"P{d}", switches=owned, service=service))
+    net.run(1.0)
+    federation = RVaaSFederation(domains, topo)
+    return topo, net, federation, registration
+
+
+class TestConstruction:
+    def test_domain_lookup(self):
+        topo, net, federation, reg = build_federation()
+        assert federation.domain_of("s1").name == "P0"
+        assert federation.domain_of("s3").name == "P1"
+
+    def test_duplicate_switch_rejected(self):
+        topo, net, federation, reg = build_federation()
+        domains = list(federation.domains.values())
+        with pytest.raises(ValueError):
+            RVaaSFederation(
+                [domains[0], ProviderDomain("X", domains[0].switches, domains[0].service)],
+                topo,
+            )
+
+    def test_boundary_detection(self):
+        topo, net, federation, reg = build_federation()
+        # The s2-s3 link crosses P0|P1.
+        link = topo.link_between("s2", "s3")
+        assert federation.boundary_peer("s2", link.port_a) == ("s3", link.port_b)
+        intra = topo.link_between("s1", "s2")
+        assert federation.boundary_peer("s1", intra.port_a) is None
+
+    def test_restrict_snapshot_drops_foreign_state(self):
+        topo, net, federation, reg = build_federation()
+        domain = federation.domains["P0"]
+        snapshot = restrict_snapshot(
+            domain.service.snapshot(), domain.switches
+        )
+        assert set(snapshot.rules) <= set(domain.switches)
+        for here, there in snapshot.wiring.items():
+            assert here[0] in domain.switches and there[0] in domain.switches
+
+
+class TestFederatedQueries:
+    def test_reachability_spans_domains(self):
+        topo, net, federation, reg = build_federation()
+        answer = federation.reachable_destinations(reg)
+        hosts = {e.host for e in answer.endpoints}
+        assert hosts == {h.name for h in topo.hosts.values()}
+        assert set(answer.domains_involved) == {"P0", "P1"}
+
+    def test_federated_messages_counted(self):
+        topo, net, federation, reg = build_federation()
+        answer = federation.reachable_destinations(reg)
+        assert answer.federated_messages >= 1
+        assert answer.max_chain_depth >= 1
+
+    def test_chain_depth_scales_with_domains(self):
+        _t3, _n3, fed3, reg3 = build_federation(n_domains=3)
+        answer = fed3.reachable_destinations(reg3)
+        assert set(answer.domains_involved) == {"P0", "P1", "P2"}
+        assert answer.max_chain_depth >= 2
+
+    def test_single_domain_no_messages(self):
+        topo, net, federation, reg = build_federation(n_domains=1)
+        answer = federation.reachable_destinations(reg)
+        assert answer.federated_messages == 0
+        assert answer.max_chain_depth == 0
+
+    def test_regions_traversed_union(self):
+        topo, net, federation, reg = build_federation()
+        regions = federation.regions_traversed(reg)
+        assert regions  # every switch has a generated region
+        # Must include regions from both ends of the chain.
+        first = topo.switches["s1"].location.region
+        last = topo.switches[f"s{len(topo.switches)}"].location.region
+        assert first in regions and last in regions

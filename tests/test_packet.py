@@ -1,0 +1,101 @@
+"""Unit tests for repro.netlib.packet."""
+
+import pytest
+
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import ETH_TYPE_IPV4, IP_PROTO_UDP
+from repro.netlib.packet import HEADER_FIELDS, Packet, udp_packet
+
+
+def make_packet(**overrides):
+    base = dict(
+        eth_src=MacAddress.from_host_index(1),
+        eth_dst=MacAddress.from_host_index(2),
+        ip_src=IPv4Address.parse("10.0.0.1"),
+        ip_dst=IPv4Address.parse("10.0.0.2"),
+        tp_src=1111,
+        tp_dst=2222,
+    )
+    base.update(overrides)
+    return Packet(**base)
+
+
+class TestHeaders:
+    def test_header_returns_int_values(self):
+        packet = make_packet()
+        assert packet.header("ip_src") == IPv4Address.parse("10.0.0.1").value
+        assert packet.header("tp_dst") == 2222
+        assert packet.header("eth_type") == ETH_TYPE_IPV4
+
+    def test_header_none_ip_is_zero(self):
+        packet = make_packet(ip_src=None)
+        assert packet.header("ip_src") == 0
+
+    def test_header_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            make_packet().header("ttl")
+
+    def test_headers_covers_all_fields(self):
+        assert set(make_packet().headers()) == set(HEADER_FIELDS)
+
+    def test_default_protocol_is_udp(self):
+        assert make_packet().ip_proto == IP_PROTO_UDP
+
+
+class TestReplace:
+    def test_replace_coerces_strings(self):
+        packet = make_packet().replace(ip_dst="10.9.9.9", eth_dst="02:00:00:00:00:09")
+        assert packet.ip_dst == IPv4Address.parse("10.9.9.9")
+        assert packet.eth_dst == MacAddress.parse("02:00:00:00:00:09")
+
+    def test_replace_is_functional(self):
+        original = make_packet()
+        changed = original.replace(vlan_id=100)
+        assert original.vlan_id == 0
+        assert changed.vlan_id == 100
+
+    def test_replace_keeps_payload(self):
+        packet = make_packet(payload=b"data").replace(tp_dst=80)
+        assert packet.payload == b"data"
+
+
+class TestTrace:
+    def test_with_hop_appends(self):
+        packet = make_packet().with_hop("s1", 1).with_hop("s2", 3)
+        assert packet.trace == (("s1", 1), ("s2", 3))
+
+    def test_trace_not_part_of_equality(self):
+        a = make_packet().with_hop("s1", 1)
+        b = make_packet()
+        assert a == b
+
+
+class TestSizeAndDescribe:
+    def test_size_scales_with_bytes_payload(self):
+        small = make_packet(payload=b"")
+        large = make_packet(payload=b"x" * 1000)
+        assert large.size_bytes == small.size_bytes + 1000
+
+    def test_object_payload_has_fixed_estimate(self):
+        packet = make_packet(payload={"key": "value"})
+        assert packet.size_bytes > 64
+
+    def test_describe_mentions_addresses(self):
+        text = make_packet().describe()
+        assert "10.0.0.1" in text and "udp" in text
+
+
+class TestUdpConstructor:
+    def test_udp_packet_sets_fields(self):
+        packet = udp_packet(
+            eth_src=MacAddress.from_host_index(1),
+            eth_dst=MacAddress.from_host_index(2),
+            ip_src=IPv4Address.parse("10.0.0.1"),
+            ip_dst=IPv4Address.parse("10.0.0.2"),
+            sport=5,
+            dport=6,
+            payload="hello",
+        )
+        assert packet.ip_proto == IP_PROTO_UDP
+        assert (packet.tp_src, packet.tp_dst) == (5, 6)
+        assert packet.payload == "hello"

@@ -1,0 +1,194 @@
+"""Unit tests for network-wide reachability, paths, and loop detection."""
+
+import pytest
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import NetworkTransferFunction
+from repro.hsa.reachability import ReachabilityAnalyzer
+from repro.hsa.transfer import SnapshotRule, SwitchTransferFunction
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import Output, SetField, ToController
+from repro.openflow.match import Match
+
+
+def rule(match, actions, priority=0):
+    return SnapshotRule(table_id=0, priority=priority, match=match, actions=tuple(actions))
+
+
+def chain_ntf(rules_by_switch, n=3):
+    """Linear chain s1-s2-...-sn; port 1 = host, port 2 = next, port 3 = prev."""
+    tfs = {}
+    wiring = {}
+    edge = {}
+    for i in range(1, n + 1):
+        name = f"s{i}"
+        tfs[name] = SwitchTransferFunction(
+            name, rules_by_switch.get(name, []), ports=(1, 2, 3)
+        )
+        edge[name] = frozenset([1])
+        if i < n:
+            wiring[(f"s{i}", 2)] = (f"s{i+1}", 3)
+            wiring[(f"s{i+1}", 3)] = (f"s{i}", 2)
+    return NetworkTransferFunction(tfs, wiring, edge)
+
+
+DST = Match.build(ip_dst="10.0.0.9")
+DST_SPACE = HeaderSpace.single(Wildcard.from_match(DST))
+
+
+class TestForwardReachability:
+    def test_straight_chain(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(2),))],
+                "s3": [rule(DST, (Output(1),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert result.reaches("s3", 1)
+        assert result.switches_traversed == {"s1", "s2", "s3"}
+        assert len(result.paths) == 1
+        assert result.paths[0].hops == (("s1", 1, 2), ("s2", 3, 2), ("s3", 3, 1))
+
+    def test_blackhole_reaches_nothing(self):
+        ntf = chain_ntf({"s1": [rule(DST, (Output(2),))]})
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert result.edge_zones() == []
+
+    def test_fork_reaches_multiple(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(1), Output(2)))],
+                "s2": [rule(DST, (Output(1),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        refs = result.edge_port_refs()
+        assert ("s1", 1) in refs and ("s2", 1) in refs
+
+    def test_controller_zone(self):
+        ntf = chain_ntf({"s1": [rule(DST, (ToController(),))]})
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert [z.kind for z in result.zones] == ["controller"]
+
+    def test_empty_space_no_work(self):
+        ntf = chain_ntf({"s1": [rule(DST, (Output(2),))]})
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, HeaderSpace.empty())
+        assert result.expansions == 0
+
+    def test_unbound_port_zone(self):
+        ntf = chain_ntf({"s1": [rule(DST, (Output(9),))]})
+        # Port 9 exists in no wiring/edge map -> unbound zone.
+        tfs = ntf.transfer_functions
+        tfs["s1"] = SwitchTransferFunction("s1", [rule(DST, (Output(9),))], ports=(1, 2, 9))
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert [z.kind for z in result.zones] == ["unbound"]
+
+    def test_path_links(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(2),))],
+                "s3": [rule(DST, (Output(1),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert result.paths[0].links() == (("s1", "s2"), ("s2", "s3"))
+        assert frozenset(("s1", "s2")) in result.links_traversed
+
+
+class TestLoopDetection:
+    def test_two_switch_loop_detected(self):
+        # s1 sends to s2, s2 sends back to s1, forever.
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(3),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert result.loops
+        loop = result.loops[0]
+        # The loop is reported at the first *revisited* ingress: traffic
+        # enters s1 at the host port, bounces s1->s2->s1->s2, and the
+        # second arrival at (s2, port 3) closes the cycle.
+        assert (loop.switch, loop.port) == ("s2", 3)
+        assert not loop.space.is_empty()
+
+    def test_rewrite_breaks_loop(self):
+        # s2 rewrites the destination, so returning traffic no longer loops.
+        ntf = chain_ntf(
+            {
+                "s1": [
+                    rule(DST, (Output(2),), priority=5),
+                    rule(Match.build(ip_dst="10.0.0.8"), (Output(1),), priority=6),
+                ],
+                "s2": [
+                    rule(DST, (SetField("ip_dst", IPv4Address.parse("10.0.0.8")), Output(3)))
+                ],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert not result.loops
+        assert result.reaches("s1", 1)
+
+    def test_detect_all_loops_sweep(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(3),))],
+            }
+        )
+        loops = ReachabilityAnalyzer(ntf).detect_all_loops(DST_SPACE)
+        assert loops
+
+
+class TestInverseReachability:
+    def test_sources_reaching(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(2),))],
+                "s3": [rule(DST, (Output(1),))],
+            }
+        )
+        sources = ReachabilityAnalyzer(ntf).sources_reaching("s3", 1, DST_SPACE)
+        assert set(sources) == {("s1", 1), ("s2", 1)}
+
+    def test_sources_respects_candidates(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(2),))],
+                "s3": [rule(DST, (Output(1),))],
+            }
+        )
+        sources = ReachabilityAnalyzer(ntf).sources_reaching(
+            "s3", 1, DST_SPACE, candidate_ports=(("s1", 1),)
+        )
+        assert set(sources) == {("s1", 1)}
+
+    def test_target_itself_excluded(self):
+        ntf = chain_ntf({"s3": [rule(DST, (Output(1),))]})
+        sources = ReachabilityAnalyzer(ntf).sources_reaching("s3", 1, DST_SPACE)
+        assert ("s3", 1) not in sources
+
+
+class TestCoverageGuard:
+    def test_diamond_does_not_duplicate_endpoints(self):
+        # s1 forks to s2 and s3... modelled as chain fork via ports: use
+        # a custom NTF: s1 -> s2 via two parallel links is not supported
+        # by chain_ntf, so assert on expansion counting instead: the
+        # second arrival at an already-covered port is not re-expanded.
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2), Output(2)))],  # duplicate output
+                "s2": [rule(DST, (Output(1),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        # Two copies leave s1, but s2 expands once.
+        assert result.expansions == 2
+        assert len(result.edge_zones()) == 1

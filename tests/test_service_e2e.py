@@ -1,0 +1,202 @@
+"""End-to-end tests of the full RVaaS protocol (Figures 1 and 2).
+
+Everything here goes through the real in-band path: sealed query packet
+-> ingress interception -> Packet-In -> enclave unsealing -> HSA analysis
+-> auth round via Packet-Out/Packet-In -> sealed, signed integrity reply
+delivered to the querying client's access point.
+"""
+
+import pytest
+
+from repro.attacks import ExfiltrationAttack, JoinAttack
+from repro.core.inband import RVAAS_COOKIE, interception_matches
+from repro.core.queries import (
+    GeoLocationQuery,
+    IsolationQuery,
+    ReachableDestinationsQuery,
+)
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+class TestHappyPath:
+    def test_isolation_query_full_protocol(self, bed):
+        handle = bed.ask("alice", IsolationQuery())
+        response = handle.response
+        assert response.answer.isolated
+        assert response.client == "alice"
+        assert response.nonce == handle.nonce
+
+    def test_auth_evidence_complete(self, bed):
+        handle = bed.ask("alice", IsolationQuery())
+        auth = handle.response.answer.auth
+        assert auth is not None
+        assert auth.requests_issued == 3  # alice has three hosts
+        assert auth.replies_received == 3
+        assert auth.complete
+        assert {e.host for e in auth.authenticated_endpoints} == {
+            "h_ber1",
+            "h_fra1",
+            "h_par1",
+        }
+
+    def test_latency_includes_auth_timeout(self, bed):
+        handle = bed.ask("alice", IsolationQuery())
+        # The service waits auth_timeout (0.25 s) before replying.
+        assert handle.latency >= 0.25
+
+    def test_non_auth_query_is_fast(self, bed):
+        handle = bed.ask("alice", GeoLocationQuery())
+        assert handle.latency < 0.25
+        assert set(handle.response.answer.regions) == {
+            "de-berlin",
+            "de-frankfurt",
+            "fr-paris",
+        }
+
+    def test_multiple_clients_interleaved(self, bed):
+        h_alice = bed.clients["alice"].submit(IsolationQuery())
+        h_bob = bed.clients["bob"].submit(IsolationQuery())
+        bed.run(2.0)
+        assert h_alice.done and h_bob.done
+        assert h_alice.response.answer.isolated
+        assert h_bob.response.answer.isolated
+
+    def test_sequential_queries_reuse_session(self, bed):
+        first = bed.ask("alice", GeoLocationQuery())
+        second = bed.ask("alice", GeoLocationQuery())
+        assert first.nonce != second.nonce
+        assert bed.clients["alice"].pending_count() == 0
+        assert len(bed.clients["alice"].completed) == 2
+
+
+class TestDetectionThroughProtocol:
+    def test_join_attack_detected_e2e(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        handle = bed.ask("alice", IsolationQuery())
+        answer = handle.response.answer
+        assert not answer.isolated
+        assert "h_ber2" in {e.host for e in answer.violating_endpoints}
+
+    def test_exfiltration_detected_and_spy_does_not_authenticate(self, bed):
+        bed.provider.compromise(ExfiltrationAttack("h_fra1", "h_off1"))
+        bed.run(0.5)
+        handle = bed.ask("alice", ReachableDestinationsQuery())
+        answer = handle.response.answer
+        hosts = {e.host for e in answer.endpoints}
+        assert "h_off1" in hosts
+        # The spy (bob's host) DOES respond to auth (it runs the daemon),
+        # proving to alice that a live host sits behind the leak.
+        assert "h_off1" in {e.host for e in answer.auth.authenticated_endpoints}
+
+    def test_silent_endpoint_visible_in_count(self):
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]),
+            isolate_clients=True,
+            seed=42,
+            silent_hosts=["h_par1"],
+        )
+        handle = bed.ask("alice", IsolationQuery())
+        auth = handle.response.answer.auth
+        assert auth.requests_issued == 3
+        assert auth.replies_received == 2
+        assert not auth.complete
+        assert {e.host for e in auth.silent_endpoints} == {"h_par1"}
+        assert bed.silent["h_par1"].challenges_ignored == 1
+
+
+class TestSelfProtection:
+    def test_interception_removal_alarm_and_repair(self, bed):
+        # The compromised provider deletes RVaaS's interception rules.
+        from repro.openflow.messages import FlowMod, FlowModCommand
+
+        for match in interception_matches():
+            bed.provider.channel_for("ber").send_to_switch(
+                FlowMod(command=FlowModCommand.DELETE, match=match)
+            )
+        bed.run(0.5)
+        kinds = {alarm.kind for alarm in bed.service.alarms}
+        assert "interception-removed" in kinds
+        # Repair: the rules are back, so queries still work.
+        handle = bed.ask("alice", GeoLocationQuery())
+        assert handle.response is not None
+
+    def test_wiring_check_passes_on_honest_plant(self, bed):
+        bed.service.probe_topology_now()
+        bed.run(0.5)
+        assert bed.service.check_wiring()
+        assert not any(a.kind == "wiring-mismatch" for a in bed.service.alarms)
+
+    def test_unknown_client_raises_alarm(self, bed):
+        import random
+
+        from repro.core.client import RVaaSClient
+        from repro.crypto.keys import generate_keypair
+
+        mallory_keys = generate_keypair("mallory", rng=random.Random(666))
+        mallory = RVaaSClient(
+            bed.network.host("h_ber2"),
+            "mallory",  # not registered
+            mallory_keys,
+            bed.attested.service_keypair.public,
+            clock=lambda: bed.network.sim.now,
+        )
+        handle = mallory.submit(GeoLocationQuery())
+        bed.run(1.0)
+        assert not handle.done
+        assert any(a.kind == "bad-request" for a in bed.service.alarms)
+
+    def test_forged_client_signature_rejected(self, bed):
+        import random
+
+        from repro.core.client import RVaaSClient
+        from repro.crypto.keys import generate_keypair
+
+        # Mallory claims to be alice but signs with her own key.
+        forged_keys = generate_keypair("not-alice", rng=random.Random(667))
+        imposter = RVaaSClient(
+            bed.network.host("h_ber2"),
+            "alice",
+            forged_keys,
+            bed.attested.service_keypair.public,
+            clock=lambda: bed.network.sim.now,
+        )
+        handle = imposter.submit(IsolationQuery())
+        bed.run(1.0)
+        assert not handle.done
+        assert any(a.kind == "bad-request" for a in bed.service.alarms)
+
+
+class TestHistoryIntegration:
+    def test_history_records_config_changes(self, bed):
+        before = len(bed.service.history)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        assert len(bed.service.history) > before
+
+    def test_transient_attack_leaves_history_witness(self, bed):
+        attack = JoinAttack("h_ber2", "h_fra1")
+        baseline = bed.service.snapshot().rule_signatures()
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+        # Attack rules are gone from the data plane...
+        current = bed.service.snapshot().rule_signatures()
+        assert current == baseline
+        # ...but the history still shows them.
+        unexpected = bed.service.history.unexpected_signatures(baseline)
+        assert unexpected
+
+    def test_queries_served_counter(self, bed):
+        bed.ask("alice", GeoLocationQuery())
+        bed.ask("bob", GeoLocationQuery())
+        assert bed.service.queries_served == 2

@@ -1,0 +1,125 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.dataplane.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=5)
+        sim.schedule(1.0, lambda: order.append("high"), priority=1)
+        sim.run_until_idle()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run_until_idle()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run_until_idle()
+        assert seen == []
+
+    def test_pending_events_ignores_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_execute_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run_until(4.0)
+        assert seen == []
+        sim.run_until(5.0)
+        assert seen == ["late"]
+
+    def test_run_duration_is_relative(self):
+        sim = Simulator()
+        sim.run(3.0)
+        sim.run(2.0)
+        assert sim.now == 5.0
+
+    def test_run_until_idle_guards_against_runaway(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_time=100.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_executed == 2
+
+
+class TestDeterminism:
+    def test_rng_is_seeded(self):
+        a, b = Simulator(seed=9), Simulator(seed=9)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert Simulator(seed=1).rng.random() != Simulator(seed=2).rng.random()

@@ -1,0 +1,59 @@
+"""Remaining snapshot / federation coverage: capacities, compaction."""
+
+import pytest
+
+from repro.core.multiprovider import restrict_snapshot
+from repro.dataplane.topologies import isp_topology, linear_topology
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.wildcard import Wildcard
+from repro.testbed import build_testbed
+
+
+class TestSnapshotCapacities:
+    def test_capacities_match_wiring_plan(self):
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=1
+        )
+        snapshot = bed.service.snapshot()
+        assert len(snapshot.link_capacities) == len(bed.topology.links)
+        for link in bed.topology.links:
+            key = frozenset((link.switch_a, link.switch_b))
+            assert snapshot.link_capacities[key] == link.bandwidth_mbps
+
+    def test_restrict_snapshot_filters_capacities(self):
+        bed = build_testbed(
+            linear_topology(4, hosts_per_switch=1, clients=["a"]),
+            isolate_clients=False,
+            seed=2,
+        )
+        snapshot = bed.service.snapshot()
+        domain = frozenset({"s1", "s2"})
+        restricted = restrict_snapshot(snapshot, domain)
+        assert set(restricted.link_capacities) == {frozenset(("s1", "s2"))}
+
+    def test_restricted_snapshot_hash_differs(self):
+        bed = build_testbed(
+            linear_topology(4, hosts_per_switch=1, clients=["a"]),
+            isolate_clients=False,
+            seed=2,
+        )
+        snapshot = bed.service.snapshot()
+        restricted = restrict_snapshot(snapshot, frozenset({"s1", "s2"}))
+        assert restricted.content_hash() != snapshot.content_hash()
+
+
+class TestCompactIdempotence:
+    def test_compact_twice_is_stable(self):
+        pieces = HeaderSpace.all().subtract(
+            HeaderSpace.single(Wildcard.from_fields(tp_dst=80))
+        )
+        once = pieces.compact()
+        twice = once.compact()
+        assert once.complexity() == twice.complexity()
+        assert once == twice
+
+    def test_compact_empty(self):
+        assert HeaderSpace.empty().compact().is_empty()
+
+    def test_compact_all(self):
+        assert HeaderSpace.all().compact() == HeaderSpace.all()

@@ -1,0 +1,319 @@
+"""Unit tests for the OpenFlow switch model (pipeline + control handling)."""
+
+import pytest
+
+from repro.dataplane.network import Network
+from repro.dataplane.simulator import Simulator
+from repro.dataplane.topologies import single_switch_topology
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.packet import Packet
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.flowtable import FlowEntry
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowMonitorRequest,
+    FlowStatsRequest,
+    MeterMod,
+    PacketOut,
+)
+from repro.openflow.meters import MeterBand
+from repro.openflow.switch import OpenFlowSwitch
+
+
+def make_switch(n_ports=3, n_tables=2):
+    switch = OpenFlowSwitch("s1", dpid=1, n_tables=n_tables)
+    for port in range(1, n_ports + 1):
+        switch.add_port(port, kind="host" if port == 1 else "link")
+    sent = []
+    switch.transmit = lambda sw, port, pkt: sent.append((port, pkt))
+    return switch, sent
+
+
+def packet(**overrides):
+    base = dict(
+        eth_src=MacAddress.from_host_index(1),
+        eth_dst=MacAddress.from_host_index(2),
+        ip_src=IPv4Address.parse("10.0.0.1"),
+        ip_dst=IPv4Address.parse("10.0.0.2"),
+        tp_src=1,
+        tp_dst=2,
+    )
+    base.update(overrides)
+    return Packet(**base)
+
+
+def install(switch, match, actions, priority=0, table_id=0, **kwargs):
+    switch.tables[table_id].add(
+        FlowEntry(match=match, actions=tuple(actions), priority=priority, **kwargs)
+    )
+
+
+class TestPipeline:
+    def test_table_miss_drops(self):
+        switch, sent = make_switch()
+        switch.receive_packet(packet(), 1)
+        assert sent == []
+        assert switch.packets_dropped == 1
+
+    def test_output_forwards(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2),))
+        switch.receive_packet(packet(), 1)
+        assert [port for port, _ in sent] == [2]
+        assert switch.packets_forwarded == 1
+
+    def test_multiple_outputs_duplicate(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2), Output(3)))
+        switch.receive_packet(packet(), 1)
+        assert sorted(port for port, _ in sent) == [2, 3]
+
+    def test_hairpin_output_allowed(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(1),))
+        switch.receive_packet(packet(), 1)
+        assert [port for port, _ in sent] == [1]
+
+    def test_flood_excludes_ingress(self):
+        switch, sent = make_switch(n_ports=4)
+        install(switch, Match.any(), (Flood(),))
+        switch.receive_packet(packet(), 2)
+        assert sorted(port for port, _ in sent) == [1, 3, 4]
+
+    def test_setfield_rewrites_before_output(self):
+        switch, sent = make_switch()
+        install(
+            switch,
+            Match.any(),
+            (SetField("ip_dst", IPv4Address.parse("10.9.9.9")), Output(2)),
+        )
+        switch.receive_packet(packet(), 1)
+        assert sent[0][1].ip_dst == IPv4Address.parse("10.9.9.9")
+
+    def test_vlan_push_and_pop(self):
+        switch, sent = make_switch()
+        install(switch, Match(vlan_id=0), (PushVlan(42), Output(2)))
+        install(switch, Match(vlan_id=42), (PopVlan(), Output(3)), priority=5)
+        switch.receive_packet(packet(), 1)
+        tagged = sent[0][1]
+        assert tagged.vlan_id == 42
+        switch.receive_packet(tagged, 2)
+        assert sent[1][1].vlan_id == 0
+
+    def test_goto_table_continues_matching(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (GotoTable(1),), table_id=0)
+        install(switch, Match.any(), (Output(3),), table_id=1)
+        switch.receive_packet(packet(), 1)
+        assert [port for port, _ in sent] == [3]
+
+    def test_goto_table_miss_in_later_table_drops(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (GotoTable(1),), table_id=0)
+        switch.receive_packet(packet(), 1)
+        assert sent == []
+
+    def test_drop_action(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Drop(),))
+        switch.receive_packet(packet(), 1)
+        assert sent == []
+
+    def test_priority_shadowing(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2),), priority=1)
+        install(switch, Match.build(tp_dst=2), (Output(3),), priority=10)
+        switch.receive_packet(packet(), 1)
+        assert [port for port, _ in sent] == [3]
+
+    def test_down_port_drops_output(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2),))
+        switch.ports[2].up = False
+        switch.receive_packet(packet(), 1)
+        assert sent == []
+
+    def test_down_ingress_ignores_packet(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2),))
+        switch.ports[1].up = False
+        switch.receive_packet(packet(), 1)
+        assert sent == []
+
+    def test_unknown_ingress_port_raises(self):
+        switch, _sent = make_switch()
+        with pytest.raises(ValueError):
+            switch.receive_packet(packet(), 99)
+
+    def test_trace_records_hop(self):
+        switch, sent = make_switch()
+        install(switch, Match.any(), (Output(2),))
+        switch.receive_packet(packet(), 1)
+        assert sent[0][1].trace == (("s1", 1),)
+
+    def test_meter_drops_oversized_but_passes_small(self):
+        switch, sent = make_switch()
+        switch.meters.add(7, MeterBand(rate_kbps=1, burst_kb=1))
+        install(switch, Match.any(), (Meter(7), Output(2)))
+        big = packet(payload=b"x" * 2000)
+        switch.receive_packet(big, 1)  # exceeds the 1 kB burst -> dropped
+        assert sent == []
+        # Dropped packets are not charged, so a small packet still fits.
+        switch.receive_packet(packet(), 1)
+        assert [port for port, _ in sent] == [2]
+
+    def test_port_counters(self):
+        switch, _sent = make_switch()
+        install(switch, Match.any(), (Output(2),))
+        switch.receive_packet(packet(), 1)
+        assert switch.ports[1].rx_packets == 1
+        assert switch.ports[2].tx_packets == 1
+
+
+class TestControlHandling:
+    """Exercise FlowMod/PacketOut/etc. through a real secure channel."""
+
+    @pytest.fixture()
+    def rig(self):
+        topo = single_switch_topology(2, clients=["c"])
+        net = Network(topo, seed=0)
+        channel = net.open_control_channel("ctl", "s1")
+        inbox = []
+        channel.controller_end.set_handler(inbox.append)
+        return net, net.switch("s1"), channel, inbox
+
+    def test_flow_mod_add(self, rig):
+        net, switch, channel, _ = rig
+        channel.send_to_switch(
+            FlowMod(match=Match.any(), actions=(Output(1),), priority=4)
+        )
+        net.run_until_idle()
+        assert switch.rule_count() == 1
+
+    def test_flow_mod_modify_changes_actions(self, rig):
+        net, switch, channel, _ = rig
+        channel.send_to_switch(FlowMod(match=Match.any(), actions=(Output(1),), priority=4))
+        channel.send_to_switch(
+            FlowMod(
+                command=FlowModCommand.MODIFY,
+                match=Match.any(),
+                actions=(Output(2),),
+                priority=4,
+            )
+        )
+        net.run_until_idle()
+        entries = list(switch.tables[0].entries())
+        assert len(entries) == 1 and entries[0].actions == (Output(2),)
+
+    def test_flow_mod_modify_missing_adds(self, rig):
+        net, switch, channel, _ = rig
+        channel.send_to_switch(
+            FlowMod(
+                command=FlowModCommand.MODIFY,
+                match=Match.build(tp_dst=80),
+                actions=(Output(2),),
+                priority=4,
+            )
+        )
+        net.run_until_idle()
+        assert switch.rule_count() == 1
+
+    def test_flow_mod_delete(self, rig):
+        net, switch, channel, _ = rig
+        channel.send_to_switch(FlowMod(match=Match.build(tp_dst=80), actions=(Output(1),)))
+        channel.send_to_switch(
+            FlowMod(command=FlowModCommand.DELETE, match=Match.any())
+        )
+        net.run_until_idle()
+        assert switch.rule_count() == 0
+
+    def test_packet_out_injects(self, rig):
+        net, switch, channel, _ = rig
+        host = net.host("h1")
+        channel.send_to_switch(
+            PacketOut(
+                packet=packet(ip_dst=host.ip, tp_dst=7),
+                actions=(Output(host.spec.port),),
+            )
+        )
+        net.run_until_idle()
+        assert len(host.received) == 1
+
+    def test_features_reply(self, rig):
+        net, switch, channel, inbox = rig
+        channel.send_to_switch(FeaturesRequest())
+        net.run_until_idle()
+        reply = inbox[-1]
+        assert reply.dpid == 1 and len(reply.ports) == 2
+
+    def test_flow_stats_dump(self, rig):
+        net, switch, channel, inbox = rig
+        channel.send_to_switch(FlowMod(match=Match.build(tp_dst=80), actions=(Output(1),), priority=3))
+        channel.send_to_switch(FlowStatsRequest())
+        net.run_until_idle()
+        stats = inbox[-1]
+        assert len(stats.entries) == 1
+        assert stats.entries[0].priority == 3
+
+    def test_monitor_updates_emitted(self, rig):
+        net, switch, channel, inbox = rig
+        channel.send_to_switch(FlowMonitorRequest())
+        channel.send_to_switch(FlowMod(match=Match.any(), actions=(Output(1),)))
+        net.run_until_idle()
+        from repro.openflow.messages import FlowMonitorUpdate
+
+        updates = [m for m in inbox if isinstance(m, FlowMonitorUpdate)]
+        assert len(updates) == 1 and updates[0].event == "added"
+
+    def test_meter_mod(self, rig):
+        net, switch, channel, _ = rig
+        channel.send_to_switch(
+            MeterMod(meter_id=4, band=MeterBand(rate_kbps=500))
+        )
+        net.run_until_idle()
+        assert switch.meters.get(4) is not None
+
+    def test_packet_in_goes_to_all_controllers(self, rig):
+        net, switch, channel, inbox = rig
+        second = net.open_control_channel("ctl2", "s1")
+        inbox2 = []
+        second.controller_end.set_handler(inbox2.append)
+        channel.send_to_switch(
+            FlowMod(match=Match.any(), actions=(ToController(),))
+        )
+        net.run_until_idle()
+        net.host("h1").send_udp(net.host("h2").ip, 9, b"probe")
+        net.run_until_idle()
+        from repro.openflow.messages import PacketIn
+
+        assert any(isinstance(m, PacketIn) for m in inbox)
+        assert any(isinstance(m, PacketIn) for m in inbox2)
+
+    def test_port_status_notification(self, rig):
+        net, switch, channel, inbox = rig
+        switch.notify_port_status(1, "down")
+        net.run_until_idle()
+        from repro.openflow.messages import PortStatus
+
+        status = [m for m in inbox if isinstance(m, PortStatus)]
+        assert status and status[0].status == "down"
+
+    def test_configuration_signature_changes_with_rules(self, rig):
+        net, switch, channel, _ = rig
+        before = switch.configuration_signature()
+        channel.send_to_switch(FlowMod(match=Match.any(), actions=(Output(1),)))
+        net.run_until_idle()
+        assert switch.configuration_signature() != before

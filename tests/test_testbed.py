@@ -1,0 +1,82 @@
+"""Tests for the testbed facade itself."""
+
+import pytest
+
+from repro.core.queries import GeoLocationQuery
+from repro.dataplane.topologies import isp_topology, linear_topology
+from repro.testbed import build_registrations, build_testbed
+
+
+class TestBuild:
+    def test_clients_and_registrations_derived_from_topology(self):
+        bed = build_testbed(
+            isp_topology(clients=["alice", "bob"]), seed=1
+        )
+        assert bed.client_names() == ["alice", "bob"]
+        assert len(bed.registrations["alice"].hosts) == 3
+        assert len(bed.registrations["bob"].hosts) == 3
+
+    def test_every_client_host_has_responder(self):
+        bed = build_testbed(isp_topology(clients=["alice", "bob"]), seed=1)
+        assert set(bed.responders) == set(
+            h.name for h in bed.topology.hosts.values() if h.client
+        )
+
+    def test_unassigned_hosts_excluded(self):
+        topo = linear_topology(2, hosts_per_switch=1, clients=["a"])
+        # Add one host with no client.
+        topo.add_host("h_nobody", "s1")
+        bed = build_testbed(topo, seed=1)
+        assert "h_nobody" not in bed.responders
+        assert all(
+            "h_nobody" != h.name
+            for reg in bed.registrations.values()
+            for h in reg.hosts
+        )
+
+    def test_deterministic_given_seed(self):
+        def fingerprint(seed):
+            bed = build_testbed(
+                isp_topology(clients=["alice", "bob"]), seed=seed
+            )
+            return (
+                bed.attested.service_keypair.public.fingerprint(),
+                bed.network.sim.events_executed,
+            )
+
+        assert fingerprint(5) == fingerprint(5)
+        assert fingerprint(5) != fingerprint(6)
+
+    def test_attestation_verified_at_build(self):
+        # build_testbed raises if the quote does not verify; reaching
+        # here with a working client proves the chain held.
+        bed = build_testbed(isp_topology(clients=["alice", "bob"]), seed=1)
+        handle = bed.ask("alice", GeoLocationQuery())
+        assert handle.response is not None
+
+    def test_ask_times_out_cleanly(self):
+        bed = build_testbed(isp_topology(clients=["alice", "bob"]), seed=1)
+        # Sabotage: close alice's ingress port so the query never arrives.
+        switch_name, port = bed.registrations["alice"].hosts[0].access_point
+        bed.network.switch(switch_name).ports[port].up = False
+        with pytest.raises(TimeoutError):
+            bed.ask("alice", GeoLocationQuery(), max_wait=1.0)
+
+    def test_registrations_builder_standalone(self):
+        import random
+
+        from repro.crypto.keys import generate_keypair
+
+        topo = isp_topology(clients=["alice", "bob"])
+        rng = random.Random(0)
+        client_keys = {
+            name: generate_keypair(name, rng=rng) for name in ("alice", "bob")
+        }
+        host_keys = {
+            h.name: generate_keypair(h.name, rng=rng)
+            for h in topo.hosts.values()
+        }
+        registrations = build_registrations(topo, client_keys, host_keys)
+        assert set(registrations) == {"alice", "bob"}
+        alice = registrations["alice"]
+        assert alice.access_points == topo.access_points("alice")

@@ -1,0 +1,189 @@
+"""Unit tests for the topology builder and generators."""
+
+import networkx as nx
+import pytest
+
+from repro.dataplane.topologies import (
+    fat_tree_topology,
+    isp_topology,
+    linear_topology,
+    ring_topology,
+    single_switch_topology,
+    tree_topology,
+    waxman_topology,
+)
+from repro.dataplane.topology import GeoLocation, Topology
+
+
+class TestBuilder:
+    def test_port_allocation_sequential_per_switch(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        h1 = topo.add_host("h1", "s1")
+        h2 = topo.add_host("h2", "s1")
+        link = topo.add_link("s1", "s2")
+        assert (h1.port, h2.port) == (1, 2)
+        assert link.port_a == 3 and link.port_b == 1
+
+    def test_duplicate_names_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        with pytest.raises(ValueError):
+            topo.add_switch("s1")
+        topo.add_host("h1", "s1")
+        with pytest.raises(ValueError):
+            topo.add_host("h1", "s1")
+
+    def test_unknown_switch_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_host("h1", "nope")
+        topo.add_switch("s1")
+        with pytest.raises(ValueError):
+            topo.add_link("s1", "nope")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        with pytest.raises(ValueError):
+            topo.add_link("s1", "s1")
+
+    def test_deterministic_host_addressing(self):
+        def build():
+            topo = Topology()
+            topo.add_switch("s1")
+            return topo.add_host("h1", "s1")
+
+        assert build().ip == build().ip
+        assert build().mac == build().mac
+
+    def test_explicit_ip(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        host = topo.add_host("h1", "s1", ip="192.168.0.5")
+        assert str(host.ip) == "192.168.0.5"
+
+    def test_host_inherits_switch_location(self):
+        topo = Topology()
+        topo.add_switch("s1", location=GeoLocation("eu"))
+        host = topo.add_host("h1", "s1")
+        assert host.location.region == "eu"
+
+    def test_wiring_is_bidirectional(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        link = topo.add_link("s1", "s2")
+        wiring = topo.wiring()
+        assert wiring[("s1", link.port_a)] == ("s2", link.port_b)
+        assert wiring[("s2", link.port_b)] == ("s1", link.port_a)
+
+    def test_access_points_by_client(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_host("h1", "s1", client="alice")
+        topo.add_host("h2", "s1", client="bob")
+        assert topo.access_points("alice") == frozenset({("s1", 1)})
+
+    def test_host_lookup_helpers(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        host = topo.add_host("h1", "s1")
+        assert topo.host_by_ip(host.ip).name == "h1"
+        assert topo.host_at("s1", host.port).name == "h1"
+        assert topo.host_at("s1", 99) is None
+
+    def test_internal_port_map(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        topo.add_host("h1", "s1")
+        link = topo.add_link("s1", "s2")
+        ports = topo.internal_port_map()
+        assert ports["s1"] == frozenset({link.port_a})
+
+    def test_graph_structure(self):
+        topo = linear_topology(4)
+        graph = topo.graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+
+
+class TestGenerators:
+    def test_single(self):
+        topo = single_switch_topology(3)
+        assert len(topo.switches) == 1 and len(topo.hosts) == 3
+
+    def test_linear_counts(self):
+        topo = linear_topology(5, hosts_per_switch=2)
+        assert len(topo.switches) == 5
+        assert len(topo.links) == 4
+        assert len(topo.hosts) == 10
+
+    def test_linear_validates(self):
+        with pytest.raises(ValueError):
+            linear_topology(0)
+
+    def test_ring_has_cycle(self):
+        topo = ring_topology(4)
+        assert len(topo.links) == 4
+        assert len(nx.cycle_basis(topo.graph())) == 1
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_tree_structure(self):
+        topo = tree_topology(depth=3, fanout=2)
+        assert len(topo.switches) == 7  # complete binary tree
+        assert nx.is_tree(topo.graph())
+        assert len(topo.hosts) == 8  # fanout hosts per leaf
+
+    def test_fat_tree_counts(self):
+        topo = fat_tree_topology(4)
+        assert len(topo.switches) == 20  # 4 core + 8 agg + 8 edge
+        assert len(topo.links) == 32
+        assert len(topo.hosts) == 16
+        assert nx.is_connected(topo.graph())
+
+    def test_fat_tree_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            fat_tree_topology(3)
+
+    def test_waxman_connected_and_deterministic(self):
+        a = waxman_topology(25, seed=3)
+        b = waxman_topology(25, seed=3)
+        assert nx.is_connected(a.graph())
+        assert [l.switch_a for l in a.links] == [l.switch_b for l in b.links] or [
+            l.switch_a for l in a.links
+        ] == [l.switch_a for l in b.links]
+
+    def test_waxman_different_seeds_differ(self):
+        a = waxman_topology(25, seed=3)
+        b = waxman_topology(25, seed=4)
+        assert {(l.switch_a, l.switch_b) for l in a.links} != {
+            (l.switch_a, l.switch_b) for l in b.links
+        }
+
+    def test_isp_has_offshore_region(self):
+        topo = isp_topology()
+        regions = {s.location.region for s in topo.switches.values()}
+        assert "offshore" in regions
+
+    def test_client_round_robin(self):
+        topo = linear_topology(4, clients=["a", "b"])
+        clients = [h.client for h in topo.hosts.values()]
+        assert clients.count("a") == 2 and clients.count("b") == 2
+
+    def test_all_generators_validate(self):
+        for topo in (
+            single_switch_topology(2),
+            linear_topology(3),
+            ring_topology(3),
+            tree_topology(2, 2),
+            fat_tree_topology(4),
+            waxman_topology(10, seed=1),
+            isp_topology(),
+        ):
+            topo.validate()  # must not raise

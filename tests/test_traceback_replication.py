@@ -1,0 +1,191 @@
+"""Tests for attack traceback (§IV-C) and replicated verification (§I-A)."""
+
+import random
+
+import pytest
+
+from repro.attacks import BlackholeAttack, JoinAttack
+from repro.core.history import SnapshotHistory
+from repro.core.queries import IsolationQuery, ReachableDestinationsQuery
+from repro.core.replication import (
+    CompromisedReplica,
+    QuorumError,
+    ReplicatedRVaaS,
+)
+from repro.core.traceback import AttackTraceback
+from repro.crypto.keys import generate_keypair
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+class TestTraceback:
+    def test_requires_retaining_history(self, bed):
+        with pytest.raises(ValueError):
+            AttackTraceback(SnapshotHistory(), bed.registrations)
+
+    def test_clean_history_shows_no_exposure(self, bed):
+        bed.run(1.0)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        report = traceback.trace("alice", "h_fra1")
+        assert not report.ever_exposed
+        assert report.entries_analyzed > 0
+
+    def test_window_reconstruction(self, bed):
+        attack = JoinAttack("h_ber2", "h_fra1")
+        t_armed = bed.network.sim.now
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        t_disarmed = bed.network.sim.now
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        report = traceback.trace("alice", "h_fra1")
+        assert report.ever_exposed
+        assert len(report.windows) == 1
+        window = report.windows[0]
+        assert not window.still_open
+        assert t_armed <= window.opened_at <= t_disarmed
+        assert window.closed_at is not None
+        assert window.duration() == pytest.approx(
+            window.closed_at - window.opened_at
+        )
+
+    def test_ingress_port_identified(self, bed):
+        """The paper's promise: 'traceback the ingress port of an attack'."""
+        attack = JoinAttack("h_ber2", "h_fra1")
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        report = traceback.trace("alice", "h_fra1")
+        assert report.ingress_ports() == frozenset({("ber", 2)})
+
+    def test_enabling_rules_in_diff(self, bed):
+        attack = JoinAttack("h_ber2", "h_fra1")
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        window = traceback.trace("alice", "h_fra1").windows[0]
+        assert window.enabling_rules  # the covert route's rules
+        assert window.disabling_rules  # and their removal
+
+    def test_still_open_window(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        report = traceback.trace("alice", "h_fra1")
+        assert report.windows[-1].still_open
+
+    def test_two_separate_windows(self, bed):
+        for _ in range(2):
+            attack = JoinAttack("h_ber2", "h_fra1")
+            bed.provider.compromise(attack)
+            bed.run(0.5)
+            bed.provider.retreat(attack)
+            bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        report = traceback.trace("alice", "h_fra1")
+        assert len(report.windows) == 2
+
+    def test_unrelated_host_unaffected(self, bed):
+        attack = JoinAttack("h_ber2", "h_fra1")
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        assert not traceback.trace("alice", "h_par1").ever_exposed
+
+    def test_trace_all(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        reports = traceback.trace_all("alice")
+        assert set(reports) == {"h_ber1", "h_fra1", "h_par1"}
+        assert reports["h_fra1"].ever_exposed
+        assert not reports["h_ber1"].ever_exposed
+
+    def test_unknown_host_rejected(self, bed):
+        traceback = AttackTraceback(bed.service.history, bed.registrations)
+        with pytest.raises(KeyError):
+            traceback.trace("alice", "h_nope")
+
+
+class TestReplication:
+    def make_fleet(self, bed, *, liars=0, honest=2):
+        replicas = [bed.service]
+        fleet = ReplicatedRVaaS.deploy(
+            bed.network, bed.registrations, count=honest, seed=9
+        )
+        replicas.extend(fleet.replicas)
+        for index in range(liars):
+            liar = CompromisedReplica(
+                generate_keypair(f"liar-{index}", rng=random.Random(600 + index)),
+                bed.registrations,
+                name=f"rvaas-liar-{index}",
+                record_history=False,
+            )
+            liar.start(bed.network)
+            replicas.append(liar)
+        bed.run(1.0)
+        return ReplicatedRVaaS(replicas)
+
+    def test_unanimous_when_honest(self, bed):
+        fleet = self.make_fleet(bed, honest=2)
+        result = fleet.cross_check("alice", IsolationQuery())
+        assert result.unanimous
+        assert result.answer.isolated
+
+    def test_lying_replica_outvoted_and_named(self, bed):
+        fleet = self.make_fleet(bed, honest=2, liars=1)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        result = fleet.cross_check("alice", IsolationQuery())
+        assert not result.answer.isolated  # the truth wins
+        assert result.dissenting == ("rvaas-liar-0",)
+
+    def test_liar_also_caught_on_reachability(self, bed):
+        fleet = self.make_fleet(bed, honest=2, liars=1)
+        from repro.attacks import ExfiltrationAttack
+
+        bed.provider.compromise(ExfiltrationAttack("h_fra1", "h_off1"))
+        bed.run(0.5)
+        result = fleet.cross_check(
+            "alice", ReachableDestinationsQuery(authenticate=False)
+        )
+        assert "h_off1" in {e.host for e in result.answer.endpoints}
+        assert result.dissenting == ("rvaas-liar-0",)
+
+    def test_split_raises_quorum_error(self, bed):
+        liar = CompromisedReplica(
+            generate_keypair("liar", rng=random.Random(601)),
+            bed.registrations,
+            name="rvaas-liar",
+            record_history=False,
+        )
+        liar.start(bed.network)
+        bed.run(1.0)
+        fleet = ReplicatedRVaaS([bed.service, liar])
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        with pytest.raises(QuorumError):
+            fleet.cross_check("alice", IsolationQuery())
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedRVaaS([])
+
+    def test_replicas_have_independent_keys(self, bed):
+        fleet = self.make_fleet(bed, honest=2)
+        fingerprints = {
+            replica.keypair.public.fingerprint() for replica in fleet.replicas
+        }
+        assert len(fingerprints) == len(fleet.replicas)

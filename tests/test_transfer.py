@@ -1,0 +1,211 @@
+"""Unit tests for switch transfer functions (HSA compilation of rules)."""
+
+import pytest
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.transfer import (
+    CONTROLLER_PORT,
+    SnapshotRule,
+    SwitchTransferFunction,
+)
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.match import Match
+
+
+def rule(match, actions, priority=0, table_id=0):
+    return SnapshotRule(
+        table_id=table_id, priority=priority, match=match, actions=tuple(actions)
+    )
+
+
+def tf(rules, ports=(1, 2, 3)):
+    return SwitchTransferFunction("s1", rules, ports=ports)
+
+
+def space(**fields):
+    if not fields:
+        return HeaderSpace.all()
+    return HeaderSpace.single(Wildcard.from_fields(**fields))
+
+
+class TestBasicEmission:
+    def test_empty_table_drops_all(self):
+        assert tf([]).apply(1, HeaderSpace.all()) == []
+
+    def test_single_rule_emits(self):
+        emissions = tf([rule(Match.any(), (Output(2),))]).apply(1, space())
+        assert len(emissions) == 1
+        port, hs = emissions[0]
+        assert port == 2 and not hs.is_empty()
+
+    def test_match_restricts_space(self):
+        emissions = tf([rule(Match.build(tp_dst=80), (Output(2),))]).apply(
+            1, space()
+        )
+        _, hs = emissions[0]
+        assert hs.contains_point(Wildcard.from_fields(tp_dst=80).value)
+        assert not hs.contains_point(Wildcard.from_fields(tp_dst=81).value)
+
+    def test_disjoint_space_no_emission(self):
+        emissions = tf([rule(Match.build(tp_dst=80), (Output(2),))]).apply(
+            1, space(tp_dst=443)
+        )
+        assert emissions == []
+
+    def test_controller_port_emission(self):
+        emissions = tf([rule(Match.any(), (ToController(),))]).apply(1, space())
+        assert emissions[0][0] == CONTROLLER_PORT
+
+    def test_flood_emits_to_all_but_ingress(self):
+        emissions = tf([rule(Match.any(), (Flood(),))]).apply(2, space())
+        assert sorted(port for port, _ in emissions) == [1, 3]
+
+    def test_drop_action_emits_nothing(self):
+        assert tf([rule(Match.any(), (Drop(),))]).apply(1, space()) == []
+
+    def test_meter_is_transparent(self):
+        emissions = tf([rule(Match.any(), (Meter(1), Output(2)))]).apply(1, space())
+        assert [port for port, _ in emissions] == [2]
+
+
+class TestPriorityShadowing:
+    def test_high_priority_shadows_low(self):
+        function = tf(
+            [
+                rule(Match.build(tp_dst=80), (Output(2),), priority=10),
+                rule(Match.any(), (Output(3),), priority=1),
+            ]
+        )
+        emissions = function.apply(1, space())
+        by_port = {port: hs for port, hs in emissions}
+        assert not by_port[2].is_empty()
+        # Port 3 must NOT receive the tp_dst=80 slice.
+        assert not by_port[3].contains_point(Wildcard.from_fields(tp_dst=80).value)
+        assert by_port[3].contains_point(Wildcard.from_fields(tp_dst=81).value)
+
+    def test_exact_partition_no_leak_no_loss(self):
+        function = tf(
+            [
+                rule(Match.build(tp_dst=80), (Output(2),), priority=10),
+                rule(Match.any(), (Output(3),), priority=1),
+            ]
+        )
+        emissions = function.apply(1, space())
+        union = HeaderSpace.empty()
+        for _, hs in emissions:
+            union = union.union(hs)
+        assert HeaderSpace.all() == union  # nothing dropped
+
+    def test_same_priority_deterministic(self):
+        a = tf(
+            [
+                rule(Match.build(tp_dst=80), (Output(2),), priority=5),
+                rule(Match.build(ip_proto=17), (Output(3),), priority=5),
+            ]
+        )
+        emissions = a.apply(1, space(tp_dst=80, ip_proto=17))
+        assert len(emissions) == 1  # only one rule wins
+
+
+class TestInPortRules:
+    def test_in_port_rule_only_applies_on_port(self):
+        function = tf([rule(Match(in_port=1), (Output(2),))])
+        assert function.apply(1, space()) != []
+        assert function.apply(3, space()) == []
+
+    def test_in_port_shadowing_is_port_local(self):
+        function = tf(
+            [
+                rule(Match(in_port=1), (Drop(),), priority=10),
+                rule(Match.any(), (Output(2),), priority=1),
+            ]
+        )
+        # On port 1 the drop swallows everything.
+        assert function.apply(1, space()) == []
+        # On port 3 the drop rule does not apply at all.
+        assert [p for p, _ in function.apply(3, space())] == [2]
+
+
+class TestRewrites:
+    def test_setfield_rewrites_emitted_space(self):
+        function = tf(
+            [rule(Match.any(), (SetField("ip_dst", IPv4Address(42)), Output(2)))]
+        )
+        _, hs = function.apply(1, space())[0]
+        value, mask = hs.wildcards[0].field_constraint("ip_dst")
+        assert value == 42 and mask == (1 << 32) - 1
+
+    def test_vlan_push_pop(self):
+        function = tf(
+            [rule(Match(vlan_id=0), (PushVlan(99), Output(2)), priority=5)]
+        )
+        _, hs = function.apply(1, space(vlan_id=0))[0]
+        assert hs.wildcards[0].field_constraint("vlan_id")[0] == 99
+        popper = tf([rule(Match(vlan_id=99), (PopVlan(), Output(3)))])
+        _, hs2 = popper.apply(1, hs)[0]
+        assert hs2.wildcards[0].field_constraint("vlan_id")[0] == 0
+
+    def test_rewrite_applies_only_to_matched_slice(self):
+        function = tf(
+            [
+                rule(
+                    Match.build(tp_dst=80),
+                    (SetField("tp_dst", 8080), Output(2)),
+                    priority=5,
+                ),
+                rule(Match.any(), (Output(3),), priority=1),
+            ]
+        )
+        by_port = dict(function.apply(1, space()))
+        assert by_port[2].wildcards[0].field_constraint("tp_dst")[0] == 8080
+        assert by_port[3].contains_point(Wildcard.from_fields(tp_dst=81).value)
+
+
+class TestMultiTable:
+    def test_goto_composes_tables(self):
+        function = tf(
+            [
+                rule(Match.any(), (GotoTable(1),), table_id=0),
+                rule(Match.build(tp_dst=80), (Output(2),), table_id=1),
+            ]
+        )
+        emissions = function.apply(1, space())
+        assert [port for port, _ in emissions] == [2]
+        assert emissions[0][1].wildcards[0].field_constraint("tp_dst")[0] == 80
+
+    def test_goto_carries_rewrites(self):
+        function = tf(
+            [
+                rule(Match.any(), (PushVlan(7), GotoTable(1)), table_id=0),
+                rule(Match(vlan_id=7), (Output(2),), table_id=1),
+            ]
+        )
+        assert [port for port, _ in function.apply(1, space(vlan_id=0))] == [2]
+
+    def test_goto_table_miss_drops(self):
+        function = tf([rule(Match.any(), (GotoTable(1),), table_id=0)])
+        assert function.apply(1, space()) == []
+
+
+class TestIntrospection:
+    def test_rule_count_and_rules(self):
+        function = tf(
+            [
+                rule(Match.any(), (Output(1),)),
+                rule(Match.build(tp_dst=80), (Output(2),), table_id=1),
+            ]
+        )
+        assert function.rule_count() == 2
+        assert len(function.rules()) == 2

@@ -1,0 +1,263 @@
+"""Tests for the logical verifier: every query class, benign and attacked.
+
+These tests answer queries *locally* (no in-band round) so they isolate
+the HSA-based logic; the full protocol path is covered in
+``test_service_e2e.py``.
+"""
+
+import pytest
+
+from repro.attacks import (
+    BlackholeAttack,
+    DiversionAttack,
+    ExfiltrationAttack,
+    GeoViolationAttack,
+    JoinAttack,
+)
+from repro.core.queries import (
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TrafficScope,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.core.verifier import CONTROL_PLANE_ENDPOINT
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+
+
+def settle(bed, duration=0.3):
+    bed.run(duration)
+
+
+class TestReachableDestinations:
+    def test_benign_only_own_hosts(self, bed):
+        answer = bed.service.answer_locally(
+            "alice", ReachableDestinationsQuery(authenticate=False)
+        )
+        assert {e.host for e in answer.endpoints} == {"h_ber1", "h_fra1", "h_par1"}
+        assert all(e.client == "alice" for e in answer.endpoints)
+
+    def test_exfiltration_adds_destination(self, bed):
+        bed.provider.compromise(ExfiltrationAttack("h_fra1", "h_ams1"))
+        settle(bed)
+        answer = bed.service.answer_locally(
+            "alice", ReachableDestinationsQuery(authenticate=False)
+        )
+        assert "h_ams1" in {e.host for e in answer.endpoints}
+
+    def test_scope_narrows_analysis(self, bed):
+        answer = bed.service.answer_locally(
+            "alice",
+            ReachableDestinationsQuery(
+                authenticate=False, scope=TrafficScope(tp_dst=9999, ip_proto=17)
+            ),
+        )
+        # Pair routing matches all ports, so scope does not change the
+        # endpoint set here — but it must not crash or widen it.
+        assert {e.client for e in answer.endpoints} <= {"alice"}
+
+    def test_control_plane_copy_detected(self, bed):
+        """A malicious punt rule shows up as the control-plane endpoint."""
+        from repro.openflow.actions import ToController
+        from repro.openflow.match import Match
+
+        alice_ip = bed.registrations["alice"].hosts[0].ip
+        from repro.netlib.addresses import IPv4Address
+
+        bed.provider.install_flow(
+            "ber",
+            Match(ip_src=IPv4Address(alice_ip)),
+            (ToController(),),
+            priority=30,
+        )
+        settle(bed)
+        answer = bed.service.answer_locally(
+            "alice", ReachableDestinationsQuery(authenticate=False)
+        )
+        assert CONTROL_PLANE_ENDPOINT in answer.endpoints
+
+
+class TestReachingSources:
+    def test_benign(self, bed):
+        answer = bed.service.answer_locally("alice", ReachingSourcesQuery())
+        assert {e.host for e in answer.endpoints} == {"h_ber1", "h_fra1", "h_par1"}
+
+    def test_join_attack_adds_source(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        settle(bed)
+        answer = bed.service.answer_locally("alice", ReachingSourcesQuery())
+        assert "h_ber2" in {e.host for e in answer.endpoints}
+
+
+class TestIsolation:
+    def test_benign_isolated(self, bed):
+        answer = bed.service.answer_locally("alice", IsolationQuery())
+        assert answer.isolated
+        assert answer.violating_endpoints == ()
+        assert len(answer.declared_endpoints) == 3
+
+    def test_join_attack_detected_inbound(self, bed):
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        settle(bed)
+        answer = bed.service.answer_locally("alice", IsolationQuery())
+        assert not answer.isolated
+        assert {e.host for e in answer.violating_endpoints} == {"h_ber2"}
+
+    def test_exfiltration_detected_outbound(self, bed):
+        bed.provider.compromise(ExfiltrationAttack("h_fra1", "h_off1"))
+        settle(bed)
+        answer = bed.service.answer_locally("alice", IsolationQuery())
+        assert not answer.isolated
+        assert "h_off1" in {e.host for e in answer.violating_endpoints}
+
+    def test_attack_visible_from_both_tenants(self, bed):
+        """A covert channel violates *both* clients' isolation: alice
+        gains an unexpected source, bob an unexpected destination."""
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        settle(bed)
+        bob = bed.service.answer_locally("bob", IsolationQuery())
+        assert not bob.isolated
+        assert "h_fra1" in {e.host for e in bob.violating_endpoints}
+
+    def test_other_client_unaffected_by_internal_attack(self, bed):
+        """An attack entirely inside alice's tenancy leaves bob isolated."""
+        bed.provider.compromise(BlackholeAttack("h_ber1", "h_fra1"))
+        settle(bed)
+        assert bed.service.answer_locally("bob", IsolationQuery()).isolated
+
+    def test_attack_cleanup_restores_isolation(self, bed):
+        attack = JoinAttack("h_ber2", "h_fra1")
+        bed.provider.compromise(attack)
+        settle(bed)
+        assert not bed.service.answer_locally("alice", IsolationQuery()).isolated
+        bed.provider.retreat(attack)
+        settle(bed)
+        assert bed.service.answer_locally("alice", IsolationQuery()).isolated
+
+
+class TestGeo:
+    def test_benign_regions(self, bed):
+        answer = bed.service.answer_locally("alice", GeoLocationQuery())
+        assert set(answer.regions) == {"de-berlin", "de-frankfurt", "fr-paris"}
+
+    def test_geo_attack_adds_region(self, bed):
+        bed.provider.compromise(GeoViolationAttack("h_ber1", "h_fra1", "offshore"))
+        settle(bed)
+        answer = bed.service.answer_locally("alice", GeoLocationQuery())
+        assert "offshore" in answer.regions
+
+    def test_waypoint_avoidance(self, bed):
+        ok = bed.service.answer_locally(
+            "alice", WaypointAvoidanceQuery(forbidden_regions=("offshore",))
+        )
+        assert ok.avoided
+        bed.provider.compromise(GeoViolationAttack("h_ber1", "h_fra1", "offshore"))
+        settle(bed)
+        bad = bed.service.answer_locally(
+            "alice", WaypointAvoidanceQuery(forbidden_regions=("offshore",))
+        )
+        assert not bad.avoided and bad.violating_regions == ("offshore",)
+
+
+class TestPathLength:
+    def test_benign_routes_optimal(self, bed):
+        answer = bed.service.answer_locally("alice", PathLengthQuery())
+        assert answer.reports
+        assert answer.optimal
+        assert answer.max_stretch == 1.0
+
+    def test_diversion_increases_stretch(self, bed):
+        bed.provider.compromise(DiversionAttack("h_ber1", "h_fra1", "off"))
+        settle(bed)
+        answer = bed.service.answer_locally("alice", PathLengthQuery())
+        assert not answer.optimal
+        assert answer.max_stretch > 1.0
+
+    def test_destination_filter(self, bed):
+        answer = bed.service.answer_locally(
+            "alice", PathLengthQuery(destination_host="h_fra1")
+        )
+        assert {r.destination.host for r in answer.reports} == {"h_fra1"}
+
+
+class TestFairness:
+    def test_no_meters_is_neutral(self, bed):
+        answer = bed.service.answer_locally("alice", FairnessQuery())
+        assert answer.neutral
+        assert answer.meters_on_my_traffic == ()
+
+    def test_discriminatory_meter_detected(self, bed):
+        from repro.netlib.addresses import IPv4Address
+        from repro.openflow.actions import Meter, Output
+        from repro.openflow.match import Match
+        from repro.openflow.meters import MeterBand
+
+        alice_ip = IPv4Address(bed.registrations["alice"].hosts[0].ip)
+        bed.provider.install_meter("ber", 1, MeterBand(rate_kbps=100))
+        bed.provider.install_flow(
+            "ber",
+            Match(ip_src=alice_ip),
+            (Meter(1), Output(3)),
+            priority=25,
+        )
+        settle(bed)
+        bed.service.monitor.poll_all()  # meter state arrives with polls
+        settle(bed)
+        answer = bed.service.answer_locally("alice", FairnessQuery())
+        assert not answer.neutral
+        assert answer.meters_on_my_traffic
+        assert answer.meters_on_my_traffic[0].rate_kbps == 100
+
+    def test_uniform_meters_are_neutral(self, bed):
+        from repro.openflow.actions import Meter, Output
+        from repro.openflow.match import Match
+        from repro.openflow.meters import MeterBand
+
+        bed.provider.install_meter("ber", 1, MeterBand(rate_kbps=100))
+        # Meter applies to everything equally (match-all rule).
+        bed.provider.install_flow(
+            "ber", Match.any(), (Meter(1), Output(3)), priority=25
+        )
+        settle(bed)
+        answer = bed.service.answer_locally("alice", FairnessQuery())
+        # The match-all rule overlaps alice AND everyone else: both
+        # sides see the same floor, so the check reports neutral.
+        assert answer.baseline_rate_kbps is None or answer.neutral
+
+
+class TestTransferFunction:
+    def test_entries_per_ingress_egress(self, bed):
+        answer = bed.service.answer_locally("alice", TransferFunctionQuery())
+        ingresses = {e.ingress.host for e in answer.entries}
+        egresses = {e.egress.host for e in answer.entries}
+        assert ingresses == {"h_ber1", "h_fra1", "h_par1"}
+        assert egresses == {"h_ber1", "h_fra1", "h_par1"}
+
+    def test_no_internal_paths_leaked(self, bed):
+        """Confidentiality: answers name endpoints, never transit switches."""
+        answer = bed.service.answer_locally("alice", TransferFunctionQuery())
+        for entry in answer.entries:
+            # ams/off are transit-only for alice; they must not appear.
+            assert entry.ingress.switch not in ("ams", "off")
+            assert entry.egress.switch not in ("ams", "off")
+
+
+class TestAuthTargets:
+    def test_targets_are_reachable_edges(self, bed):
+        registration = bed.registrations["alice"]
+        targets = bed.service.verifier.auth_targets(
+            registration, bed.service.snapshot()
+        )
+        assert set(targets) == registration.access_points

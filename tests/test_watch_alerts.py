@@ -1,0 +1,113 @@
+"""Tests for proactive invariant watching and pushed violation notices."""
+
+import pytest
+
+from repro.attacks import BlackholeAttack, JoinAttack
+from repro.core.protocol import SealedNotice, ViolationNotice
+from repro.crypto.cipher import HybridCiphertext
+from repro.dataplane.topologies import isp_topology
+from repro.testbed import build_testbed
+
+
+@pytest.fixture()
+def bed():
+    bed = build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=42
+    )
+    bed.service.watch_isolation("alice")
+    return bed
+
+
+class TestWatchAlerts:
+    def test_violation_pushes_notice(self, bed):
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        assert len(alerts) == 1
+        notice = alerts[0]
+        assert notice.invariant == "isolation"
+        assert "h_ber2" in notice.details
+        assert bed.service.notices_pushed == 1
+
+    def test_no_alert_on_benign_changes(self, bed):
+        from repro.openflow.actions import Output
+        from repro.openflow.match import Match
+
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        # A harmless provider change (unused low-priority rule).
+        bed.provider.install_flow(
+            "ber", Match.build(tp_dst=4444), (Output(3),), priority=3
+        )
+        bed.run(0.5)
+        assert alerts == []
+
+    def test_single_alert_per_violation_episode(self, bed):
+        """The verdict edge (isolated -> violated) alerts once, not per
+        FlowMod of the attack."""
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        bed.provider.compromise(JoinAttack("h_ams1", "h_fra1"))
+        bed.run(0.5)
+        # Still a single episode: the verdict never returned to isolated.
+        assert len(alerts) == 1
+
+    def test_realerts_after_recovery(self, bed):
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        attack = JoinAttack("h_ber2", "h_fra1")
+        bed.provider.compromise(attack)
+        bed.run(0.5)
+        bed.provider.retreat(attack)
+        bed.run(0.5)
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        assert len(alerts) == 2
+
+    def test_unwatched_client_not_notified(self, bed):
+        bob_alerts = []
+        bed.clients["bob"].on_notice(bob_alerts.append)
+        bed.provider.compromise(BlackholeAttack("h_ber1", "h_fra1"))
+        bed.run(0.5)
+        assert bob_alerts == []
+
+    def test_unknown_client_rejected(self, bed):
+        with pytest.raises(KeyError):
+            bed.service.watch_isolation("mallory")
+
+    def test_forged_notice_ignored(self, bed):
+        client = bed.clients["alice"]
+        fake = SealedNotice(
+            ciphertext=HybridCiphertext(wrapped_key=1, nonce=b"n" * 12, body=b"x"),
+            signature=99,
+        )
+        from repro.netlib.addresses import IPv4Address, MacAddress
+        from repro.netlib.constants import RVAAS_MAGIC_PORT
+        from repro.netlib.packet import udp_packet
+
+        client.host.deliver(
+            udp_packet(
+                eth_src=MacAddress.from_host_index(9),
+                eth_dst=MacAddress.from_host_index(8),
+                ip_src=IPv4Address(1),
+                ip_dst=IPv4Address(2),
+                sport=RVAAS_MAGIC_PORT,
+                dport=RVAAS_MAGIC_PORT,
+                payload=fake,
+            )
+        )
+        assert client.notices == []
+
+    def test_alert_latency_sub_snapshot_interval(self, bed):
+        """The alert arrives at event-batch latency, far below any
+        polling interval a client could reasonably use."""
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        t0 = bed.network.sim.now
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        assert alerts
+        assert alerts[0].raised_at - t0 < 0.05

@@ -1,0 +1,203 @@
+"""Unit and property tests for the ternary wildcard algebra.
+
+The property tests validate the algebra against its point semantics: a
+wildcard denotes a set of concrete headers, so every set operation must
+agree with membership of sampled points.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hsa.layout import ALL_ONES, HEADER_BITS, field_slice
+from repro.hsa.wildcard import Wildcard, enumerate_bits
+from repro.netlib.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.openflow.match import Match
+
+
+# Strategy: wildcards built from a random mask and value (value ⊆ mask).
+@st.composite
+def wildcards(draw):
+    # Constrain randomness to the low 64 bits plus a few high bits so
+    # intersections are non-trivial but examples stay readable.
+    mask = draw(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    value = draw(st.integers(min_value=0, max_value=(1 << 64) - 1)) & mask
+    return Wildcard(value=value, mask=mask)
+
+
+@st.composite
+def points(draw):
+    return draw(st.integers(min_value=0, max_value=(1 << 64) - 1))
+
+
+class TestConstruction:
+    def test_all_contains_everything(self):
+        assert Wildcard.all().contains_point(0)
+        assert Wildcard.all().contains_point(ALL_ONES)
+
+    def test_point_contains_only_itself(self):
+        w = Wildcard.point(12345)
+        assert w.contains_point(12345)
+        assert not w.contains_point(12346)
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Wildcard(value=1, mask=0)
+
+    def test_mask_outside_header_rejected(self):
+        with pytest.raises(ValueError):
+            Wildcard(value=0, mask=1 << HEADER_BITS)
+
+    def test_from_fields(self):
+        w = Wildcard.from_fields(tp_dst=80)
+        slice_ = field_slice("tp_dst")
+        assert w.mask == slice_.mask
+        assert slice_.unpack(w.value) == 80
+
+    def test_from_match_exact_ip(self):
+        match = Match.build(ip_dst="10.0.0.1")
+        w = Wildcard.from_match(match)
+        value, mask = w.field_constraint("ip_dst")
+        assert value == IPv4Address.parse("10.0.0.1").value
+        assert mask == (1 << 32) - 1
+
+    def test_from_match_prefix(self):
+        match = Match.build(ip_dst="10.0.0.0/8")
+        w = Wildcard.from_match(match)
+        value, mask = w.field_constraint("ip_dst")
+        assert mask == 0xFF000000
+        assert value == 10 << 24
+
+    def test_from_match_ignores_in_port(self):
+        assert Wildcard.from_match(Match(in_port=3)) == Wildcard.all()
+
+    def test_from_match_mac(self):
+        match = Match.build(eth_dst="02:00:00:00:00:05")
+        w = Wildcard.from_match(match)
+        value, mask = w.field_constraint("eth_dst")
+        assert value == MacAddress.parse("02:00:00:00:00:05").value
+
+
+class TestOperations:
+    def test_intersect_conflicting_is_none(self):
+        a = Wildcard.from_fields(tp_dst=80)
+        b = Wildcard.from_fields(tp_dst=81)
+        assert a.intersect(b) is None
+
+    def test_intersect_orthogonal(self):
+        a = Wildcard.from_fields(tp_dst=80)
+        b = Wildcard.from_fields(ip_proto=17)
+        joined = a.intersect(b)
+        assert joined is not None
+        assert joined.field_constraint("tp_dst")[0] == 80
+        assert joined.field_constraint("ip_proto")[0] == 17
+
+    def test_subset(self):
+        narrow = Wildcard.from_fields(tp_dst=80, ip_proto=17)
+        wide = Wildcard.from_fields(tp_dst=80)
+        assert narrow.is_subset_of(wide)
+        assert not wide.is_subset_of(narrow)
+        assert wide.is_subset_of(Wildcard.all())
+
+    def test_subtract_disjoint_returns_self(self):
+        a = Wildcard.from_fields(tp_dst=80)
+        b = Wildcard.from_fields(tp_dst=81)
+        assert a.subtract(b) == [a]
+
+    def test_subtract_superset_returns_empty(self):
+        a = Wildcard.from_fields(tp_dst=80)
+        assert a.subtract(Wildcard.all()) == []
+
+    def test_subtract_pieces_are_disjoint(self):
+        a = Wildcard.all()
+        b = Wildcard.from_fields(tp_dst=80)
+        pieces = a.subtract(b)
+        assert len(pieces) == 16  # one per tp_dst bit
+        for i, piece_a in enumerate(pieces):
+            for piece_b in pieces[i + 1 :]:
+                assert piece_a.intersect(piece_b) is None
+
+    def test_rewrite_field(self):
+        w = Wildcard.from_fields(tp_dst=80)
+        rewritten = w.rewrite_field(field_slice("tp_dst"), 443)
+        assert rewritten.field_constraint("tp_dst")[0] == 443
+
+    def test_rewrite_fixes_previously_free_field(self):
+        rewritten = Wildcard.all().rewrite_field(field_slice("vlan_id"), 7)
+        value, mask = rewritten.field_constraint("vlan_id")
+        assert value == 7 and mask == (1 << 12) - 1
+
+    def test_size_log2(self):
+        assert Wildcard.all().size_log2() == HEADER_BITS
+        assert Wildcard.point(0).size_log2() == 0
+
+    def test_sample_within(self):
+        rng = random.Random(0)
+        w = Wildcard.from_fields(tp_dst=80, ip_proto=17)
+        for _ in range(20):
+            assert w.contains_point(w.sample(rng))
+
+    def test_describe(self):
+        text = Wildcard.from_fields(tp_dst=80).describe()
+        assert "tp_dst=0x50" in text
+        assert Wildcard.all().describe() == "Wildcard(*)"
+
+    def test_enumerate_bits(self):
+        assert list(enumerate_bits(0b1010)) == [0b10, 0b1000]
+
+
+class TestPointSemantics:
+    """Property tests: the algebra agrees with point membership."""
+
+    @settings(max_examples=200)
+    @given(wildcards(), wildcards(), points())
+    def test_intersection_semantics(self, a, b, p):
+        joined = a.intersect(b)
+        in_both = a.contains_point(p) and b.contains_point(p)
+        if joined is None:
+            assert not in_both
+        else:
+            assert joined.contains_point(p) == in_both
+
+    @settings(max_examples=200)
+    @given(wildcards(), wildcards(), points())
+    def test_subtraction_semantics(self, a, b, p):
+        pieces = a.subtract(b)
+        in_difference = a.contains_point(p) and not b.contains_point(p)
+        assert any(piece.contains_point(p) for piece in pieces) == in_difference
+
+    @settings(max_examples=200)
+    @given(wildcards(), wildcards())
+    def test_subset_semantics_on_samples(self, a, b):
+        rng = random.Random(0)
+        if a.is_subset_of(b):
+            for _ in range(10):
+                assert b.contains_point(a.sample(rng))
+        else:
+            # Not a subset: subtraction must leave something behind.
+            assert a.subtract(b) != []
+
+    @settings(max_examples=200)
+    @given(wildcards(), wildcards())
+    def test_subtract_pieces_inside_a_outside_b(self, a, b):
+        rng = random.Random(1)
+        for piece in a.subtract(b):
+            sample = piece.sample(rng)
+            assert a.contains_point(sample)
+            assert not b.contains_point(sample)
+
+    @settings(max_examples=100)
+    @given(wildcards())
+    def test_intersect_self_identity(self, a):
+        assert a.intersect(a) == a
+
+    @settings(max_examples=100)
+    @given(wildcards())
+    def test_subtract_self_empty(self, a):
+        assert a.subtract(a) == []
+
+    @settings(max_examples=100)
+    @given(wildcards(), wildcards())
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
