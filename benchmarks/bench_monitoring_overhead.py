@@ -26,6 +26,12 @@ def run_churn_experiment(mode, seed=61, churn_events=20, spacing=0.5):
         monitor_mode=mode,
         mean_poll_interval=2.0,
     )
+    # Warm the verification engine once so churn-driven deltas have
+    # compiled artifacts to invalidate — as in a live deployment, where
+    # clients query between reconfigurations.
+    from repro.core.queries import ReachableDestinationsQuery
+
+    bed.service.answer_locally("a", ReachableDestinationsQuery(authenticate=False))
     messages_before = bed.service.control_message_count()
     monitor = bed.service.monitor
 
@@ -62,7 +68,8 @@ def run_churn_experiment(mode, seed=61, churn_events=20, spacing=0.5):
         if staleness_samples
         else float("nan")
     )
-    return observed, churn_events, messages, mean_staleness
+    counters = bed.service.engine.metrics.snapshot_counters()
+    return observed, churn_events, messages, mean_staleness, counters
 
 
 def test_monitoring_modes_under_churn(benchmark, report):
@@ -70,7 +77,7 @@ def test_monitoring_modes_under_churn(benchmark, report):
     rows = []
     results = {}
     for mode in (MonitorMode.PASSIVE, MonitorMode.ACTIVE, MonitorMode.HYBRID):
-        observed, total, messages, staleness = run_churn_experiment(mode)
+        observed, total, messages, staleness, counters = run_churn_experiment(mode)
         results[mode] = (observed, messages, staleness)
         rows.append(
             (
@@ -78,12 +85,27 @@ def test_monitoring_modes_under_churn(benchmark, report):
                 f"{observed}/{total}",
                 messages,
                 f"{staleness * 1000:.1f}" if staleness == staleness else "n/a",
+                counters["deltas_applied"],
+                counters["delta_invalidations"],
+                counters["switch_tf_misses"],
             )
         )
     rep.table(
-        ["mode", "changes_observed", "ctrl_messages", "mean_staleness_ms"],
+        [
+            "mode",
+            "changes_observed",
+            "ctrl_messages",
+            "mean_staleness_ms",
+            "deltas",
+            "evictions",
+            "recompiles",
+        ],
         rows,
     )
+    rep.line()
+    rep.line("every churn event reaches the engine as a SnapshotDelta; only")
+    rep.line("the churned switch's compiled transfer function is evicted —")
+    rep.line("once here, since nothing re-queries it between churn events.")
     rep.line()
     rep.line("shape check: passive sees every change at ~channel latency;")
     rep.line("active bounds staleness by the (random) poll interval at a")

@@ -21,6 +21,7 @@ provider domains (§IV-C).
 from repro.core.attestation import AttestedService, setup_attested_service
 from repro.core.client import AuthResponder, RVaaSClient, SilentResponder
 from repro.core.emulation import EmulationVerifier, ShadowNetwork
+from repro.core.engine import EngineMetrics, SnapshotDelta, VerificationEngine
 from repro.core.history import SnapshotHistory
 from repro.core.replication import (
     CompromisedReplica,
@@ -68,6 +69,9 @@ __all__ = [
     "CompromisedReplica",
     "ConfigurationMonitor",
     "EmulationVerifier",
+    "EngineMetrics",
+    "SnapshotDelta",
+    "VerificationEngine",
     "ExposureHistoryQuery",
     "ExposureWindow",
     "QuorumError",

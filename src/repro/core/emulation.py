@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.engine import VerificationEngine
 from repro.core.protocol import ClientRegistration
 from repro.core.queries import Endpoint, TrafficScope
 from repro.core.snapshot import NetworkSnapshot
@@ -200,12 +201,30 @@ class EmulationVerifier:
         *,
         extra_random_probes: int = 8,
         seed: int = 0,
+        engine: Optional[VerificationEngine] = None,
     ) -> None:
         self.registrations = dict(registrations)
         self.extra_random_probes = extra_random_probes
         self.seed = seed
+        #: shared verification engine: shadow networks are cached as
+        #: content-addressed artifacts, so re-verifying an unchanged
+        #: snapshot skips replica construction entirely — the same
+        #: invalidation discipline as the HSA backend
+        self.engine = engine
         self._owners = _registered_endpoints(self.registrations)
         self.probes_injected = 0
+        self.shadows_built = 0
+
+    def _shadow(self, snapshot: NetworkSnapshot) -> ShadowNetwork:
+        if self.engine is None:
+            self.shadows_built += 1
+            return ShadowNetwork(snapshot)
+
+        def build(snap: NetworkSnapshot) -> ShadowNetwork:
+            self.shadows_built += 1
+            return ShadowNetwork(snap)
+
+        return self.engine.artifact("shadow-network", snapshot, build)
 
     # ------------------------------------------------------------------
     # Probe construction
@@ -255,7 +274,7 @@ class EmulationVerifier:
         scope: TrafficScope = TrafficScope(),
     ) -> Dict[PortRef, frozenset[PortRef]]:
         """Per client access point, the edge ports its probes reached."""
-        shadow = ShadowNetwork(snapshot)
+        shadow = self._shadow(snapshot)
         reached: Dict[PortRef, frozenset[PortRef]] = {}
         for index, host in enumerate(registration.hosts, start=1):
             packets = self._probe_packets(
@@ -296,7 +315,7 @@ class EmulationVerifier:
         )
         if record is None:
             raise KeyError(f"{src_host!r} is not one of {registration.name}'s hosts")
-        shadow = ShadowNetwork(snapshot)
+        shadow = self._shadow(snapshot)
         packets = self._probe_packets(record.ip, MacAddress.from_host_index(1), scope)
         result = shadow.run_probe_round(record.access_point, packets)
         self.probes_injected += result.probes_sent

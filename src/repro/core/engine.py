@@ -1,0 +1,358 @@
+"""The shared verification engine: incremental compilation + memoized analysis.
+
+The paper argues RVaaS is feasible because verification has "low
+resource requirements" (§IV-A).  The seed reproduction recompiled the
+entire HSA :class:`~repro.hsa.network_tf.NetworkTransferFunction` from
+scratch for every snapshot and rebuilt a fresh
+:class:`~repro.hsa.reachability.ReachabilityAnalyzer` inside every query
+method.  This module is the Veriflow-style incremental replacement, and
+the single compilation path shared by every consumer (logical verifier,
+emulation backend, flapping detector, dead-end auditor):
+
+* **Per-switch compiled-artifact caching** —
+  :class:`~repro.hsa.transfer.SwitchTransferFunction` objects are keyed
+  by a per-switch rule-content hash
+  (:meth:`~repro.core.snapshot.NetworkSnapshot.switch_content_hash`) and
+  structurally shared across snapshot versions: a snapshot that changed
+  k switches recompiles exactly k transfer functions.
+* **Delta-driven invalidation** — the
+  :class:`~repro.core.monitor.ConfigurationMonitor` emits
+  :class:`SnapshotDelta` objects describing added/removed rules, meter
+  and wiring changes; :meth:`VerificationEngine.apply_delta` uses them
+  to evict exactly the superseded per-switch entries.
+* **Memoized reachability** — one propagation per (snapshot content
+  hash, ingress port, header space) serves every query class that needs
+  it, so an Isolation query immediately after a ReachableDestinations
+  query on the same snapshot costs a dictionary lookup.
+
+All caches are content-addressed, so correctness never depends on
+deltas arriving: a missed delta only costs an extra recompilation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.snapshot import NetworkSnapshot
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.reachability import ReachabilityAnalyzer, ReachabilityResult
+from repro.hsa.transfer import SwitchTransferFunction
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """What changed between two consecutive monitor snapshots.
+
+    ``added_rules`` / ``removed_rules`` are (switch, rule identity)
+    signature pairs — the same currency as
+    :meth:`~repro.core.snapshot.NetworkSnapshot.rule_signatures` and the
+    flapping detector.  ``changed_switches`` is the union of switches
+    with any rule churn; meter and wiring changes are flagged separately
+    because they invalidate different artifacts.
+    """
+
+    since_version: int
+    version: int
+    added_rules: frozenset = frozenset()
+    removed_rules: frozenset = frozenset()
+    changed_switches: frozenset = frozenset()
+    meters_changed: bool = False
+    wiring_changed: bool = False
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added_rules
+            or self.removed_rules
+            or self.changed_switches
+            or self.meters_changed
+            or self.wiring_changed
+        )
+
+    def rule_churn(self) -> int:
+        return len(self.added_rules) + len(self.removed_rules)
+
+
+@dataclass
+class EngineMetrics:
+    """Hit/miss/recompile accounting, read by E5/E10/E11 benchmarks."""
+
+    switch_tf_hits: int = 0
+    switch_tf_misses: int = 0  # == per-switch recompilations
+    network_tf_hits: int = 0
+    network_tf_builds: int = 0
+    incremental_builds: int = 0  # NTF builds that shared the role map
+    reach_hits: int = 0
+    reach_misses: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    deltas_applied: int = 0
+    delta_invalidations: int = 0
+    content_hashes: int = 0
+
+    @property
+    def recompilations(self) -> int:
+        return self.switch_tf_misses
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class VerificationEngine:
+    """Content-addressed compilation and analysis cache.
+
+    One engine instance is shared by everything that verifies against
+    snapshots of the same network: the :class:`LogicalVerifier` (all
+    query classes), the :class:`RVaaSController`'s watch/audit paths,
+    the :class:`EmulationVerifier` (shadow networks, via
+    :meth:`artifact`), and :class:`SnapshotHistory` (content hashing).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_switch_entries: int = 4096,
+        max_network_entries: int = 16,
+        max_reach_entries: int = 1024,
+        max_artifact_entries: int = 8,
+    ) -> None:
+        self.metrics = EngineMetrics()
+        self._max_switch_entries = max_switch_entries
+        self._max_network_entries = max_network_entries
+        self._max_reach_entries = max_reach_entries
+        self._max_artifact_entries = max_artifact_entries
+        #: (switch, rule hash, ports) -> compiled transfer function
+        self._switch_tfs: "OrderedDict[tuple, SwitchTransferFunction]" = OrderedDict()
+        #: snapshot content hash -> assembled network transfer function
+        self._network_tfs: "OrderedDict[str, NetworkTransferFunction]" = OrderedDict()
+        #: (content hash, collect_drops) -> analyzer over the cached NTF
+        self._analyzers: Dict[Tuple[str, bool], ReachabilityAnalyzer] = {}
+        #: (content hash, ingress, space fingerprint, drops) -> result
+        self._reach: "OrderedDict[tuple, ReachabilityResult]" = OrderedDict()
+        #: (kind, content hash) -> arbitrary derived artifact
+        self._artifacts: "OrderedDict[tuple, object]" = OrderedDict()
+        #: last assembled NTF, for the O(k) incremental sibling path
+        self._last_ntf: Optional[NetworkTransferFunction] = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def switch_transfer_function(
+        self, snapshot: NetworkSnapshot, switch: str
+    ) -> SwitchTransferFunction:
+        """The compiled pipeline of one switch, cached by rule content."""
+        rules = snapshot.rules.get(switch, ())
+        ports = tuple(snapshot.switch_ports.get(switch, ()))
+        key = (switch, snapshot.switch_content_hash(switch), ports)
+        cached = self._switch_tfs.get(key)
+        if cached is not None:
+            self.metrics.switch_tf_hits += 1
+            self._switch_tfs.move_to_end(key)
+            return cached
+        self.metrics.switch_tf_misses += 1
+        n_tables = max((r.table_id for r in rules), default=0) + 1
+        compiled = SwitchTransferFunction(
+            switch, rules, ports=ports, n_tables=max(n_tables, 2)
+        )
+        self._switch_tfs[key] = compiled
+        self._evict(self._switch_tfs, self._max_switch_entries)
+        return compiled
+
+    def compile(self, snapshot: NetworkSnapshot) -> NetworkTransferFunction:
+        """The network transfer function, assembled from cached pieces."""
+        content = self.content_hash(snapshot)
+        cached = self._network_tfs.get(content)
+        if cached is not None:
+            self.metrics.network_tf_hits += 1
+            self._network_tfs.move_to_end(content)
+            return cached
+        self.metrics.network_tf_builds += 1
+        tfs = {
+            switch: self.switch_transfer_function(snapshot, switch)
+            for switch in snapshot.rules
+        }
+        previous = self._last_ntf
+        if (
+            previous is not None
+            and previous.wiring == dict(snapshot.wiring)
+            and previous.edge_ports.keys() == snapshot.edge_ports.keys()
+            and all(
+                previous.edge_ports[s] == frozenset(p)
+                for s, p in snapshot.edge_ports.items()
+            )
+            and set(previous.transfer_functions) == set(tfs)
+        ):
+            updates = {
+                name: tf
+                for name, tf in tfs.items()
+                if previous.transfer_functions.get(name) is not tf
+            }
+            network_tf = previous.with_updated_switches(updates)
+            self.metrics.incremental_builds += 1
+        else:
+            network_tf = NetworkTransferFunction(
+                tfs, snapshot.wiring, snapshot.edge_ports
+            )
+        self._network_tfs[content] = network_tf
+        self._last_ntf = network_tf
+        self._evict(self._network_tfs, self._max_network_entries)
+        return network_tf
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def analyzer(
+        self, snapshot: NetworkSnapshot, *, collect_drops: bool = False
+    ) -> ReachabilityAnalyzer:
+        key = (self.content_hash(snapshot), collect_drops)
+        analyzer = self._analyzers.get(key)
+        if analyzer is None:
+            analyzer = ReachabilityAnalyzer(
+                self.compile(snapshot), collect_drops=collect_drops
+            )
+            if len(self._analyzers) >= self._max_network_entries:
+                self._analyzers.clear()
+            self._analyzers[key] = analyzer
+        return analyzer
+
+    def analyze(
+        self,
+        snapshot: NetworkSnapshot,
+        switch: str,
+        port: int,
+        space: HeaderSpace,
+        *,
+        collect_drops: bool = False,
+    ) -> ReachabilityResult:
+        """Memoized forward propagation from one ingress port.
+
+        The returned :class:`ReachabilityResult` is shared between
+        callers — treat it as read-only.
+        """
+        key = (
+            self.content_hash(snapshot),
+            switch,
+            port,
+            space.fingerprint(),
+            collect_drops,
+        )
+        cached = self._reach.get(key)
+        if cached is not None:
+            self.metrics.reach_hits += 1
+            self._reach.move_to_end(key)
+            return cached
+        self.metrics.reach_misses += 1
+        result = self.analyzer(snapshot, collect_drops=collect_drops).analyze(
+            switch, port, space
+        )
+        self._reach[key] = result
+        self._evict(self._reach, self._max_reach_entries)
+        return result
+
+    def sources_reaching(
+        self,
+        snapshot: NetworkSnapshot,
+        target_switch: str,
+        target_port: int,
+        space: HeaderSpace,
+        *,
+        candidate_ports: Optional[Tuple[PortRef, ...]] = None,
+    ) -> Dict[PortRef, HeaderSpace]:
+        """Inverse reachability, with each candidate propagation memoized."""
+        analyzer = self.analyzer(snapshot)
+        return analyzer.sources_reaching(
+            target_switch,
+            target_port,
+            space,
+            candidate_ports=candidate_ports,
+            analyze_fn=lambda sw, p, sp: self.analyze(snapshot, sw, p, sp),
+        )
+
+    # ------------------------------------------------------------------
+    # Generic derived artifacts (emulation backend, etc.)
+    # ------------------------------------------------------------------
+
+    def artifact(
+        self,
+        kind: str,
+        snapshot: NetworkSnapshot,
+        build: Callable[[NetworkSnapshot], object],
+    ):
+        """A content-addressed cache for non-HSA snapshot compilations.
+
+        The emulation backend stores its
+        :class:`~repro.core.emulation.ShadowNetwork` replicas here, so
+        HSA and emulation share one invalidation discipline.
+        """
+        key = (kind, self.content_hash(snapshot))
+        cached = self._artifacts.get(key)
+        if cached is not None:
+            self.metrics.artifact_hits += 1
+            self._artifacts.move_to_end(key)
+            return cached
+        self.metrics.artifact_misses += 1
+        built = build(snapshot)
+        self._artifacts[key] = built
+        self._evict(self._artifacts, self._max_artifact_entries)
+        return built
+
+    # ------------------------------------------------------------------
+    # Identity & invalidation
+    # ------------------------------------------------------------------
+
+    def content_hash(self, snapshot: NetworkSnapshot) -> str:
+        self.metrics.content_hashes += 1
+        return snapshot.content_hash()
+
+    def apply_delta(self, delta: SnapshotDelta) -> int:
+        """Evict cache entries the delta proves stale.
+
+        Per-switch compiled artifacts for switches with rule churn are
+        superseded (the content-addressed key guarantees a changed
+        switch misses anyway; eviction keeps the cache from accumulating
+        every historical version under flapping attacks).  Returns the
+        number of entries invalidated.
+        """
+        self.metrics.deltas_applied += 1
+        if delta.is_empty():
+            return 0
+        evicted = 0
+        if delta.changed_switches:
+            stale = [
+                key for key in self._switch_tfs if key[0] in delta.changed_switches
+            ]
+            for key in stale:
+                del self._switch_tfs[key]
+                evicted += 1
+        if delta.wiring_changed:
+            # The shared role map is wrong for every cached NTF.
+            evicted += len(self._network_tfs) + len(self._reach)
+            self._network_tfs.clear()
+            self._analyzers.clear()
+            self._reach.clear()
+            self._artifacts.clear()
+            self._last_ntf = None
+        self.metrics.delta_invalidations += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are preserved)."""
+        self._switch_tfs.clear()
+        self._network_tfs.clear()
+        self._analyzers.clear()
+        self._reach.clear()
+        self._artifacts.clear()
+        self._last_ntf = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _evict(cache: OrderedDict, limit: int) -> None:
+        while len(cache) > limit:
+            cache.popitem(last=False)

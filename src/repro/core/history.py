@@ -14,7 +14,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.core.snapshot import NetworkSnapshot
+
+if TYPE_CHECKING:  # history is imported by service before the engine
+    from repro.core.engine import VerificationEngine
 
 
 def entries_with_snapshots(history: "SnapshotHistory"):
@@ -47,8 +52,18 @@ class FlappingReport:
 class SnapshotHistory:
     """Bounded history of configuration states with flapping analysis."""
 
-    def __init__(self, max_entries: int = 256, *, retain_snapshots: bool = False) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        *,
+        retain_snapshots: bool = False,
+        engine: Optional["VerificationEngine"] = None,
+    ) -> None:
         self.retain_snapshots = retain_snapshots
+        #: shared verification engine; when present, content hashes go
+        #: through it so the flapping detector reuses the per-switch
+        #: digests the compilation cache already paid for
+        self.engine = engine
         self._entries: Deque[HistoryEntry] = deque(maxlen=max_entries)
         #: every rule signature ever observed, with observation times
         self._ever_seen: Dict[tuple, List[float]] = {}
@@ -62,10 +77,15 @@ class SnapshotHistory:
 
     def record(self, snapshot: NetworkSnapshot) -> None:
         signatures = snapshot.rule_signatures()
+        content_hash = (
+            self.engine.content_hash(snapshot)
+            if self.engine is not None
+            else snapshot.content_hash()
+        )
         entry = HistoryEntry(
             version=snapshot.version,
             taken_at=snapshot.taken_at,
-            content_hash=snapshot.content_hash(),
+            content_hash=content_hash,
             rule_signatures=signatures,
             snapshot=snapshot if self.retain_snapshots else None,
         )

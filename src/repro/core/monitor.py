@@ -24,7 +24,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.snapshot import NetworkSnapshot, SnapshotMeter
+from repro.core.engine import SnapshotDelta
+from repro.core.snapshot import NetworkSnapshot, SnapshotMeter, switch_rules_hash
 from repro.dataplane.topology import GeoLocation, Topology
 from repro.hsa.transfer import SnapshotRule
 from repro.netlib.addresses import MacAddress
@@ -96,9 +97,23 @@ class ConfigurationMonitor:
         self._version = 0
         self._change_listeners: List[Callable[[str], None]] = []
         self._poll_listeners: List[Callable[[str, float], None]] = []
+        self._delta_listeners: List[Callable[[SnapshotDelta], None]] = []
         self._polling = False
         self.poll_times: List[float] = []
         self.topology_observations: List[TopologyObservation] = []
+        # Delta accumulators: everything that changed since the last
+        # snapshot was frozen, in rule-signature currency.
+        self._pending_added: Set[Tuple[str, tuple]] = set()
+        self._pending_removed: Set[Tuple[str, tuple]] = set()
+        self._dirty_switches: Set[str] = set()
+        self._meters_dirty = False
+        self._last_wiring: Optional[Dict[Tuple[str, int], Tuple[str, int]]] = None
+        self._last_snapshot_version = -1
+        #: per-switch rule hashes, shared with every snapshot we freeze;
+        #: invalidated per switch on change so unchanged switches never
+        #: rehash (the engine's cache key comes from here)
+        self._switch_hash_cache: Dict[str, str] = {}
+        self.last_delta: Optional[SnapshotDelta] = None
 
     # ------------------------------------------------------------------
     # Startup
@@ -127,6 +142,11 @@ class ConfigurationMonitor:
         """Register a callback invoked as (switch, time) after each poll reply."""
         self._poll_listeners.append(listener)
 
+    def on_delta(self, listener: Callable[[SnapshotDelta], None]) -> None:
+        """Register a callback invoked with the :class:`SnapshotDelta`
+        accompanying every frozen snapshot (the engine's invalidation feed)."""
+        self._delta_listeners.append(listener)
+
     # ------------------------------------------------------------------
     # Passive path
     # ------------------------------------------------------------------
@@ -144,9 +164,16 @@ class ConfigurationMonitor:
         mirror = self._rules.setdefault(switch, {})
         key = rule.identity()
         if update.event in ("added", "modified"):
+            previous = mirror.get(key)
             mirror[key] = rule
+            if previous is None:
+                self._note_rule_change(switch, added={key})
+            elif previous != rule:
+                # Same identity, different payload (e.g. cookie).
+                self._note_rule_change(switch)
         elif update.event == "removed":
-            mirror.pop(key, None)
+            if mirror.pop(key, None) is not None:
+                self._note_rule_change(switch, removed={key})
         self._bump(switch)
 
     # ------------------------------------------------------------------
@@ -181,16 +208,44 @@ class ConfigurationMonitor:
                 cookie=entry.cookie,
             )
             mirror[rule.identity()] = rule
+        previous = self._rules.get(switch, {})
+        added = mirror.keys() - previous.keys()
+        removed = previous.keys() - mirror.keys()
+        modified = any(
+            previous[key] != mirror[key] for key in mirror.keys() & previous.keys()
+        )
+        if added or removed or modified:
+            self._note_rule_change(switch, added=added, removed=removed)
         self._rules[switch] = mirror
         self._bump(switch)
         for listener in self._poll_listeners:
             listener(switch, now)
 
     def _apply_meter_stats(self, switch: str, reply: MeterStatsReply) -> None:
-        self._meters[switch] = [
+        meters = [
             SnapshotMeter(switch=switch, meter_id=entry.meter_id, band=entry.band)
             for entry in reply.entries
         ]
+        if meters != self._meters.get(switch, []):
+            self._meters_dirty = True
+        self._meters[switch] = meters
+
+    def _note_rule_change(
+        self,
+        switch: str,
+        *,
+        added: Optional[set] = None,
+        removed: Optional[set] = None,
+    ) -> None:
+        """Fold one observed change into the pending snapshot delta."""
+        self._dirty_switches.add(switch)
+        self._switch_hash_cache.pop(switch, None)
+        for key in added or ():
+            self._pending_added.add((switch, key))
+            self._pending_removed.discard((switch, key))
+        for key in removed or ():
+            self._pending_removed.add((switch, key))
+            self._pending_added.discard((switch, key))
 
     def _schedule_next_poll(self) -> None:
         assert self.controller.network is not None
@@ -272,7 +327,18 @@ class ConfigurationMonitor:
         return tuple(self._rules.get(switch, {}).values())
 
     def snapshot(self, locations: Optional[Dict[str, GeoLocation]] = None) -> NetworkSnapshot:
-        """Freeze the current mirror into a verifiable snapshot."""
+        """Freeze the current mirror into a verifiable snapshot.
+
+        Also emits the accompanying :class:`SnapshotDelta` to every
+        ``on_delta`` listener (the engine's invalidation feed).
+        """
+        snapshot, _delta = self.snapshot_with_delta(locations)
+        return snapshot
+
+    def snapshot_with_delta(
+        self, locations: Optional[Dict[str, GeoLocation]] = None
+    ) -> Tuple[NetworkSnapshot, SnapshotDelta]:
+        """Freeze the mirror and return it with its change record."""
         assert self.controller.network is not None
         self.metrics.snapshots_built += 1
         if locations is None:
@@ -298,17 +364,52 @@ class ConfigurationMonitor:
             frozenset((link.switch_a, link.switch_b)): link.bandwidth_mbps
             for link in self.topology.links
         }
-        return NetworkSnapshot(
+        rules = {
+            switch: tuple(mirror.values())
+            for switch, mirror in self._rules.items()
+        }
+        # Refresh per-switch hashes only where the mirror changed, then
+        # seed the snapshot with a complete copy: unchanged switches are
+        # never rehashed, and the engine's cache keys stay O(1) to read.
+        for switch, switch_rules in rules.items():
+            if switch not in self._switch_hash_cache:
+                self._switch_hash_cache[switch] = switch_rules_hash(
+                    switch, switch_rules
+                )
+        for switch in set(self._switch_hash_cache) - set(rules):
+            del self._switch_hash_cache[switch]
+        wiring = self.topology.wiring()
+        wiring_changed = (
+            self._last_wiring is not None and wiring != self._last_wiring
+        )
+        self._last_wiring = wiring
+        snapshot = NetworkSnapshot(
             version=self._version,
             taken_at=self.controller.now,
-            rules={
-                switch: tuple(mirror.values())
-                for switch, mirror in self._rules.items()
-            },
+            rules=rules,
             meters=meters,
-            wiring=self.topology.wiring(),
+            wiring=wiring,
             edge_ports=edge_ports,
             switch_ports=switch_ports,
             locations=locations,
             link_capacities=link_capacities,
+            _switch_hashes=dict(self._switch_hash_cache),
         )
+        delta = SnapshotDelta(
+            since_version=self._last_snapshot_version,
+            version=self._version,
+            added_rules=frozenset(self._pending_added),
+            removed_rules=frozenset(self._pending_removed),
+            changed_switches=frozenset(self._dirty_switches),
+            meters_changed=self._meters_dirty,
+            wiring_changed=wiring_changed,
+        )
+        self._pending_added.clear()
+        self._pending_removed.clear()
+        self._dirty_switches.clear()
+        self._meters_dirty = False
+        self._last_snapshot_version = self._version
+        self.last_delta = delta
+        for listener in self._delta_listeners:
+            listener(delta)
+        return snapshot, delta

@@ -17,6 +17,7 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, List, Optional
 
 from repro.controlplane.controller import ControllerApp
+from repro.core.engine import VerificationEngine
 from repro.core.history import SnapshotHistory
 from repro.core.inband import (
     INTERCEPT_PRIORITY,
@@ -98,10 +99,14 @@ class RVaaSController(ControllerApp):
         self.keypair = keypair
         self.registrations = dict(registrations)
         self.enclave = enclave
-        self.verifier = LogicalVerifier(self.registrations)
+        # One engine instance is the compilation path for everything
+        # this controller verifies: the logical verifier's queries, the
+        # watch/audit paths, and the history's content hashing.
+        self.engine = VerificationEngine()
+        self.verifier = LogicalVerifier(self.registrations, engine=self.engine)
         # Full snapshots are retained so AttackTraceback can replay the
         # recent past (paper §IV-C); the ring buffer bounds memory.
-        self.history = SnapshotHistory(retain_snapshots=True)
+        self.history = SnapshotHistory(retain_snapshots=True, engine=self.engine)
         self.alarms: List[TamperAlarm] = []
         self.queries_served = 0
         self._monitor_mode = monitor_mode
@@ -140,6 +145,7 @@ class RVaaSController(ControllerApp):
             randomize_polls=self._randomize_polls,
         )
         self.monitor.on_poll_complete(self._after_poll)
+        self.monitor.on_delta(self.engine.apply_delta)
         self.monitor.start()
 
     # ------------------------------------------------------------------
@@ -479,19 +485,16 @@ class RVaaSController(ControllerApp):
         internal switches, so it is intentionally not exposed through
         the client query interface.
         """
-        from repro.hsa.reachability import ReachabilityAnalyzer
-
         registration = self.registrations[client]
-        snapshot = self.verifier._analysis_snapshot(self.snapshot())
-        analyzer = ReachabilityAnalyzer(
-            snapshot.network_tf(), collect_drops=True
-        )
+        analysis = self.verifier._analysis_snapshot(self.snapshot())
         dead_ends = []
         for host in registration.hosts:
-            result = analyzer.analyze(
+            result = self.engine.analyze(
+                analysis,
                 host.switch,
                 host.port,
                 self.verifier._outbound_space(host, _EMPTY_SCOPE),
+                collect_drops=True,
             )
             dead_ends.extend(z for z in result.drops if z.depth > 0)
         return dead_ends

@@ -47,6 +47,12 @@ class NetworkSnapshot:
     _network_tf: Optional[NetworkTransferFunction] = field(
         default=None, repr=False, compare=False
     )
+    #: per-switch rule-content hashes; may be pre-seeded by the monitor
+    #: (structural sharing across versions), filled lazily otherwise
+    _switch_hashes: Dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _content_hash: Optional[str] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Derived artifacts
@@ -87,16 +93,46 @@ class NetworkSnapshot:
     # Identity
     # ------------------------------------------------------------------
 
+    def switch_content_hash(self, switch: str) -> str:
+        """Stable fingerprint of one switch's rule set.
+
+        This is the cache key of the engine's per-switch compiled
+        transfer functions: two snapshot versions in which a switch holds
+        the same rules hash identically, so the compiled artifact is
+        structurally shared.  Hashes are memoized per snapshot instance
+        (and pre-seeded by the monitor for unchanged switches).
+        """
+        cached = self._switch_hashes.get(switch)
+        if cached is not None:
+            return cached
+        digest = switch_rules_hash(switch, self.rules.get(switch, ()))
+        self._switch_hashes[switch] = digest
+        return digest
+
     def content_hash(self) -> str:
-        """Stable fingerprint of the *configuration* (not version/time)."""
+        """Stable fingerprint of the *configuration* (not version/time).
+
+        Derived from the per-switch hashes (so unchanged switches reuse
+        their memoized digest) plus meters, wiring and edge ports — i.e.
+        everything that influences compiled verification artifacts.
+        """
+        if self._content_hash is not None:
+            return self._content_hash
         hasher = hashlib.sha256()
         for switch in sorted(self.rules):
             hasher.update(switch.encode())
-            for rule in sorted(self.rules[switch], key=lambda r: repr(r.identity())):
-                hasher.update(repr(rule.identity()).encode())
+            hasher.update(self.switch_content_hash(switch).encode())
         for meter in sorted(self.meters, key=lambda m: (m.switch, m.meter_id)):
             hasher.update(repr((meter.switch, meter.meter_id, meter.band)).encode())
-        return hasher.hexdigest()
+        for here in sorted(self.wiring):
+            hasher.update(repr((here, self.wiring[here])).encode())
+        for switch in sorted(self.edge_ports):
+            hasher.update(
+                repr((switch, tuple(sorted(self.edge_ports[switch])))).encode()
+            )
+        digest = hasher.hexdigest()
+        object.__setattr__(self, "_content_hash", digest)
+        return digest
 
     def rule_signatures(self) -> frozenset[tuple]:
         """The set of (switch, rule identity) pairs, for diffing."""
@@ -112,10 +148,48 @@ class NetworkSnapshot:
         return (mine - theirs, theirs - mine)
 
     def approximate_size_bytes(self) -> int:
-        """Rough memory footprint, for the resource experiment (E5)."""
+        """Rough memory footprint, for the resource experiment (E5).
+
+        Counts every retained constituent — rules *including their match
+        and action payloads*, meters, the wiring plan, edge and switch
+        port sets, locations, and link capacities — not just the rule
+        container objects, which undercounted by an order of magnitude.
+        """
         import sys
 
         total = sys.getsizeof(self)
-        for rules in self.rules.values():
-            total += sum(sys.getsizeof(rule) for rule in rules)
+        for switch, rules in self.rules.items():
+            total += sys.getsizeof(switch) + sys.getsizeof(rules)
+            for rule in rules:
+                total += sys.getsizeof(rule)
+                total += sys.getsizeof(rule.match)
+                total += sys.getsizeof(rule.actions)
+                total += sum(sys.getsizeof(action) for action in rule.actions)
+        for meter in self.meters:
+            total += sys.getsizeof(meter) + sys.getsizeof(meter.band)
+        for here, there in self.wiring.items():
+            total += sys.getsizeof(here) + sys.getsizeof(there)
+        for switch, ports in self.edge_ports.items():
+            total += sys.getsizeof(ports)
+        for switch, ports in self.switch_ports.items():
+            total += sys.getsizeof(ports)
+        for location in self.locations.values():
+            total += sys.getsizeof(location)
+        total += sum(
+            sys.getsizeof(pair) for pair in self.link_capacities
+        )
         return total
+
+
+def switch_rules_hash(switch: str, rules: Tuple[SnapshotRule, ...]) -> str:
+    """SHA-256 over one switch's sorted rule-identity digests.
+
+    Per-rule digests are cached on the (immutable, structurally shared)
+    rule objects, so rehashing a switch after a FlowMod only pays for the
+    rules that are actually new.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(switch.encode())
+    for digest in sorted(rule.identity_digest() for rule in rules):
+        hasher.update(digest)
+    return hasher.hexdigest()

@@ -44,9 +44,10 @@ from repro.core.queries import (
     WaypointAvoidanceAnswer,
     WaypointAvoidanceQuery,
 )
+from repro.core.engine import VerificationEngine
 from repro.core.snapshot import NetworkSnapshot
 from repro.hsa.headerspace import HeaderSpace
-from repro.hsa.reachability import ReachabilityAnalyzer, ReachabilityResult
+from repro.hsa.reachability import ReachabilityResult
 from repro.hsa.wildcard import Wildcard
 from repro.netlib.addresses import IPv4Address, IPv4Network
 from repro.netlib.constants import (
@@ -83,9 +84,13 @@ class LogicalVerifier:
         registrations: Mapping[str, ClientRegistration],
         *,
         exclude_own_interception: bool = True,
+        engine: Optional[VerificationEngine] = None,
     ) -> None:
         self.registrations = dict(registrations)
         self.exclude_own_interception = exclude_own_interception
+        #: the shared compilation/analysis cache; every reachability
+        #: propagation of every query class goes through it
+        self.engine = engine if engine is not None else VerificationEngine()
         self._port_owner: Dict[Tuple[str, int], Tuple[str, str]] = {}
         for registration in self.registrations.values():
             for host in registration.hosts:
@@ -94,10 +99,9 @@ class LogicalVerifier:
                     registration.name,
                 )
         self.queries_answered = 0
-        self._analysis_cache: Tuple[Optional[int], Optional[NetworkSnapshot]] = (
-            None,
-            None,
-        )
+        self._analysis_cache: Tuple[
+            Optional[int], Optional[NetworkSnapshot], Optional[NetworkSnapshot]
+        ] = (None, None, None)
 
     # ------------------------------------------------------------------
     # Analysis view of a snapshot
@@ -116,7 +120,7 @@ class LogicalVerifier:
         """
         if not self.exclude_own_interception:
             return snapshot
-        cached_version, cached = self._analysis_cache
+        cached_version, cached_raw, cached = self._analysis_cache
         if cached is not None and cached_version == snapshot.version:
             return cached
         from repro.core.inband import RVAAS_COOKIE, interception_matches
@@ -132,21 +136,43 @@ class LogicalVerifier:
                 and isinstance(rule.actions[0], ToController)
             )
 
+        # Share rule tuples and per-switch content hashes wherever we can,
+        # so the engine's per-switch cache keys cost O(changed switches)
+        # per version instead of rehashing the whole network: a switch the
+        # filter leaves untouched reuses the raw snapshot's hash (same
+        # rule identities, hence same digest), and a filtered switch whose
+        # raw rules did not change since the previous version carries its
+        # previous filtered hash forward.
+        filtered_rules: Dict[str, Tuple] = {}
+        seeded_hashes: Dict[str, str] = {}
+        for switch, rules in snapshot.rules.items():
+            kept = tuple(r for r in rules if not is_own(r))
+            if len(kept) == len(rules):
+                filtered_rules[switch] = rules
+                seeded_hashes[switch] = snapshot.switch_content_hash(switch)
+                continue
+            filtered_rules[switch] = kept
+            if (
+                cached_raw is not None
+                and switch in cached_raw.rules
+                and cached_raw.switch_content_hash(switch)
+                == snapshot.switch_content_hash(switch)
+            ):
+                seeded_hashes[switch] = cached.switch_content_hash(switch)
+
         filtered = NetworkSnapshot(
             version=snapshot.version,
             taken_at=snapshot.taken_at,
-            rules={
-                switch: tuple(r for r in rules if not is_own(r))
-                for switch, rules in snapshot.rules.items()
-            },
+            rules=filtered_rules,
             meters=snapshot.meters,
             wiring=snapshot.wiring,
             edge_ports=snapshot.edge_ports,
             switch_ports=snapshot.switch_ports,
             locations=snapshot.locations,
             link_capacities=snapshot.link_capacities,
+            _switch_hashes=seeded_hashes,
         )
-        self._analysis_cache = (snapshot.version, filtered)
+        self._analysis_cache = (snapshot.version, snapshot, filtered)
         return filtered
 
     # ------------------------------------------------------------------
@@ -242,18 +268,30 @@ class LogicalVerifier:
     # Query implementations
     # ------------------------------------------------------------------
 
+    def _outbound_result(
+        self, analysis: NetworkSnapshot, host: HostRecord, scope: TrafficScope
+    ) -> ReachabilityResult:
+        """One memoized propagation of this host's outbound traffic.
+
+        Every query class that walks the client's forward reachability
+        (destinations, isolation, geo, waypoint, path length, bandwidth,
+        transfer function) shares this engine call — on an unchanged
+        snapshot the propagation runs once, however many queries follow.
+        """
+        return self.engine.analyze(
+            analysis, host.switch, host.port, self._outbound_space(host, scope)
+        )
+
     def reachable_destinations(
         self,
         registration: ClientRegistration,
         snapshot: NetworkSnapshot,
         scope: TrafficScope = TrafficScope(),
     ) -> ReachableDestinationsAnswer:
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         endpoints: set[Endpoint] = set()
         for host in registration.hosts:
-            result = analyzer.analyze(
-                host.switch, host.port, self._outbound_space(host, scope)
-            )
+            result = self._outbound_result(analysis, host, scope)
             endpoints.update(self._endpoints_from_result(result))
         return ReachableDestinationsAnswer(
             endpoints=tuple(sorted(endpoints, key=lambda e: (e.switch, e.port)))
@@ -266,7 +304,7 @@ class LogicalVerifier:
         scope: TrafficScope = TrafficScope(),
         destination_host: str = "",
     ) -> ReachingSourcesAnswer:
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         endpoints: set[Endpoint] = set()
         hosts = [
             host
@@ -274,8 +312,8 @@ class LogicalVerifier:
             if not destination_host or host.name == destination_host
         ]
         for host in hosts:
-            sources = analyzer.sources_reaching(
-                host.switch, host.port, self._inbound_space(host, scope)
+            sources = self.engine.sources_reaching(
+                analysis, host.switch, host.port, self._inbound_space(host, scope)
             )
             for switch, port in sources:
                 endpoints.add(self.resolve_endpoint(switch, port))
@@ -322,12 +360,10 @@ class LogicalVerifier:
         scope: TrafficScope = TrafficScope(),
     ) -> GeoLocationAnswer:
         """Which regions can the client's traffic pass through (§IV-B2)."""
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         regions: set[str] = set()
         for host in registration.hosts:
-            result = analyzer.analyze(
-                host.switch, host.port, self._outbound_space(host, scope)
-            )
+            result = self._outbound_result(analysis, host, scope)
             for switch in result.switches_traversed:
                 location = snapshot.location_of(switch)
                 if location is not None:
@@ -357,13 +393,11 @@ class LogicalVerifier:
         scope: TrafficScope = TrafficScope(),
     ) -> PathLengthAnswer:
         """Route-optimality: actual worst-case hops vs topology shortest."""
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         graph = _graph_from_wiring(snapshot)
         reports: List[PathLengthReport] = []
         for host in registration.hosts:
-            result = analyzer.analyze(
-                host.switch, host.port, self._outbound_space(host, scope)
-            )
+            result = self._outbound_result(analysis, host, scope)
             worst: Dict[Tuple[str, int], int] = {}
             for path in result.paths:
                 zone = path.endpoint
@@ -483,12 +517,10 @@ class LogicalVerifier:
         thin transit link shows up as a drop in ``min_bottleneck_mbps``
         — without revealing which links exist.
         """
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         per_destination: Dict[Tuple[str, int], List[float]] = {}
         for host in registration.hosts:
-            result = analyzer.analyze(
-                host.switch, host.port, self._outbound_space(host, scope)
-            )
+            result = self._outbound_result(analysis, host, scope)
             for path in result.paths:
                 zone = path.endpoint
                 if zone.kind != "edge":
@@ -523,13 +555,11 @@ class LogicalVerifier:
         scope: TrafficScope = TrafficScope(),
     ) -> TransferFunctionAnswer:
         """Endpoint-level compact transfer function of the routing service."""
-        analyzer = ReachabilityAnalyzer(self._analysis_snapshot(snapshot).network_tf())
+        analysis = self._analysis_snapshot(snapshot)
         entries: List[TransferFunctionEntry] = []
         for host in registration.hosts:
             ingress = self.resolve_endpoint(*host.access_point)
-            result = analyzer.analyze(
-                host.switch, host.port, self._outbound_space(host, scope)
-            )
+            result = self._outbound_result(analysis, host, scope)
             for zone in result.edge_zones():
                 entries.append(
                     TransferFunctionEntry(

@@ -162,6 +162,15 @@ class HeaderSpace:
         """Number of wildcard terms (the cost driver of HSA operations)."""
         return len(self._wildcards)
 
+    def fingerprint(self) -> tuple:
+        """A hashable, order-insensitive key for memoisation tables.
+
+        Two spaces with the same fingerprint are identical unions of
+        wildcards; semantically-equal spaces built differently may hash
+        apart, which only costs a cache miss, never a wrong hit.
+        """
+        return tuple(sorted((w.value, w.mask) for w in self._wildcards))
+
     def sample(self, rng: random.Random) -> Optional[int]:
         """A concrete header from this space, or None when empty."""
         if not self._wildcards:

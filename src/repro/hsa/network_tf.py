@@ -47,6 +47,24 @@ class NetworkTransferFunction:
     def switch_names(self) -> tuple[str, ...]:
         return tuple(sorted(self.transfer_functions))
 
+    def with_updated_switches(
+        self, updates: Mapping[str, SwitchTransferFunction]
+    ) -> "NetworkTransferFunction":
+        """A sibling NTF with ``updates`` swapped in.
+
+        The wiring plan, edge-port sets, and the derived port-role map
+        are shared with ``self`` (they are never mutated), so building
+        the successor of a snapshot that changed k switches costs O(k)
+        plus one dict copy — this is the engine's incremental
+        compilation path.
+        """
+        sibling = object.__new__(NetworkTransferFunction)
+        sibling.transfer_functions = {**self.transfer_functions, **updates}
+        sibling.wiring = self.wiring
+        sibling.edge_ports = self.edge_ports
+        sibling._roles = self._roles
+        return sibling
+
     def role_of(self, switch: str, port: int) -> PortRole:
         return self._roles.get((switch, port), PortRole(kind="unbound"))
 

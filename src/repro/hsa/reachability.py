@@ -238,19 +238,24 @@ class ReachabilityAnalyzer:
         space: HeaderSpace,
         *,
         candidate_ports: Optional[tuple[PortRef, ...]] = None,
+        analyze_fn=None,
     ) -> Dict[PortRef, HeaderSpace]:
         """Which edge ports can inject traffic that arrives at the target?
 
         Computed by forward propagation from every candidate edge port —
         exact, and at the network sizes of this reproduction cheaper than
-        maintaining inverted transfer functions.
+        maintaining inverted transfer functions.  ``analyze_fn`` lets the
+        verification engine substitute its memoized per-ingress
+        propagation, so repeated inverse queries on the same snapshot
+        reuse one forward pass per candidate port.
         """
         sources: Dict[PortRef, HeaderSpace] = {}
         candidates = candidate_ports or self.network_tf.all_edge_ports()
+        analyze = analyze_fn or self.analyze
         for switch, port in candidates:
             if (switch, port) == (target_switch, target_port):
                 continue
-            result = self.analyze(switch, port, space)
+            result = analyze(switch, port, space)
             arriving = HeaderSpace.empty()
             for zone in result.edge_zones():
                 if zone.port_ref == (target_switch, target_port):

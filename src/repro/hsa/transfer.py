@@ -53,6 +53,21 @@ class SnapshotRule:
     def identity(self) -> tuple:
         return (self.table_id, self.priority, self.match, self.actions)
 
+    def identity_digest(self) -> bytes:
+        """SHA-256 of :meth:`identity`, cached on the instance.
+
+        Rule objects are structurally shared across snapshot versions, so
+        caching here makes rehashing a changed switch cost O(new rules)
+        instead of re-rendering every identity repr each version.
+        """
+        cached = self.__dict__.get("_identity_digest")
+        if cached is None:
+            import hashlib
+
+            cached = hashlib.sha256(repr(self.identity()).encode()).digest()
+            object.__setattr__(self, "_identity_digest", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class TransferRule:
@@ -86,7 +101,18 @@ class SwitchTransferFunction:
         self._tables: Dict[int, List[TransferRule]] = {
             table_id: [] for table_id in range(n_tables)
         }
+        # OpenFlow replacement semantics: a later rule with the same
+        # (table, priority, match) overwrites the earlier one, exactly as
+        # FlowTable.add does on the switch — otherwise HSA and the data
+        # plane disagree on which actions such a flow entry carries.
+        deduped: Dict[tuple, SnapshotRule] = {}
         for rule in rules:
+            key = (rule.table_id, rule.priority, rule.match)
+            # pop-then-insert so a replacement also moves to the back,
+            # matching the fresh entry id the switch assigns it
+            deduped.pop(key, None)
+            deduped[key] = rule
+        for rule in deduped.values():
             compiled = TransferRule(
                 table_id=rule.table_id,
                 priority=rule.priority,
@@ -97,8 +123,10 @@ class SwitchTransferFunction:
             )
             self._tables.setdefault(rule.table_id, []).append(compiled)
         for table_rules in self._tables.values():
-            # Deterministic precedence: priority desc, then stable identity.
-            table_rules.sort(key=lambda r: (-r.priority, repr(r.source.identity())))
+            # Priority desc; the sort is stable, so equal-priority rules
+            # keep their given order — the same first-installed-wins
+            # tie-break the switch pipeline applies via entry ids.
+            table_rules.sort(key=lambda r: -r.priority)
 
     # ------------------------------------------------------------------
     # Application

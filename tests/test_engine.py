@@ -1,0 +1,391 @@
+"""VerificationEngine: incremental compilation, memoization, delta feeds.
+
+Covers the acceptance criteria of the incremental-verification refactor:
+a single-switch rule change recompiles exactly one
+``SwitchTransferFunction`` (asserted via engine counters), repeated
+queries on an unchanged snapshot reuse one propagation, and every answer
+produced through the warm engine equals a cold, cache-free run —
+including under hypothesis-generated FlowMod churn sequences.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import SnapshotDelta, VerificationEngine
+from repro.core.emulation import EmulationVerifier
+from repro.core.protocol import ClientRegistration, HostRecord
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+from repro.crypto.keys import generate_keypair
+from repro.dataplane.topologies import linear_topology
+from repro.hsa.transfer import SnapshotRule
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from repro.testbed import build_testbed
+
+# ----------------------------------------------------------------------
+# Synthetic chain fixture (no simulator needed): s1 - s2 - s3 - s4,
+# edge port 1 on every switch, two hosts of one client at the ends.
+# ----------------------------------------------------------------------
+
+CHAIN = ("s1", "s2", "s3", "s4")
+WIRING = {
+    ("s1", 2): ("s2", 3),
+    ("s2", 3): ("s1", 2),
+    ("s2", 2): ("s3", 3),
+    ("s3", 3): ("s2", 2),
+    ("s3", 2): ("s4", 3),
+    ("s4", 3): ("s3", 2),
+}
+EDGE_PORTS = {name: frozenset([1]) for name in CHAIN}
+SWITCH_PORTS = {name: (1, 2, 3) for name in CHAIN}
+IP_H1 = IPv4Address.parse("10.0.0.1")
+IP_H2 = IPv4Address.parse("10.0.0.2")
+
+_KEYS = generate_keypair("prop-client", rng=random.Random(7))
+
+REGISTRATIONS = {
+    "a": ClientRegistration(
+        name="a",
+        public_key=_KEYS.public,
+        hosts=(
+            HostRecord(
+                name="h1", ip=IP_H1.value, switch="s1", port=1, public_key=_KEYS.public
+            ),
+            HostRecord(
+                name="h2", ip=IP_H2.value, switch="s4", port=1, public_key=_KEYS.public
+            ),
+        ),
+    )
+}
+
+
+def base_config() -> dict:
+    """Shortest-path forwarding between h1 and h2 along the chain."""
+    config: dict = {name: [] for name in CHAIN}
+    toward_s1 = {"s1": 1, "s2": 3, "s3": 3, "s4": 3}
+    toward_s4 = {"s1": 2, "s2": 2, "s3": 2, "s4": 1}
+    for name in CHAIN:
+        config[name].append(
+            SnapshotRule(
+                table_id=0,
+                priority=10,
+                match=Match.build(ip_dst="10.0.0.1"),
+                actions=(Output(toward_s1[name]),),
+            )
+        )
+        config[name].append(
+            SnapshotRule(
+                table_id=0,
+                priority=10,
+                match=Match.build(ip_dst="10.0.0.2"),
+                actions=(Output(toward_s4[name]),),
+            )
+        )
+    return config
+
+
+def snapshot_from(config: dict, version: int = 1) -> NetworkSnapshot:
+    return NetworkSnapshot(
+        version=version,
+        taken_at=float(version),
+        rules={name: tuple(rules) for name, rules in config.items()},
+        meters=(),
+        wiring=WIRING,
+        edge_ports=EDGE_PORTS,
+        switch_ports=SWITCH_PORTS,
+    )
+
+
+def delta_between(
+    old: NetworkSnapshot, new: NetworkSnapshot
+) -> SnapshotDelta:
+    added, removed = new.diff(old)
+    return SnapshotDelta(
+        since_version=old.version,
+        version=new.version,
+        added_rules=added,
+        removed_rules=removed,
+        changed_switches=frozenset(s for s, _ in added | removed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-switch compiled-artifact caching
+# ----------------------------------------------------------------------
+
+
+class TestSwitchTFCache:
+    def test_unchanged_snapshot_compiles_each_switch_once(self):
+        engine = VerificationEngine()
+        engine.compile(snapshot_from(base_config(), version=1))
+        assert engine.metrics.switch_tf_misses == len(CHAIN)
+        # Same content, new version: everything is a hit.
+        engine.compile(snapshot_from(base_config(), version=2))
+        assert engine.metrics.switch_tf_misses == len(CHAIN)
+        assert engine.metrics.network_tf_hits == 1
+
+    def test_one_changed_switch_recompiles_one_tf(self):
+        engine = VerificationEngine()
+        config = base_config()
+        engine.compile(snapshot_from(config, version=1))
+        misses_before = engine.metrics.switch_tf_misses
+        config["s2"].append(
+            SnapshotRule(
+                table_id=0,
+                priority=1,
+                match=Match.build(tp_dst=9999),
+                actions=(Drop(),),
+            )
+        )
+        engine.compile(snapshot_from(config, version=2))
+        assert engine.metrics.switch_tf_misses == misses_before + 1
+        assert engine.metrics.switch_tf_hits >= len(CHAIN) - 1
+        assert engine.metrics.incremental_builds == 1
+
+    def test_incremental_build_shares_role_map(self):
+        engine = VerificationEngine()
+        config = base_config()
+        first = engine.compile(snapshot_from(config, version=1))
+        config["s3"].append(
+            SnapshotRule(
+                table_id=0,
+                priority=1,
+                match=Match.build(tp_dst=1234),
+                actions=(Drop(),),
+            )
+        )
+        second = engine.compile(snapshot_from(config, version=2))
+        assert second is not first
+        assert second._roles is first._roles
+        for name in CHAIN:
+            same = second.transfer_functions[name] is first.transfer_functions[name]
+            assert same == (name != "s3")
+
+
+class TestReachabilityMemo:
+    def test_repeated_query_reuses_propagation(self):
+        engine = VerificationEngine()
+        verifier = LogicalVerifier(
+            REGISTRATIONS, engine=engine, exclude_own_interception=False
+        )
+        snapshot = snapshot_from(base_config())
+        registration = REGISTRATIONS["a"]
+        first = verifier.reachable_destinations(registration, snapshot)
+        misses = engine.metrics.reach_misses
+        second = verifier.reachable_destinations(registration, snapshot)
+        assert second == first
+        assert engine.metrics.reach_misses == misses
+        assert engine.metrics.reach_hits >= 2  # one per host
+
+    def test_isolation_reuses_destination_propagations(self):
+        engine = VerificationEngine()
+        verifier = LogicalVerifier(
+            REGISTRATIONS, engine=engine, exclude_own_interception=False
+        )
+        snapshot = snapshot_from(base_config())
+        registration = REGISTRATIONS["a"]
+        verifier.reachable_destinations(registration, snapshot)
+        hits_before = engine.metrics.reach_hits
+        verifier.isolation(registration, snapshot)
+        assert engine.metrics.reach_hits > hits_before
+
+
+class TestDeltaInvalidation:
+    def test_delta_evicts_only_changed_switch_entries(self):
+        engine = VerificationEngine()
+        old = snapshot_from(base_config(), version=1)
+        engine.compile(old)
+        config = base_config()
+        config["s2"].append(
+            SnapshotRule(
+                table_id=0,
+                priority=1,
+                match=Match.build(tp_dst=4242),
+                actions=(Drop(),),
+            )
+        )
+        new = snapshot_from(config, version=2)
+        delta = delta_between(old, new)
+        assert delta.changed_switches == frozenset({"s2"})
+        evicted = engine.apply_delta(delta)
+        assert evicted == 1  # exactly the s2 entry
+        misses_before = engine.metrics.switch_tf_misses
+        engine.compile(new)
+        assert engine.metrics.switch_tf_misses == misses_before + 1
+
+    def test_empty_delta_is_noop(self):
+        engine = VerificationEngine()
+        engine.compile(snapshot_from(base_config()))
+        assert engine.apply_delta(SnapshotDelta(since_version=1, version=2)) == 0
+
+    def test_wiring_change_clears_network_caches(self):
+        engine = VerificationEngine()
+        engine.compile(snapshot_from(base_config()))
+        delta = SnapshotDelta(since_version=1, version=2, wiring_changed=True)
+        assert engine.apply_delta(delta) >= 1
+        assert engine.metrics.delta_invalidations >= 1
+        # Compiling again is a full network build, not an incremental one.
+        builds = engine.metrics.incremental_builds
+        engine.compile(snapshot_from(base_config(), version=2))
+        assert engine.metrics.incremental_builds == builds
+
+
+# ----------------------------------------------------------------------
+# Acceptance: end-to-end single-switch change on a 16-switch topology
+# ----------------------------------------------------------------------
+
+
+class TestEndToEndIncremental:
+    def test_single_rule_change_recompiles_exactly_one_switch(self):
+        bed = build_testbed(
+            linear_topology(16, clients=["a", "b"]), isolate_clients=True, seed=11
+        )
+        assert len(bed.topology.switches) >= 16
+        engine = bed.service.engine
+        registration = bed.registrations["a"]
+        # Warm the caches with one full query.
+        baseline = bed.service.verifier.reachable_destinations(
+            registration, bed.service.snapshot()
+        )
+        misses_before = engine.metrics.switch_tf_misses
+        # One FlowMod on one switch, observed passively by the monitor.
+        bed.provider.install_flow(
+            "s8",
+            Match.build(ip_dst="203.0.113.77", tp_dst=31337),
+            (Drop(),),
+            priority=3,
+        )
+        bed.run(0.05)
+        after = bed.service.verifier.reachable_destinations(
+            registration, bed.service.snapshot()
+        )
+        assert engine.metrics.switch_tf_misses == misses_before + 1
+        # The clutter rule matches no client traffic: answers identical.
+        assert after == baseline
+
+    def test_service_answers_match_cold_verifier(self):
+        bed = build_testbed(
+            linear_topology(6, clients=["a", "b"]), isolate_clients=True, seed=12
+        )
+        registration = bed.registrations["a"]
+        # Covert access point (join-attack shape) so the comparison
+        # covers a violated configuration too, as in E3/E7.
+        bed.provider.install_flow(
+            "s3",
+            Match.build(ip_dst=str(IPv4Address(registration.hosts[0].ip))),
+            (Output(2), Output(1)),
+            priority=60,
+        )
+        bed.run(0.05)
+        snapshot = bed.service.snapshot()
+        warm = bed.service.verifier
+        for _ in range(2):  # second pass is fully cache-served
+            for cold in (LogicalVerifier(bed.registrations),):
+                assert warm.reachable_destinations(
+                    registration, snapshot
+                ) == cold.reachable_destinations(registration, snapshot)
+                assert warm.isolation(registration, snapshot) == cold.isolation(
+                    registration, snapshot
+                )
+                assert warm.reaching_sources(
+                    registration, snapshot
+                ) == cold.reaching_sources(registration, snapshot)
+                assert warm.geo_location(registration, snapshot) == cold.geo_location(
+                    registration, snapshot
+                )
+                assert warm.transfer_function(
+                    registration, snapshot
+                ) == cold.transfer_function(registration, snapshot)
+
+
+class TestEmulationArtifactCache:
+    def test_shadow_network_built_once_per_content(self):
+        bed = build_testbed(
+            linear_topology(4, clients=["a", "b"]), isolate_clients=False, seed=13
+        )
+        engine = bed.service.engine
+        emulator = EmulationVerifier(bed.registrations, engine=engine)
+        snapshot = bed.service.snapshot()
+        registration = bed.registrations["a"]
+        first = emulator.reachable_destinations(registration, snapshot)
+        second = emulator.reachable_destinations(registration, snapshot)
+        assert first == second
+        assert emulator.shadows_built == 1
+        assert engine.metrics.artifact_hits >= 1
+
+
+# ----------------------------------------------------------------------
+# Property: warm engine == cold, cache-free run under random churn
+# ----------------------------------------------------------------------
+
+_RULE_POOL = [
+    SnapshotRule(
+        table_id=0,
+        priority=priority,
+        match=Match.build(ip_dst=ip, tp_dst=tp),
+        actions=actions,
+    )
+    for priority in (1, 20)
+    for ip in ("10.0.0.1", "10.0.0.2")
+    for tp in (None, 80)
+    for actions in ((Output(1),), (Output(2),), (Output(3),), (Drop(),))
+]
+
+
+def churn_strategy():
+    """A sequence of FlowMods: (switch, install?, rule index)."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(CHAIN),
+            st.booleans(),
+            st.integers(min_value=0, max_value=len(_RULE_POOL) - 1),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(churn=churn_strategy())
+def test_warm_engine_equals_cold_run_under_churn(churn):
+    engine = VerificationEngine()
+    warm = LogicalVerifier(
+        REGISTRATIONS, engine=engine, exclude_own_interception=False
+    )
+    registration = REGISTRATIONS["a"]
+    config = {name: dict() for name in CHAIN}
+    for name, rule_list in base_config().items():
+        for rule in rule_list:
+            config[name][rule.identity()] = rule
+    previous = snapshot_from(
+        {name: list(rules.values()) for name, rules in config.items()}, version=1
+    )
+    for step, (switch, install, index) in enumerate(churn, start=2):
+        rule = _RULE_POOL[index]
+        if install:
+            config[switch][rule.identity()] = rule
+        else:
+            config[switch].pop(rule.identity(), None)
+        snapshot = snapshot_from(
+            {name: list(rules.values()) for name, rules in config.items()},
+            version=step,
+        )
+        engine.apply_delta(delta_between(previous, snapshot))
+        previous = snapshot
+        cold = LogicalVerifier(REGISTRATIONS, exclude_own_interception=False)
+        assert warm.reachable_destinations(
+            registration, snapshot
+        ) == cold.reachable_destinations(registration, snapshot)
+        assert warm.isolation(registration, snapshot) == cold.isolation(
+            registration, snapshot
+        )
+        assert warm.reaching_sources(
+            registration, snapshot
+        ) == cold.reaching_sources(registration, snapshot)

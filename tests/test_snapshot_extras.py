@@ -1,11 +1,16 @@
-"""Remaining snapshot / federation coverage: capacities, compaction."""
+"""Remaining snapshot / federation coverage: capacities, hashing, sizing."""
 
 import pytest
 
 from repro.core.multiprovider import restrict_snapshot
+from repro.core.snapshot import NetworkSnapshot, SnapshotMeter, switch_rules_hash
 from repro.dataplane.topologies import isp_topology, linear_topology
 from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.transfer import SnapshotRule
 from repro.hsa.wildcard import Wildcard
+from repro.openflow.match import Match
+from repro.openflow.actions import Drop, Output
+from repro.openflow.meters import MeterBand
 from repro.testbed import build_testbed
 
 
@@ -40,6 +45,128 @@ class TestSnapshotCapacities:
         snapshot = bed.service.snapshot()
         restricted = restrict_snapshot(snapshot, frozenset({"s1", "s2"}))
         assert restricted.content_hash() != snapshot.content_hash()
+
+
+def _tiny_snapshot(**overrides) -> NetworkSnapshot:
+    base = dict(
+        version=1,
+        taken_at=0.0,
+        rules={
+            "s1": (
+                SnapshotRule(
+                    table_id=0,
+                    priority=5,
+                    match=Match.build(ip_dst="10.0.0.1"),
+                    actions=(Output(2),),
+                ),
+            ),
+            "s2": (
+                SnapshotRule(
+                    table_id=0,
+                    priority=5,
+                    match=Match.build(ip_dst="10.0.0.1"),
+                    actions=(Output(1),),
+                ),
+            ),
+        },
+        meters=(),
+        wiring={("s1", 2): ("s2", 2), ("s2", 2): ("s1", 2)},
+        edge_ports={"s1": frozenset([1]), "s2": frozenset([1])},
+        switch_ports={"s1": (1, 2), "s2": (1, 2)},
+    )
+    base.update(overrides)
+    return NetworkSnapshot(**base)
+
+
+class TestContentHashing:
+    def test_switch_content_hash_is_order_insensitive(self):
+        rules = _tiny_snapshot().rules["s1"]
+        extra = SnapshotRule(
+            table_id=0, priority=1, match=Match.build(), actions=(Drop(),)
+        )
+        assert switch_rules_hash("s1", (rules[0], extra)) == switch_rules_hash(
+            "s1", (extra, rules[0])
+        )
+
+    def test_switch_content_hash_includes_switch_name(self):
+        rules = _tiny_snapshot().rules["s1"]
+        assert switch_rules_hash("s1", rules) != switch_rules_hash("s2", rules)
+
+    def test_content_hash_ignores_version_and_time(self):
+        assert (
+            _tiny_snapshot().content_hash()
+            == _tiny_snapshot(version=9, taken_at=99.0).content_hash()
+        )
+
+    def test_changing_one_switch_changes_only_that_switch_hash(self):
+        old = _tiny_snapshot()
+        rules = dict(old.rules)
+        rules["s2"] = rules["s2"] + (
+            SnapshotRule(
+                table_id=0, priority=1, match=Match.build(), actions=(Drop(),)
+            ),
+        )
+        new = _tiny_snapshot(rules=rules)
+        assert new.switch_content_hash("s1") == old.switch_content_hash("s1")
+        assert new.switch_content_hash("s2") != old.switch_content_hash("s2")
+        assert new.content_hash() != old.content_hash()
+
+    def test_content_hash_covers_meters_and_wiring(self):
+        base = _tiny_snapshot()
+        metered = _tiny_snapshot(
+            meters=(SnapshotMeter(switch="s1", meter_id=1, band=MeterBand(100)),)
+        )
+        rewired = _tiny_snapshot(wiring={("s1", 2): ("s2", 2)})
+        assert metered.content_hash() != base.content_hash()
+        assert rewired.content_hash() != base.content_hash()
+
+    def test_preseeded_switch_hashes_are_used(self):
+        seeded = _tiny_snapshot(
+            _switch_hashes={"s1": "cafe", "s2": "f00d"}
+        )
+        assert seeded.switch_content_hash("s1") == "cafe"
+
+
+class TestApproximateSize:
+    def test_size_counts_rule_payloads(self):
+        small = _tiny_snapshot()
+        rules = dict(small.rules)
+        rules["s1"] = rules["s1"] * 50
+        big = _tiny_snapshot(rules=rules)
+        import sys
+
+        per_rule = (
+            sys.getsizeof(rules["s1"][0])
+            + sys.getsizeof(rules["s1"][0].match)
+            + sys.getsizeof(rules["s1"][0].actions)
+        )
+        assert (
+            big.approximate_size_bytes() - small.approximate_size_bytes()
+            >= 49 * per_rule
+        )
+
+    def test_size_counts_meters_and_wiring(self):
+        base = _tiny_snapshot()
+        metered = _tiny_snapshot(
+            meters=(SnapshotMeter(switch="s1", meter_id=1, band=MeterBand(100)),)
+        )
+        unwired = _tiny_snapshot(wiring={})
+        assert metered.approximate_size_bytes() > base.approximate_size_bytes()
+        assert unwired.approximate_size_bytes() < base.approximate_size_bytes()
+
+    def test_testbed_snapshot_dwarfs_container_only_count(self):
+        bed = build_testbed(
+            linear_topology(4, hosts_per_switch=1, clients=["a"]),
+            isolate_clients=False,
+            seed=3,
+        )
+        snapshot = bed.service.snapshot()
+        import sys
+
+        containers_only = sys.getsizeof(snapshot) + sum(
+            sys.getsizeof(rules) for rules in snapshot.rules.values()
+        )
+        assert snapshot.approximate_size_bytes() > 2 * containers_only
 
 
 class TestCompactIdempotence:
