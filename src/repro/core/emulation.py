@@ -75,6 +75,9 @@ class ShadowNetwork:
         self.switches: Dict[str, OpenFlowSwitch] = {}
         self.arrivals: Dict[PortRef, List[Packet]] = {}
         self.controller_copies = 0
+        self._meters_by_switch: Dict[str, list] = {}
+        for meter in snapshot.meters:
+            self._meters_by_switch.setdefault(meter.switch, []).append(meter)
         self._build()
 
     def _build(self) -> None:
@@ -97,9 +100,6 @@ class ShadowNetwork:
             switch.transmit = self._on_transmit
             self.switches[name] = switch
 
-        meters_by_switch: Dict[str, list] = {}
-        for meter in self.snapshot.meters:
-            meters_by_switch.setdefault(meter.switch, []).append(meter)
         for name, rules in self.snapshot.rules.items():
             switch = self.switches.get(name)
             if switch is None:
@@ -118,8 +118,7 @@ class ShadowNetwork:
                         cookie=rule.cookie,
                     )
                 )
-            for meter in meters_by_switch.get(name, []):
-                switch.meters.add(meter.meter_id, meter.band)
+        self._install_meters()
 
         # Shadow switches have no control channels; count punts instead
         # of delivering Packet-Ins.
@@ -127,6 +126,34 @@ class ShadowNetwork:
             switch._send_packet_in = (  # type: ignore[method-assign]
                 lambda pkt, in_port, table_id: self._note_punt()
             )
+
+    def _install_meters(self) -> None:
+        """(Re)install every snapshot meter with a full token bucket."""
+        from repro.openflow.meters import MeterTable
+
+        for name, meters in self._meters_by_switch.items():
+            switch = self.switches.get(name)
+            if switch is None:
+                continue
+            switch.meters = MeterTable()
+            for meter in meters:
+                switch.meters.add(meter.meter_id, meter.band, now=self.sim.now)
+
+    def reset_dynamic_state(self) -> None:
+        """Restore pristine per-round state on a (possibly reused) replica.
+
+        Replicas are cached content-addressed in the verification
+        engine, so the same ShadowNetwork serves many probe rounds and
+        clients while the simulator clock keeps advancing.  Everything
+        configuration-derived (switches, tables, wiring) is immutable
+        across rounds, but meter token buckets drain and refill against
+        the clock — re-anchoring them at the current virtual time with a
+        full burst makes a warm replica answer exactly like a freshly
+        built one.
+        """
+        self._install_meters()
+        self.arrivals = {}
+        self.controller_copies = 0
 
     # ------------------------------------------------------------------
     # Fabric
@@ -162,8 +189,7 @@ class ShadowNetwork:
         self, ingress: PortRef, packets: Iterable[Packet]
     ) -> ProbeResult:
         """Inject ``packets`` at ``ingress`` and collect all arrivals."""
-        self.arrivals = {}
-        self.controller_copies = 0
+        self.reset_dynamic_state()
         result = ProbeResult(ingress=ingress)
         switch, port = ingress
         for packet in packets:

@@ -128,7 +128,9 @@ class VerificationEngine:
         #: snapshot content hash -> assembled network transfer function
         self._network_tfs: "OrderedDict[str, NetworkTransferFunction]" = OrderedDict()
         #: (content hash, collect_drops) -> analyzer over the cached NTF
-        self._analyzers: Dict[Tuple[str, bool], ReachabilityAnalyzer] = {}
+        self._analyzers: "OrderedDict[Tuple[str, bool], ReachabilityAnalyzer]" = (
+            OrderedDict()
+        )
         #: (content hash, ingress, space fingerprint, drops) -> result
         self._reach: "OrderedDict[tuple, ReachabilityResult]" = OrderedDict()
         #: (kind, content hash) -> arbitrary derived artifact
@@ -214,9 +216,10 @@ class VerificationEngine:
             analyzer = ReachabilityAnalyzer(
                 self.compile(snapshot), collect_drops=collect_drops
             )
-            if len(self._analyzers) >= self._max_network_entries:
-                self._analyzers.clear()
             self._analyzers[key] = analyzer
+            self._evict(self._analyzers, self._max_network_entries)
+        else:
+            self._analyzers.move_to_end(key)
         return analyzer
 
     def analyze(

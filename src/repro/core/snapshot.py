@@ -113,8 +113,10 @@ class NetworkSnapshot:
         """Stable fingerprint of the *configuration* (not version/time).
 
         Derived from the per-switch hashes (so unchanged switches reuse
-        their memoized digest) plus meters, wiring and edge ports — i.e.
-        everything that influences compiled verification artifacts.
+        their memoized digest) plus meters, wiring, edge ports and
+        switch ports — i.e. everything that influences compiled
+        verification artifacts (switch ports feed Flood expansion and
+        shadow-network construction).
         """
         if self._content_hash is not None:
             return self._content_hash
@@ -129,6 +131,10 @@ class NetworkSnapshot:
         for switch in sorted(self.edge_ports):
             hasher.update(
                 repr((switch, tuple(sorted(self.edge_ports[switch])))).encode()
+            )
+        for switch in sorted(self.switch_ports):
+            hasher.update(
+                repr((switch, tuple(sorted(self.switch_ports[switch])))).encode()
             )
         digest = hasher.hexdigest()
         object.__setattr__(self, "_content_hash", digest)
@@ -182,14 +188,20 @@ class NetworkSnapshot:
 
 
 def switch_rules_hash(switch: str, rules: Tuple[SnapshotRule, ...]) -> str:
-    """SHA-256 over one switch's sorted rule-identity digests.
+    """SHA-256 over one switch's rule-identity digests, in install order.
 
-    Per-rule digests are cached on the (immutable, structurally shared)
-    rule objects, so rehashing a switch after a FlowMod only pays for the
-    rules that are actually new.
+    Order-sensitive on purpose: :class:`SwitchTransferFunction`
+    compilation depends on install order (the stable priority sort keeps
+    first-installed-wins tie-breaks between equal-priority rules, and
+    replacement dedup keeps the later rule), so two rule sequences with
+    the same multiset but different order may compile differently and
+    must not share a cache key — e.g. a rule removed and re-added under
+    flapping.  Per-rule digests are cached on the (immutable,
+    structurally shared) rule objects, so rehashing a switch after a
+    FlowMod only pays for the rules that are actually new.
     """
     hasher = hashlib.sha256()
     hasher.update(switch.encode())
-    for digest in sorted(rule.identity_digest() for rule in rules):
-        hasher.update(digest)
+    for rule in rules:
+        hasher.update(rule.identity_digest())
     return hasher.hexdigest()

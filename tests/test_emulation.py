@@ -42,6 +42,64 @@ class TestShadowNetwork:
         result = shadow.run_probe_round(src.access_point, [probe])
         assert dst.access_point in result.reached_ports()
 
+    def test_reused_shadow_resets_meter_state_between_rounds(self):
+        """A cached replica must answer like a fresh one (engine reuse).
+
+        A tight meter passes exactly 3 of 5 probes per pristine round;
+        without the per-round reset the second round would start from a
+        drained token bucket and drop more.
+        """
+        from repro.core.snapshot import NetworkSnapshot, SnapshotMeter
+        from repro.hsa.transfer import SnapshotRule
+        from repro.netlib.addresses import IPv4Address, MacAddress
+        from repro.netlib.packet import udp_packet
+        from repro.openflow.actions import Meter, Output
+        from repro.openflow.match import Match
+        from repro.openflow.meters import MeterBand
+
+        snapshot = NetworkSnapshot(
+            version=1,
+            taken_at=0.0,
+            rules={
+                "s1": (
+                    SnapshotRule(
+                        table_id=0,
+                        priority=10,
+                        match=Match.build(),
+                        actions=(Meter(1), Output(2)),
+                    ),
+                )
+            },
+            meters=(
+                SnapshotMeter(
+                    switch="s1",
+                    meter_id=1,
+                    # burst 1 kb = 8000 bits; probes are 320 B = 2560 bits
+                    band=MeterBand(rate_kbps=1, burst_kb=1),
+                ),
+            ),
+            wiring={},
+            edge_ports={"s1": frozenset([1, 2])},
+            switch_ports={"s1": (1, 2)},
+        )
+        shadow = ShadowNetwork(snapshot)
+        probes = [
+            udp_packet(
+                eth_src=MacAddress.from_host_index(1),
+                eth_dst=MacAddress.from_host_index(0),
+                ip_src=IPv4Address.parse("10.0.0.1"),
+                ip_dst=IPv4Address.parse("10.0.0.2"),
+                sport=1,
+                dport=2,
+                payload=("probe", i),
+            )
+            for i in range(5)
+        ]
+        first = shadow.run_probe_round(("s1", 1), probes)
+        second = shadow.run_probe_round(("s1", 1), probes)
+        assert len(first.arrivals[("s1", 2)]) == 3
+        assert len(second.arrivals[("s1", 2)]) == 3
+
     def test_shadow_is_isolated_from_live_network(self, bed):
         """Probes in the shadow never reach real hosts."""
         snapshot = bed.service.snapshot()

@@ -221,6 +221,27 @@ class TestDeltaInvalidation:
         engine.compile(snapshot_from(base_config()))
         assert engine.apply_delta(SnapshotDelta(since_version=1, version=2)) == 0
 
+    def test_analyzer_cache_evicts_lru_not_wholesale(self):
+        engine = VerificationEngine(max_network_entries=2)
+        variants = []
+        for tp_dst in (1001, 1002, 1003):
+            config = base_config()
+            config["s2"].append(
+                SnapshotRule(
+                    table_id=0,
+                    priority=1,
+                    match=Match.build(tp_dst=tp_dst),
+                    actions=(Drop(),),
+                )
+            )
+            variants.append(snapshot_from(config, version=tp_dst))
+        first = engine.analyzer(variants[0])
+        engine.analyzer(variants[1])
+        assert engine.analyzer(variants[0]) is first  # touch: now MRU
+        engine.analyzer(variants[2])  # evicts variants[1], the LRU
+        assert len(engine._analyzers) == 2
+        assert engine.analyzer(variants[0]) is first  # hot entry survived
+
     def test_wiring_change_clears_network_caches(self):
         engine = VerificationEngine()
         engine.compile(snapshot_from(base_config()))
@@ -301,6 +322,50 @@ class TestEndToEndIncremental:
                 ) == cold.transfer_function(registration, snapshot)
 
 
+class TestOrderSensitiveCaching:
+    """A removed-and-re-added rule changes install order — the exact
+    churn flapping produces.  Equal-priority tie-breaks make the two
+    orders behave differently on the data plane, so they must not share
+    a cache key, and the warm engine must stay correct even when no
+    delta is ever applied (content-addressing alone carries correctness).
+    """
+
+    def test_remove_readd_reorder_is_a_distinct_cache_key(self):
+        from repro.hsa.headerspace import HeaderSpace
+        from repro.hsa.reachability import ReachabilityAnalyzer
+
+        engine = VerificationEngine()
+        config = base_config()
+        rule_to_h2 = config["s1"][1]
+        config["s1"].append(
+            SnapshotRule(
+                table_id=0,
+                priority=10,  # ties with the forwarding rules
+                match=Match.build(),
+                actions=(Drop(),),
+            )
+        )
+        first = snapshot_from(config, version=1)
+        # Flap rule_to_h2: remove + re-install puts it behind the
+        # match-all drop, which now wins the first-installed tie-break.
+        config["s1"].remove(rule_to_h2)
+        config["s1"].append(rule_to_h2)
+        second = snapshot_from(config, version=2)
+        assert first.switch_content_hash("s1") != second.switch_content_hash("s1")
+        space = HeaderSpace.all()
+        reaches_h2 = []
+        for snapshot in (first, second):  # deltas deliberately NOT applied
+            warm_result = engine.analyze(snapshot, "s1", 1, space)
+            cold_result = ReachabilityAnalyzer(snapshot.network_tf()).analyze(
+                "s1", 1, space
+            )
+            assert warm_result.edge_port_refs() == cold_result.edge_port_refs()
+            reaches_h2.append(warm_result.reaches("s4", 1))
+        # The reorder really changed the data plane (h2 became
+        # unreachable), so a shared cache key would have been wrong.
+        assert reaches_h2 == [True, False]
+
+
 class TestEmulationArtifactCache:
     def test_shadow_network_built_once_per_content(self):
         bed = build_testbed(
@@ -336,12 +401,18 @@ _RULE_POOL = [
 
 
 def churn_strategy():
-    """A sequence of FlowMods: (switch, install?, rule index)."""
+    """FlowMods: (switch, install?, rule index, deliver delta?).
+
+    Delta delivery is drawn per step so the property also covers lost
+    deltas: correctness must come from content-addressed cache keys
+    alone, with ``apply_delta`` only an eviction optimization.
+    """
     return st.lists(
         st.tuples(
             st.sampled_from(CHAIN),
             st.booleans(),
             st.integers(min_value=0, max_value=len(_RULE_POOL) - 1),
+            st.booleans(),
         ),
         min_size=1,
         max_size=8,
@@ -367,9 +438,12 @@ def test_warm_engine_equals_cold_run_under_churn(churn):
     previous = snapshot_from(
         {name: list(rules.values()) for name, rules in config.items()}, version=1
     )
-    for step, (switch, install, index) in enumerate(churn, start=2):
+    for step, (switch, install, index, deliver_delta) in enumerate(churn, start=2):
         rule = _RULE_POOL[index]
         if install:
+            # dict re-insertion reorders the rule sequence under
+            # remove/re-add flapping, exercising order-sensitive keys
+            config[switch].pop(rule.identity(), None)
             config[switch][rule.identity()] = rule
         else:
             config[switch].pop(rule.identity(), None)
@@ -377,7 +451,8 @@ def test_warm_engine_equals_cold_run_under_churn(churn):
             {name: list(rules.values()) for name, rules in config.items()},
             version=step,
         )
-        engine.apply_delta(delta_between(previous, snapshot))
+        if deliver_delta:
+            engine.apply_delta(delta_between(previous, snapshot))
         previous = snapshot
         cold = LogicalVerifier(REGISTRATIONS, exclude_own_interception=False)
         assert warm.reachable_destinations(

@@ -79,13 +79,20 @@ def _tiny_snapshot(**overrides) -> NetworkSnapshot:
 
 
 class TestContentHashing:
-    def test_switch_content_hash_is_order_insensitive(self):
+    def test_switch_content_hash_is_order_sensitive(self):
+        # Compilation depends on install order (stable priority sort
+        # preserves first-installed-wins tie-breaks; replacement dedup
+        # keeps the later rule), so the same rule multiset in a
+        # different order must NOT share a cache key.
         rules = _tiny_snapshot().rules["s1"]
         extra = SnapshotRule(
             table_id=0, priority=1, match=Match.build(), actions=(Drop(),)
         )
-        assert switch_rules_hash("s1", (rules[0], extra)) == switch_rules_hash(
+        assert switch_rules_hash("s1", (rules[0], extra)) != switch_rules_hash(
             "s1", (extra, rules[0])
+        )
+        assert switch_rules_hash("s1", (rules[0], extra)) == switch_rules_hash(
+            "s1", (rules[0], extra)
         )
 
     def test_switch_content_hash_includes_switch_name(self):
@@ -119,6 +126,13 @@ class TestContentHashing:
         rewired = _tiny_snapshot(wiring={("s1", 2): ("s2", 2)})
         assert metered.content_hash() != base.content_hash()
         assert rewired.content_hash() != base.content_hash()
+
+    def test_content_hash_covers_switch_ports(self):
+        # Switch ports feed Flood expansion and shadow-network builds,
+        # and the engine's network-TF/artifact caches key on this hash.
+        base = _tiny_snapshot()
+        reported = _tiny_snapshot(switch_ports={"s1": (1, 2, 3), "s2": (1, 2)})
+        assert reported.content_hash() != base.content_hash()
 
     def test_preseeded_switch_hashes_are_used(self):
         seeded = _tiny_snapshot(
