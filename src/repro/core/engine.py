@@ -27,10 +27,17 @@ emulation backend, flapping detector, dead-end auditor):
 
 All caches are content-addressed, so correctness never depends on
 deltas arriving: a missed delta only costs an extra recompilation.
+
+With ``workers > 1`` the engine fans per-switch compilation and
+multi-source sweeps (``sources_reaching``) over a thread pool; caches
+are lock-guarded, results are merged in sorted order, and the fast-path
+kernel's counters (rules skipped by the classifier index, worklist
+depth, pool utilisation) surface in :class:`EngineMetrics`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Optional, Tuple
@@ -38,6 +45,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.core.snapshot import NetworkSnapshot
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.parallel import FanOutPool
 from repro.hsa.reachability import ReachabilityAnalyzer, ReachabilityResult
 from repro.hsa.transfer import SwitchTransferFunction
 
@@ -91,6 +99,18 @@ class EngineMetrics:
     deltas_applied: int = 0
     delta_invalidations: int = 0
     content_hashes: int = 0
+    # Fast-path kernel telemetry (E17): lifetime totals across the
+    # engine's compiled transfer functions, sampled after each
+    # propagation miss.
+    kernel_rules_checked: int = 0
+    kernel_rules_skipped: int = 0  # rules the classifier index pruned
+    kernel_early_exits: int = 0
+    kernel_index_hits: int = 0
+    worklist_peak: int = 0  # deepest worklist of any propagation
+    pool_workers: int = 1
+    pool_tasks: int = 0  # fan-out tasks submitted (sweeps + compiles)
+    parallel_sweeps: int = 0
+    parallel_compiles: int = 0
 
     @property
     def recompilations(self) -> int:
@@ -117,12 +137,22 @@ class VerificationEngine:
         max_network_entries: int = 16,
         max_reach_entries: int = 1024,
         max_artifact_entries: int = 8,
+        workers: int = 1,
     ) -> None:
         self.metrics = EngineMetrics()
         self._max_switch_entries = max_switch_entries
         self._max_network_entries = max_network_entries
         self._max_reach_entries = max_reach_entries
         self._max_artifact_entries = max_artifact_entries
+        #: fan-out width for sweeps and per-switch compilation; the
+        #: engine always uses threads — its memoisation lives in shared
+        #: memory, and results are merged in sorted order so any worker
+        #: count answers identically
+        self.workers = max(1, workers)
+        self.metrics.pool_workers = self.workers
+        self._pool = FanOutPool(self.workers, "thread")
+        #: guards every cache OrderedDict against concurrent fan-out
+        self._lock = threading.RLock()
         #: (switch, rule hash, ports) -> compiled transfer function
         self._switch_tfs: "OrderedDict[tuple, SwitchTransferFunction]" = OrderedDict()
         #: snapshot content hash -> assembled network transfer function
@@ -149,33 +179,48 @@ class VerificationEngine:
         rules = snapshot.rules.get(switch, ())
         ports = tuple(snapshot.switch_ports.get(switch, ()))
         key = (switch, snapshot.switch_content_hash(switch), ports)
-        cached = self._switch_tfs.get(key)
-        if cached is not None:
-            self.metrics.switch_tf_hits += 1
-            self._switch_tfs.move_to_end(key)
-            return cached
-        self.metrics.switch_tf_misses += 1
+        with self._lock:
+            cached = self._switch_tfs.get(key)
+            if cached is not None:
+                self.metrics.switch_tf_hits += 1
+                self._switch_tfs.move_to_end(key)
+                return cached
+            self.metrics.switch_tf_misses += 1
+        # Compile outside the lock so parallel per-switch compilation
+        # actually overlaps; a rare duplicate compile of the same key is
+        # benign (content-addressed, last write wins).
         n_tables = max((r.table_id for r in rules), default=0) + 1
         compiled = SwitchTransferFunction(
             switch, rules, ports=ports, n_tables=max(n_tables, 2)
         )
-        self._switch_tfs[key] = compiled
-        self._evict(self._switch_tfs, self._max_switch_entries)
+        with self._lock:
+            self._switch_tfs[key] = compiled
+            self._evict(self._switch_tfs, self._max_switch_entries)
         return compiled
 
     def compile(self, snapshot: NetworkSnapshot) -> NetworkTransferFunction:
         """The network transfer function, assembled from cached pieces."""
         content = self.content_hash(snapshot)
-        cached = self._network_tfs.get(content)
-        if cached is not None:
-            self.metrics.network_tf_hits += 1
-            self._network_tfs.move_to_end(content)
-            return cached
-        self.metrics.network_tf_builds += 1
-        tfs = {
-            switch: self.switch_transfer_function(snapshot, switch)
-            for switch in snapshot.rules
-        }
+        with self._lock:
+            cached = self._network_tfs.get(content)
+            if cached is not None:
+                self.metrics.network_tf_hits += 1
+                self._network_tfs.move_to_end(content)
+                return cached
+            self.metrics.network_tf_builds += 1
+        switches = sorted(snapshot.rules)
+        if self.workers > 1 and len(switches) > 1:
+            self.metrics.parallel_compiles += 1
+            self.metrics.pool_tasks += len(switches)
+            compiled = self._pool.map(
+                self.switch_transfer_function, snapshot, switches
+            )
+            tfs = dict(zip(switches, compiled))
+        else:
+            tfs = {
+                switch: self.switch_transfer_function(snapshot, switch)
+                for switch in switches
+            }
         previous = self._last_ntf
         if (
             previous is not None
@@ -198,9 +243,10 @@ class VerificationEngine:
             network_tf = NetworkTransferFunction(
                 tfs, snapshot.wiring, snapshot.edge_ports
             )
-        self._network_tfs[content] = network_tf
-        self._last_ntf = network_tf
-        self._evict(self._network_tfs, self._max_network_entries)
+        with self._lock:
+            self._network_tfs[content] = network_tf
+            self._last_ntf = network_tf
+            self._evict(self._network_tfs, self._max_network_entries)
         return network_tf
 
     # ------------------------------------------------------------------
@@ -211,15 +257,19 @@ class VerificationEngine:
         self, snapshot: NetworkSnapshot, *, collect_drops: bool = False
     ) -> ReachabilityAnalyzer:
         key = (self.content_hash(snapshot), collect_drops)
-        analyzer = self._analyzers.get(key)
-        if analyzer is None:
-            analyzer = ReachabilityAnalyzer(
-                self.compile(snapshot), collect_drops=collect_drops
-            )
+        with self._lock:
+            analyzer = self._analyzers.get(key)
+            if analyzer is not None:
+                self._analyzers.move_to_end(key)
+                return analyzer
+        analyzer = ReachabilityAnalyzer(
+            self.compile(snapshot),
+            collect_drops=collect_drops,
+            workers=self.workers,
+        )
+        with self._lock:
             self._analyzers[key] = analyzer
             self._evict(self._analyzers, self._max_network_entries)
-        else:
-            self._analyzers.move_to_end(key)
         return analyzer
 
     def analyze(
@@ -243,17 +293,21 @@ class VerificationEngine:
             space.fingerprint(),
             collect_drops,
         )
-        cached = self._reach.get(key)
-        if cached is not None:
-            self.metrics.reach_hits += 1
-            self._reach.move_to_end(key)
-            return cached
-        self.metrics.reach_misses += 1
-        result = self.analyzer(snapshot, collect_drops=collect_drops).analyze(
-            switch, port, space
-        )
-        self._reach[key] = result
-        self._evict(self._reach, self._max_reach_entries)
+        with self._lock:
+            cached = self._reach.get(key)
+            if cached is not None:
+                self.metrics.reach_hits += 1
+                self._reach.move_to_end(key)
+                return cached
+            self.metrics.reach_misses += 1
+        analyzer = self.analyzer(snapshot, collect_drops=collect_drops)
+        result = analyzer.analyze(switch, port, space)
+        with self._lock:
+            self._reach[key] = result
+            self._evict(self._reach, self._max_reach_entries)
+            if result.worklist_peak > self.metrics.worklist_peak:
+                self.metrics.worklist_peak = result.worklist_peak
+            self._sample_kernel_stats(analyzer.network_tf)
         return result
 
     def sources_reaching(
@@ -265,15 +319,41 @@ class VerificationEngine:
         *,
         candidate_ports: Optional[Tuple[PortRef, ...]] = None,
     ) -> Dict[PortRef, HeaderSpace]:
-        """Inverse reachability, with each candidate propagation memoized."""
+        """Inverse reachability, with each candidate propagation memoized.
+
+        With ``workers > 1`` the candidate propagations fan out over the
+        engine's thread pool; each one still lands in the shared memo
+        table, and the sources map is merged in candidate order, so the
+        answer is identical for any worker count.
+        """
         analyzer = self.analyzer(snapshot)
+        candidates = candidate_ports or analyzer.network_tf.all_edge_ports()
+        if self.workers > 1 and len(candidates) > 1:
+            self.metrics.parallel_sweeps += 1
+            self.metrics.pool_tasks += len(candidates)
         return analyzer.sources_reaching(
             target_switch,
             target_port,
             space,
-            candidate_ports=candidate_ports,
+            candidate_ports=candidates,
             analyze_fn=lambda sw, p, sp: self.analyze(snapshot, sw, p, sp),
+            workers=self.workers,
+            pool_mode="thread",
         )
+
+    def _sample_kernel_stats(self, network_tf: NetworkTransferFunction) -> None:
+        """Refresh kernel telemetry from the most recently analysed NTF.
+
+        Switch TF counters are lifetime totals for the shared compiled
+        artifacts, so the sample is monotone for a single network under
+        churn; after swapping to an unrelated network the counters
+        restart from that network's totals.
+        """
+        totals = network_tf.kernel_stats()
+        self.metrics.kernel_rules_checked = totals.get("rules_checked", 0)
+        self.metrics.kernel_rules_skipped = totals.get("rules_skipped", 0)
+        self.metrics.kernel_early_exits = totals.get("early_exits", 0)
+        self.metrics.kernel_index_hits = totals.get("index_hits", 0)
 
     # ------------------------------------------------------------------
     # Generic derived artifacts (emulation backend, etc.)
@@ -292,15 +372,17 @@ class VerificationEngine:
         HSA and emulation share one invalidation discipline.
         """
         key = (kind, self.content_hash(snapshot))
-        cached = self._artifacts.get(key)
-        if cached is not None:
-            self.metrics.artifact_hits += 1
-            self._artifacts.move_to_end(key)
-            return cached
-        self.metrics.artifact_misses += 1
+        with self._lock:
+            cached = self._artifacts.get(key)
+            if cached is not None:
+                self.metrics.artifact_hits += 1
+                self._artifacts.move_to_end(key)
+                return cached
+            self.metrics.artifact_misses += 1
         built = build(snapshot)
-        self._artifacts[key] = built
-        self._evict(self._artifacts, self._max_artifact_entries)
+        with self._lock:
+            self._artifacts[key] = built
+            self._evict(self._artifacts, self._max_artifact_entries)
         return built
 
     # ------------------------------------------------------------------
@@ -324,32 +406,36 @@ class VerificationEngine:
         if delta.is_empty():
             return 0
         evicted = 0
-        if delta.changed_switches:
-            stale = [
-                key for key in self._switch_tfs if key[0] in delta.changed_switches
-            ]
-            for key in stale:
-                del self._switch_tfs[key]
-                evicted += 1
-        if delta.wiring_changed:
-            # The shared role map is wrong for every cached NTF.
-            evicted += len(self._network_tfs) + len(self._reach)
+        with self._lock:
+            if delta.changed_switches:
+                stale = [
+                    key
+                    for key in self._switch_tfs
+                    if key[0] in delta.changed_switches
+                ]
+                for key in stale:
+                    del self._switch_tfs[key]
+                    evicted += 1
+            if delta.wiring_changed:
+                # The shared role map is wrong for every cached NTF.
+                evicted += len(self._network_tfs) + len(self._reach)
+                self._network_tfs.clear()
+                self._analyzers.clear()
+                self._reach.clear()
+                self._artifacts.clear()
+                self._last_ntf = None
+            self.metrics.delta_invalidations += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are preserved)."""
+        with self._lock:
+            self._switch_tfs.clear()
             self._network_tfs.clear()
             self._analyzers.clear()
             self._reach.clear()
             self._artifacts.clear()
             self._last_ntf = None
-        self.metrics.delta_invalidations += evicted
-        return evicted
-
-    def clear(self) -> None:
-        """Drop every cached artifact (counters are preserved)."""
-        self._switch_tfs.clear()
-        self._network_tfs.clear()
-        self._analyzers.clear()
-        self._reach.clear()
-        self._artifacts.clear()
-        self._last_ntf = None
 
     # ------------------------------------------------------------------
     # Internals

@@ -85,12 +85,18 @@ class LogicalVerifier:
         *,
         exclude_own_interception: bool = True,
         engine: Optional[VerificationEngine] = None,
+        workers: int = 1,
     ) -> None:
         self.registrations = dict(registrations)
         self.exclude_own_interception = exclude_own_interception
         #: the shared compilation/analysis cache; every reachability
-        #: propagation of every query class goes through it
-        self.engine = engine if engine is not None else VerificationEngine()
+        #: propagation of every query class goes through it.  ``workers``
+        #: sizes its fan-out pool when no engine is supplied (inverse
+        #: queries and snapshot compilation parallelise; answers are
+        #: identical for any worker count).
+        self.engine = (
+            engine if engine is not None else VerificationEngine(workers=workers)
+        )
         self._port_owner: Dict[Tuple[str, int], Tuple[str, str]] = {}
         for registration in self.registrations.values():
             for host in registration.hosts:

@@ -13,10 +13,17 @@ derived from their flow tables with exact priority shadowing
 (:mod:`~repro.hsa.transfer`); and reachability / path / loop analysis
 propagates header spaces over the wiring plan
 (:mod:`~repro.hsa.reachability`).
+
+The production kernel is the fast path: indexed rule classifiers,
+trusted low-overhead wildcard construction, iterative worklist
+propagation, and optional parallel fan-out of whole-network sweeps
+(:mod:`~repro.hsa.parallel`).  The original naive kernel is retained in
+:mod:`~repro.hsa.reference` as the oracle for differential testing.
 """
 
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.layout import FIELD_LAYOUT, HEADER_BITS, field_slice, pack_headers
+from repro.hsa.parallel import FanOutPool, default_workers
 from repro.hsa.reachability import (
     DropZone,
     LoopReport,
@@ -24,23 +31,34 @@ from repro.hsa.reachability import (
     ReachablePath,
     ReachableZone,
 )
-from repro.hsa.transfer import SwitchTransferFunction, TransferRule
+from repro.hsa.reference import (
+    ReferenceReachabilityAnalyzer,
+    ReferenceSwitchTransferFunction,
+    reference_network_tf,
+)
+from repro.hsa.transfer import KernelStats, SwitchTransferFunction, TransferRule
 from repro.hsa.network_tf import NetworkTransferFunction
 from repro.hsa.wildcard import Wildcard
 
 __all__ = [
     "DropZone",
     "FIELD_LAYOUT",
+    "FanOutPool",
     "HEADER_BITS",
     "HeaderSpace",
+    "KernelStats",
     "LoopReport",
     "NetworkTransferFunction",
     "ReachabilityAnalyzer",
     "ReachablePath",
     "ReachableZone",
+    "ReferenceReachabilityAnalyzer",
+    "ReferenceSwitchTransferFunction",
     "SwitchTransferFunction",
     "TransferRule",
     "Wildcard",
+    "default_workers",
     "field_slice",
     "pack_headers",
+    "reference_network_tf",
 ]

@@ -32,6 +32,17 @@ class HeaderSpace:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_pieces(cls, pieces: Sequence[Wildcard]) -> "HeaderSpace":
+        """Trusted constructor for algebra-internal results.
+
+        Skips ``__init__``'s defensive list copy and the prune option —
+        for hot-path callers that already hold a finished piece sequence.
+        """
+        made = object.__new__(cls)
+        made._wildcards = tuple(pieces)
+        return made
+
+    @classmethod
     def empty(cls) -> "HeaderSpace":
         return cls(())
 
@@ -92,27 +103,42 @@ class HeaderSpace:
 
     def intersect_wildcard(self, wildcard: Wildcard) -> "HeaderSpace":
         pieces = []
+        wc_value, wc_mask = wildcard.value, wildcard.mask
         for a in self._wildcards:
-            joined = a.intersect(wildcard)
-            if joined is not None:
-                pieces.append(joined)
-        return HeaderSpace(pieces, prune=False)
+            if (a.value ^ wc_value) & a.mask & wc_mask:
+                continue
+            pieces.append(Wildcard._make(a.value | wc_value, a.mask | wc_mask))
+        return HeaderSpace._from_pieces(pieces)
 
     def subtract(self, other: "HeaderSpace") -> "HeaderSpace":
-        # Wildcard.subtract yields pairwise-disjoint pieces, so no piece
-        # can subsume another; skipping the prune keeps this linear.
+        return self.subtract_many(other._wildcards)
+
+    def subtract_many(self, wildcards: Sequence[Wildcard]) -> "HeaderSpace":
+        """``self`` minus a union of wildcards, in one disjoint-piece pass.
+
+        Equivalent to chaining :meth:`subtract_wildcard`, but carries the
+        working piece list through the whole chain instead of wrapping it
+        in an intermediate HeaderSpace per subtrahend.  Wildcard.subtract
+        yields pairwise-disjoint pieces, so no piece can subsume another;
+        skipping the prune keeps this linear in the piece count.
+        """
         pieces: List[Wildcard] = list(self._wildcards)
-        for b in other._wildcards:
+        for b in wildcards:
+            b_value, b_mask = b.value, b.mask
             next_pieces: List[Wildcard] = []
             for piece in pieces:
-                next_pieces.extend(piece.subtract(b))
+                # Disjoint pieces pass through untouched (common case).
+                if (piece.value ^ b_value) & piece.mask & b_mask:
+                    next_pieces.append(piece)
+                else:
+                    next_pieces.extend(piece.subtract(b))
             pieces = next_pieces
             if not pieces:
                 break
-        return HeaderSpace(pieces)
+        return HeaderSpace._from_pieces(pieces)
 
     def subtract_wildcard(self, wildcard: Wildcard) -> "HeaderSpace":
-        return self.subtract(HeaderSpace.single(wildcard))
+        return self.subtract_many((wildcard,))
 
     def complement(self) -> "HeaderSpace":
         return HeaderSpace.all().subtract(self)

@@ -86,5 +86,22 @@ class NetworkTransferFunction:
     def total_rules(self) -> int:
         return sum(tf.rule_count() for tf in self.transfer_functions.values())
 
+    def kernel_stats(self) -> Dict[str, int]:
+        """Summed fast-path counters across every switch TF (telemetry).
+
+        Switch TFs are structurally shared across snapshot versions by
+        the verification engine, so these are lifetime totals for the
+        compiled artifacts, not per-snapshot numbers; callers that want
+        a per-run delta snapshot this before and after.
+        """
+        totals: Dict[str, int] = {}
+        for tf in self.transfer_functions.values():
+            stats = getattr(tf, "stats", None)
+            if stats is None:
+                continue  # reference TFs carry no counters
+            for name, value in stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
 
 CONTROLLER = CONTROLLER_PORT

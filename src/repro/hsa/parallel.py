@@ -1,0 +1,96 @@
+"""Deterministic worker-pool fan-out for whole-network sweeps.
+
+Multi-source analyses (``sources_reaching``, ``detect_all_loops``,
+per-switch TF compilation) are embarrassingly parallel: one independent
+task per ingress port or per switch.  :class:`FanOutPool` runs those
+tasks over a configurable worker pool and returns the results **in input
+order**, so callers that iterate a sorted candidate list and merge
+results positionally produce bit-identical output for any worker count —
+the determinism argument is "sorted inputs + order-preserving map",
+never "threads happened to finish in order".
+
+Modes:
+
+* ``"thread"`` (default) — shares the process, so engine memoisation
+  keeps working and nothing needs to be picklable.  Under a GIL build
+  the win is bounded (HSA propagation is pure Python), but the fan-out
+  is still correct and free-threaded builds scale it.
+* ``"process"`` — real parallelism for CPU-bound sweeps.  The shared
+  ``context`` (typically an analyzer) is shipped to each worker exactly
+  once via the pool initializer, not per task, so the pickling cost is
+  amortised over the whole sweep.
+
+``workers <= 1`` (or a single task) short-circuits to an inline loop
+with zero pool overhead, which keeps the serial path the fast path on
+single-core hosts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+#: Per-process slot used by process-mode workers; installed once by the
+#: pool initializer so tasks only carry their (small) item payload.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _install_worker(fn: Callable, context: Any) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (fn, context)
+
+
+def _run_installed(item: Any) -> Any:
+    fn, context = _WORKER_STATE  # type: ignore[misc]
+    return fn(context, item)
+
+
+def default_workers() -> int:
+    """A sensible worker count for whole-network sweeps on this host."""
+    return max(1, os.cpu_count() or 1)
+
+
+class FanOutPool:
+    """Order-preserving parallel map over independent per-item tasks."""
+
+    def __init__(self, workers: int = 1, mode: str = "thread") -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown pool mode: {mode!r}")
+        self.workers = max(1, int(workers))
+        self.mode = mode
+        self.tasks_submitted = 0
+        self.parallel_batches = 0
+
+    def map(
+        self, fn: Callable[[Any, Any], Any], context: Any, items: Sequence[Any]
+    ) -> List[Any]:
+        """``[fn(context, item) for item in items]``, possibly in parallel.
+
+        Results are returned in the order of ``items`` regardless of
+        completion order; exceptions propagate exactly as in the serial
+        loop (the first failing item's exception, later work discarded).
+        """
+        items = list(items)
+        self.tasks_submitted += len(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(context, item) for item in items]
+        self.parallel_batches += 1
+        n_workers = min(self.workers, len(items))
+        if self.mode == "thread":
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(lambda item: fn(context, item), items))
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_install_worker,
+            initargs=(fn, context),
+        ) as pool:
+            return list(pool.map(_run_installed, items))
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "tasks_submitted": self.tasks_submitted,
+            "parallel_batches": self.parallel_batches,
+        }

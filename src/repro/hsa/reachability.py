@@ -9,6 +9,19 @@ The core routine is a depth-first propagation of header spaces with a
 coverage guard: a (switch, in-port) is re-expanded only for the part of
 the space not already seen there, which guarantees termination even with
 forwarding loops and keeps complexity tied to the real rule interactions.
+
+The propagation runs on an explicit worklist (not recursion), so deep
+topologies cannot hit Python's recursion limit, and the on-path loop
+check is an O(1) set-membership test against a visited set carried per
+branch — branches that never fork share one set, so a pure chain costs
+O(length), not O(length²).  The worklist is ordered to reproduce the
+recursive DFS visit order exactly; the pre-rewrite recursive analyzer
+survives in :mod:`repro.hsa.reference` as the differential oracle.
+
+Whole-network sweeps (``sources_reaching``, ``detect_all_loops``) fan
+their independent per-ingress propagations over an optional worker pool
+(:mod:`repro.hsa.parallel`); results are merged in sorted-candidate
+order, so any worker count returns bit-identical answers.
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.parallel import FanOutPool
 from repro.hsa.transfer import CONTROLLER_PORT
 
 #: One forwarding step: (switch, in_port, out_port).
@@ -97,6 +111,7 @@ class ReachabilityResult:
     switches_traversed: set[str] = field(default_factory=set)
     links_traversed: set[frozenset[str]] = field(default_factory=set)
     expansions: int = 0  # work counter for scaling experiments
+    worklist_peak: int = 0  # deepest the explicit worklist grew
 
     def edge_zones(self) -> List[ReachableZone]:
         return [z for z in self.zones if z.kind == "edge"]
@@ -113,6 +128,14 @@ class ReachabilityResult:
 class ReachabilityAnalyzer:
     """Propagates header spaces over a :class:`NetworkTransferFunction`."""
 
+    #: Worklist item tags.  ``_EXPAND`` frames propagate a space into an
+    #: ingress; ``_ZONE`` frames record an endpoint.  Interleaving both on
+    #: one stack reproduces the recursive DFS result order exactly: items
+    #: are pushed in reverse emission order, so an expansion's whole
+    #: subtree is drained before its next sibling emission is recorded.
+    _ZONE = 0
+    _EXPAND = 1
+
     def __init__(
         self,
         network_tf: NetworkTransferFunction,
@@ -120,11 +143,15 @@ class ReachabilityAnalyzer:
         max_depth: int = 64,
         collect_paths: bool = True,
         collect_drops: bool = False,
+        workers: int = 1,
+        pool_mode: str = "thread",
     ) -> None:
         self.network_tf = network_tf
         self.max_depth = max_depth
         self.collect_paths = collect_paths
         self.collect_drops = collect_drops
+        self.workers = max(1, workers)
+        self.pool_mode = pool_mode
 
     # ------------------------------------------------------------------
     # Forward reachability
@@ -136,82 +163,117 @@ class ReachabilityAnalyzer:
         """Propagate ``space`` injected at (start_switch, start_port)."""
         result = ReachabilityResult()
         seen: Dict[PortRef, HeaderSpace] = {}
-        self._expand(
-            start_switch, start_port, space, (), result, seen, depth=0
-        )
-        return result
-
-    def _expand(
-        self,
-        switch: str,
-        in_port: int,
-        space: HeaderSpace,
-        path: Tuple[Hop, ...],
-        result: ReachabilityResult,
-        seen: Dict[PortRef, HeaderSpace],
-        depth: int,
-    ) -> None:
-        if space.is_empty() or depth > self.max_depth:
-            return
-        key = (switch, in_port)
-        # Loop check: did this traffic already cross this ingress on the
-        # current path?
-        if any(hop[0] == switch and hop[1] == in_port for hop in path):
-            result.loops.append(
-                LoopReport(switch=switch, port=in_port, cycle=path, space=space)
-            )
-            return
-        covered = seen.get(key)
-        if covered is not None:
-            space = space.subtract(covered)
-            if space.is_empty():
-                return
-            seen[key] = covered.union(space)
-        else:
-            seen[key] = space
-        result.expansions += 1
-        result.switches_traversed.add(switch)
-        if self.collect_drops:
-            tf = self.network_tf.transfer_functions.get(switch)
-            if tf is None:
-                return
-            emissions, dropped = tf.apply_with_drops(in_port, space)
-            if not dropped.is_empty():
-                result.drops.append(
-                    DropZone(switch=switch, port=in_port, space=dropped, depth=depth)
-                )
-        else:
-            emissions = self.network_tf.apply_switch(switch, in_port, space)
-        for out_port, out_space in emissions:
-            if out_space.is_empty():
+        # Frame: (_EXPAND, switch, in_port, space, path, visited, depth).
+        # ``visited`` is the set of ingresses on the current path; each
+        # frame owns its set exclusively, so single-child chains mutate
+        # in place and only forks pay for a copy.
+        stack: List[tuple] = [
+            (self._EXPAND, start_switch, start_port, space, (), set(), 0)
+        ]
+        peak = 1
+        max_depth = self.max_depth
+        collect_drops = self.collect_drops
+        network_tf = self.network_tf
+        role_of = network_tf.role_of
+        while stack:
+            frame = stack.pop()
+            if frame[0] == self._ZONE:
+                _tag, kind, switch, port, out_space, hops = frame
+                self._record_zone(result, kind, switch, port, out_space, hops)
                 continue
-            hop: Hop = (switch, in_port, out_port)
-            if out_port == CONTROLLER_PORT:
-                self._record_zone(
-                    result, "controller", switch, out_port, out_space, path + (hop,)
+            _tag, switch, in_port, space, path, visited, depth = frame
+            if space.is_empty() or depth > max_depth:
+                continue
+            key = (switch, in_port)
+            # Loop check: did this traffic already cross this ingress on
+            # the current path?
+            if key in visited:
+                result.loops.append(
+                    LoopReport(
+                        switch=switch, port=in_port, cycle=path, space=space
+                    )
                 )
                 continue
-            role = self.network_tf.role_of(switch, out_port)
-            if role.kind == "edge":
-                self._record_zone(
-                    result, "edge", switch, out_port, out_space, path + (hop,)
-                )
-            elif role.kind == "link" and role.peer is not None:
-                peer_switch, peer_port = role.peer
-                result.links_traversed.add(frozenset((switch, peer_switch)))
-                self._expand(
-                    peer_switch,
-                    peer_port,
-                    out_space,
-                    path + (hop,),
-                    result,
-                    seen,
-                    depth + 1,
+            covered = seen.get(key)
+            if covered is not None:
+                space = space.subtract_many(covered.wildcards)
+                if space.is_empty():
+                    continue
+                # After the subtraction the surviving pieces are disjoint
+                # from every covered piece, so no subset relation exists
+                # in either direction — plain concatenation equals the
+                # pruning union without its O(n²) subset scan.
+                seen[key] = HeaderSpace._from_pieces(
+                    covered.wildcards + space.wildcards
                 )
             else:
-                self._record_zone(
-                    result, "unbound", switch, out_port, out_space, path + (hop,)
-                )
+                seen[key] = space
+            result.expansions += 1
+            result.switches_traversed.add(switch)
+            if collect_drops:
+                tf = network_tf.transfer_functions.get(switch)
+                if tf is None:
+                    continue
+                emissions, dropped = tf.apply_with_drops(in_port, space)
+                if not dropped.is_empty():
+                    result.drops.append(
+                        DropZone(
+                            switch=switch, port=in_port, space=dropped, depth=depth
+                        )
+                    )
+            else:
+                emissions = network_tf.apply_switch(switch, in_port, space)
+            children: List[tuple] = []
+            n_links = 0
+            for out_port, out_space in emissions:
+                if out_space.is_empty():
+                    continue
+                hop: Hop = (switch, in_port, out_port)
+                if out_port == CONTROLLER_PORT:
+                    children.append(
+                        (self._ZONE, "controller", switch, out_port, out_space, path + (hop,))
+                    )
+                    continue
+                role = role_of(switch, out_port)
+                if role.kind == "edge":
+                    children.append(
+                        (self._ZONE, "edge", switch, out_port, out_space, path + (hop,))
+                    )
+                elif role.kind == "link" and role.peer is not None:
+                    peer_switch, peer_port = role.peer
+                    result.links_traversed.add(frozenset((switch, peer_switch)))
+                    n_links += 1
+                    children.append(
+                        (
+                            self._EXPAND,
+                            peer_switch,
+                            peer_port,
+                            out_space,
+                            path + (hop,),
+                            None,  # visited set assigned below
+                            depth + 1,
+                        )
+                    )
+                else:
+                    children.append(
+                        (self._ZONE, "unbound", switch, out_port, out_space, path + (hop,))
+                    )
+            if n_links:
+                # Hand this frame's (now unused) visited set to the first
+                # link child; every further fork gets its own copy.
+                visited.add(key)
+                handed_off = False
+                for index, child in enumerate(children):
+                    if child[0] != self._EXPAND:
+                        continue
+                    branch_visited = visited if not handed_off else set(visited)
+                    handed_off = True
+                    children[index] = child[:5] + (branch_visited, child[6])
+            stack.extend(reversed(children))
+            if len(stack) > peak:
+                peak = len(stack)
+        result.worklist_peak = peak
+        return result
 
     def _record_zone(
         self,
@@ -239,6 +301,8 @@ class ReachabilityAnalyzer:
         *,
         candidate_ports: Optional[tuple[PortRef, ...]] = None,
         analyze_fn=None,
+        workers: Optional[int] = None,
+        pool_mode: Optional[str] = None,
     ) -> Dict[PortRef, HeaderSpace]:
         """Which edge ports can inject traffic that arrives at the target?
 
@@ -247,15 +311,23 @@ class ReachabilityAnalyzer:
         maintaining inverted transfer functions.  ``analyze_fn`` lets the
         verification engine substitute its memoized per-ingress
         propagation, so repeated inverse queries on the same snapshot
-        reuse one forward pass per candidate port.
+        reuse one forward pass per candidate port.  With ``workers > 1``
+        the candidate propagations fan out over a pool; the sources map
+        is assembled in candidate order either way, so the answer is
+        bit-identical for any worker count.  Process pools require a
+        picklable ``analyze_fn`` (the default bound method is).
         """
-        sources: Dict[PortRef, HeaderSpace] = {}
-        candidates = candidate_ports or self.network_tf.all_edge_ports()
+        candidates = [
+            ref
+            for ref in (candidate_ports or self.network_tf.all_edge_ports())
+            if ref != (target_switch, target_port)
+        ]
         analyze = analyze_fn or self.analyze
-        for switch, port in candidates:
-            if (switch, port) == (target_switch, target_port):
-                continue
-            result = analyze(switch, port, space)
+        results = self._fan_out(workers, pool_mode).map(
+            _fan_analyze, (analyze, space), candidates
+        )
+        sources: Dict[PortRef, HeaderSpace] = {}
+        for (switch, port), result in zip(candidates, results):
             arriving = HeaderSpace.empty()
             for zone in result.edge_zones():
                 if zone.port_ref == (target_switch, target_port):
@@ -268,9 +340,39 @@ class ReachabilityAnalyzer:
     # Whole-network sweeps
     # ------------------------------------------------------------------
 
-    def detect_all_loops(self, space: HeaderSpace) -> List[LoopReport]:
-        """Check every edge ingress for forwarding loops on ``space``."""
+    def detect_all_loops(
+        self,
+        space: HeaderSpace,
+        *,
+        workers: Optional[int] = None,
+        pool_mode: Optional[str] = None,
+    ) -> List[LoopReport]:
+        """Check every edge ingress for forwarding loops on ``space``.
+
+        The per-ingress propagations are independent; with ``workers >
+        1`` they fan out over a pool and the reports are concatenated in
+        edge-port order — identical output for any worker count.
+        """
+        candidates = self.network_tf.all_edge_ports()
+        results = self._fan_out(workers, pool_mode).map(
+            _fan_analyze, (self.analyze, space), candidates
+        )
         loops: List[LoopReport] = []
-        for switch, port in self.network_tf.all_edge_ports():
-            loops.extend(self.analyze(switch, port, space).loops)
+        for result in results:
+            loops.extend(result.loops)
         return loops
+
+    def _fan_out(
+        self, workers: Optional[int], pool_mode: Optional[str]
+    ) -> FanOutPool:
+        return FanOutPool(
+            workers if workers is not None else self.workers,
+            pool_mode if pool_mode is not None else self.pool_mode,
+        )
+
+
+def _fan_analyze(context, port_ref: PortRef) -> ReachabilityResult:
+    """One fan-out task: propagate ``space`` from one candidate ingress."""
+    analyze, space = context
+    switch, port = port_ref
+    return analyze(switch, port, space)

@@ -1,0 +1,407 @@
+"""The naive HSA kernel, kept as a differential-testing oracle.
+
+This module is a frozen copy of the evaluation core as it existed before
+the fast-path kernel rewrite: linear rule scans with no classifier
+index, chained single-wildcard subtraction through the public
+constructors, and recursive depth-first propagation with the
+O(path-length) loop-membership scan.  It is deliberately *not* kept
+DRY with :mod:`repro.hsa.transfer` / :mod:`repro.hsa.reachability` —
+sharing the traversal or shadowing logic would blind the differential
+property tests to a bug introduced in the fast path.
+
+Scope of the oracle: rule shadowing, multi-table composition, drop
+accounting, propagation order, *and* the set algebra itself — the
+module carries its own copies of the pre-rewrite intersection,
+subtraction, and rewrite routines, built through the public validating
+constructors.  That keeps the oracle independent of the trusted
+constructors and batched subtraction the fast kernel relies on, and
+keeps the E17 baseline honest: timing the reference times the kernel
+as it was, not the old control flow over the new algebra.
+
+Not for production use: the recursive walk hits Python's recursion
+limit on deep topologies and the linear scans are the exact bottleneck
+the fast kernel removes (benchmarked in E17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.network_tf import NetworkTransferFunction, PortRef
+from repro.hsa.reachability import (
+    DropZone,
+    Hop,
+    LoopReport,
+    ReachabilityResult,
+    ReachablePath,
+    ReachableZone,
+)
+from repro.hsa.layout import field_slice
+from repro.hsa.transfer import (
+    CONTROLLER_PORT,
+    Emission,
+    SnapshotRule,
+    TransferRule,
+)
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import VLAN_NONE
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.hsa.wildcard import Wildcard
+
+
+# ----------------------------------------------------------------------
+# Pre-rewrite set algebra (public validating constructors throughout)
+# ----------------------------------------------------------------------
+
+
+def _wc_intersect(a: Wildcard, b: Wildcard) -> "Wildcard | None":
+    common = a.mask & b.mask
+    if (a.value ^ b.value) & common:
+        return None
+    return Wildcard(value=a.value | b.value, mask=a.mask | b.mask)
+
+
+def _wc_subtract(a: Wildcard, b: Wildcard) -> List[Wildcard]:
+    if _wc_intersect(a, b) is None:
+        return [a]
+    pieces: List[Wildcard] = []
+    fixed_value, fixed_mask = a.value, a.mask
+    remaining = b.mask & ~a.mask
+    while remaining:
+        bit = remaining & -remaining
+        remaining &= remaining - 1
+        other_bit = b.value & bit
+        pieces.append(
+            Wildcard(
+                value=(fixed_value & ~bit) | (bit ^ other_bit),
+                mask=fixed_mask | bit,
+            )
+        )
+        fixed_value = (fixed_value & ~bit) | other_bit
+        fixed_mask |= bit
+    return pieces
+
+
+def _hs_intersect_wildcard(space: HeaderSpace, wildcard: Wildcard) -> HeaderSpace:
+    pieces = []
+    for a in space.wildcards:
+        joined = _wc_intersect(a, wildcard)
+        if joined is not None:
+            pieces.append(joined)
+    return HeaderSpace(pieces, prune=False)
+
+
+def _hs_subtract(space: HeaderSpace, other: HeaderSpace) -> HeaderSpace:
+    pieces: List[Wildcard] = list(space.wildcards)
+    for b in other.wildcards:
+        next_pieces: List[Wildcard] = []
+        for piece in pieces:
+            next_pieces.extend(_wc_subtract(piece, b))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return HeaderSpace(pieces)
+
+
+def _hs_rewrite(space: HeaderSpace, field: str, value) -> HeaderSpace:
+    slice_ = field_slice(field)
+    raw = value.value if isinstance(value, (MacAddress, IPv4Address)) else int(value)
+    field_mask = slice_.mask
+    return HeaderSpace(
+        [
+            Wildcard(
+                value=(w.value & ~field_mask) | slice_.pack(raw),
+                mask=w.mask | field_mask,
+            )
+            for w in space.wildcards
+        ]
+    )
+
+
+class ReferenceSwitchTransferFunction:
+    """Pre-rewrite switch pipeline: full-table linear scans."""
+
+    def __init__(
+        self,
+        switch_name: str,
+        rules: Sequence[SnapshotRule],
+        ports: Sequence[int],
+        *,
+        n_tables: int = 2,
+    ) -> None:
+        self.switch_name = switch_name
+        self.ports = tuple(sorted(ports))
+        self._tables: Dict[int, List[TransferRule]] = {
+            table_id: [] for table_id in range(n_tables)
+        }
+        deduped: Dict[tuple, SnapshotRule] = {}
+        for rule in rules:
+            key = (rule.table_id, rule.priority, rule.match)
+            deduped.pop(key, None)
+            deduped[key] = rule
+        for rule in deduped.values():
+            compiled = TransferRule(
+                table_id=rule.table_id,
+                priority=rule.priority,
+                in_port=rule.match.in_port,
+                match_wc=Wildcard.from_match(rule.match),
+                actions=tuple(rule.actions),
+                source=rule,
+            )
+            self._tables.setdefault(rule.table_id, []).append(compiled)
+        for table_rules in self._tables.values():
+            table_rules.sort(key=lambda r: -r.priority)
+
+    def apply(self, in_port: int, space: HeaderSpace) -> List[Emission]:
+        return self._apply_table(0, in_port, space)
+
+    def apply_with_drops(
+        self, in_port: int, space: HeaderSpace
+    ) -> Tuple[List[Emission], HeaderSpace]:
+        emissions: List[Emission] = []
+        forwarded_input = HeaderSpace.empty()
+        remaining = space
+        for rule in self._tables.get(0, ()):
+            if remaining.is_empty():
+                break
+            if rule.in_port is not None and rule.in_port != in_port:
+                continue
+            segment = _hs_intersect_wildcard(remaining, rule.match_wc)
+            if segment.is_empty():
+                continue
+            produced = self._apply_actions(rule, in_port, segment)
+            emissions.extend(produced)
+            if produced:
+                forwarded_input = forwarded_input.union(segment)
+            remaining = _hs_subtract(remaining, HeaderSpace.single(rule.match_wc))
+        dropped = _hs_subtract(space, forwarded_input)
+        return emissions, dropped
+
+    def _apply_table(
+        self, table_id: int, in_port: int, space: HeaderSpace
+    ) -> List[Emission]:
+        emissions: List[Emission] = []
+        remaining = space
+        for rule in self._tables.get(table_id, ()):
+            if remaining.is_empty():
+                break
+            if rule.in_port is not None and rule.in_port != in_port:
+                continue
+            segment = _hs_intersect_wildcard(remaining, rule.match_wc)
+            if segment.is_empty():
+                continue
+            emissions.extend(self._apply_actions(rule, in_port, segment))
+            if all(
+                piece.is_subset_of(rule.match_wc) for piece in remaining.wildcards
+            ):
+                break
+            remaining = _hs_subtract(remaining, HeaderSpace.single(rule.match_wc))
+        return emissions
+
+    def _apply_actions(
+        self, rule: TransferRule, in_port: int, segment: HeaderSpace
+    ) -> List[Emission]:
+        emissions: List[Emission] = []
+        current = segment
+        for action in rule.actions:
+            if isinstance(action, SetField):
+                current = _hs_rewrite(current, action.field, action.value)
+            elif isinstance(action, PushVlan):
+                current = _hs_rewrite(current, "vlan_id", action.vlan_id)
+            elif isinstance(action, PopVlan):
+                current = _hs_rewrite(current, "vlan_id", VLAN_NONE)
+            elif isinstance(action, Output):
+                emissions.append((action.port, current))
+            elif isinstance(action, Flood):
+                for port in self.ports:
+                    if port != in_port:
+                        emissions.append((port, current))
+            elif isinstance(action, ToController):
+                emissions.append((CONTROLLER_PORT, current))
+            elif isinstance(action, GotoTable):
+                emissions.extend(
+                    self._apply_table(action.table_id, in_port, current)
+                )
+                break
+            elif isinstance(action, Meter):
+                continue
+            elif isinstance(action, Drop):
+                break
+        return emissions
+
+    def rule_count(self) -> int:
+        return sum(len(rules) for rules in self._tables.values())
+
+    def rules(self) -> List[TransferRule]:
+        collected: List[TransferRule] = []
+        for table_id in sorted(self._tables):
+            collected.extend(self._tables[table_id])
+        return collected
+
+
+class ReferenceReachabilityAnalyzer:
+    """Pre-rewrite propagation: recursive DFS, tuple-scan loop check."""
+
+    def __init__(
+        self,
+        network_tf: NetworkTransferFunction,
+        *,
+        max_depth: int = 64,
+        collect_paths: bool = True,
+        collect_drops: bool = False,
+    ) -> None:
+        self.network_tf = network_tf
+        self.max_depth = max_depth
+        self.collect_paths = collect_paths
+        self.collect_drops = collect_drops
+
+    def analyze(
+        self, start_switch: str, start_port: int, space: HeaderSpace
+    ) -> ReachabilityResult:
+        result = ReachabilityResult()
+        seen: Dict[PortRef, HeaderSpace] = {}
+        self._expand(
+            start_switch, start_port, space, (), result, seen, depth=0
+        )
+        return result
+
+    def _expand(
+        self,
+        switch: str,
+        in_port: int,
+        space: HeaderSpace,
+        path: Tuple[Hop, ...],
+        result: ReachabilityResult,
+        seen: Dict[PortRef, HeaderSpace],
+        depth: int,
+    ) -> None:
+        if space.is_empty() or depth > self.max_depth:
+            return
+        key = (switch, in_port)
+        if any(hop[0] == switch and hop[1] == in_port for hop in path):
+            result.loops.append(
+                LoopReport(switch=switch, port=in_port, cycle=path, space=space)
+            )
+            return
+        covered = seen.get(key)
+        if covered is not None:
+            space = _hs_subtract(space, covered)
+            if space.is_empty():
+                return
+            seen[key] = covered.union(space)
+        else:
+            seen[key] = space
+        result.expansions += 1
+        result.switches_traversed.add(switch)
+        if self.collect_drops:
+            tf = self.network_tf.transfer_functions.get(switch)
+            if tf is None:
+                return
+            emissions, dropped = tf.apply_with_drops(in_port, space)
+            if not dropped.is_empty():
+                result.drops.append(
+                    DropZone(switch=switch, port=in_port, space=dropped, depth=depth)
+                )
+        else:
+            emissions = self.network_tf.apply_switch(switch, in_port, space)
+        for out_port, out_space in emissions:
+            if out_space.is_empty():
+                continue
+            hop: Hop = (switch, in_port, out_port)
+            if out_port == CONTROLLER_PORT:
+                self._record_zone(
+                    result, "controller", switch, out_port, out_space, path + (hop,)
+                )
+                continue
+            role = self.network_tf.role_of(switch, out_port)
+            if role.kind == "edge":
+                self._record_zone(
+                    result, "edge", switch, out_port, out_space, path + (hop,)
+                )
+            elif role.kind == "link" and role.peer is not None:
+                peer_switch, peer_port = role.peer
+                result.links_traversed.add(frozenset((switch, peer_switch)))
+                self._expand(
+                    peer_switch,
+                    peer_port,
+                    out_space,
+                    path + (hop,),
+                    result,
+                    seen,
+                    depth + 1,
+                )
+            else:
+                self._record_zone(
+                    result, "unbound", switch, out_port, out_space, path + (hop,)
+                )
+
+    def _record_zone(
+        self,
+        result: ReachabilityResult,
+        kind: str,
+        switch: str,
+        port: int,
+        space: HeaderSpace,
+        hops: Tuple[Hop, ...],
+    ) -> None:
+        zone = ReachableZone(kind=kind, switch=switch, port=port, space=space)
+        result.zones.append(zone)
+        if self.collect_paths:
+            result.paths.append(ReachablePath(hops=hops, endpoint=zone))
+
+    def sources_reaching(
+        self,
+        target_switch: str,
+        target_port: int,
+        space: HeaderSpace,
+    ) -> Dict[PortRef, HeaderSpace]:
+        sources: Dict[PortRef, HeaderSpace] = {}
+        for switch, port in self.network_tf.all_edge_ports():
+            if (switch, port) == (target_switch, target_port):
+                continue
+            result = self.analyze(switch, port, space)
+            arriving = HeaderSpace.empty()
+            for zone in result.edge_zones():
+                if zone.port_ref == (target_switch, target_port):
+                    arriving = arriving.union(zone.space)
+            if not arriving.is_empty():
+                sources[(switch, port)] = arriving
+        return sources
+
+    def detect_all_loops(self, space: HeaderSpace) -> List[LoopReport]:
+        loops: List[LoopReport] = []
+        for switch, port in self.network_tf.all_edge_ports():
+            loops.extend(self.analyze(switch, port, space).loops)
+        return loops
+
+
+def reference_network_tf(
+    fast_ntf: NetworkTransferFunction,
+) -> NetworkTransferFunction:
+    """The same network with every switch recompiled by the naive kernel.
+
+    Convenience for differential tests and the E17 benchmark: rebuilds
+    each :class:`ReferenceSwitchTransferFunction` from the fast TF's
+    source rules, sharing the wiring plan and edge-port map.
+    """
+    tfs = {}
+    for name, tf in fast_ntf.transfer_functions.items():
+        source_rules = [rule.source for rule in tf.rules()]
+        n_tables = max(tf._tables) + 1 if tf._tables else 2
+        tfs[name] = ReferenceSwitchTransferFunction(
+            name, source_rules, ports=tf.ports, n_tables=n_tables
+        )
+    return NetworkTransferFunction(
+        tfs, fast_ntf.wiring, fast_ntf.edge_ports
+    )

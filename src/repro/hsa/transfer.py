@@ -10,6 +10,18 @@ Transfer functions are built from :class:`SnapshotRule` records — plain
 data extracted from flow-monitor updates or flow-stats dumps — never from
 live switch objects, because RVaaS reasons over its *snapshot* of the
 configuration (paper §IV-A1), not over privileged access to the switch.
+
+Fast path (benchmark E17): rules are served through per-(table, in-port)
+:class:`_RuleClassifier` indexes.  A classifier pre-filters the in-port
+constraint once, and pre-partitions rules by a *guard field* — the header
+field exactly constrained by the most rules (e.g. ``ip_dst`` in routing
+tables).  A propagated space that pins the guard field consults only the
+matching bucket plus the guard-free residue, skipping provably-disjoint
+rules without intersecting against them.  Skipping is sound for the
+shadowing subtraction too: a rule disjoint from the input space
+contributes an empty segment and an identity subtraction.  The naive
+linear-scan kernel is preserved in :mod:`repro.hsa.reference` as the
+differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.hsa.headerspace import HeaderSpace
-from repro.hsa.layout import field_slice
+from repro.hsa.layout import FIELD_LAYOUT, field_slice
 from repro.hsa.wildcard import Wildcard
 from repro.netlib.addresses import IPv4Address, MacAddress
 from repro.netlib.constants import VLAN_NONE
@@ -71,7 +83,15 @@ class SnapshotRule:
 
 @dataclass(frozen=True)
 class TransferRule:
-    """A compiled rule: match wildcard plus port constraint plus actions."""
+    """A compiled rule: match wildcard plus port constraint plus actions.
+
+    ``ops`` is the pre-compiled form of ``actions`` for the fast apply
+    loop — ``(clear, bits, ports, goto_table)`` meaning "rewrite every
+    piece to ``(value & ~clear) | bits``, emit to ``ports``, then
+    optionally continue in ``goto_table``".  ``None`` marks action lists
+    the compact form cannot express (Flood, rewrite-after-emit); those
+    fall back to the interpreting :meth:`SwitchTransferFunction._apply_actions`.
+    """
 
     table_id: int
     priority: int
@@ -79,10 +99,203 @@ class TransferRule:
     match_wc: Wildcard
     actions: Tuple[Action, ...]
     source: SnapshotRule
+    ops: Optional[Tuple[int, int, Tuple[int, ...], Optional[int]]] = None
+
+
+def compile_actions(
+    actions: Sequence[Action],
+) -> Optional[Tuple[int, int, Tuple[int, ...], Optional[int]]]:
+    """Pre-compile an action list into the compact ``ops`` form.
+
+    Folds every run of SetField / PushVlan / PopVlan into a single
+    (clear-mask, value-bits) integer pair — sequential rewrites of the
+    same field collapse to the last writer — and collects the emission
+    ports.  Returns ``None`` for shapes the compact form cannot express
+    (Flood's in-port dependence, rewrites after an emission), which keep
+    the general interpreter path.
+    """
+    clear = 0
+    bits = 0
+    ports: List[int] = []
+    goto: Optional[int] = None
+    for action in actions:
+        if isinstance(action, Meter):
+            continue
+        if isinstance(action, (SetField, PushVlan, PopVlan)):
+            if ports:
+                return None  # rewrite after emit: segment forks, interpret
+            if isinstance(action, SetField):
+                slice_ = field_slice(action.field)
+                raw = action.value
+                raw = (
+                    raw.value
+                    if isinstance(raw, (MacAddress, IPv4Address))
+                    else int(raw)
+                )
+            else:
+                slice_ = field_slice("vlan_id")
+                raw = (
+                    action.vlan_id if isinstance(action, PushVlan) else VLAN_NONE
+                )
+            fmask = slice_.mask
+            clear |= fmask
+            bits = (bits & ~fmask) | slice_.pack(raw)
+        elif isinstance(action, Output):
+            ports.append(action.port)
+        elif isinstance(action, ToController):
+            ports.append(CONTROLLER_PORT)
+        elif isinstance(action, GotoTable):
+            goto = action.table_id
+            break  # goto terminates the action list
+        elif isinstance(action, Drop):
+            break  # drop terminates; prior emissions stand
+        else:
+            return None  # Flood or unknown: interpret
+    return (clear, bits, tuple(ports), goto)
 
 
 #: One output of a transfer application.
 Emission = Tuple[int, HeaderSpace]
+
+
+class KernelStats:
+    """Cumulative fast-path counters for one transfer function.
+
+    Telemetry only — increments are not synchronised, so totals may be
+    slightly lossy under parallel fan-out; they never affect results.
+    """
+
+    __slots__ = (
+        "rules_checked",
+        "rules_skipped",
+        "early_exits",
+        "index_hits",
+        "index_misses",
+    )
+
+    def __init__(self) -> None:
+        self.rules_checked = 0  # rules the apply loop actually visited
+        self.rules_skipped = 0  # rules the classifier proved disjoint
+        self.early_exits = 0  # subsumption early exits taken
+        self.index_hits = 0  # applications served from a guard bucket
+        self.index_misses = 0  # applications that fell back to full scan
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def add(self, other: "KernelStats") -> None:
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class _RuleClassifier:
+    """The indexed view of one table as seen from one ingress port.
+
+    Holds the in-port-filtered rule list in priority order, plus a guard
+    index: rules exactly constraining the guard field are bucketed by
+    their guard value; the residue (rules leaving any guard bit free) is
+    checked on every application.  Merged per-value candidate lists are
+    memoised because propagation revisits the same few guard values.
+
+    Every candidate list carries a parallel tuple of *shadow flags*:
+    flag[i] is False when no later rule in the list overlaps rule i's
+    match, which makes the priority-shadowing subtraction after rule i a
+    provable no-op the apply loop can skip.  Real tables are mostly
+    pairwise-disjoint (distinct destinations), so this removes the
+    dominant subtraction cost.  Restricting the overlap test to the
+    candidate list is sound: rules outside it are disjoint from the
+    applied space, so their segments are empty whether or not the
+    subtraction happened.
+    """
+
+    __slots__ = ("rules", "flags", "guard_mask", "_exact", "_rest", "_merged")
+
+    #: Build a guard index only when it can bucket at least this many rules.
+    MIN_GUARDED = 2
+
+    def __init__(self, rules: Sequence[TransferRule]) -> None:
+        self.rules: Tuple[TransferRule, ...] = tuple(rules)
+        # Full-list shadow flags are O(n²) to derive and only needed when
+        # a space escapes the guard index, so they are built on demand.
+        self.flags: Optional[Tuple[bool, ...]] = None
+        self.guard_mask = 0
+        self._exact: Dict[int, List[Tuple[int, TransferRule]]] = {}
+        self._rest: List[Tuple[int, TransferRule]] = []
+        self._merged: Dict[
+            int, Tuple[Tuple[TransferRule, ...], Tuple[bool, ...]]
+        ] = {}
+        if len(self.rules) < self.MIN_GUARDED:
+            return
+        # The guard is the first (in layout order) field exactly
+        # constrained by the most rules — the discriminating field.
+        best_count = 0
+        for slice_ in FIELD_LAYOUT.values():
+            fmask = slice_.mask
+            count = sum(
+                1 for r in self.rules if r.match_wc.mask & fmask == fmask
+            )
+            if count > best_count:
+                best_count = count
+                self.guard_mask = fmask
+        if best_count < self.MIN_GUARDED:
+            self.guard_mask = 0
+            return
+        gmask = self.guard_mask
+        for pos, rule in enumerate(self.rules):
+            wc = rule.match_wc
+            if wc.mask & gmask == gmask:
+                self._exact.setdefault(wc.value & gmask, []).append((pos, rule))
+            else:
+                self._rest.append((pos, rule))
+
+    def select(
+        self, space: HeaderSpace, stats: KernelStats
+    ) -> Tuple[Tuple[TransferRule, ...], Tuple[bool, ...]]:
+        """(candidate rules, shadow flags) for ``space``, in priority order."""
+        gmask = self.guard_mask
+        pieces = space.wildcards
+        if not gmask or not pieces:
+            stats.index_misses += 1
+            return self.rules, self._full_flags()
+        # The bucket applies only when every piece pins the whole guard
+        # field to one shared value; otherwise any rule could intersect.
+        guard_value = pieces[0].value & gmask
+        for piece in pieces:
+            if piece.mask & gmask != gmask or piece.value & gmask != guard_value:
+                stats.index_misses += 1
+                return self.rules, self._full_flags()
+        stats.index_hits += 1
+        merged = self._merged.get(guard_value)
+        if merged is None:
+            rules = self._merge(self._exact.get(guard_value, []), self._rest)
+            merged = (rules, _shadow_flags(rules))
+            self._merged[guard_value] = merged
+        return merged
+
+    def _full_flags(self) -> Tuple[bool, ...]:
+        flags = self.flags
+        if flags is None:
+            flags = self.flags = _shadow_flags(self.rules)
+        return flags
+
+    @staticmethod
+    def _merge(
+        bucket: List[Tuple[int, TransferRule]],
+        rest: List[Tuple[int, TransferRule]],
+    ) -> Tuple[TransferRule, ...]:
+        """Two position-sorted runs merged back into priority order."""
+        out: List[TransferRule] = []
+        i = j = 0
+        while i < len(bucket) and j < len(rest):
+            if bucket[i][0] < rest[j][0]:
+                out.append(bucket[i][1])
+                i += 1
+            else:
+                out.append(rest[j][1])
+                j += 1
+        out.extend(rule for _pos, rule in bucket[i:])
+        out.extend(rule for _pos, rule in rest[j:])
+        return tuple(out)
 
 
 class SwitchTransferFunction:
@@ -113,13 +326,15 @@ class SwitchTransferFunction:
             deduped.pop(key, None)
             deduped[key] = rule
         for rule in deduped.values():
+            actions = tuple(rule.actions)
             compiled = TransferRule(
                 table_id=rule.table_id,
                 priority=rule.priority,
                 in_port=rule.match.in_port,
                 match_wc=Wildcard.from_match(rule.match),
-                actions=tuple(rule.actions),
+                actions=actions,
                 source=rule,
+                ops=compile_actions(actions),
             )
             self._tables.setdefault(rule.table_id, []).append(compiled)
         for table_rules in self._tables.values():
@@ -127,6 +342,35 @@ class SwitchTransferFunction:
             # keep their given order — the same first-installed-wins
             # tie-break the switch pipeline applies via entry ids.
             table_rules.sort(key=lambda r: -r.priority)
+        self.stats = KernelStats()
+        #: (table_id, in_port) -> lazily built classifier index
+        self._classifiers: Dict[Tuple[int, int], _RuleClassifier] = {}
+        #: table_id -> classifier shared by every in_port (built when no
+        #: rule in the table constrains in_port — e.g. routing tables)
+        self._portless: Dict[int, _RuleClassifier] = {}
+
+    def _classifier(self, table_id: int, in_port: int) -> _RuleClassifier:
+        key = (table_id, in_port)
+        classifier = self._classifiers.get(key)
+        if classifier is None:
+            table_rules = self._tables.get(table_id, ())
+            applicable = [
+                rule
+                for rule in table_rules
+                if rule.in_port is None or rule.in_port == in_port
+            ]
+            if len(applicable) == len(table_rules):
+                # Port-oblivious table: one classifier serves every
+                # ingress, so its guard scan and shadow flags are built
+                # once instead of once per port.
+                classifier = self._portless.get(table_id)
+                if classifier is None:
+                    classifier = _RuleClassifier(applicable)
+                    self._portless[table_id] = classifier
+            else:
+                classifier = _RuleClassifier(applicable)
+            self._classifiers[key] = classifier
+        return classifier
 
     # ------------------------------------------------------------------
     # Application
@@ -153,14 +397,17 @@ class SwitchTransferFunction:
         Table-miss and Drop-action space is exact — which is what the
         blackhole-localization diagnostics need.
         """
+        stats = self.stats
+        classifier = self._classifier(0, in_port)
+        candidates, _flags = classifier.select(space, stats)
+        stats.rules_checked += len(candidates)
+        stats.rules_skipped += len(classifier.rules) - len(candidates)
         emissions: List[Emission] = []
         forwarded_input = HeaderSpace.empty()
         remaining = space
-        for rule in self._tables.get(0, ()):
+        for rule in candidates:
             if remaining.is_empty():
                 break
-            if rule.in_port is not None and rule.in_port != in_port:
-                continue
             segment = remaining.intersect_wildcard(rule.match_wc)
             if segment.is_empty():
                 continue
@@ -175,22 +422,70 @@ class SwitchTransferFunction:
     def _apply_table(
         self, table_id: int, in_port: int, space: HeaderSpace
     ) -> List[Emission]:
+        stats = self.stats
+        classifier = self._classifier(table_id, in_port)
+        candidates, flags = classifier.select(space, stats)
+        stats.rules_checked += len(candidates)
+        stats.rules_skipped += len(classifier.rules) - len(candidates)
         emissions: List[Emission] = []
-        remaining = space
-        for rule in self._tables.get(table_id, ()):
-            if remaining.is_empty():
+        # The remainder is carried as a plain piece list — no HeaderSpace
+        # is materialised per shadowing step, only per emitted segment.
+        pieces: List[Wildcard] = list(space.wildcards)
+        # AND of the remaining pieces' masks: a rule can only subsume the
+        # remainder if every bit it constrains is fixed in every piece,
+        # so the (piece-linear) subset scan hides behind this one intop.
+        masks_and = _masks_and(pieces)
+        _make = Wildcard._make
+        for index, rule in enumerate(candidates):
+            if not pieces:
                 break
-            if rule.in_port is not None and rule.in_port != in_port:
-                continue
-            segment = remaining.intersect_wildcard(rule.match_wc)
-            if segment.is_empty():
-                continue
-            emissions.extend(self._apply_actions(rule, in_port, segment))
-            if all(
-                piece.is_subset_of(rule.match_wc) for piece in remaining.wildcards
+            match_wc = rule.match_wc
+            rv = match_wc.value
+            rm = match_wc.mask
+            seg_pieces = [
+                _make(p.value | rv, p.mask | rm)
+                for p in pieces
+                if not ((p.value ^ rv) & p.mask & rm)
+            ]
+            if not seg_pieces:
+                continue  # disjoint: no segment, identity subtraction
+            ops = rule.ops
+            if ops is None:
+                emissions.extend(
+                    self._apply_actions(
+                        rule, in_port, HeaderSpace._from_pieces(seg_pieces)
+                    )
+                )
+            else:
+                clear, bits, out_ports, goto = ops
+                if clear:
+                    seg_pieces = [
+                        _make((p.value & ~clear) | bits, p.mask | clear)
+                        for p in seg_pieces
+                    ]
+                segment = HeaderSpace._from_pieces(seg_pieces)
+                for out_port in out_ports:
+                    emissions.append((out_port, segment))
+                if goto is not None:
+                    emissions.extend(self._apply_table(goto, in_port, segment))
+            if not (rm & ~masks_and) and all(
+                piece.is_subset_of(match_wc) for piece in pieces
             ):
+                stats.early_exits += 1
                 break  # this rule swallows everything still unmatched
-            remaining = remaining.subtract_wildcard(rule.match_wc)
+            if not flags[index]:
+                continue  # no later candidate overlaps: shadowing is a no-op
+            next_pieces: List[Wildcard] = []
+            masks_and = -1
+            for piece in pieces:
+                if (piece.value ^ rv) & piece.mask & rm:
+                    next_pieces.append(piece)
+                    masks_and &= piece.mask
+                else:
+                    for part in piece.subtract(match_wc):
+                        next_pieces.append(part)
+                        masks_and &= part.mask
+            pieces = next_pieces
         # Table miss: OpenFlow 1.3 default-drops; nothing emitted.
         return emissions
 
@@ -239,11 +534,37 @@ class SwitchTransferFunction:
         return collected
 
 
+def _shadow_flags(rules: Sequence[TransferRule]) -> Tuple[bool, ...]:
+    """flag[i]: does any later rule overlap rule i's match wildcard?
+
+    When False, subtracting rule i's match from the remaining space
+    cannot change any later rule's segment — the apply loop skips the
+    subtraction outright.
+    """
+    flags: List[bool] = []
+    for i, rule in enumerate(rules):
+        value, mask = rule.match_wc.value, rule.match_wc.mask
+        flags.append(
+            any(
+                not ((value ^ later.match_wc.value) & mask & later.match_wc.mask)
+                for later in rules[i + 1 :]
+            )
+        )
+    return tuple(flags)
+
+
+def _masks_and(pieces: Sequence[Wildcard]) -> int:
+    acc = -1
+    for piece in pieces:
+        acc &= piece.mask
+    return acc
+
+
 def _rewrite(
     space: HeaderSpace, field: str, value: Union[int, MacAddress, IPv4Address]
 ) -> HeaderSpace:
     slice_ = field_slice(field)
     raw = value.value if isinstance(value, (MacAddress, IPv4Address)) else int(value)
-    return HeaderSpace(
-        (w.rewrite_field(slice_, raw) for w in space.wildcards), prune=False
+    return HeaderSpace._from_pieces(
+        [w.rewrite_field(slice_, raw) for w in space.wildcards]
     )

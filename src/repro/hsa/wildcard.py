@@ -7,6 +7,13 @@ A :class:`Wildcard` denotes the set of header vectors agreeing with
 The algebra (intersection, subset, disjoint subtraction, complement) is
 exactly the HSA wildcard calculus; Python's arbitrary-precision ints make
 the 228-bit vectors one machine word conceptually.
+
+Hot-path discipline: the public constructor validates the ``value & ~mask
+== 0`` invariant, but the algebra methods produce results that satisfy it
+by construction, so they build through :meth:`Wildcard._make` — a trusted
+constructor that skips ``__init__``/``__post_init__`` entirely.  Profiles
+of full-snapshot verification showed dataclass construction overhead as
+the single largest line item before this split (benchmark E17).
 """
 
 from __future__ import annotations
@@ -33,9 +40,29 @@ class Wildcard:
         if self.value & ~self.mask:
             raise ValueError("value bits set outside mask")
 
+    def __hash__(self) -> int:
+        # Wildcards are hashed constantly (seen-coverage keys, memo
+        # fingerprints, dedup sets); cache the tuple hash on first use.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.value, self.mask))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _make(cls, value: int, mask: int) -> "Wildcard":
+        """Trusted constructor: caller guarantees ``value & ~mask == 0``
+        and ``mask & ~ALL_ONES == 0``.  Skips dataclass ``__init__`` and
+        the ``__post_init__`` validation — for algebra-internal results
+        whose invariant holds by construction."""
+        made = object.__new__(cls)
+        object.__setattr__(made, "value", value)
+        object.__setattr__(made, "mask", mask)
+        return made
 
     @classmethod
     def all(cls) -> "Wildcard":
@@ -85,12 +112,9 @@ class Wildcard:
 
     def intersect(self, other: "Wildcard") -> Optional["Wildcard"]:
         """Intersection, or None when empty."""
-        common = self.mask & other.mask
-        if (self.value ^ other.value) & common:
+        if (self.value ^ other.value) & self.mask & other.mask:
             return None
-        return Wildcard(
-            value=self.value | other.value, mask=self.mask | other.mask
-        )
+        return Wildcard._make(self.value | other.value, self.mask | other.mask)
 
     def is_subset_of(self, other: "Wildcard") -> bool:
         """True iff every header in ``self`` is also in ``other``."""
@@ -100,8 +124,8 @@ class Wildcard:
 
     def subtract(self, other: "Wildcard") -> List["Wildcard"]:
         """``self`` minus ``other`` as a list of pairwise-disjoint wildcards."""
-        if self.intersect(other) is None:
-            return [self]
+        if (self.value ^ other.value) & self.mask & other.mask:
+            return [self]  # disjoint: nothing to carve out
         pieces: List[Wildcard] = []
         fixed_value, fixed_mask = self.value, self.mask
         remaining = other.mask & ~self.mask
@@ -112,9 +136,9 @@ class Wildcard:
             # Headers agreeing with `fixed` so far but differing from
             # `other` on this bit are outside `other`.
             pieces.append(
-                Wildcard(
-                    value=(fixed_value & ~bit) | (bit ^ other_bit),
-                    mask=fixed_mask | bit,
+                Wildcard._make(
+                    (fixed_value & ~bit) | (bit ^ other_bit),
+                    fixed_mask | bit,
                 )
             )
             # Later pieces agree with `other` on this bit (disjointness).
@@ -135,9 +159,9 @@ class Wildcard:
     def rewrite_field(self, slice_: FieldSlice, new_value: int) -> "Wildcard":
         """Force one field to a concrete value (header rewrite action)."""
         field_mask = slice_.mask
-        return Wildcard(
-            value=(self.value & ~field_mask) | slice_.pack(new_value),
-            mask=self.mask | field_mask,
+        return Wildcard._make(
+            (self.value & ~field_mask) | slice_.pack(new_value),
+            self.mask | field_mask,
         )
 
     # ------------------------------------------------------------------

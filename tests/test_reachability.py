@@ -192,3 +192,71 @@ class TestCoverageGuard:
         # Two copies leave s1, but s2 expands once.
         assert result.expansions == 2
         assert len(result.edge_zones()) == 1
+
+
+class TestDeepChains:
+    """The iterative worklist must handle chains recursion cannot."""
+
+    def _deep_chain(self, length):
+        forward = {f"s{i}": [rule(DST, (Output(2),))] for i in range(1, length)}
+        forward[f"s{length}"] = [rule(DST, (Output(1),))]
+        return chain_ntf(forward, n=length)
+
+    def test_no_recursion_error_on_double_max_depth_chain(self):
+        # Twice the default max_depth, traversed end to end: recursive
+        # propagation would need ~4 stack frames per hop; the explicit
+        # worklist needs none.
+        import sys
+
+        length = 2 * 64
+        ntf = self._deep_chain(length)
+        analyzer = ReachabilityAnalyzer(ntf, max_depth=length + 4)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(220)  # far below what recursion would need
+        try:
+            result = analyzer.analyze("s1", 1, DST_SPACE)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert result.reaches(f"s{length}", 1)
+        assert result.expansions == length
+
+    def test_long_chain_loop_check_is_set_based(self):
+        # A pure chain never forks, so every frame reuses one visited
+        # set: expansions stay linear and the worklist stays flat.  (The
+        # pre-rewrite kernel rescanned the whole path tuple per hop —
+        # O(length²) — and recursed once per switch.)
+        length = 300
+        ntf = self._deep_chain(length)
+        result = ReachabilityAnalyzer(ntf, max_depth=length + 4).analyze(
+            "s1", 1, DST_SPACE
+        )
+        assert result.reaches(f"s{length}", 1)
+        assert result.expansions == length
+        assert result.worklist_peak <= 3
+
+    def test_worklist_peak_recorded(self):
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(2),))],
+                "s3": [rule(DST, (Output(1),))],
+            }
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert result.worklist_peak >= 1
+
+    def test_loop_still_detected_after_rewrite(self):
+        # Ring of two switches bouncing traffic: the per-branch visited
+        # set must still catch the re-entry exactly like the path scan.
+        ntf = chain_ntf(
+            {
+                "s1": [rule(DST, (Output(2),))],
+                "s2": [rule(DST, (Output(3),))],  # back toward s1
+            },
+            n=2,
+        )
+        result = ReachabilityAnalyzer(ntf).analyze("s1", 1, DST_SPACE)
+        assert len(result.loops) == 1
+        # The first re-entered ingress is (s2, 3): s1:1 → s2:3 → s1:2 → s2:3.
+        assert result.loops[0].switch == "s2"
+        assert result.loops[0].port == 3

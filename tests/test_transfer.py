@@ -209,3 +209,112 @@ class TestIntrospection:
         )
         assert function.rule_count() == 2
         assert len(function.rules()) == 2
+
+
+class TestKernelFastPath:
+    """Classifier index, early exit, and pre-compiled action programs."""
+
+    def test_early_exit_fires_on_catch_all(self):
+        # A broad space hits a specific rule, then the priority-0
+        # catch-all swallows the remainder: the subsumption early exit
+        # must fire even though the mask-coverage pre-check sees pieces
+        # with differing masks (the catch-all constrains no bits).
+        t = tf(
+            [
+                rule(Match.build(ip_dst="10.0.0.1"), (Output(2),), priority=5),
+                rule(Match(), (Output(3),), priority=0),
+            ]
+        )
+        emissions = t.apply(1, HeaderSpace.all())
+        assert {port for port, _ in emissions} == {2, 3}
+        assert t.stats.early_exits >= 1
+
+    def test_early_exit_fires_on_exact_subsuming_rule(self):
+        # The remainder is narrow (one exact piece) and the first rule
+        # subsumes it: the pre-check passes (rule mask ⊆ piece mask) and
+        # the exit fires without scanning the rest of the table.
+        t = tf(
+            [
+                rule(Match.build(ip_dst="10.0.0.1"), (Output(2),), priority=5),
+                rule(Match.build(ip_dst="10.0.0.1"), (Output(3),), priority=1),
+            ]
+        )
+        emissions = t.apply(1, space(ip_dst=IPv4Address.parse("10.0.0.1").value))
+        assert [port for port, _ in emissions] == [2]
+        assert t.stats.early_exits >= 1
+
+    def test_classifier_skips_disjoint_rules(self):
+        # Ten rules on distinct destinations: a space pinning ip_dst
+        # must only be checked against its own bucket.
+        rules = [
+            rule(Match.build(ip_dst=f"10.0.0.{i}"), (Output(2),), priority=5)
+            for i in range(1, 11)
+        ]
+        t = tf(rules)
+        t.apply(1, space(ip_dst=IPv4Address.parse("10.0.0.7").value))
+        assert t.stats.index_hits >= 1
+        assert t.stats.rules_skipped >= 8
+        # And the answer matches a full scan semantically.
+        emissions = t.apply(1, space(ip_dst=IPv4Address.parse("10.0.0.7").value))
+        assert [port for port, _ in emissions] == [2]
+
+    def test_emissions_identical_with_and_without_index(self):
+        rules = [
+            rule(Match.build(ip_dst=f"10.0.0.{i}"), (Output(i),), priority=5)
+            for i in range(1, 5)
+        ] + [rule(Match(), (Output(9),), priority=0)]
+        indexed = tf(rules, ports=tuple(range(1, 11)))
+        probe = space(ip_dst=IPv4Address.parse("10.0.0.3").value)
+        got = indexed.apply(1, probe)
+        assert [(p, s.fingerprint()) for p, s in got] == [
+            (3, probe.fingerprint()),
+        ]
+
+
+class TestCompiledActionPrograms:
+    def test_compile_folds_sequential_rewrites(self):
+        from repro.hsa.transfer import compile_actions
+
+        ops = compile_actions(
+            (SetField("tp_dst", 80), SetField("tp_dst", 81), Output(2))
+        )
+        assert ops is not None
+        clear, bits, ports, goto = ops
+        assert ports == (2,)
+        assert goto is None
+        # Last writer wins: applying to a free wildcard pins tp_dst=81.
+        w = Wildcard.all()
+        rewritten = Wildcard._make((w.value & ~clear) | bits, w.mask | clear)
+        assert rewritten.field_constraint("tp_dst")[0] == 81
+
+    def test_compile_rejects_flood_and_rewrite_after_emit(self):
+        from repro.hsa.transfer import compile_actions
+
+        assert compile_actions((Flood(),)) is None
+        assert compile_actions((Output(1), SetField("tp_dst", 80))) is None
+
+    def test_compile_goto_terminates_program(self):
+        from repro.hsa.transfer import compile_actions
+
+        ops = compile_actions((Output(1), GotoTable(1), Output(2)))
+        assert ops == (0, 0, (1,), 1)
+
+    def test_interpreted_and_compiled_paths_agree(self):
+        # Flood forces the interpreter; an equivalent explicit output
+        # list uses the compiled path.  Same rules otherwise — emitted
+        # spaces must agree.
+        flood_tf = tf(
+            [rule(Match.build(ip_dst="10.0.0.1"), (Flood(),))], ports=(1, 2, 3)
+        )
+        explicit_tf = tf(
+            [rule(Match.build(ip_dst="10.0.0.1"), (Output(2), Output(3)))],
+            ports=(1, 2, 3),
+        )
+        probe = space(ip_dst=IPv4Address.parse("10.0.0.1").value)
+        flood_out = sorted(
+            (p, s.fingerprint()) for p, s in flood_tf.apply(1, probe)
+        )
+        explicit_out = sorted(
+            (p, s.fingerprint()) for p, s in explicit_tf.apply(1, probe)
+        )
+        assert flood_out == explicit_out
