@@ -185,18 +185,35 @@ class ControllerApp:
 
     def request_flow_stats(
         self, switch: str, callback: Callable[[FlowStatsReply], None]
-    ) -> None:
-        """Active configuration poll with a per-request callback."""
+    ) -> int:
+        """Active configuration poll with a per-request callback.
+
+        Returns the request's transaction id so the caller can
+        :meth:`cancel_stats_request` on timeout.
+        """
         request = FlowStatsRequest()
         self._stats_callbacks[request.xid] = callback  # type: ignore[arg-type]
         self.channel_for(switch).send_to_switch(request)
+        return request.xid
 
     def request_meter_stats(
         self, switch: str, callback: Callable[[MeterStatsReply], None]
-    ) -> None:
+    ) -> int:
         request = MeterStatsRequest()
         self._stats_callbacks[request.xid] = callback  # type: ignore[arg-type]
         self.channel_for(switch).send_to_switch(request)
+        return request.xid
+
+    def cancel_stats_request(self, xid: int) -> bool:
+        """Forget a pending stats callback (timed-out or superseded poll).
+
+        A late reply for a cancelled request is then dispatched to the
+        unsolicited ``on_flow_stats`` / ``on_meter_stats`` handlers (a
+        no-op by default) instead of a stale callback — so a reply that
+        limps in after its retry already resynced cannot clobber the
+        fresher state.  Returns True if the callback was still pending.
+        """
+        return self._stats_callbacks.pop(xid, None) is not None
 
     def subscribe_flow_monitor(self, switch: str) -> None:
         """Passive monitoring subscription (OpenFlow flow monitor)."""

@@ -1,0 +1,174 @@
+"""Per-switch control-channel health: healthy -> degraded -> lost.
+
+The monitor cannot observe channel loss directly (a dropped
+``FlowStatsReply`` just never arrives), so health is inferred from poll
+outcomes: consecutive timeouts demote a switch to DEGRADED and then to
+LOST (quarantined — its mirror entry may be arbitrarily stale and every
+signed answer flags it); any confirmed activity (a poll reply or a
+passive flow-monitor update) promotes it back.  A recovery *from LOST*
+is reported as a reconnect so the monitor performs a full resync:
+resubscribe the flow monitor (subscriptions die with switch restarts)
+and poll the complete state.
+
+The tracker also records per-switch freshness — the last instant the
+switch's configuration was positively confirmed — which feeds the
+staleness fields of every signed reply (degrade honestly, never lie).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ChannelState(enum.Enum):
+    """Health of one controller<->switch session, as inferred."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    LOST = "lost"
+
+
+@dataclass
+class _SwitchHealth:
+    state: ChannelState = ChannelState.HEALTHY
+    consecutive_timeouts: int = 0
+    last_confirmed: float = 0.0
+    quarantined_since: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One recorded state change (for tests and diagnostics)."""
+
+    time: float
+    switch: str
+    from_state: ChannelState
+    to_state: ChannelState
+
+
+class ChannelHealthTracker:
+    """The health state machine over every monitored switch."""
+
+    def __init__(
+        self,
+        *,
+        degraded_after: int = 1,
+        lost_after: int = 3,
+    ) -> None:
+        if degraded_after < 1 or lost_after <= degraded_after:
+            raise ValueError(
+                "need 1 <= degraded_after < lost_after "
+                f"(got {degraded_after}, {lost_after})"
+            )
+        self.degraded_after = degraded_after
+        self.lost_after = lost_after
+        self._switches: Dict[str, _SwitchHealth] = {}
+        self.transitions: List[HealthTransition] = []
+
+    def _entry(self, switch: str, now: float) -> _SwitchHealth:
+        entry = self._switches.get(switch)
+        if entry is None:
+            entry = _SwitchHealth(last_confirmed=now)
+            self._switches[switch] = entry
+        return entry
+
+    def _move(
+        self, switch: str, entry: _SwitchHealth, to_state: ChannelState, now: float
+    ) -> None:
+        self.transitions.append(
+            HealthTransition(
+                time=now, switch=switch, from_state=entry.state, to_state=to_state
+            )
+        )
+        entry.state = to_state
+        entry.quarantined_since = now if to_state is ChannelState.LOST else None
+
+    # ------------------------------------------------------------------
+    # Evidence
+    # ------------------------------------------------------------------
+
+    def record_success(self, switch: str, now: float) -> Optional[str]:
+        """A poll reply or passive update arrived: the channel works.
+
+        Returns ``"reconnected"`` when recovering from LOST (the caller
+        must full-resync), ``"recovered"`` when leaving DEGRADED, else
+        ``None``.
+        """
+        entry = self._entry(switch, now)
+        entry.consecutive_timeouts = 0
+        entry.last_confirmed = now
+        if entry.state is ChannelState.LOST:
+            self._move(switch, entry, ChannelState.HEALTHY, now)
+            return "reconnected"
+        if entry.state is ChannelState.DEGRADED:
+            self._move(switch, entry, ChannelState.HEALTHY, now)
+            return "recovered"
+        return None
+
+    def record_timeout(self, switch: str, now: float) -> Optional[str]:
+        """A poll went unanswered.  Returns ``"degraded"``/``"lost"`` on
+        a demotion, else ``None``."""
+        entry = self._entry(switch, now)
+        entry.consecutive_timeouts += 1
+        if (
+            entry.state is not ChannelState.LOST
+            and entry.consecutive_timeouts >= self.lost_after
+        ):
+            self._move(switch, entry, ChannelState.LOST, now)
+            return "lost"
+        if (
+            entry.state is ChannelState.HEALTHY
+            and entry.consecutive_timeouts >= self.degraded_after
+        ):
+            self._move(switch, entry, ChannelState.DEGRADED, now)
+            return "degraded"
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def state(self, switch: str) -> ChannelState:
+        entry = self._switches.get(switch)
+        return entry.state if entry is not None else ChannelState.HEALTHY
+
+    def degraded(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                name
+                for name, entry in self._switches.items()
+                if entry.state is ChannelState.DEGRADED
+            )
+        )
+
+    def lost(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                name
+                for name, entry in self._switches.items()
+                if entry.state is ChannelState.LOST
+            )
+        )
+
+    def all_healthy(self) -> bool:
+        return all(
+            entry.state is ChannelState.HEALTHY
+            for entry in self._switches.values()
+        )
+
+    def last_confirmed(self, switch: str) -> Optional[float]:
+        entry = self._switches.get(switch)
+        return entry.last_confirmed if entry is not None else None
+
+    def staleness(self, switch: str, now: float) -> float:
+        """Seconds since the switch's configuration was last confirmed.
+
+        A switch never heard from at all reports ``float("inf")``: we
+        genuinely know nothing about it.
+        """
+        entry = self._switches.get(switch)
+        if entry is None:
+            return float("inf")
+        return max(0.0, now - entry.last_confirmed)

@@ -85,10 +85,14 @@ class AuthRoundOutcome:
     verified: Dict[PortRef, str] = field(default_factory=dict)  # port -> host
     rejected: List[Tuple[PortRef, str]] = field(default_factory=list)
     unsolicited: List[Tuple[PortRef, str]] = field(default_factory=list)
+    #: challenge waves sent (1 + re-challenges of silent targets)
+    attempts: int = 1
+    #: total challenge packets injected across all attempts
+    challenges_sent: int = 0
 
     @property
     def issued(self) -> int:
-        return len(self.targets)
+        return self.challenges_sent or len(self.targets)
 
     @property
     def received(self) -> int:
@@ -102,6 +106,7 @@ class AuthRoundOutcome:
 class _PendingRound:
     outcome: AuthRoundOutcome
     on_complete: Callable[[AuthRoundOutcome], None]
+    challenge: Optional[AuthChallenge] = None
     done: bool = False
 
 
@@ -115,14 +120,21 @@ class InBandTester:
         registrations: Mapping[str, ClientRegistration],
         *,
         auth_timeout: float = 0.25,
+        auth_retries: int = 0,
     ) -> None:
         self.controller = controller
         self.keypair = keypair
         self.registrations = dict(registrations)
         self.auth_timeout = auth_timeout
+        #: re-challenge waves for targets still silent at the deadline —
+        #: a lossy data plane can eat a challenge or a reply, and one
+        #: lost packet must not brand a live host as silent.  0 keeps
+        #: the original single-shot semantics.
+        self.auth_retries = auth_retries
         self._round_ids = itertools.count(1)
         self._rounds: Dict[int, _PendingRound] = {}
         self.challenges_sent = 0
+        self.rechallenges_sent = 0
         self.replies_processed = 0
 
     # ------------------------------------------------------------------
@@ -147,6 +159,36 @@ class InBandTester:
                 cookie=RVAAS_COOKIE,
             )
 
+    def reassert_interception(self, switch: str, mirrored) -> int:
+        """Reinstall punt rules that ``switch``'s polled mirror lacks.
+
+        A FlowMod lost on a lossy channel never generates a "removed"
+        monitor event, so :meth:`RVaaSController._self_protect` cannot
+        see it — the poll mirror is the only place the loss becomes
+        visible.  Returns how many rules were re-asserted.
+        """
+        present = {
+            (rule.match, rule.priority)
+            for rule in mirrored
+            if rule.cookie == RVAAS_COOKIE
+        }
+        repaired = 0
+        for match in interception_matches():
+            priority = (
+                PROBE_PRIORITY if match.eth_type == ETH_TYPE_LLDP else INTERCEPT_PRIORITY
+            )
+            if (match, priority) in present:
+                continue
+            self.controller.install_flow(
+                switch,
+                match,
+                (ToController(),),
+                priority=priority,
+                cookie=RVAAS_COOKIE,
+            )
+            repaired += 1
+        return repaired
+
     # ------------------------------------------------------------------
     # Authentication rounds (Fig. 1 step 4, Fig. 2 steps 1-3)
     # ------------------------------------------------------------------
@@ -157,24 +199,40 @@ class InBandTester:
         nonce: int,
         on_complete: Callable[[AuthRoundOutcome], None],
     ) -> int:
-        """Challenge every target port; report after the timeout."""
+        """Challenge every target port; report after the timeout.
+
+        With ``auth_retries > 0``, targets still silent at the deadline
+        are re-challenged (jittered backoff) before the round closes —
+        bounding how long a reply may take while tolerating packet loss.
+        """
         assert self.controller.network is not None
         round_id = next(self._round_ids)
         outcome = AuthRoundOutcome(round_id=round_id, nonce=nonce, targets=targets)
-        pending = _PendingRound(outcome=outcome, on_complete=on_complete)
-        self._rounds[round_id] = pending
         challenge = sign_challenge(
             AuthChallenge(nonce=nonce, round_id=round_id, service=self.controller.name),
             self.keypair.private,
         )
+        pending = _PendingRound(
+            outcome=outcome, on_complete=on_complete, challenge=challenge
+        )
+        self._rounds[round_id] = pending
+        self._challenge_targets(outcome, challenge, targets)
+        self.controller.network.sim.schedule(
+            self.auth_timeout, lambda: self._round_deadline(round_id)
+        )
+        return round_id
+
+    def _challenge_targets(
+        self,
+        outcome: AuthRoundOutcome,
+        challenge: AuthChallenge,
+        targets: Tuple[PortRef, ...],
+    ) -> None:
         for switch, port in targets:
             packet = self._challenge_packet(challenge, switch, port)
             self.controller.send_packet(switch, packet, port)
             self.challenges_sent += 1
-        self.controller.network.sim.schedule(
-            self.auth_timeout, lambda: self._finish_round(round_id)
-        )
-        return round_id
+            outcome.challenges_sent += 1
 
     def _challenge_packet(
         self, challenge: AuthChallenge, switch: str, port: int
@@ -235,6 +293,27 @@ class InBandTester:
             if key is not None:
                 return key
         return None
+
+    def _round_deadline(self, round_id: int) -> None:
+        """The timeout fired: retry the silent targets or close the round."""
+        pending = self._rounds.get(round_id)
+        if pending is None or pending.done:
+            return
+        outcome = pending.outcome
+        silent = outcome.silent_targets()
+        if silent and outcome.attempts <= self.auth_retries:
+            assert self.controller.network is not None
+            sim = self.controller.network.sim
+            outcome.attempts += 1
+            self.rechallenges_sent += len(silent)
+            assert pending.challenge is not None
+            self._challenge_targets(outcome, pending.challenge, silent)
+            # Jitter only on this (retry) path, so rounds where everyone
+            # answered never disturb the sim's RNG stream.
+            delay = self.auth_timeout * (1.0 + sim.rng.random())
+            sim.schedule(delay, lambda: self._round_deadline(round_id))
+            return
+        self._finish_round(round_id)
 
     def _finish_round(self, round_id: int) -> None:
         pending = self._rounds.pop(round_id, None)

@@ -16,6 +16,18 @@ Three mechanisms, individually switchable:
 * **Topology probing**: LLDP-style probe packets injected via Packet-Out
   on every internal port and intercepted at the neighbour, verifying the
   physical wiring against the declared plan.
+
+Resilience (ISSUE 3): the paper assumes reliable OpenFlow sessions, but
+a production monitor must survive lossy channels and switch restarts
+without silently serving a stale mirror.  Every active poll therefore
+carries a timeout; unanswered polls are retried with jittered
+exponential backoff up to a bound, feed the per-switch
+:class:`~repro.core.health.ChannelHealthTracker` (healthy -> degraded ->
+lost), and a switch recovering from LOST gets a full resync: the flow
+monitor is resubscribed (subscriptions die with switch restarts) and a
+complete state dump is polled.  Superseded or timed-out polls have their
+reply callbacks cancelled so a reply that limps in late can never
+overwrite fresher state.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import SnapshotDelta
+from repro.core.health import ChannelHealthTracker
 from repro.core.snapshot import NetworkSnapshot, SnapshotMeter, switch_rules_hash
 from repro.dataplane.topology import GeoLocation, Topology
 from repro.hsa.transfer import SnapshotRule
@@ -64,7 +77,8 @@ class TopologyObservation:
 
 @dataclass
 class MonitorMetrics:
-    """Accounting read by the monitoring-overhead experiment (E11)."""
+    """Accounting read by the monitoring-overhead experiment (E11)
+    and the fault-resilience experiment (E18)."""
 
     passive_updates: int = 0
     active_polls: int = 0
@@ -72,6 +86,28 @@ class MonitorMetrics:
     probes_sent: int = 0
     probes_received: int = 0
     snapshots_built: int = 0
+    #: polls whose reply never arrived within ``poll_timeout``
+    poll_timeouts: int = 0
+    #: polls re-issued after a timeout (subset of ``active_polls``)
+    poll_retries: int = 0
+    #: in-flight polls cancelled because a newer poll replaced them
+    polls_superseded: int = 0
+    #: retry bursts that exhausted ``max_poll_retries`` (switch lost)
+    poll_bursts_abandoned: int = 0
+    #: full resyncs performed after a switch reconnected
+    resyncs: int = 0
+
+
+@dataclass
+class _PendingPoll:
+    """One in-flight active poll of one switch."""
+
+    switch: str
+    retry: int
+    generation: int
+    flow_xid: int = -1
+    meter_xid: int = -1
+    timeout_event: Optional[object] = None
 
 
 class ConfigurationMonitor:
@@ -85,12 +121,41 @@ class ConfigurationMonitor:
         mode: MonitorMode = MonitorMode.HYBRID,
         mean_poll_interval: float = 5.0,
         randomize_polls: bool = True,
+        poll_timeout: float = 0.25,
+        max_poll_retries: int = 3,
+        retry_backoff: float = 0.1,
+        min_poll_interval: Optional[float] = None,
+        poll_interval_cap: Optional[float] = None,
+        health: Optional[ChannelHealthTracker] = None,
     ) -> None:
         self.controller = controller
         self.topology = topology
         self.mode = mode
         self.mean_poll_interval = mean_poll_interval
         self.randomize_polls = randomize_polls
+        self.poll_timeout = poll_timeout
+        self.max_poll_retries = max_poll_retries
+        self.retry_backoff = retry_backoff
+        # Clamp bounds for the exponential inter-poll delay: expovariate
+        # can return ~0 (poll storms) or huge values (unbounded blind
+        # windows an adversary can exploit for a short-lived
+        # reconfiguration), so both tails are cut.
+        self.min_poll_interval = (
+            min_poll_interval
+            if min_poll_interval is not None
+            else mean_poll_interval / 50.0
+        )
+        self.poll_interval_cap = (
+            poll_interval_cap
+            if poll_interval_cap is not None
+            else mean_poll_interval * 10.0
+        )
+        if not 0 < self.min_poll_interval <= self.poll_interval_cap:
+            raise ValueError(
+                "need 0 < min_poll_interval <= poll_interval_cap "
+                f"(got {self.min_poll_interval}, {self.poll_interval_cap})"
+            )
+        self.health = health if health is not None else ChannelHealthTracker()
         self.metrics = MonitorMetrics()
         self._rules: Dict[str, Dict[tuple, SnapshotRule]] = {}
         self._meters: Dict[str, List[SnapshotMeter]] = {}
@@ -99,6 +164,13 @@ class ConfigurationMonitor:
         self._poll_listeners: List[Callable[[str, float], None]] = []
         self._delta_listeners: List[Callable[[SnapshotDelta], None]] = []
         self._polling = False
+        #: generation token guarding the polling loop and retry bursts:
+        #: stop_polling()/start() bump it, so a stale scheduled tick (or
+        #: a retry from before the restart) can never re-arm a second
+        #: concurrent loop.
+        self._poll_generation = 0
+        #: at most one in-flight active poll per switch
+        self._pending_polls: Dict[str, _PendingPoll] = {}
         self.poll_times: List[float] = []
         self.topology_observations: List[TopologyObservation] = []
         # Delta accumulators: everything that changed since the last
@@ -126,13 +198,18 @@ class ConfigurationMonitor:
             for switch in self.controller.channels:
                 self.controller.subscribe_flow_monitor(switch)
         if self.mode in (MonitorMode.ACTIVE, MonitorMode.HYBRID):
+            self._poll_generation += 1
             self._polling = True
-            self._schedule_next_poll()
+            self._schedule_next_poll(self._poll_generation)
         # An initial full poll seeds the mirror in every mode.
         self.poll_all()
 
     def stop_polling(self) -> None:
+        # Bumping the generation invalidates any already-scheduled
+        # _poll_tick and any in-flight retry burst, so a later start()
+        # cannot end up with two concurrent polling loops.
         self._polling = False
+        self._poll_generation += 1
 
     def on_change(self, listener: Callable[[str], None]) -> None:
         """Register a callback invoked with the switch name on any change."""
@@ -154,6 +231,10 @@ class ConfigurationMonitor:
     def handle_monitor_update(self, switch: str, update: FlowMonitorUpdate) -> None:
         """Apply one flow-monitor event to the rule mirror."""
         self.metrics.passive_updates += 1
+        # A passive update is positive proof the channel works.
+        transition = self.health.record_success(switch, self.controller.now)
+        if transition == "reconnected":
+            self._resync(switch)
         rule = SnapshotRule(
             table_id=update.table_id,
             priority=update.priority,
@@ -185,17 +266,106 @@ class ConfigurationMonitor:
         for switch in list(self.controller.channels):
             self.poll_switch(switch)
 
-    def poll_switch(self, switch: str) -> None:
+    def poll_switch(self, switch: str, *, _retry: int = 0) -> None:
+        """Request one switch's full state, with a reply timeout.
+
+        At most one poll per switch is in flight: a newer poll cancels a
+        still-pending older one (its reply, if it ever arrives, is
+        dispatched nowhere).  An unanswered poll times out, is recorded
+        against the switch's channel health, and is retried with
+        jittered exponential backoff up to ``max_poll_retries``.
+        """
+        assert self.controller.network is not None
+        sim = self.controller.network.sim
+        previous = self._pending_polls.pop(switch, None)
+        if previous is not None:
+            self._cancel_pending(previous)
+            self.metrics.polls_superseded += 1
         self.metrics.active_polls += 1
-        self.controller.request_flow_stats(
-            switch, lambda reply, _sw=switch: self._apply_stats(_sw, reply)
+        if _retry:
+            self.metrics.poll_retries += 1
+        pending = _PendingPoll(
+            switch=switch, retry=_retry, generation=self._poll_generation
         )
-        self.controller.request_meter_stats(
+        pending.flow_xid = self.controller.request_flow_stats(
+            switch, lambda reply, _p=pending: self._on_poll_reply(_p, reply)
+        )
+        pending.meter_xid = self.controller.request_meter_stats(
             switch, lambda reply, _sw=switch: self._apply_meter_stats(_sw, reply)
         )
+        pending.timeout_event = sim.schedule(
+            self.poll_timeout, lambda _p=pending: self._on_poll_timeout(_p)
+        )
+        self._pending_polls[switch] = pending
+
+    def _cancel_pending(self, pending: _PendingPoll) -> None:
+        """Forget an in-flight poll: no reply may fire, no timeout ticks."""
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()  # type: ignore[attr-defined]
+        self.controller.cancel_stats_request(pending.flow_xid)
+        self.controller.cancel_stats_request(pending.meter_xid)
+
+    def _on_poll_reply(self, pending: _PendingPoll, reply: FlowStatsReply) -> None:
+        if self._pending_polls.get(pending.switch) is pending:
+            del self._pending_polls[pending.switch]
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()  # type: ignore[attr-defined]
+        self.metrics.poll_replies += 1
+        self._apply_stats(pending.switch, reply)
+        transition = self.health.record_success(pending.switch, self.controller.now)
+        if transition == "reconnected":
+            self._resync(pending.switch)
+
+    def _on_poll_timeout(self, pending: _PendingPoll) -> None:
+        if self._pending_polls.get(pending.switch) is not pending:
+            return  # superseded or answered in the meantime
+        del self._pending_polls[pending.switch]
+        # The reply may still limp in later; make sure it lands nowhere.
+        self.controller.cancel_stats_request(pending.flow_xid)
+        self.controller.cancel_stats_request(pending.meter_xid)
+        self.metrics.poll_timeouts += 1
+        self.health.record_timeout(pending.switch, self.controller.now)
+        if pending.generation != self._poll_generation:
+            return  # polling was stopped/restarted; drop the burst
+        if pending.retry >= self.max_poll_retries:
+            # Burst exhausted: the switch is (by now) marked lost; the
+            # regular polling loop keeps probing at its normal cadence.
+            self.metrics.poll_bursts_abandoned += 1
+            return
+        assert self.controller.network is not None
+        sim = self.controller.network.sim
+        # Jittered exponential backoff; jitter is drawn from the sim RNG
+        # only on this (fault-triggered) path, so fault-free runs stay
+        # byte-identical to the pre-resilience monitor.
+        delay = self.retry_backoff * (2.0 ** pending.retry) * (0.5 + sim.rng.random())
+        delay = min(delay, self.poll_interval_cap)
+        generation = pending.generation
+        retry = pending.retry + 1
+        sim.schedule(
+            delay, lambda: self._retry_poll(pending.switch, retry, generation)
+        )
+
+    def _retry_poll(self, switch: str, retry: int, generation: int) -> None:
+        if generation != self._poll_generation:
+            return
+        if switch not in self.controller.channels:
+            return
+        self.poll_switch(switch, _retry=retry)
+
+    def _resync(self, switch: str) -> None:
+        """Full recovery after a reconnect (e.g. a switch restart).
+
+        Flow-monitor subscriptions are per-session switch state and die
+        with a restart, so passive updates have silently stopped;
+        resubscribe, then pull a complete state dump so the mirror is
+        rebuilt from scratch rather than patched.
+        """
+        self.metrics.resyncs += 1
+        if self.mode in (MonitorMode.PASSIVE, MonitorMode.HYBRID):
+            self.controller.subscribe_flow_monitor(switch)
+        self.poll_switch(switch)
 
     def _apply_stats(self, switch: str, reply: FlowStatsReply) -> None:
-        self.metrics.poll_replies += 1
         now = self.controller.now
         self.poll_times.append(now)
         mirror: Dict[tuple, SnapshotRule] = {}
@@ -247,22 +417,37 @@ class ConfigurationMonitor:
             self._pending_removed.add((switch, key))
             self._pending_added.discard((switch, key))
 
-    def _schedule_next_poll(self) -> None:
+    def _next_poll_delay(self) -> float:
+        """Draw the next inter-poll delay, clamped to sane bounds.
+
+        Exponential inter-poll times are memoryless, so an adversary
+        observing past polls learns nothing about the next one — but the
+        raw draw can be ~0 (a poll storm) or enormous (an unbounded
+        blind window a short-lived reconfiguration can hide in), so it
+        is clamped to [min_poll_interval, poll_interval_cap].
+        """
         assert self.controller.network is not None
         sim = self.controller.network.sim
         if self.randomize_polls:
-            # Exponential inter-poll times: memoryless, so an adversary
-            # observing past polls learns nothing about the next one.
             delay = sim.rng.expovariate(1.0 / self.mean_poll_interval)
         else:
             delay = self.mean_poll_interval
-        sim.schedule(delay, self._poll_tick)
+        return min(max(delay, self.min_poll_interval), self.poll_interval_cap)
 
-    def _poll_tick(self) -> None:
-        if not self._polling:
+    def _schedule_next_poll(self, generation: Optional[int] = None) -> None:
+        assert self.controller.network is not None
+        sim = self.controller.network.sim
+        if generation is None:
+            generation = self._poll_generation
+        sim.schedule(
+            self._next_poll_delay(), lambda: self._poll_tick(generation)
+        )
+
+    def _poll_tick(self, generation: int) -> None:
+        if not self._polling or generation != self._poll_generation:
             return
         self.poll_all()
-        self._schedule_next_poll()
+        self._schedule_next_poll(generation)
 
     # ------------------------------------------------------------------
     # Topology probing (LLDP-like)
@@ -325,6 +510,15 @@ class ConfigurationMonitor:
 
     def current_rules(self, switch: str) -> Tuple[SnapshotRule, ...]:
         return tuple(self._rules.get(switch, {}).values())
+
+    def switch_staleness(self) -> Dict[str, float]:
+        """Seconds since each monitored switch was last positively
+        confirmed (poll reply or passive update), for freshness reports."""
+        now = self.controller.now
+        return {
+            switch: self.health.staleness(switch, now)
+            for switch in self.controller.channels
+        }
 
     def snapshot(self, locations: Optional[Dict[str, GeoLocation]] = None) -> NetworkSnapshot:
         """Freeze the current mirror into a verifiable snapshot.

@@ -90,6 +90,31 @@ class SealedRequest:
 
 
 @dataclass(frozen=True)
+class FreshnessReport:
+    """How stale the evidence behind an answer might be (ISSUE 3).
+
+    Under lossy control channels RVaaS degrades honestly instead of
+    lying: every signed reply states how old the snapshot is and which
+    switches are currently degraded or quarantined, so the client can
+    decide whether "isolated, as of 4 seconds ago, except switch e3
+    is unreachable" is good enough.
+    """
+
+    #: seconds between the snapshot being frozen and the reply
+    snapshot_age: float
+    #: worst per-switch staleness: seconds since the least recently
+    #: confirmed switch was last heard from (inf = never)
+    max_switch_staleness: float
+    degraded_switches: Tuple[str, ...] = ()
+    lost_switches: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any part of the evidence is suspect."""
+        return bool(self.degraded_switches or self.lost_switches)
+
+
+@dataclass(frozen=True)
 class QueryResponse:
     """The plaintext RVaaS signs and encrypts back to the client."""
 
@@ -100,6 +125,8 @@ class QueryResponse:
     answered_at: float
     auth_requests_issued: int = 0
     auth_replies_received: int = 0
+    #: staleness disclosure; None only for pre-ISSUE-3 peers
+    freshness: Optional[FreshnessReport] = None
 
 
 @dataclass(frozen=True)

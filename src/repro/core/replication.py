@@ -37,6 +37,10 @@ class QuorumResult:
     agreeing: Tuple[str, ...]  # replica names behind the majority
     dissenting: Tuple[str, ...]  # replicas whose answer deviated
     unanimous: bool
+    #: replicas that raised instead of answering (e.g. mid-outage);
+    #: unavailable is not the same as dissenting — a crashed replica
+    #: must not be counted as voting against the majority
+    unavailable: Tuple[str, ...] = ()
 
     @property
     def suspicious_replicas(self) -> Tuple[str, ...]:
@@ -44,7 +48,7 @@ class QuorumResult:
 
 
 class QuorumError(Exception):
-    """No majority answer exists (split verdicts)."""
+    """No majority answer exists (split verdicts, or nobody answered)."""
 
 
 class ReplicatedRVaaS:
@@ -96,11 +100,25 @@ class ReplicatedRVaaS:
     # ------------------------------------------------------------------
 
     def cross_check(self, client: str, query: Query) -> QuorumResult:
-        """Ask every replica and majority-vote the canonicalised answers."""
+        """Ask every replica and majority-vote the canonicalised answers.
+
+        A replica that raises (crashed, restarting, snapshot machinery
+        wedged) is reported as *unavailable* and excluded from the vote
+        — one faulty replica must not take the whole quorum down.
+        """
         answers: List[Tuple[str, object, bytes]] = []
+        unavailable: List[str] = []
         for replica in self.replicas:
-            answer = replica.answer_locally(client, query)
+            try:
+                answer = replica.answer_locally(client, query)
+            except Exception:  # noqa: BLE001 — isolate per replica
+                unavailable.append(replica.name)
+                continue
             answers.append((replica.name, answer, canonical_bytes(answer)))
+        if not answers:
+            raise QuorumError(
+                "no replica answered (unavailable: " + ",".join(unavailable) + ")"
+            )
         buckets: Dict[bytes, List[int]] = {}
         for index, (_name, _answer, digest) in enumerate(answers):
             buckets.setdefault(digest, []).append(index)
@@ -124,6 +142,7 @@ class ReplicatedRVaaS:
             agreeing=agreeing,
             dissenting=dissenting,
             unanimous=not dissenting,
+            unavailable=tuple(unavailable),
         )
 
     def __len__(self) -> int:

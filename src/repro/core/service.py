@@ -28,6 +28,7 @@ from repro.core.inband import (
 from repro.core.monitor import ConfigurationMonitor, MonitorMode
 from repro.core.protocol import (
     ClientRegistration,
+    FreshnessReport,
     QueryRequest,
     QueryResponse,
     SealedRequest,
@@ -93,6 +94,9 @@ class RVaaSController(ControllerApp):
         mean_poll_interval: float = 5.0,
         randomize_polls: bool = True,
         auth_timeout: float = 0.25,
+        auth_retries: int = 0,
+        poll_timeout: float = 0.25,
+        max_poll_retries: int = 3,
         record_history: bool = True,
     ) -> None:
         super().__init__(name)
@@ -113,7 +117,12 @@ class RVaaSController(ControllerApp):
         self._mean_poll_interval = mean_poll_interval
         self._randomize_polls = randomize_polls
         self._auth_timeout = auth_timeout
+        self._auth_retries = auth_retries
+        self._poll_timeout = poll_timeout
+        self._max_poll_retries = max_poll_retries
         self._record_history = record_history
+        self.watch_errors = 0
+        self.interception_repairs = 0
         self._last_history_version = -1
         self.monitor: Optional[ConfigurationMonitor] = None
         self.inband: Optional[InBandTester] = None
@@ -135,6 +144,7 @@ class RVaaSController(ControllerApp):
             self.keypair,
             self.registrations,
             auth_timeout=self._auth_timeout,
+            auth_retries=self._auth_retries,
         )
         self.inband.install_interception()
         self.monitor = ConfigurationMonitor(
@@ -143,6 +153,8 @@ class RVaaSController(ControllerApp):
             mode=self._monitor_mode,
             mean_poll_interval=self._mean_poll_interval,
             randomize_polls=self._randomize_polls,
+            poll_timeout=self._poll_timeout,
+            max_poll_retries=self._max_poll_retries,
         )
         self.monitor.on_poll_complete(self._after_poll)
         self.monitor.on_delta(self.engine.apply_delta)
@@ -199,6 +211,14 @@ class RVaaSController(ControllerApp):
             self.inband.install_interception_on(switch)
 
     def _after_poll(self, switch: str, when: float) -> None:
+        # A punt rule whose FlowMod was lost in transit never appears in
+        # the mirror and never raises a "removed" event; the poll is the
+        # one place the gap shows, so repair it here.  Not an alarm —
+        # channel loss is not tampering.
+        assert self.monitor is not None and self.inband is not None
+        self.interception_repairs += self.inband.reassert_interception(
+            switch, self.monitor.current_rules(switch)
+        )
         self._maybe_record_history()
 
     def _maybe_record_history(self) -> None:
@@ -334,6 +354,7 @@ class RVaaSController(ControllerApp):
             answered_at=self.now,
             auth_requests_issued=issued,
             auth_replies_received=received,
+            freshness=self._freshness(snapshot),
         )
         sealed = seal_response(
             response,
@@ -345,6 +366,22 @@ class RVaaSController(ControllerApp):
         record = registration.host_at(switch, port)
         client_ip = IPv4Address(record.ip) if record else IPv4Address(0)
         self.inband.send_response(switch, port, client_ip, sealed)
+
+    def _freshness(self, snapshot: NetworkSnapshot) -> FreshnessReport:
+        """Staleness disclosure for a reply derived from ``snapshot``.
+
+        Degrade honestly: the verdict is computed on the evidence we
+        have, and the reply states exactly how old that evidence is and
+        which switches we currently cannot vouch for.
+        """
+        assert self.monitor is not None
+        staleness = self.monitor.switch_staleness()
+        return FreshnessReport(
+            snapshot_age=max(0.0, self.now - snapshot.taken_at),
+            max_switch_staleness=max(staleness.values(), default=0.0),
+            degraded_switches=self.monitor.health.degraded(),
+            lost_switches=self.monitor.health.lost(),
+        )
 
     # ------------------------------------------------------------------
     # Direct (out-of-band) access for experiments and operators
@@ -436,28 +473,47 @@ class RVaaSController(ControllerApp):
 
     def _run_watch_check(self) -> None:
         self._watch_pending = False
-        for client in self._watched_clients:
-            registration = self.registrations[client]
-            answer = self.verifier.isolation(registration, self.snapshot())
-            was_isolated = self._watch_verdicts.get(client, True)
-            self._watch_verdicts[client] = answer.isolated
-            if was_isolated and not answer.isolated:
-                self._push_notice(
-                    client,
-                    ViolationNotice(
-                        client=client,
-                        invariant="isolation",
-                        raised_at=self.now,
-                        snapshot_version=self.monitor.version if self.monitor else 0,
-                        details=(
-                            "isolation violated by "
-                            + ", ".join(
-                                e.labelled() for e in answer.violating_endpoints
-                            )
-                        ),
-                        violating_endpoints=answer.violating_endpoints,
-                    ),
+        # Snapshot the subscriber list: a callback below may subscribe or
+        # unsubscribe a client, and mutating the list while iterating it
+        # would skip (or double-check) a neighbour.
+        for client in list(self._watched_clients):
+            try:
+                self._check_watched_client(client)
+            except Exception as exc:  # noqa: BLE001 — isolate per client
+                # One client's verification blowing up must not silence
+                # alerts for every other subscriber.
+                self.watch_errors += 1
+                self.alarms.append(
+                    TamperAlarm(
+                        time=self.now,
+                        kind="watch-error",
+                        switch="",
+                        details=f"{client}: {exc!r}",
+                    )
                 )
+
+    def _check_watched_client(self, client: str) -> None:
+        registration = self.registrations[client]
+        answer = self.verifier.isolation(registration, self.snapshot())
+        was_isolated = self._watch_verdicts.get(client, True)
+        self._watch_verdicts[client] = answer.isolated
+        if was_isolated and not answer.isolated:
+            self._push_notice(
+                client,
+                ViolationNotice(
+                    client=client,
+                    invariant="isolation",
+                    raised_at=self.now,
+                    snapshot_version=self.monitor.version if self.monitor else 0,
+                    details=(
+                        "isolation violated by "
+                        + ", ".join(
+                            e.labelled() for e in answer.violating_endpoints
+                        )
+                    ),
+                    violating_endpoints=answer.violating_endpoints,
+                ),
+            )
 
     def _push_notice(self, client: str, notice: ViolationNotice) -> None:
         assert self.network is not None and self.inband is not None

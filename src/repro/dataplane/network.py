@@ -11,7 +11,7 @@ control channels to controllers.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.crypto.cipher import SecureChannelKeys
 from repro.dataplane.host import Host
@@ -29,6 +29,17 @@ HOST_LINK_LATENCY = 0.0002
 CONTROL_LATENCY = 0.0005
 
 
+class ChannelFaultSource(Protocol):
+    """Anything that can impair newly opened control channels.
+
+    Implemented by :class:`repro.faults.FaultInjector`; the network only
+    needs the attach hook, so later-opened channels (e.g. a replica
+    started mid-run) inherit the active fault plan.
+    """
+
+    def attach(self, channel: ControlChannel) -> None: ...
+
+
 class Network:
     """A running emulated network."""
 
@@ -41,6 +52,10 @@ class Network:
         self._links: Dict[tuple[str, int], Link] = {}
         self._host_ports: Dict[tuple[str, int], Host] = {}
         self.packets_delivered = 0
+        #: every control channel ever opened (controllers and replicas).
+        self.channels: List[ControlChannel] = []
+        #: set by FaultInjector.install(); impairs future channels too.
+        self.fault_injector: Optional[ChannelFaultSource] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -136,7 +151,14 @@ class Network:
             controller_name, switch_name, keys, self.sim, latency=latency
         )
         self.switches[switch_name].connect_controller(channel)
+        self.channels.append(channel)
+        if self.fault_injector is not None:
+            self.fault_injector.attach(channel)
         return channel
+
+    def channels_for_switch(self, switch_name: str) -> List[ControlChannel]:
+        """Every control session terminating at ``switch_name``."""
+        return [c for c in self.channels if c.switch_end.name == switch_name]
 
     # ------------------------------------------------------------------
     # Convenience

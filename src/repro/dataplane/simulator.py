@@ -8,6 +8,7 @@ property tests and the random-polling experiment (E6) rely on.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import random
@@ -37,12 +38,24 @@ class Simulator:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
         self.events_executed = 0
 
     @property
     def now(self) -> float:
         return self._now
+
+    def derive_rng(self, label: str) -> random.Random:
+        """An independent RNG deterministically derived from the seed.
+
+        Used by subsystems (e.g. fault injection) that need their own
+        reproducible randomness without perturbing :attr:`rng`'s draw
+        sequence — so enabling such a subsystem with all-zero
+        probabilities leaves the rest of the run byte-identical.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
 
     def schedule(
         self, delay: float, callback: Callable[[], None], *, priority: int = 0

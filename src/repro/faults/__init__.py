@@ -1,0 +1,32 @@
+"""Deterministic fault injection and chaos tooling (see ISSUE 3 / E18).
+
+``repro.faults`` models the failure modes the paper assumes away: lossy
+control channels, delayed and duplicated records, switch restarts, and
+port flaps — all driven by seeded per-channel RNGs so every chaos run is
+reproducible.  The resilience counterparts (poll retries with jittered
+backoff, the channel-health state machine, staleness-aware answers) live
+with the components they protect in :mod:`repro.core`.
+"""
+
+from repro.faults.convergence import (
+    actual_switch_rules,
+    ground_truth_snapshot,
+    mirror_divergence,
+    mirror_synced,
+)
+from repro.faults.injector import ChannelFaultState, FaultInjector, FaultMetrics
+from repro.faults.plan import ChannelFaultSpec, FaultPlan, PortFlap, SwitchRestart
+
+__all__ = [
+    "ChannelFaultSpec",
+    "ChannelFaultState",
+    "FaultInjector",
+    "FaultMetrics",
+    "FaultPlan",
+    "PortFlap",
+    "SwitchRestart",
+    "actual_switch_rules",
+    "ground_truth_snapshot",
+    "mirror_divergence",
+    "mirror_synced",
+]

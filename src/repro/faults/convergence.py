@@ -1,0 +1,117 @@
+"""Ground-truth comparison: has the monitor mirror reconverged?
+
+After a chaos run the acceptance bar is that the verifier's mirror is
+*byte-identical* to the actual switch configuration — lost poll replies
+and dropped monitor updates must heal, not linger.  These helpers read
+the data plane directly (the simulation's omniscient view, unavailable
+to a real RVaaS box) and compare it against a
+:class:`~repro.core.monitor.ConfigurationMonitor`'s mirror, and can
+freeze the actual state into a :class:`NetworkSnapshot` so verdicts can
+be checked against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.core.monitor import ConfigurationMonitor
+from repro.core.snapshot import NetworkSnapshot, SnapshotMeter, switch_rules_hash
+from repro.dataplane.network import Network
+from repro.hsa.transfer import SnapshotRule
+
+
+def actual_switch_rules(network: Network) -> Dict[str, Dict[tuple, SnapshotRule]]:
+    """The live flow tables, in the monitor's rule-identity currency."""
+    actual: Dict[str, Dict[tuple, SnapshotRule]] = {}
+    for name, switch in network.switches.items():
+        mirror: Dict[tuple, SnapshotRule] = {}
+        for table in switch.tables:
+            for entry in table.entries():
+                rule = SnapshotRule(
+                    table_id=table.table_id,
+                    priority=entry.priority,
+                    match=entry.match,
+                    actions=tuple(entry.actions),
+                    cookie=entry.cookie,
+                )
+                mirror[rule.identity()] = rule
+        actual[name] = mirror
+    return actual
+
+
+def mirror_divergence(
+    monitor: ConfigurationMonitor, network: Network
+) -> Dict[str, Tuple[int, int]]:
+    """Per-switch (missing, extra) rule counts of the mirror vs reality.
+
+    ``missing``: rules installed on the switch the mirror doesn't know;
+    ``extra``: rules the mirror believes exist but the switch dropped.
+    An empty dict means the mirror is exactly in sync.
+    """
+    divergence: Dict[str, Tuple[int, int]] = {}
+    actual = actual_switch_rules(network)
+    for switch, truth in actual.items():
+        mirrored = {r.identity() for r in monitor.current_rules(switch)}
+        missing = len(truth.keys() - mirrored)
+        extra = len(mirrored - truth.keys())
+        if missing or extra:
+            divergence[switch] = (missing, extra)
+    return divergence
+
+
+def mirror_synced(monitor: ConfigurationMonitor, network: Network) -> bool:
+    """True when the mirror matches every switch's live configuration."""
+    return not mirror_divergence(monitor, network)
+
+
+def ground_truth_snapshot(
+    monitor: ConfigurationMonitor, network: Network
+) -> NetworkSnapshot:
+    """Freeze the *actual* data-plane state into a verifiable snapshot.
+
+    Shares the monitor's static topology view (wiring, ports, locations,
+    capacities) but takes rules and meters straight from the switches —
+    the oracle a converged mirror must agree with.
+    """
+    actual = actual_switch_rules(network)
+    rules: Mapping[str, Tuple[SnapshotRule, ...]] = {
+        switch: tuple(mirror.values()) for switch, mirror in actual.items()
+    }
+    meters = tuple(
+        SnapshotMeter(switch=name, meter_id=meter.meter_id, band=meter.band)
+        for name, switch in sorted(network.switches.items())
+        for meter in switch.meters.entries()
+    )
+    topology = monitor.topology
+    switch_ports = {
+        name: tuple(sorted(network.switches[name].ports))
+        for name in network.switches
+    }
+    edge_ports = {
+        name: frozenset(host.port for host in topology.hosts_on(name))
+        for name in topology.switches
+    }
+    locations = {
+        name: spec.location
+        for name, spec in topology.switches.items()
+        if spec.location is not None
+    }
+    link_capacities = {
+        frozenset((link.switch_a, link.switch_b)): link.bandwidth_mbps
+        for link in topology.links
+    }
+    return NetworkSnapshot(
+        version=-1,
+        taken_at=network.sim.now,
+        rules=rules,
+        meters=meters,
+        wiring=topology.wiring(),
+        edge_ports=edge_ports,
+        switch_ports=switch_ports,
+        locations=locations,
+        link_capacities=link_capacities,
+        _switch_hashes={
+            switch: switch_rules_hash(switch, switch_rules)
+            for switch, switch_rules in rules.items()
+        },
+    )

@@ -1,0 +1,161 @@
+"""Realises a :class:`~repro.faults.plan.FaultPlan` against a network.
+
+The injector wraps every control channel with a per-channel
+:class:`ChannelFaultState` (its own RNG, derived from the simulator seed
+plus the plan seed, so chaos runs are reproducible and never perturb the
+main simulation RNG) and schedules the plan's switch restarts and port
+flaps on the simulator.
+
+Channels whose spec is null are left completely untouched — a null plan
+is byte-identical to no plan at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.dataplane.network import Network
+from repro.faults.plan import ChannelFaultSpec, FaultPlan, PortFlap, SwitchRestart
+from repro.openflow.channel import ControlChannel
+
+
+@dataclass
+class FaultMetrics:
+    """What the injector actually did (sender-side accounting)."""
+
+    records_dropped: int = 0
+    records_delayed: int = 0
+    records_duplicated: int = 0
+    records_reordered: int = 0
+    records_passed: int = 0
+    restarts_fired: int = 0
+    flaps_fired: int = 0
+
+
+class ChannelFaultState:
+    """Per-channel fault decisions; plugged in as the channel's filter."""
+
+    def __init__(
+        self,
+        spec: ChannelFaultSpec,
+        rng: random.Random,
+        metrics: FaultMetrics,
+        clock: Callable[[], float],
+        *,
+        active_from: float = 0.0,
+        active_until: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.metrics = metrics
+        self.clock = clock
+        self.active_from = active_from
+        self.active_until = active_until
+        self.enabled = True
+
+    def active(self) -> bool:
+        if not self.enabled:
+            return False
+        now = self.clock()
+        if now < self.active_from:
+            return False
+        return self.active_until is None or now < self.active_until
+
+    def __call__(self, direction: str, base_latency: float) -> Tuple[float, ...]:
+        """Delivery delays for one record; ``()`` means dropped."""
+        if not self.active():
+            return (base_latency,)
+        spec = self.spec
+        if spec.drop and self.rng.random() < spec.drop:
+            self.metrics.records_dropped += 1
+            return ()
+        delay = base_latency
+        if spec.delay and self.rng.random() < spec.delay:
+            delay += self.rng.random() * spec.max_extra_delay
+            self.metrics.records_delayed += 1
+        if spec.reorder and self.rng.random() < spec.reorder:
+            # Held long enough to land behind records sent just after it.
+            delay += 2.0 * base_latency
+            self.metrics.records_reordered += 1
+        deliveries = [delay]
+        if spec.duplicate and self.rng.random() < spec.duplicate:
+            deliveries.append(delay + base_latency)
+            self.metrics.records_duplicated += 1
+        self.metrics.records_passed += 1
+        return tuple(deliveries)
+
+
+class FaultInjector:
+    """Installs a fault plan on a live network."""
+
+    def __init__(self, network: Network, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.metrics = FaultMetrics()
+        self._states: List[Tuple[ControlChannel, ChannelFaultState]] = []
+        self._installed = False
+
+    def install(self) -> "FaultInjector":
+        """Wrap existing channels, hook future ones, schedule events."""
+        if self._installed:
+            return self
+        self._installed = True
+        self.network.fault_injector = self
+        for channel in self.network.channels:
+            self.attach(channel)
+        sim = self.network.sim
+        for restart in self.plan.restarts:
+            sim.schedule_at(restart.at, lambda r=restart: self._begin_restart(r))
+        for flap in self.plan.flaps:
+            sim.schedule_at(flap.at, lambda f=flap: self._begin_flap(f))
+        return self
+
+    def attach(self, channel: ControlChannel) -> None:
+        """Impair one channel per the plan (no-op for null specs)."""
+        spec = self.plan.spec_for(channel.switch_end.name)
+        if spec.is_null():
+            return
+        state = ChannelFaultState(
+            spec,
+            self.network.sim.derive_rng(
+                f"faults:{self.plan.seed}:{channel.keys.channel_id}"
+            ),
+            self.metrics,
+            clock=lambda: self.network.sim.now,
+            active_from=self.plan.active_from,
+            active_until=self.plan.active_until,
+        )
+        channel.fault_filter = state
+        self._states.append((channel, state))
+
+    def deactivate(self) -> None:
+        """Stop injecting channel faults (scheduled events still fire)."""
+        for _channel, state in self._states:
+            state.enabled = False
+
+    # ------------------------------------------------------------------
+    # Scheduled events
+    # ------------------------------------------------------------------
+
+    def _begin_restart(self, restart: SwitchRestart) -> None:
+        self.metrics.restarts_fired += 1
+        self.network.switches[restart.switch].restart()
+        for channel in self.network.channels_for_switch(restart.switch):
+            channel.online = False
+        self.network.sim.schedule(
+            restart.outage, lambda: self._end_restart(restart)
+        )
+
+    def _end_restart(self, restart: SwitchRestart) -> None:
+        for channel in self.network.channels_for_switch(restart.switch):
+            channel.online = True
+
+    def _begin_flap(self, flap: PortFlap) -> None:
+        self.metrics.flaps_fired += 1
+        self.network.set_link_state(flap.switch_a, flap.switch_b, False)
+        self.network.sim.schedule(
+            flap.down_for,
+            lambda: self.network.set_link_state(flap.switch_a, flap.switch_b, True),
+        )

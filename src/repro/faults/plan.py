@@ -1,0 +1,144 @@
+"""Deterministic fault plans for the control plane.
+
+The paper assumes lossless OpenFlow sessions ("OpenFlow switches are
+reliable"), but a production deployment has to survive flaky channels,
+lost poll replies, and switch restarts.  A :class:`FaultPlan` describes
+*what can go wrong* in one chaos run: per-channel record drop / delay /
+duplicate / reorder probabilities, plus scheduled switch restarts and
+port flaps.
+
+Plans are pure data.  All randomness used to realise a plan is drawn
+from per-channel RNGs derived deterministically from the simulator seed
+and the plan's own ``seed`` (see
+:meth:`repro.dataplane.simulator.Simulator.derive_rng`), so a chaos run
+is exactly reproducible and independent fault streams never perturb the
+simulation's main RNG — a plan with all probabilities at zero yields a
+byte-identical run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ChannelFaultSpec:
+    """Per-record impairment probabilities for one control channel.
+
+    Each probability is evaluated independently per record (the unit the
+    secure channel encrypts and MACs — one OpenFlow message).
+    """
+
+    #: P(record is silently dropped in flight).
+    drop: float = 0.0
+    #: P(record is delayed by an extra uniform(0, max_extra_delay)).
+    delay: float = 0.0
+    #: Upper bound of the extra delay, seconds.
+    max_extra_delay: float = 0.05
+    #: P(record is delivered twice).
+    duplicate: float = 0.0
+    #: P(record is held back long enough to land behind later records).
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.max_extra_delay < 0:
+            raise ValueError("max_extra_delay must be >= 0")
+
+    def is_null(self) -> bool:
+        """True when this spec cannot impair any record."""
+        return not (self.drop or self.delay or self.duplicate or self.reorder)
+
+
+@dataclass(frozen=True)
+class SwitchRestart:
+    """One scheduled switch reboot.
+
+    During the outage every control record to or from the switch is
+    discarded (the session is black-holed, both directions).  The reboot
+    wipes session state — flow-monitor subscriptions are lost, so
+    passive monitoring silently stops until the controller resubscribes.
+    Flow tables survive (warm restart); recovering from a cold restart
+    is the provider controller's job, not the verifier's.
+    """
+
+    at: float
+    switch: str
+    outage: float = 0.05
+
+
+@dataclass(frozen=True)
+class PortFlap:
+    """One scheduled link down/up cycle between two switches."""
+
+    at: float
+    switch_a: str
+    switch_b: str
+    down_for: float = 0.05
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one chaos run.
+
+    ``default`` applies to every control channel; ``overrides`` replaces
+    it per switch name.  ``active_from`` / ``active_until`` bound the
+    window (virtual time) in which channel impairments fire, so a run
+    can end with a clean convergence phase.
+    """
+
+    default: ChannelFaultSpec = field(default_factory=ChannelFaultSpec)
+    overrides: Mapping[str, ChannelFaultSpec] = field(default_factory=dict)
+    restarts: Tuple[SwitchRestart, ...] = ()
+    flaps: Tuple[PortFlap, ...] = ()
+    #: Extra entropy folded into every per-channel RNG derivation.
+    seed: int = 0
+    active_from: float = 0.0
+    active_until: Optional[float] = None
+
+    @classmethod
+    def uniform(
+        cls,
+        *,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        max_extra_delay: float = 0.05,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        seed: int = 0,
+        active_from: float = 0.0,
+        active_until: Optional[float] = None,
+        restarts: Tuple[SwitchRestart, ...] = (),
+        flaps: Tuple[PortFlap, ...] = (),
+    ) -> "FaultPlan":
+        """The common case: the same impairments on every channel."""
+        return cls(
+            default=ChannelFaultSpec(
+                drop=drop,
+                delay=delay,
+                max_extra_delay=max_extra_delay,
+                duplicate=duplicate,
+                reorder=reorder,
+            ),
+            seed=seed,
+            active_from=active_from,
+            active_until=active_until,
+            restarts=restarts,
+            flaps=flaps,
+        )
+
+    def spec_for(self, switch: str) -> ChannelFaultSpec:
+        return self.overrides.get(switch, self.default)
+
+    def is_null(self) -> bool:
+        """True when the plan can have no effect at all."""
+        return (
+            self.default.is_null()
+            and all(spec.is_null() for spec in self.overrides.values())
+            and not self.restarts
+            and not self.flaps
+        )

@@ -10,18 +10,41 @@ forge traffic on channels it does not own — the tamper test in
 ``tests/test_channel.py`` demonstrates records are rejected on
 modification.
 
+The paper assumes reliable delivery ("OpenFlow switches are reliable"),
+and without fault injection the channel is exactly that: in-order and
+lossless.  For chaos runs (:mod:`repro.faults`) a channel accepts an
+optional :attr:`ControlChannel.fault_filter` that may drop, delay,
+duplicate, or reorder individual records, and an :attr:`online` flag
+that black-holes the session while a switch restarts.  Delivery is
+therefore *loss-tolerant*: each record is independently sealed under its
+sequence number, duplicates are discarded via a replay window, and gaps
+are tolerated (and counted) rather than fatal — the resilience layers
+above (monitor retries, auth re-challenges) own recovery.
+
 Channels also keep message/byte counters, which the monitoring-overhead
-experiment (E11) reads.
+experiment (E11) reads, and impairment counters read by the resilience
+experiment (E18).
 """
 
 from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol, Sequence, Set
 
 from repro.crypto.cipher import SecureChannelKeys
 from repro.openflow.messages import OpenFlowMessage
+
+#: How far behind the highest delivered sequence a record may arrive and
+#: still be considered "new" rather than a replay.  Far larger than any
+#: realistic reorder depth in the simulation.
+REPLAY_WINDOW = 1024
+
+#: A fault filter maps (direction, base latency) to the list of delivery
+#: delays for one record: ``()`` drops it, two entries duplicate it, a
+#: larger delay reorders it past later records.  Direction is
+#: ``"to_switch"`` or ``"to_controller"``.
+FaultFilter = Callable[[str, float], Sequence[float]]
 
 
 class Scheduler(Protocol):
@@ -46,6 +69,20 @@ class ChannelStats:
 
 
 @dataclass
+class ChannelImpairments:
+    """Receiver-side fault accounting (all zero on a lossless run)."""
+
+    #: Records discarded as replays/duplicates of an already-seen sequence.
+    duplicates_discarded: int = 0
+    #: Sequence-number gaps observed on arrival.  A gap means the record
+    #: was lost *or* is still in flight (reordered); the counter is a
+    #: diagnostic, not an exact loss count.
+    gaps_observed: int = 0
+    #: Records discarded because the peer switch was restarting.
+    outage_drops: int = 0
+
+
+@dataclass
 class ChannelEndpoint:
     """One side of a control channel."""
 
@@ -54,7 +91,8 @@ class ChannelEndpoint:
     sent: ChannelStats = field(default_factory=ChannelStats)
     received: ChannelStats = field(default_factory=ChannelStats)
     _send_seq: int = 0
-    _recv_seq: int = 0
+    _recv_seq: int = 0  # next expected = highest delivered + 1
+    _seen: Set[int] = field(default_factory=set)
 
     def set_handler(self, handler: Callable[[OpenFlowMessage], None]) -> None:
         self.handler = handler
@@ -65,13 +103,11 @@ class ChannelError(Exception):
 
 
 class ControlChannel:
-    """A bidirectional, secure, in-order, lossless control connection.
+    """A bidirectional, secure control connection.
 
-    The paper assumes reliable delivery between switches and the RVaaS
-    controller ("RVaaS needs to ensure that it receives all the relevant
-    updates from the switches. This is guaranteed in our setting where
-    OpenFlow switches are reliable."), so the channel never drops or
-    reorders records.
+    Lossless and in-order by default; individually sealed records make
+    delivery tolerant of the loss, reordering, and duplication a
+    :mod:`repro.faults` plan may inject.
     """
 
     def __init__(
@@ -88,6 +124,12 @@ class ControlChannel:
         self.controller_end = ChannelEndpoint(name=controller_name)
         self.switch_end = ChannelEndpoint(name=switch_name)
         self.open = True
+        #: False while the peer switch is restarting: records of both
+        #: directions are discarded at delivery time.
+        self.online = True
+        #: Optional fault injection hook (see :data:`FaultFilter`).
+        self.fault_filter: Optional[FaultFilter] = None
+        self.impairments = ChannelImpairments()
 
     # ------------------------------------------------------------------
     # Sending
@@ -95,11 +137,11 @@ class ControlChannel:
 
     def send_to_switch(self, message: OpenFlowMessage) -> None:
         """Controller -> switch."""
-        self._send(self.controller_end, self.switch_end, message)
+        self._send(self.controller_end, self.switch_end, message, "to_switch")
 
     def send_to_controller(self, message: OpenFlowMessage) -> None:
         """Switch -> controller."""
-        self._send(self.switch_end, self.controller_end, message)
+        self._send(self.switch_end, self.controller_end, message, "to_controller")
 
     def close(self) -> None:
         self.open = False
@@ -109,6 +151,7 @@ class ControlChannel:
         sender: ChannelEndpoint,
         receiver: ChannelEndpoint,
         message: OpenFlowMessage,
+        direction: str,
     ) -> None:
         if not self.open:
             raise ChannelError(
@@ -119,10 +162,15 @@ class ControlChannel:
         plaintext = pickle.dumps(message)
         ciphertext, tag = self.keys.protect(plaintext, sequence)
         sender.sent.account(len(ciphertext))
-        self.scheduler.schedule(
-            self.latency,
-            lambda: self._deliver(receiver, ciphertext, tag, sequence),
-        )
+        if self.fault_filter is None:
+            delays: Sequence[float] = (self.latency,)
+        else:
+            delays = self.fault_filter(direction, self.latency)
+        for delay in delays:
+            self.scheduler.schedule(
+                delay,
+                lambda: self._deliver(receiver, ciphertext, tag, sequence),
+            )
 
     def _deliver(
         self,
@@ -133,12 +181,22 @@ class ControlChannel:
     ) -> None:
         if not self.open:
             return
-        if sequence != receiver._recv_seq:
-            raise ChannelError(
-                f"channel {self.keys.channel_id}: out-of-order record "
-                f"(got {sequence}, expected {receiver._recv_seq})"
-            )
-        receiver._recv_seq += 1
+        if not self.online:
+            self.impairments.outage_drops += 1
+            return
+        # Replay / duplicate suppression: each sequence is delivered at
+        # most once; anything older than the window is a stale replay.
+        if sequence in receiver._seen or sequence < receiver._recv_seq - REPLAY_WINDOW:
+            self.impairments.duplicates_discarded += 1
+            return
+        if sequence > receiver._recv_seq:
+            self.impairments.gaps_observed += sequence - receiver._recv_seq
+        if sequence >= receiver._recv_seq:
+            receiver._recv_seq = sequence + 1
+        receiver._seen.add(sequence)
+        if len(receiver._seen) > 4 * REPLAY_WINDOW:
+            cutoff = receiver._recv_seq - REPLAY_WINDOW
+            receiver._seen = {s for s in receiver._seen if s >= cutoff}
         plaintext = self.keys.unprotect(ciphertext, tag, sequence)
         message = pickle.loads(plaintext)
         receiver.received.account(len(ciphertext))

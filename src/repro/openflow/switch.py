@@ -99,6 +99,7 @@ class OpenFlowSwitch:
         self.transmit: Optional[TransmitFn] = None
         self.packets_forwarded = 0
         self.packets_dropped = 0
+        self.restarts = 0
         for table in self.tables:
             table.subscribe(self._on_table_change)
 
@@ -131,6 +132,19 @@ class OpenFlowSwitch:
         channel.switch_end.set_handler(
             lambda message: self.handle_controller_message(channel, message)
         )
+
+    def restart(self) -> None:
+        """Model a switch reboot: session state is lost, tables survive.
+
+        Flow-monitor subscriptions are per-session switch state, so a
+        reboot silently stops passive updates until every controller
+        resubscribes — exactly the desynchronisation hazard the
+        monitor's channel-health machinery detects and repairs.  Flow
+        tables are kept (warm restart / persisted TCAM state); cold
+        restarts are the provider controller's recovery problem.
+        """
+        self.restarts += 1
+        self._monitor_subscribers.clear()
 
     @property
     def now(self) -> float:

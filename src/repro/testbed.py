@@ -28,6 +28,7 @@ from repro.crypto.enclave import AttestationVerifier, make_attestation_root
 from repro.crypto.keys import KeyPair, generate_keypair
 from repro.dataplane.network import Network
 from repro.dataplane.topology import Topology
+from repro.faults import FaultInjector, FaultPlan
 
 
 @dataclass
@@ -46,6 +47,7 @@ class Testbed:
     host_keys: Dict[str, KeyPair]
     responders: Dict[str, AuthResponder] = field(default_factory=dict)
     silent: Dict[str, SilentResponder] = field(default_factory=dict)
+    fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Convenience
@@ -120,8 +122,12 @@ def build_testbed(
     mean_poll_interval: float = 5.0,
     randomize_polls: bool = True,
     auth_timeout: float = 0.25,
+    auth_retries: int = 0,
+    poll_timeout: float = 0.25,
+    max_poll_retries: int = 3,
     silent_hosts: Sequence[str] = (),
     record_history: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
     settle: bool = True,
 ) -> Testbed:
     """Build and start a complete deployment on ``topology``.
@@ -130,10 +136,17 @@ def build_testbed(
       isolation vs full any-to-any routing).
     * ``silent_hosts`` names hosts that receive but never answer
       authentication challenges (untrusted clients).
+    * ``fault_plan`` installs a :class:`~repro.faults.FaultInjector`
+      before any control channel opens, so every session (provider and
+      RVaaS alike) sees the planned impairments from its first record.
     * ``settle`` drains the event queue once so rule installation and the
       initial monitoring poll complete before the scenario starts.
     """
     network = Network(topology, seed=seed)
+    fault_injector: Optional[FaultInjector] = None
+    if fault_plan is not None:
+        fault_injector = FaultInjector(network, fault_plan)
+        fault_injector.install()
     key_rng = random.Random(seed ^ 0x5EED)
 
     provider = CompromisedController()
@@ -166,6 +179,9 @@ def build_testbed(
         mean_poll_interval=mean_poll_interval,
         randomize_polls=randomize_polls,
         auth_timeout=auth_timeout,
+        auth_retries=auth_retries,
+        poll_timeout=poll_timeout,
+        max_poll_retries=max_poll_retries,
         record_history=record_history,
     )
     service.start(network)
@@ -216,6 +232,7 @@ def build_testbed(
         host_keys=host_keys,
         responders=responders,
         silent=silent,
+        fault_injector=fault_injector,
     )
     if settle:
         # Let FlowMods, monitor subscriptions, and the seed poll land.

@@ -1,0 +1,444 @@
+"""Resilience tests: poll retries, channel health, degraded answers.
+
+Covers the ISSUE 3 satellites: the clamped inter-poll delay, the
+generation token preventing double polling loops after stop/start, the
+per-client isolation of the invariant-watch loop, auth-round
+re-challenges, quorum behaviour with unavailable replicas, and the
+health state machine feeding staleness-aware answers.
+"""
+
+import random
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.controller import ControllerApp
+from repro.controlplane.provider import ProviderController
+from repro.core.health import ChannelHealthTracker, ChannelState
+from repro.core.monitor import ConfigurationMonitor, MonitorMode
+from repro.core.queries import IsolationQuery
+from repro.core.replication import QuorumError, ReplicatedRVaaS
+from repro.dataplane.network import Network
+from repro.dataplane.topologies import linear_topology
+from repro.faults import FaultPlan, ground_truth_snapshot, mirror_synced
+from repro.openflow.match import Match
+from repro.testbed import build_testbed
+
+
+def build(mode=MonitorMode.ACTIVE, mean_poll=1.0, randomize=False, seed=0, **kw):
+    topo = linear_topology(3, hosts_per_switch=1, clients=["c"])
+    net = Network(topo, seed=seed)
+    provider = ProviderController()
+    provider.attach(net)
+    provider.deploy()
+    watcher = ControllerApp("watcher")
+    watcher.attach(net)
+    monitor = ConfigurationMonitor(
+        watcher,
+        topo,
+        mode=mode,
+        mean_poll_interval=mean_poll,
+        randomize_polls=randomize,
+        **kw,
+    )
+    watcher.on_monitor_update = monitor.handle_monitor_update  # type: ignore[assignment]
+    monitor.start()
+    net.run(0.5)
+    return topo, net, provider, watcher, monitor
+
+
+def drop_replies(direction, latency):
+    """A fault filter that loses every switch->controller record."""
+    return () if direction == "to_controller" else (latency,)
+
+
+# ----------------------------------------------------------------------
+# Health state machine
+# ----------------------------------------------------------------------
+
+
+class TestChannelHealth:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ChannelHealthTracker(degraded_after=0)
+        with pytest.raises(ValueError):
+            ChannelHealthTracker(degraded_after=3, lost_after=3)
+
+    def test_demotion_ladder(self):
+        tracker = ChannelHealthTracker(degraded_after=1, lost_after=3)
+        assert tracker.state("s1") is ChannelState.HEALTHY
+        assert tracker.record_timeout("s1", 1.0) == "degraded"
+        assert tracker.state("s1") is ChannelState.DEGRADED
+        assert tracker.record_timeout("s1", 2.0) is None
+        assert tracker.record_timeout("s1", 3.0) == "lost"
+        assert tracker.state("s1") is ChannelState.LOST
+        assert tracker.lost() == ("s1",)
+
+    def test_recovery_from_degraded_is_not_a_reconnect(self):
+        tracker = ChannelHealthTracker()
+        tracker.record_timeout("s1", 1.0)
+        assert tracker.record_success("s1", 2.0) == "recovered"
+
+    def test_recovery_from_lost_is_a_reconnect(self):
+        tracker = ChannelHealthTracker()
+        for t in (1.0, 2.0, 3.0):
+            tracker.record_timeout("s1", t)
+        assert tracker.record_success("s1", 4.0) == "reconnected"
+        assert tracker.all_healthy()
+        kinds = [(t.from_state, t.to_state) for t in tracker.transitions]
+        assert kinds == [
+            (ChannelState.HEALTHY, ChannelState.DEGRADED),
+            (ChannelState.DEGRADED, ChannelState.LOST),
+            (ChannelState.LOST, ChannelState.HEALTHY),
+        ]
+
+    def test_success_resets_the_timeout_streak(self):
+        tracker = ChannelHealthTracker(lost_after=3)
+        tracker.record_timeout("s1", 1.0)
+        tracker.record_timeout("s1", 2.0)
+        tracker.record_success("s1", 3.0)
+        tracker.record_timeout("s1", 4.0)
+        assert tracker.state("s1") is ChannelState.DEGRADED  # not LOST
+
+    def test_staleness(self):
+        tracker = ChannelHealthTracker()
+        assert tracker.staleness("never-seen", 10.0) == float("inf")
+        tracker.record_success("s1", 4.0)
+        assert tracker.staleness("s1", 10.0) == pytest.approx(6.0)
+
+
+# ----------------------------------------------------------------------
+# Poll-delay clamping (satellite: bounded blind windows)
+# ----------------------------------------------------------------------
+
+
+def stub_monitor(mean, seed, **kw):
+    """A monitor with just enough context to draw poll delays."""
+    sim = types.SimpleNamespace(rng=random.Random(seed))
+    controller = types.SimpleNamespace(
+        network=types.SimpleNamespace(sim=sim), channels={}
+    )
+    return ConfigurationMonitor(
+        controller, None, mode=MonitorMode.ACTIVE, mean_poll_interval=mean, **kw
+    )
+
+
+class TestPollDelayClamp:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        mean=st.floats(min_value=0.01, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_delay_always_within_bounds(self, mean, seed):
+        monitor = stub_monitor(mean, seed)
+        for _ in range(50):
+            delay = monitor._next_poll_delay()
+            assert monitor.min_poll_interval <= delay <= monitor.poll_interval_cap
+
+    def test_fixed_interval_unaffected(self):
+        monitor = stub_monitor(5.0, 0)
+        monitor.randomize_polls = False
+        assert monitor._next_poll_delay() == 5.0
+
+    def test_explicit_bounds_respected(self):
+        monitor = stub_monitor(1.0, 0, min_poll_interval=0.9, poll_interval_cap=1.1)
+        for _ in range(200):
+            assert 0.9 <= monitor._next_poll_delay() <= 1.1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            stub_monitor(1.0, 0, min_poll_interval=2.0, poll_interval_cap=1.0)
+        with pytest.raises(ValueError):
+            stub_monitor(1.0, 0, min_poll_interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# Generation token (satellite: stop/start double-loop bug)
+# ----------------------------------------------------------------------
+
+
+class TestPollingLoopGeneration:
+    def test_stop_polling_stops(self):
+        _topo, net, _provider, _watcher, monitor = build()
+        monitor.stop_polling()
+        before = monitor.metrics.active_polls
+        net.run(5.0)
+        assert monitor.metrics.active_polls == before
+
+    def test_restart_does_not_double_the_loop(self):
+        # Control: one uninterrupted loop.
+        _t, net_c, _p, _w, control = build()
+        baseline_c = control.metrics.active_polls
+        net_c.run(5.0)
+        control_polls = control.metrics.active_polls - baseline_c
+
+        # Same deployment, but the loop is stopped and restarted; the
+        # stale scheduled tick from the first loop must not survive.
+        _t, net_r, _p, _w, restarted = build()
+        restarted.stop_polling()
+        restarted.start()  # re-subscribes nothing (ACTIVE), re-arms loop
+        baseline_r = restarted.metrics.active_polls
+        net_r.run(5.0)
+        restarted_polls = restarted.metrics.active_polls - baseline_r
+        # Identical cadence: restarting shifted the phase but must not
+        # add a second loop (the old bug doubled the poll rate).
+        assert restarted_polls == control_polls
+
+    def test_stop_invalidates_inflight_retry_burst(self):
+        _topo, net, _provider, _watcher, monitor = build(poll_timeout=0.2)
+        for channel in net.channels:
+            channel.fault_filter = drop_replies
+        monitor.poll_all()
+        net.run(0.3)  # the first timeouts fire, retries are scheduled
+        assert monitor.metrics.poll_timeouts > 0
+        monitor.stop_polling()
+        polls_at_stop = monitor.metrics.active_polls
+        net.run(5.0)
+        # Pending timeouts may still tick, but no retry re-polls.
+        assert monitor.metrics.active_polls == polls_at_stop
+
+
+# ----------------------------------------------------------------------
+# Timeouts, retries, and recovery accounting
+# ----------------------------------------------------------------------
+
+
+class TestDroppedReplies:
+    def test_unanswered_polls_time_out_and_mark_lost(self):
+        _topo, net, _provider, _watcher, monitor = build()
+        for channel in net.channels:
+            channel.fault_filter = drop_replies
+        net.run(6.0)
+        metrics = monitor.metrics
+        assert metrics.poll_timeouts > 0
+        assert metrics.poll_retries > 0
+        assert metrics.active_polls > metrics.poll_replies
+        assert metrics.poll_bursts_abandoned > 0
+        assert set(monitor.health.lost()) == {"s1", "s2", "s3"}
+
+    def test_recovery_resyncs_and_reconverges(self):
+        _topo, net, _provider, _watcher, monitor = build()
+        for channel in net.channels:
+            channel.fault_filter = drop_replies
+        net.run(6.0)
+        assert monitor.health.lost()
+        for channel in net.channels:
+            channel.fault_filter = None
+        net.run(4.0)
+        assert monitor.health.all_healthy()
+        assert monitor.metrics.resyncs >= 3  # one full resync per switch
+        assert mirror_synced(monitor, net)
+
+    def test_at_most_one_inflight_poll_per_switch(self):
+        _topo, net, _provider, _watcher, monitor = build()
+        monitor.poll_switch("s1")
+        monitor.poll_switch("s1")
+        assert monitor.metrics.polls_superseded >= 1
+        assert list(monitor._pending_polls) == ["s1"]
+        replies_before = monitor.metrics.poll_replies
+        net.run(0.5)
+        # Only the fresh poll's reply lands; the superseded one was
+        # cancelled at the stats-callback layer.
+        assert monitor.metrics.poll_replies == replies_before + 1
+
+    def test_cancelled_stats_callback_never_fires(self):
+        _topo, net, _provider, watcher, _monitor = build()
+        fired = []
+        xid = watcher.request_flow_stats("s1", fired.append)
+        assert watcher.cancel_stats_request(xid)
+        assert not watcher.cancel_stats_request(xid)  # already gone
+        net.run(0.5)
+        assert fired == []
+
+    def test_staleness_reported_per_switch(self):
+        _topo, net, _provider, _watcher, monitor = build()
+        staleness = monitor.switch_staleness()
+        assert set(staleness) == {"s1", "s2", "s3"}
+        assert all(value < 1.0 for value in staleness.values())
+        for channel in net.channels:
+            channel.fault_filter = drop_replies
+        net.run(6.0)
+        assert all(v > 1.0 for v in monitor.switch_staleness().values())
+
+
+# ----------------------------------------------------------------------
+# Service-level degradation (freshness, watch isolation, auth retries)
+# ----------------------------------------------------------------------
+
+
+class TestDegradedAnswers:
+    def test_responses_carry_freshness(self):
+        tb = build_testbed(linear_topology(2, clients=["c"]), seed=3)
+        handle = tb.ask("c", IsolationQuery(authenticate=False))
+        freshness = handle.response.freshness
+        assert freshness is not None
+        assert freshness.snapshot_age >= 0.0
+        assert freshness.max_switch_staleness < 5.0
+        assert not freshness.degraded
+
+    def test_lost_switch_flagged_in_answer(self):
+        tb = build_testbed(
+            linear_topology(2, clients=["c"]),
+            seed=3,
+            mean_poll_interval=0.5,
+        )
+        # Sever s2's control channels (replies only, so requests are
+        # still counted as issued) and let health degrade.
+        for channel in tb.network.channels_for_switch("s2"):
+            channel.fault_filter = drop_replies
+        tb.run(6.0)
+        assert "s2" in tb.service.monitor.health.lost()
+        handle = tb.ask("c", IsolationQuery(authenticate=False), max_wait=10.0)
+        freshness = handle.response.freshness
+        assert freshness.degraded
+        assert "s2" in freshness.lost_switches
+        assert freshness.max_switch_staleness > 1.0
+
+
+class TestWatchIsolation:
+    def test_one_failing_client_does_not_silence_others(self):
+        tb = build_testbed(linear_topology(2, clients=["a", "b"]), seed=3)
+        service = tb.service
+        service.watch_isolation("a")
+        service.watch_isolation("b")
+        checked = []
+        original = service.verifier.isolation
+
+        def flaky(registration, snapshot):
+            if registration.name == "a":
+                raise RuntimeError("verifier blew up")
+            checked.append(registration.name)
+            return original(registration, snapshot)
+
+        service.verifier.isolation = flaky  # type: ignore[assignment]
+        tb.provider.install_flow("s1", Match(), (), priority=1)
+        tb.run(0.5)
+        assert service.watch_errors >= 1
+        assert any(a.kind == "watch-error" for a in service.alarms)
+        assert "b" in checked  # b was still verified after a's failure
+
+    def test_watch_list_mutation_during_check_is_safe(self):
+        tb = build_testbed(linear_topology(2, clients=["a", "b"]), seed=3)
+        service = tb.service
+        service.watch_isolation("a")
+        service.watch_isolation("b")
+        original = service.verifier.isolation
+
+        def unsubscribing(registration, snapshot):
+            # A callback mutating the subscriber list mid-iteration.
+            if "a" in service._watched_clients:
+                service._watched_clients.remove("a")
+            return original(registration, snapshot)
+
+        service.verifier.isolation = unsubscribing  # type: ignore[assignment]
+        tb.provider.install_flow("s1", Match(), (), priority=1)
+        tb.run(0.5)  # must not raise or skip subscribers
+        assert service.watch_errors == 0
+
+
+class TestAuthRetries:
+    def test_silent_targets_rechallenged(self):
+        from repro.dataplane.topologies import isp_topology
+
+        tb = build_testbed(
+            isp_topology(clients=["alice", "bob"]),
+            isolate_clients=True,
+            seed=42,
+            silent_hosts=["h_par1"],
+            auth_retries=2,
+        )
+        handle = tb.ask("alice", IsolationQuery(), max_wait=10.0)
+        auth = handle.response.answer.auth
+        # 3 first-wave challenges + 2 re-challenges of the silent host.
+        assert auth.requests_issued == 5
+        assert auth.replies_received == 2
+        assert tb.service.inband.rechallenges_sent == 2
+        assert {e.host for e in auth.silent_endpoints} == {"h_par1"}
+
+    def test_no_retries_preserves_single_shot_accounting(self):
+        from repro.dataplane.topologies import isp_topology
+
+        tb = build_testbed(
+            isp_topology(clients=["alice", "bob"]),
+            isolate_clients=True,
+            seed=42,
+            silent_hosts=["h_par1"],
+        )
+        handle = tb.ask("alice", IsolationQuery())
+        auth = handle.response.answer.auth
+        assert auth.requests_issued == 3
+        assert tb.service.inband.rechallenges_sent == 0
+
+
+class TestQuorumWithUnavailableReplicas:
+    def test_crashed_replica_reported_not_blamed(self):
+        tb = build_testbed(
+            linear_topology(2, clients=["c"]), seed=3, record_history=False
+        )
+        fleet = ReplicatedRVaaS.deploy(
+            tb.network, tb.registrations, count=2, seed=9
+        )
+        fleet.replicas.append(tb.service)
+        tb.run(1.0)
+
+        def crash(client, query):
+            raise RuntimeError("replica down")
+
+        fleet.replicas[0].answer_locally = crash  # type: ignore[assignment]
+        result = fleet.cross_check("c", IsolationQuery(authenticate=False))
+        assert result.unavailable == ("rvaas-0",)
+        assert result.unanimous  # the two live replicas agree
+        assert "rvaas-0" not in result.dissenting
+
+    def test_all_unavailable_raises(self):
+        tb = build_testbed(
+            linear_topology(2, clients=["c"]), seed=3, record_history=False
+        )
+        fleet = ReplicatedRVaaS([tb.service])
+
+        def crash(client, query):
+            raise RuntimeError("replica down")
+
+        tb.service.answer_locally = crash  # type: ignore[assignment]
+        with pytest.raises(QuorumError):
+            fleet.cross_check("c", IsolationQuery(authenticate=False))
+
+
+# ----------------------------------------------------------------------
+# Chaos property: verdicts degrade, they never lie
+# ----------------------------------------------------------------------
+
+
+class TestChaosProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.35),
+        delay=st.floats(min_value=0.0, max_value=0.35),
+        fault_seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_mirror_reconverges_and_verdict_matches_ground_truth(
+        self, drop, delay, fault_seed
+    ):
+        plan = FaultPlan.uniform(
+            drop=drop, delay=delay, seed=fault_seed, active_until=6.0
+        )
+        tb = build_testbed(
+            linear_topology(2, clients=["c"]),
+            seed=3,
+            fault_plan=plan,
+            mean_poll_interval=0.5,
+        )
+        tb.run(14.0)
+        monitor = tb.service.monitor
+        assert mirror_synced(monitor, tb.network)
+        registration = tb.registrations["c"]
+        query = IsolationQuery(authenticate=False)
+        mirror_verdict = tb.service.verifier.answer(
+            query, registration, tb.service.snapshot()
+        )
+        truth_verdict = tb.service.verifier.answer(
+            query, registration, ground_truth_snapshot(monitor, tb.network)
+        )
+        assert mirror_verdict.isolated == truth_verdict.isolated
