@@ -93,6 +93,7 @@ def test_kernel_speedup(benchmark, report):
     rep = report("E17", "Fast-path HSA kernel vs naive reference kernel")
     rows = []
     counter_lines = []
+    json_topologies = {}
     workers = max(2, default_workers())
     for name, make_topo, repeats in TOPOLOGIES:
         bed = build_testbed(make_topo(), isolate_clients=True, seed=51)
@@ -176,6 +177,15 @@ def test_kernel_speedup(benchmark, report):
                 len(naive_zones),
             )
         )
+        json_topologies[name] = {
+            "rules": snapshot.rule_count(),
+            "hosts": len(work),
+            "naive_median_ms": round(naive_ms, 3),
+            "indexed_median_ms": round(indexed_ms, 3),
+            "parallel_median_ms": round(parallel_ms, 3),
+            "speedup_indexed": round(naive_ms / indexed_ms, 3),
+            "speedup_parallel": round(naive_ms / parallel_ms, 3),
+        }
     rep.table(
         [
             "topology",
@@ -209,6 +219,9 @@ def test_kernel_speedup(benchmark, report):
     rep.line("dispatch overhead instead of a win — it exists for multi-core")
     rep.line("hosts and for the determinism guarantee, not for this box.")
     rep.finish()
+    rep.save_json(
+        {"workers": workers, "topologies": json_topologies}
+    )
 
     # Shape assertion, not a tight bound: medians on a loaded CI box
     # jitter a few percent around the ~3.3x quiet-host figure, so leave

@@ -122,6 +122,7 @@ def _measure(topology):
     engine = bed.service.engine
     warm.reachable_destinations(registration, driver.previous)
     rows = []
+    json_rows = []
     low_churn_speedup = None
     for churn in CHURN_RATES:
         warm_ms, full_ms = [], []
@@ -149,21 +150,36 @@ def _measure(topology):
                 f"{speedup:.1f}x",
             )
         )
+        json_rows.append(
+            {
+                "flowmods_per_snapshot": churn,
+                "delta_median_ms": round(warm_median, 3),
+                "full_median_ms": round(full_median, 3),
+                "speedup": round(speedup, 3),
+            }
+        )
     counters = engine.metrics.snapshot_counters()
-    return bed, rows, low_churn_speedup, counters
+    return bed, rows, json_rows, low_churn_speedup, counters
 
 
 def test_incremental_vs_full_recompilation(benchmark, report):
     rep = report("E16", "Delta-driven re-verification vs full recompilation")
     low_churn = {}
     all_counters = {}
+    json_topologies = {}
     for name, topology in (
         ("fat-tree-4", fat_tree_topology(4, clients=["a", "b", "c", "d"])),
         ("waxman-24", waxman_topology(24, seed=5, clients=["a", "b", "c", "d"])),
     ):
-        bed, rows, speedup, counters = _measure(topology)
+        bed, rows, json_rows, speedup, counters = _measure(topology)
         low_churn[name] = speedup
         all_counters[name] = counters
+        json_topologies[name] = {
+            "switches": len(bed.topology.switches),
+            "clutter_rules_per_switch": CLUTTER_RULES,
+            "churn_rounds": json_rows,
+            "low_churn_speedup": round(speedup, 3),
+        }
         rep.line(
             f"{name}: {len(bed.topology.switches)} switches, "
             f"{len(bed.registrations['a'].hosts)} hosts/client, "
@@ -185,6 +201,7 @@ def test_incremental_vs_full_recompilation(benchmark, report):
     rep.line("churn approaches the switch count, where delta-driven and")
     rep.line("full recompilation converge to the same work.")
     rep.finish()
+    rep.save_json({"topologies": json_topologies})
 
     for name, speedup in low_churn.items():
         assert speedup >= 5.0, (

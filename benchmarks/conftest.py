@@ -10,6 +10,7 @@ judged by, so the numbers in EXPERIMENTS.md can be reproduced with::
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
@@ -40,6 +41,28 @@ class ExperimentReport:
         self._lines.append("  ".join("-" * w for w in widths))
         for row in rows:
             self._lines.append(fmt.format(*row))
+
+    def save_json(self, payload: dict) -> str:
+        """Persist machine-readable medians/ratios as ``BENCH_<exp>.json``.
+
+        The text table is for humans; this document is for tracking the
+        perf trajectory across PRs — stable keys, numbers as numbers,
+        no formatting.  Callers pass medians and speedup ratios only
+        (no raw sample lists), so diffs between PRs stay readable.
+        """
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(
+            RESULTS_DIR, f"BENCH_{self.experiment.lower()}.json"
+        )
+        document = {
+            "experiment": self.experiment,
+            "title": self.title,
+            **payload,
+        }
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
 
     def finish(self) -> str:
         header = f"[{self.experiment}] {self.title}"

@@ -37,17 +37,35 @@ depth, pool utilisation) surface in :class:`EngineMetrics`.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.core.snapshot import NetworkSnapshot
+from repro.hsa.atoms import (
+    GLOBAL_ATOM_TABLE,
+    AtomSpace,
+    ReachabilityMatrix,
+    constraint_seed_hash,
+)
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.network_tf import NetworkTransferFunction, PortRef
 from repro.hsa.parallel import FanOutPool
-from repro.hsa.reachability import ReachabilityAnalyzer, ReachabilityResult
+from repro.hsa.reachability import (
+    ReachabilityAnalyzer,
+    ReachabilityResult,
+    build_reachability_matrix,
+)
 from repro.hsa.transfer import SwitchTransferFunction
+from repro.hsa.wildcard import Wildcard
+
+#: Environment override for the default header-set backend; ``atom``
+#: turns on the atomic-predicate engine for every engine constructed
+#: without an explicit ``backend=``, which is how the full test suite
+#: runs against both calculi.
+BACKEND_ENV_VAR = "RVAAS_HSA_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -111,6 +129,15 @@ class EngineMetrics:
     pool_tasks: int = 0  # fan-out tasks submitted (sweeps + compiles)
     parallel_sweeps: int = 0
     parallel_compiles: int = 0
+    # Atomic-predicate backend telemetry (E19).
+    atom_space_builds: int = 0  # atom universes compiled (interner misses)
+    atom_intern_hits: int = 0  # artifact-cache hits for (space, matrix)
+    atom_matrix_builds: int = 0  # all-ingress matrix precomputations
+    atom_count: int = 0  # atoms in the most recent universe
+    atom_matrix_expansions: int = 0  # worklist expansions of last build
+    atom_served_queries: int = 0  # queries answered from the matrix
+    atom_fallbacks: int = 0  # queries bounced to the wildcard path
+    atom_overflows: int = 0  # universes rejected for exceeding the limit
 
     @property
     def recompilations(self) -> int:
@@ -138,7 +165,17 @@ class VerificationEngine:
         max_reach_entries: int = 1024,
         max_artifact_entries: int = 8,
         workers: int = 1,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "wildcard")
+        if backend not in ("wildcard", "atom"):
+            raise ValueError(f"unknown HSA backend: {backend!r}")
+        #: "wildcard" — every query runs wildcard-set propagation;
+        #: "atom" — compile() additionally builds the atomic-predicate
+        #: universe + all-ingress reachability matrix, and the verifier
+        #: serves eligible queries from it (falling back per query).
+        self.backend = backend
         self.metrics = EngineMetrics()
         self._max_switch_entries = max_switch_entries
         self._max_network_entries = max_network_entries
@@ -167,6 +204,12 @@ class VerificationEngine:
         self._artifacts: "OrderedDict[tuple, object]" = OrderedDict()
         #: last assembled NTF, for the O(k) incremental sibling path
         self._last_ntf: Optional[NetworkTransferFunction] = None
+        #: extra predicates the atom universe must refine (host
+        #: addresses, query scopes, the interception punt space) so that
+        #: the verifier's query spaces encode exactly; the seed digest is
+        #: part of the artifact key, so seeding is never a staleness bug
+        self._atom_seeds: Tuple[Wildcard, ...] = ()
+        self._atom_seed_key: str = constraint_seed_hash(())
 
     # ------------------------------------------------------------------
     # Compilation
@@ -206,7 +249,13 @@ class VerificationEngine:
             if cached is not None:
                 self.metrics.network_tf_hits += 1
                 self._network_tfs.move_to_end(content)
-                return cached
+        if cached is not None:
+            if self.backend == "atom":
+                # The NTF survived but the (space, matrix) artifact may
+                # have been evicted or the seed set may have grown.
+                self._ensure_atoms(cached, content)
+            return cached
+        with self._lock:
             self.metrics.network_tf_builds += 1
         switches = sorted(snapshot.rules)
         if self.workers > 1 and len(switches) > 1:
@@ -247,6 +296,8 @@ class VerificationEngine:
             self._network_tfs[content] = network_tf
             self._last_ntf = network_tf
             self._evict(self._network_tfs, self._max_network_entries)
+        if self.backend == "atom":
+            self._ensure_atoms(network_tf, content)
         return network_tf
 
     # ------------------------------------------------------------------
@@ -354,6 +405,92 @@ class VerificationEngine:
         self.metrics.kernel_rules_skipped = totals.get("rules_skipped", 0)
         self.metrics.kernel_early_exits = totals.get("early_exits", 0)
         self.metrics.kernel_index_hits = totals.get("index_hits", 0)
+
+    # ------------------------------------------------------------------
+    # Atomic-predicate backend (E19)
+    # ------------------------------------------------------------------
+
+    def seed_atoms(self, wildcards: Iterable[Wildcard]) -> None:
+        """Register extra predicates the atom universe must refine.
+
+        The verifier seeds the spaces its queries are built from (host
+        addresses, traffic-scope constraints, the interception punt
+        space); anything seeded encodes exactly and is served from the
+        matrix, anything else falls back per query.  Seeding changes the
+        seed digest, which is part of the artifact key — so a grown seed
+        set can never produce a stale cache hit, only a rebuild.
+        """
+        merged = set(self._atom_seeds)
+        merged.update(wildcards)
+        if len(merged) == len(self._atom_seeds):
+            return
+        with self._lock:
+            self._atom_seeds = tuple(
+                sorted(merged, key=lambda w: (w.value, w.mask))
+            )
+            self._atom_seed_key = constraint_seed_hash(self._atom_seeds)
+
+    def atom_artifacts(
+        self, snapshot: NetworkSnapshot
+    ) -> Optional[Tuple[AtomSpace, ReachabilityMatrix]]:
+        """(atom space, all-ingress matrix) for a snapshot, or None.
+
+        ``None`` when the backend is ``wildcard`` or the universe
+        overflowed the atom limit — callers then use the wildcard path.
+        Compilation (and hence the eager matrix build) happens via
+        :meth:`compile`, so the first query on a new snapshot version
+        pays the build and every later query is a lookup.
+        """
+        if self.backend != "atom":
+            return None
+        content = self.content_hash(snapshot)
+        self.compile(snapshot)  # ensures the artifact exists
+        key = ("atoms", self._atom_seed_key, content)
+        with self._lock:
+            built = self._artifacts.get(key)
+        if built is None or built[0] is None:
+            return None
+        return built  # type: ignore[return-value]
+
+    def _ensure_atoms(
+        self, network_tf: NetworkTransferFunction, content: str
+    ) -> None:
+        """Build (or re-hit) the atom universe + matrix for one snapshot.
+
+        Stored in the generic artifact cache under a key that includes
+        the seed digest, so PR-1 delta invalidation (wiring changes
+        clear artifacts; rule churn changes the content hash) applies
+        unchanged.  Overflowed universes are cached as ``(None, None)``
+        so the limit check is paid once per snapshot, not per query.
+        """
+        key = ("atoms", self._atom_seed_key, content)
+        with self._lock:
+            cached = self._artifacts.get(key)
+            if cached is not None:
+                self.metrics.atom_intern_hits += 1
+                self._artifacts.move_to_end(key)
+                return
+        constraints = list(network_tf.atom_constraints())
+        constraints.extend(self._atom_seeds)
+        space = GLOBAL_ATOM_TABLE.space_for(constraints)
+        if space is None:
+            self.metrics.atom_overflows += 1
+            built: Tuple[Optional[AtomSpace], Optional[ReachabilityMatrix]] = (
+                None,
+                None,
+            )
+        else:
+            self.metrics.atom_space_builds += 1
+            self.metrics.atom_count = space.n_atoms
+            matrix = build_reachability_matrix(
+                network_tf, space, workers=self.workers
+            )
+            self.metrics.atom_matrix_builds += 1
+            self.metrics.atom_matrix_expansions = matrix.expansions
+            built = (space, matrix)
+        with self._lock:
+            self._artifacts[key] = built
+            self._evict(self._artifacts, self._max_artifact_entries)
 
     # ------------------------------------------------------------------
     # Generic derived artifacts (emulation backend, etc.)

@@ -130,6 +130,11 @@ class RVaaSController(ControllerApp):
         self._watched_clients: List[str] = []
         self._watch_verdicts: Dict[str, bool] = {}  # client -> isolated?
         self._watch_pending = False
+        #: content hash of the snapshot the last watch check verified;
+        #: a coalesced check against byte-identical configuration reuses
+        #: the previous verdicts instead of re-answering every query
+        self._watch_content_hash: Optional[str] = None
+        self.watch_checks_skipped = 0
         self.notices_pushed = 0
 
     # ------------------------------------------------------------------
@@ -473,12 +478,25 @@ class RVaaSController(ControllerApp):
 
     def _run_watch_check(self) -> None:
         self._watch_pending = False
+        snapshot = self.snapshot()
+        content = snapshot.content_hash()
         # Snapshot the subscriber list: a callback below may subscribe or
         # unsubscribe a client, and mutating the list while iterating it
         # would skip (or double-check) a neighbour.
-        for client in list(self._watched_clients):
+        clients = list(self._watched_clients)
+        if content == self._watch_content_hash and all(
+            client in self._watch_verdicts for client in clients
+        ):
+            # The configuration is byte-identical to what the previous
+            # check verified: every verdict (and hence every notice
+            # decision) would come out the same, so the whole round is
+            # one hash comparison.  New subscribers still get checked.
+            self.watch_checks_skipped += 1
+            return
+        self._watch_content_hash = content
+        for client in clients:
             try:
-                self._check_watched_client(client)
+                self._check_watched_client(client, snapshot)
             except Exception as exc:  # noqa: BLE001 — isolate per client
                 # One client's verification blowing up must not silence
                 # alerts for every other subscriber.
@@ -492,9 +510,13 @@ class RVaaSController(ControllerApp):
                     )
                 )
 
-    def _check_watched_client(self, client: str) -> None:
+    def _check_watched_client(
+        self, client: str, snapshot: Optional[NetworkSnapshot] = None
+    ) -> None:
         registration = self.registrations[client]
-        answer = self.verifier.isolation(registration, self.snapshot())
+        answer = self.verifier.isolation(
+            registration, snapshot if snapshot is not None else self.snapshot()
+        )
         was_isolated = self._watch_verdicts.get(client, True)
         self._watch_verdicts[client] = answer.isolated
         if was_isolated and not answer.isolated:

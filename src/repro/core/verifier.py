@@ -108,6 +108,22 @@ class LogicalVerifier:
         self._analysis_cache: Tuple[
             Optional[int], Optional[NetworkSnapshot], Optional[NetworkSnapshot]
         ] = (None, None, None)
+        if self.engine.backend == "atom":
+            # Register the predicates our query spaces are built from, so
+            # they are unions of atoms and the matrix can serve them
+            # exactly.  Queries whose spaces still fail to encode (e.g.
+            # an unseeded traffic-scope constant) fall back per query.
+            self.engine.seed_atoms(self._atom_seed_wildcards())
+
+    def _atom_seed_wildcards(self) -> List[Wildcard]:
+        """Predicates the atom universe must refine for exact serving."""
+        seeds: List[Wildcard] = [Wildcard.from_fields(vlan_id=0)]
+        seeds.extend(_RVAAS_PUNT_SPACE.wildcards)
+        for registration in self.registrations.values():
+            for host in registration.hosts:
+                seeds.append(Wildcard.from_fields(ip_src=host.ip))
+                seeds.append(Wildcard.from_fields(ip_dst=host.ip))
+        return seeds
 
     # ------------------------------------------------------------------
     # Analysis view of a snapshot
@@ -271,6 +287,106 @@ class LogicalVerifier:
         return sorted(endpoints, key=lambda e: (e.switch, e.port))
 
     # ------------------------------------------------------------------
+    # Matrix serving (atom backend)
+    # ------------------------------------------------------------------
+
+    def _atom_pair(self, analysis: NetworkSnapshot):
+        """(AtomSpace, ReachabilityMatrix) for this snapshot, or None."""
+        if self.engine.backend != "atom":
+            return None
+        return self.engine.atom_artifacts(analysis)
+
+    def _matrix_outbound_endpoints(
+        self, pair, host: HostRecord, scope: TrafficScope
+    ) -> Optional[set]:
+        """Endpoints the host's outbound traffic reaches — pure lookups.
+
+        Mirrors :meth:`_endpoints_from_result` on the precomputed
+        matrix: edge/unbound zones are one AND against the row's reach
+        bits; the control-plane check applies the zone's rewrite pins to
+        the matching segment and tests it against the punt complement —
+        both exact at atom granularity.  ``None`` means this query
+        cannot be served exactly (unencodable space, unknown ingress)
+        and the caller must take the wildcard path.
+        """
+        space, matrix = pair
+        bits = space.encode_space(self._outbound_space(host, scope))
+        if bits is None:
+            return None
+        row = matrix.row((host.switch, host.port))
+        if row is None:
+            return None
+        punt_bits = space.encode_space(_RVAAS_PUNT_SPACE)
+        if punt_bits is None:
+            return None
+        endpoints = set()
+        for (kind, switch, port), reach_bits in row.reach.items():
+            if kind != "controller" and reach_bits & bits:
+                endpoints.add(self.resolve_endpoint(switch, port))
+        leak_mask = space.full_bits & ~punt_bits
+        leaked = False
+        for zone_key, per_pins in row.zones.items():
+            if leaked or zone_key[0] != "controller":
+                continue
+            for pins, zone_bits in per_pins.items():
+                segment = zone_bits & bits
+                if segment and space.apply_pins(segment, pins) & leak_mask:
+                    endpoints.add(CONTROL_PLANE_ENDPOINT)
+                    leaked = True
+                    break
+        return endpoints
+
+    def _matrix_reaching_sources(
+        self, pair, host: HostRecord, scope: TrafficScope
+    ) -> Optional[set]:
+        """Edge ports whose traffic reaches the host — inverse transfer
+        as a column scan over the per-ingress rows."""
+        space, matrix = pair
+        bits = space.encode_space(self._inbound_space(host, scope))
+        if bits is None:
+            return None
+        target = ("edge", host.switch, host.port)
+        endpoints = set()
+        for ref in matrix.ingresses():
+            if ref == (host.switch, host.port):
+                continue
+            row = matrix.row(ref)
+            if row is not None and row.reach.get(target, 0) & bits:
+                endpoints.add(self.resolve_endpoint(*ref))
+        return endpoints
+
+    def _matrix_regions(
+        self,
+        pair,
+        host: HostRecord,
+        scope: TrafficScope,
+        snapshot: NetworkSnapshot,
+    ) -> Optional[set]:
+        """Regions the host's outbound traffic can traverse."""
+        space, matrix = pair
+        bits = space.encode_space(self._outbound_space(host, scope))
+        if bits is None:
+            return None
+        row = matrix.row((host.switch, host.port))
+        if row is None:
+            return None
+        regions = set()
+        for switch, traversed_bits in row.traversed.items():
+            if traversed_bits & bits:
+                location = snapshot.location_of(switch)
+                if location is not None:
+                    regions.add(location.region)
+        return regions
+
+    def _count_serving(self, served) -> bool:
+        """Telemetry: record a matrix-served query or a fallback."""
+        if served is None:
+            self.engine.metrics.atom_fallbacks += 1
+            return False
+        self.engine.metrics.atom_served_queries += 1
+        return True
+
+    # ------------------------------------------------------------------
     # Query implementations
     # ------------------------------------------------------------------
 
@@ -295,8 +411,17 @@ class LogicalVerifier:
         scope: TrafficScope = TrafficScope(),
     ) -> ReachableDestinationsAnswer:
         analysis = self._analysis_snapshot(snapshot)
+        pair = self._atom_pair(analysis)
         endpoints: set[Endpoint] = set()
         for host in registration.hosts:
+            served = (
+                self._matrix_outbound_endpoints(pair, host, scope)
+                if pair is not None
+                else None
+            )
+            if pair is not None and self._count_serving(served):
+                endpoints.update(served)
+                continue
             result = self._outbound_result(analysis, host, scope)
             endpoints.update(self._endpoints_from_result(result))
         return ReachableDestinationsAnswer(
@@ -317,7 +442,16 @@ class LogicalVerifier:
             for host in registration.hosts
             if not destination_host or host.name == destination_host
         ]
+        pair = self._atom_pair(analysis)
         for host in hosts:
+            served = (
+                self._matrix_reaching_sources(pair, host, scope)
+                if pair is not None
+                else None
+            )
+            if pair is not None and self._count_serving(served):
+                endpoints.update(served)
+                continue
             sources = self.engine.sources_reaching(
                 analysis, host.switch, host.port, self._inbound_space(host, scope)
             )
@@ -367,8 +501,17 @@ class LogicalVerifier:
     ) -> GeoLocationAnswer:
         """Which regions can the client's traffic pass through (§IV-B2)."""
         analysis = self._analysis_snapshot(snapshot)
+        pair = self._atom_pair(analysis)
         regions: set[str] = set()
         for host in registration.hosts:
+            served = (
+                self._matrix_regions(pair, host, scope, snapshot)
+                if pair is not None
+                else None
+            )
+            if pair is not None and self._count_serving(served):
+                regions.update(served)
+                continue
             result = self._outbound_result(analysis, host, scope)
             for switch in result.switches_traversed:
                 location = snapshot.location_of(switch)

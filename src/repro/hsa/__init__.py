@@ -21,6 +21,14 @@ propagation, and optional parallel fan-out of whole-network sweeps
 :mod:`~repro.hsa.reference` as the oracle for differential testing.
 """
 
+from repro.hsa.atoms import (
+    GLOBAL_ATOM_TABLE,
+    AtomNetwork,
+    AtomSpace,
+    AtomTable,
+    MatrixRow,
+    ReachabilityMatrix,
+)
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.layout import FIELD_LAYOUT, HEADER_BITS, field_slice, pack_headers
 from repro.hsa.parallel import FanOutPool, default_workers
@@ -30,6 +38,7 @@ from repro.hsa.reachability import (
     ReachabilityAnalyzer,
     ReachablePath,
     ReachableZone,
+    build_reachability_matrix,
 )
 from repro.hsa.reference import (
     ReferenceReachabilityAnalyzer,
@@ -41,17 +50,24 @@ from repro.hsa.network_tf import NetworkTransferFunction
 from repro.hsa.wildcard import Wildcard
 
 __all__ = [
+    "AtomNetwork",
+    "AtomSpace",
+    "AtomTable",
     "DropZone",
     "FIELD_LAYOUT",
     "FanOutPool",
+    "GLOBAL_ATOM_TABLE",
     "HEADER_BITS",
     "HeaderSpace",
     "KernelStats",
     "LoopReport",
+    "MatrixRow",
     "NetworkTransferFunction",
     "ReachabilityAnalyzer",
+    "ReachabilityMatrix",
     "ReachablePath",
     "ReachableZone",
+    "build_reachability_matrix",
     "ReferenceReachabilityAnalyzer",
     "ReferenceSwitchTransferFunction",
     "SwitchTransferFunction",

@@ -1,0 +1,826 @@
+"""Atomic-predicate compaction: bitset header sets over equivalence classes.
+
+The wildcard calculus (:mod:`repro.hsa.wildcard`) pays per *operation*:
+``subtract_many`` / ``intersect`` cost grows with the wildcard count of
+both operands, and every query re-runs that algebra over the snapshot.
+Scalable verifiers (Yang & Lam's atomic predicates; Seagull, PAPERS.md)
+instead compile the rule set once into the coarsest partition of the
+header space in which every predicate of interest is a union of parts —
+the *atoms* — and then represent every header set as a bitset over
+atoms, so intersection/union/complement become single big-int AND/OR/NOT
+operations regardless of how many wildcards built the set.
+
+This implementation exploits the structure of OpenFlow matches: every
+match wildcard (and every query space this service constructs) is a
+*conjunction of per-field constraints*, so the atom partition factors as
+a product of per-field partitions:
+
+* :class:`FieldCells` — the partition of one header field's value range
+  induced by every (value, mask) constraint any rule places on it.
+* :class:`AtomSpace` — the product space: an atom is one cell choice per
+  field, indexed mixed-radix; a header set is a Python int with one bit
+  per atom.  Encoding a wildcard is an AND of per-field "spread" masks;
+  decoding factorises the bitset back into wildcard unions for the
+  signed :class:`~repro.core.protocol.QueryResponse`.
+* :class:`AtomTable` — content-keyed interning of compiled atom spaces,
+  so every snapshot version with the same constraint set (and every
+  engine in the process) shares one compiled universe.
+* :class:`AtomNetwork` / :class:`ReachabilityMatrix` — transfer and
+  inverse-transfer re-expressed in the atom domain.  A propagation
+  carries the *injected* atom set plus a tuple of field *pins* (rewrite
+  actions pin a field to the cell of the written constant), so the
+  all-ingress matrix records, per (ingress, egress), exactly which
+  injected headers arrive — rewrites and priority shadowing included —
+  and a query becomes ``row_bits & encode(space)``.
+
+Exactness discipline: every test the query layer performs (non-empty
+arrival, membership in the interception punt space) is decided at atom
+granularity, which is exact *provided the tested set is a union of
+atoms*.  Constraints collected from compiled rules are registered by
+construction; query spaces built from registered seeds (host addresses,
+the punt space) encode exactly; anything else makes
+:meth:`AtomSpace.encode_space` return ``None`` and the caller falls back
+to the wildcard kernel — the fast path is never allowed to approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.layout import FIELD_LAYOUT
+from repro.hsa.transfer import CONTROLLER_PORT as _CONTROLLER_PORT
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address, MacAddress
+from repro.netlib.constants import VLAN_NONE
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Meter,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+
+_FIELD_NAMES: Tuple[str, ...] = tuple(FIELD_LAYOUT)
+_FIELD_INDEX: Dict[str, int] = {name: i for i, name in enumerate(_FIELD_NAMES)}
+
+#: A field pin: this field has been rewritten to a constant lying in the
+#: given cell.  Pins are kept as a sorted tuple of (field index, cell
+#: index) pairs so they are hashable branch state.
+Pins = Tuple[Tuple[int, int], ...]
+
+#: Where a propagated set arrived: (kind, switch, port) with kind one of
+#: "edge" | "unbound" | "controller" — the same taxonomy as
+#: :class:`~repro.hsa.reachability.ReachableZone`.
+ZoneKey = Tuple[str, str, int]
+
+
+# ----------------------------------------------------------------------
+# Field-local ternary algebra on (value, mask) pairs
+# ----------------------------------------------------------------------
+
+
+def _fl_intersects(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    return not ((a[0] ^ b[0]) & a[1] & b[1])
+
+
+def _fl_intersect(
+    a: Tuple[int, int], b: Tuple[int, int]
+) -> Optional[Tuple[int, int]]:
+    if (a[0] ^ b[0]) & a[1] & b[1]:
+        return None
+    return (a[0] | b[0], a[1] | b[1])
+
+
+def _fl_subset(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """Every value matching ``a`` also matches ``b`` (field-local)."""
+    if b[1] & ~a[1]:
+        return False
+    return not ((a[0] ^ b[0]) & b[1])
+
+
+def _fl_subtract(
+    a: Tuple[int, int], b: Tuple[int, int]
+) -> List[Tuple[int, int]]:
+    """``a`` minus ``b`` as pairwise-disjoint pieces (field-local)."""
+    if (a[0] ^ b[0]) & a[1] & b[1]:
+        return [a]
+    pieces: List[Tuple[int, int]] = []
+    fixed_value, fixed_mask = a
+    remaining = b[1] & ~a[1]
+    while remaining:
+        bit = remaining & -remaining
+        remaining &= remaining - 1
+        other_bit = b[0] & bit
+        pieces.append(((fixed_value & ~bit) | (bit ^ other_bit), fixed_mask | bit))
+        fixed_value = (fixed_value & ~bit) | other_bit
+        fixed_mask |= bit
+    return pieces
+
+
+class FieldCells:
+    """The partition of one field's value range induced by constraints.
+
+    Each cell is a tuple of pairwise-disjoint (value, mask) pieces; the
+    cells are pairwise disjoint and cover the full range.  Every
+    registered constraint is a union of whole cells, which is what makes
+    atom-granularity set tests exact.
+    """
+
+    __slots__ = ("name", "width", "cells", "_mask_cache", "_value_cache")
+
+    def __init__(
+        self, name: str, width: int, constraints: Iterable[Tuple[int, int]]
+    ) -> None:
+        self.name = name
+        self.width = width
+        cells: List[Tuple[Tuple[int, int], ...]] = [((0, 0),)]
+        # Deterministic build order: the cell list (and hence every atom
+        # index) is a pure function of the constraint *set*.
+        for constraint in sorted(set(constraints)):
+            if constraint[1] == 0:
+                continue  # unconstrained: splits nothing
+            split: List[Tuple[Tuple[int, int], ...]] = []
+            for cell in cells:
+                inside: List[Tuple[int, int]] = []
+                outside: List[Tuple[int, int]] = []
+                for piece in cell:
+                    joined = _fl_intersect(piece, constraint)
+                    if joined is None:
+                        outside.append(piece)
+                        continue
+                    inside.append(joined)
+                    outside.extend(_fl_subtract(piece, constraint))
+                if inside:
+                    split.append(tuple(inside))
+                if outside:
+                    split.append(tuple(outside))
+            cells = split
+        self.cells: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(cells)
+        self._mask_cache: Dict[Tuple[int, int], Tuple[int, bool]] = {}
+        self._value_cache: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell_masks(self, value: int, mask: int) -> Tuple[int, bool]:
+        """(bitmask over cells touching the constraint, is it exact?).
+
+        Exact means the selected cells are *covered* by the constraint —
+        i.e. the constraint is a union of whole cells, so bitset
+        reasoning over it loses nothing.  Guaranteed for registered
+        constraints; an unregistered constraint that splits a cell
+        reports ``exact=False`` and the caller must fall back.
+        """
+        if mask == 0:
+            return (1 << len(self.cells)) - 1, True
+        key = (value, mask)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        selected = 0
+        exact = True
+        for index, cell in enumerate(self.cells):
+            touched = any(_fl_intersects(piece, key) for piece in cell)
+            if not touched:
+                continue
+            selected |= 1 << index
+            if exact and not all(_fl_subset(piece, key) for piece in cell):
+                exact = False
+        result = (selected, exact)
+        self._mask_cache[key] = result
+        return result
+
+    def cell_of(self, value: int) -> int:
+        """Index of the cell containing a concrete field value."""
+        cached = self._value_cache.get(value)
+        if cached is not None:
+            return cached
+        for index, cell in enumerate(self.cells):
+            if any(not ((value ^ v) & m) for v, m in cell):
+                self._value_cache[value] = index
+                return index
+        raise AssertionError(
+            f"field {self.name}: value {value:#x} in no cell (broken partition)"
+        )
+
+    def pieces(self, cellmask: int) -> List[Tuple[int, int]]:
+        """Field-local (value, mask) pieces of a union of cells, in order."""
+        out: List[Tuple[int, int]] = []
+        for index, cell in enumerate(self.cells):
+            if (cellmask >> index) & 1:
+                out.extend(cell)
+        return out
+
+
+# ----------------------------------------------------------------------
+# The atom universe
+# ----------------------------------------------------------------------
+
+
+class AtomSpace:
+    """A compiled atom universe: product of per-field partitions.
+
+    An atom is one cell per field; its index is the mixed-radix number
+    ``sum(cell_f * stride_f)``.  A header set is a Python int with bit i
+    set iff atom i is in the set — AND/OR/NOT on those ints are the
+    entire set algebra.
+    """
+
+    __slots__ = (
+        "field_cells",
+        "strides",
+        "n_atoms",
+        "full_bits",
+        "_spread",
+        "_union_cache",
+        "_encode_cache",
+        "signature",
+    )
+
+    #: Bound on cached per-space query encodings (cleared when full).
+    ENCODE_CACHE_LIMIT = 4096
+
+    def __init__(self, field_cells: Sequence[FieldCells], signature: str) -> None:
+        assert len(field_cells) == len(_FIELD_NAMES)
+        self.field_cells: Tuple[FieldCells, ...] = tuple(field_cells)
+        strides: List[int] = []
+        stride = 1
+        for cells in self.field_cells:
+            strides.append(stride)
+            stride *= len(cells)
+        self.strides: Tuple[int, ...] = tuple(strides)
+        self.n_atoms: int = stride
+        self.full_bits: int = (1 << stride) - 1
+        self.signature = signature
+        # spread[f][c]: the bitset of all atoms whose field-f component
+        # is cell c.  Every encode is an AND of unions of these.
+        self._spread: List[List[int]] = []
+        for f_idx, cells in enumerate(self.field_cells):
+            stride_f = self.strides[f_idx]
+            period = stride_f * len(cells)
+            masks: List[int] = []
+            for c in range(len(cells)):
+                block = ((1 << stride_f) - 1) << (c * stride_f)
+                span = period
+                while span < self.n_atoms:
+                    block |= block << span
+                    span <<= 1
+                masks.append(block & self.full_bits)
+            self._spread.append(masks)
+        self._union_cache: Dict[Tuple[int, int], int] = {}
+        self._encode_cache: Dict[tuple, Optional[int]] = {}
+
+    # -- encoding -------------------------------------------------------
+
+    def spread_union(self, f_idx: int, cellmask: int) -> int:
+        """Bitset of atoms whose field-f component is in ``cellmask``."""
+        cells = self.field_cells[f_idx]
+        if cellmask == (1 << len(cells)) - 1:
+            return self.full_bits
+        key = (f_idx, cellmask)
+        cached = self._union_cache.get(key)
+        if cached is not None:
+            return cached
+        bits = 0
+        spread = self._spread[f_idx]
+        remaining = cellmask
+        while remaining:
+            low = remaining & -remaining
+            bits |= spread[low.bit_length() - 1]
+            remaining &= remaining - 1
+        self._union_cache[key] = bits
+        return bits
+
+    def encode_wildcard(self, wildcard: Wildcard) -> Tuple[int, bool]:
+        """(atom bitset touching the wildcard, exact?)."""
+        bits = self.full_bits
+        exact = True
+        for f_idx, name in enumerate(_FIELD_NAMES):
+            value, mask = wildcard.field_constraint(name)
+            if not mask:
+                continue
+            cellmask, cell_exact = self.field_cells[f_idx].cell_masks(value, mask)
+            if not cell_exact:
+                exact = False
+            if not cellmask:
+                return 0, exact
+            bits &= self.spread_union(f_idx, cellmask)
+            if not bits:
+                return 0, exact
+        return bits, exact
+
+    def encode_space(self, space: HeaderSpace) -> Optional[int]:
+        """The exact atom bitset of a header space, or None.
+
+        ``None`` means some piece is not a union of atoms, so bitset
+        reasoning would approximate — the caller must use the wildcard
+        kernel instead.  Results are memoised by space fingerprint
+        (repeated query serving is a dictionary hit).
+        """
+        key = space.fingerprint()
+        cached = self._encode_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        bits = 0
+        result: Optional[int] = None
+        for wildcard in space.wildcards:
+            piece_bits, exact = self.encode_wildcard(wildcard)
+            if not exact:
+                break
+            bits |= piece_bits
+        else:
+            result = bits
+        if len(self._encode_cache) >= self.ENCODE_CACHE_LIMIT:
+            self._encode_cache.clear()
+        self._encode_cache[key] = result
+        return result
+
+    # -- decoding -------------------------------------------------------
+
+    def decode(self, bits: int) -> HeaderSpace:
+        """Factorise an atom bitset back into a union of wildcards.
+
+        Recursive grouping from the most significant field down: cells
+        of the top field whose sub-bitsets are identical share one
+        branch, so aligned product sets decode to single wildcards, not
+        one wildcard per atom.  The inverse of :meth:`encode_space` on
+        its exact domain: ``encode_space(decode(b)) == b``.
+        """
+        if not bits:
+            return HeaderSpace.empty()
+        pieces = [
+            Wildcard._make(sum(v for v, _ in parts), sum(m for _, m in parts))
+            for parts in self._decode_rec(bits, len(self.field_cells) - 1)
+        ]
+        return HeaderSpace(pieces, prune=True)
+
+    def _decode_rec(self, bits: int, f_idx: int) -> List[List[Tuple[int, int]]]:
+        if f_idx < 0:
+            return [[]] if bits else []
+        cells = self.field_cells[f_idx]
+        stride = self.strides[f_idx]
+        chunk_mask = (1 << stride) - 1
+        groups: "OrderedDict[int, int]" = OrderedDict()
+        for c in range(len(cells)):
+            chunk = (bits >> (c * stride)) & chunk_mask
+            if chunk:
+                groups[chunk] = groups.get(chunk, 0) | (1 << c)
+        out: List[List[Tuple[int, int]]] = []
+        offset = FIELD_LAYOUT[cells.name].offset
+        all_cells = (1 << len(cells)) - 1
+        for chunk, cellmask in groups.items():
+            subs = self._decode_rec(chunk, f_idx - 1)
+            if cellmask == all_cells:
+                out.extend(subs)  # field unconstrained in this block
+                continue
+            field_pieces = [
+                (v << offset, m << offset) for v, m in cells.pieces(cellmask)
+            ]
+            for sub in subs:
+                for piece in field_pieces:
+                    out.append(sub + [piece])
+        return out
+
+    # -- rewrites (pins) ------------------------------------------------
+
+    def pin_for(self, field: str, value: int) -> Tuple[int, int]:
+        """(field index, cell index) pin for rewriting ``field``:=value."""
+        f_idx = _FIELD_INDEX[field]
+        return f_idx, self.field_cells[f_idx].cell_of(value)
+
+    def apply_pins(self, bits: int, pins: Pins) -> int:
+        """Image of an injected atom set under accumulated rewrites.
+
+        Each pinned field's dimension collapses onto the pinned cell:
+        atoms keep their other components and move to the rewritten
+        value's cell.  Exact because rewrite constants are registered,
+        so the pinned cell is the singleton of the written value.
+        """
+        for f_idx, cell in pins:
+            stride = self.strides[f_idx]
+            spread = self._spread[f_idx]
+            collapsed = 0
+            for other in range(len(self.field_cells[f_idx])):
+                chunk = bits & spread[other]
+                if not chunk:
+                    continue
+                shift = (cell - other) * stride
+                collapsed |= chunk << shift if shift >= 0 else chunk >> -shift
+            bits = collapsed
+        return bits
+
+    # -- inspection -----------------------------------------------------
+
+    def cells_per_field(self) -> Dict[str, int]:
+        return {cells.name: len(cells) for cells in self.field_cells}
+
+    def describe(self) -> str:
+        dims = "x".join(
+            str(len(cells)) for cells in self.field_cells if len(cells) > 1
+        )
+        return f"AtomSpace({self.n_atoms} atoms = {dims or '1'})"
+
+
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# Interning
+# ----------------------------------------------------------------------
+
+
+class AtomTable:
+    """Content-keyed interning of compiled atom spaces.
+
+    Two snapshots inducing the same constraint set — every version of an
+    unchanged network, or the same network seen by different engines —
+    share one :class:`AtomSpace` (and all its spread masks and caches).
+    Keys are the sorted (value, mask) constraint set, so interning is by
+    semantic content, never by snapshot identity.
+    """
+
+    def __init__(self, max_entries: int = 32, atom_limit: int = 1 << 17) -> None:
+        self.max_entries = max_entries
+        self.atom_limit = atom_limit
+        self.hits = 0
+        self.builds = 0
+        self.overflows = 0
+        self._lock = threading.Lock()
+        self._spaces: "OrderedDict[tuple, Optional[AtomSpace]]" = OrderedDict()
+
+    def space_for(self, constraints: Iterable[Wildcard]) -> Optional[AtomSpace]:
+        """The interned atom space for a constraint set, or None.
+
+        ``None`` marks a universe whose atom count exceeds
+        ``atom_limit`` — the caller keeps the wildcard backend for that
+        snapshot rather than paying an unbounded bitset width.
+        """
+        key = tuple(sorted({(w.value, w.mask) for w in constraints}))
+        with self._lock:
+            cached = self._spaces.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.hits += 1
+                self._spaces.move_to_end(key)
+                return cached
+        space = self._build(key)
+        with self._lock:
+            if space is None:
+                self.overflows += 1
+            else:
+                self.builds += 1
+            self._spaces[key] = space
+            while len(self._spaces) > self.max_entries:
+                self._spaces.popitem(last=False)
+        return space
+
+    def _build(self, key: tuple) -> Optional[AtomSpace]:
+        per_field: Dict[str, set] = {name: set() for name in _FIELD_NAMES}
+        for value, mask in key:
+            wildcard = Wildcard._make(value, mask)
+            for name in _FIELD_NAMES:
+                local_value, local_mask = wildcard.field_constraint(name)
+                if local_mask:
+                    per_field[name].add((local_value, local_mask))
+        field_cells: List[FieldCells] = []
+        n_atoms = 1
+        for name in _FIELD_NAMES:
+            cells = FieldCells(
+                name, FIELD_LAYOUT[name].width, per_field[name]
+            )
+            n_atoms *= len(cells)
+            if n_atoms > self.atom_limit:
+                return None
+            field_cells.append(cells)
+        signature = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+        return AtomSpace(field_cells, signature)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "overflows": self.overflows,
+            "entries": len(self._spaces),
+        }
+
+
+#: Process-wide interner shared by every engine (keys are semantic, so
+#: sharing across engines/networks is always sound).
+GLOBAL_ATOM_TABLE = AtomTable()
+
+
+def constraint_seed_hash(wildcards: Iterable[Wildcard]) -> str:
+    """Short stable digest of a seed wildcard set, for cache keying."""
+    pairs = sorted({(w.value, w.mask) for w in wildcards})
+    return hashlib.sha256(repr(pairs).encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Atom-domain transfer functions
+# ----------------------------------------------------------------------
+
+
+class _AtomRule:
+    """One compiled rule in the atom domain.
+
+    ``cellmasks`` holds, per constrained field, the bitmask of cells the
+    match touches (exact by construction: match constraints are
+    registered).  ``base_bits`` is the match's atom set with no pins;
+    :meth:`preimage` specialises it to a branch's accumulated rewrites.
+    """
+
+    __slots__ = ("in_port", "cellmasks", "base_bits", "actions", "_pre_cache")
+
+    def __init__(self, space: AtomSpace, rule) -> None:
+        self.in_port: Optional[int] = rule.in_port
+        self.actions = rule.actions
+        cellmasks: List[Tuple[int, int]] = []
+        bits = space.full_bits
+        for f_idx, name in enumerate(_FIELD_NAMES):
+            value, mask = rule.match_wc.field_constraint(name)
+            if not mask:
+                continue
+            cellmask, exact = space.field_cells[f_idx].cell_masks(value, mask)
+            assert exact, f"rule constraint on {name} not registered"
+            cellmasks.append((f_idx, cellmask))
+            bits &= space.spread_union(f_idx, cellmask)
+        self.cellmasks: Tuple[Tuple[int, int], ...] = tuple(cellmasks)
+        self.base_bits = bits
+        self._pre_cache: Dict[Pins, int] = {(): bits}
+
+    def preimage(self, space: AtomSpace, pins: Pins) -> int:
+        """Injected atoms whose *image* under ``pins`` matches this rule.
+
+        A pinned field contributes a pure membership test (the image
+        value's cell either is in the match's cells or the rule is
+        unreachable for this branch); unpinned fields constrain the
+        injected set directly.
+        """
+        cached = self._pre_cache.get(pins)
+        if cached is not None:
+            return cached
+        pinned = dict(pins)
+        bits = space.full_bits
+        for f_idx, cellmask in self.cellmasks:
+            cell = pinned.get(f_idx)
+            if cell is not None:
+                if not (cellmask >> cell) & 1:
+                    bits = 0
+                    break
+                continue
+            bits &= space.spread_union(f_idx, cellmask)
+            if not bits:
+                break
+        self._pre_cache[pins] = bits
+        return bits
+
+
+def _with_pin(pins: Pins, f_idx: int, cell: int) -> Pins:
+    for i, (pf, _pc) in enumerate(pins):
+        if pf == f_idx:
+            return pins[:i] + ((f_idx, cell),) + pins[i + 1 :]
+        if pf > f_idx:
+            return pins[:i] + ((f_idx, cell),) + pins[i:]
+    return pins + ((f_idx, cell),)
+
+
+class _AtomSwitch:
+    """The atom-domain pipeline of one switch (mirrors the wildcard TF)."""
+
+    __slots__ = ("space", "name", "ports", "_tables", "_applicable")
+
+    def __init__(self, space: AtomSpace, switch_tf) -> None:
+        self.space = space
+        self.name = switch_tf.switch_name
+        self.ports = switch_tf.ports
+        self._tables: Dict[int, Tuple[_AtomRule, ...]] = {
+            table_id: tuple(_AtomRule(space, rule) for rule in rules)
+            for table_id, rules in switch_tf.iter_tables()
+        }
+        #: (table, in_port) -> in-port-filtered rule tuple, built lazily
+        self._applicable: Dict[Tuple[int, int], Tuple[_AtomRule, ...]] = {}
+
+    def _rules_for(self, table_id: int, in_port: int) -> Tuple[_AtomRule, ...]:
+        key = (table_id, in_port)
+        rules = self._applicable.get(key)
+        if rules is None:
+            rules = tuple(
+                rule
+                for rule in self._tables.get(table_id, ())
+                if rule.in_port is None or rule.in_port == in_port
+            )
+            self._applicable[key] = rules
+        return rules
+
+    def apply(
+        self,
+        table_id: int,
+        in_port: int,
+        injected: int,
+        pins: Pins,
+        emit: Callable[[Tuple[int, int, Pins]], None],
+    ) -> None:
+        """Priority-shadowed table application, all bitwise.
+
+        ``injected`` is an atom set over *original ingress headers*; the
+        branch's current headers are its image under ``pins``.  Rule
+        matching intersects with the pre-image of the match, shadowing
+        is one AND-NOT — no wildcard lists anywhere.
+        """
+        space = self.space
+        remaining = injected
+        for rule in self._rules_for(table_id, in_port):
+            if not remaining:
+                break
+            pre = rule.preimage(space, pins)
+            segment = remaining & pre
+            if segment:
+                self._apply_actions(rule, in_port, segment, pins, emit)
+            remaining &= ~pre
+        # Table miss: OpenFlow 1.3 default-drops; nothing emitted.
+
+    def _apply_actions(
+        self,
+        rule: _AtomRule,
+        in_port: int,
+        segment: int,
+        pins: Pins,
+        emit: Callable[[Tuple[int, int, Pins]], None],
+    ) -> None:
+        space = self.space
+        current = pins
+        for action in rule.actions:
+            if isinstance(action, SetField):
+                raw = action.value
+                raw = (
+                    raw.value
+                    if isinstance(raw, (MacAddress, IPv4Address))
+                    else int(raw)
+                )
+                current = _with_pin(current, *space.pin_for(action.field, raw))
+            elif isinstance(action, PushVlan):
+                current = _with_pin(
+                    current, *space.pin_for("vlan_id", action.vlan_id)
+                )
+            elif isinstance(action, PopVlan):
+                current = _with_pin(current, *space.pin_for("vlan_id", VLAN_NONE))
+            elif isinstance(action, Output):
+                emit((action.port, segment, current))
+            elif isinstance(action, Flood):
+                for port in self.ports:
+                    if port != in_port:
+                        emit((port, segment, current))
+            elif isinstance(action, ToController):
+                emit((_CONTROLLER_PORT, segment, current))
+            elif isinstance(action, GotoTable):
+                self.apply(action.table_id, in_port, segment, current, emit)
+                break  # goto terminates this action list
+            elif isinstance(action, Meter):
+                continue  # metering does not change reachability
+            elif isinstance(action, Drop):
+                break
+
+
+# ----------------------------------------------------------------------
+# All-ingress reachability matrix
+# ----------------------------------------------------------------------
+
+
+class MatrixRow:
+    """Everything one ingress port's full-space propagation discovered."""
+
+    __slots__ = ("zones", "reach", "traversed", "expansions")
+
+    def __init__(self) -> None:
+        #: zone -> pins -> injected atoms arriving there via that rewrite
+        self.zones: Dict[ZoneKey, Dict[Pins, int]] = {}
+        #: zone -> injected atoms arriving at all (OR over pins)
+        self.reach: Dict[ZoneKey, int] = {}
+        #: switch -> injected atoms whose traffic expands there
+        self.traversed: Dict[str, int] = {}
+        self.expansions = 0
+
+    def record_zone(self, key: ZoneKey, pins: Pins, bits: int) -> None:
+        per_pins = self.zones.setdefault(key, {})
+        per_pins[pins] = per_pins.get(pins, 0) | bits
+        self.reach[key] = self.reach.get(key, 0) | bits
+
+
+class ReachabilityMatrix:
+    """Per-ingress rows of the all-pairs reachability precomputation.
+
+    Serving a query is: encode the query space (cached), AND it against
+    the row's per-zone bits, decode only what must leave the service in
+    wildcard form.  The matrix holds *injected* atom sets, so it answers
+    both transfer ("where can my traffic go") and inverse-transfer
+    ("whose traffic arrives here") directions from the same rows.
+    """
+
+    __slots__ = ("space", "_rows", "_order", "expansions")
+
+    def __init__(
+        self, space: AtomSpace, rows: Dict[Tuple[str, int], MatrixRow]
+    ) -> None:
+        self.space = space
+        self._rows = rows
+        self._order: Tuple[Tuple[str, int], ...] = tuple(rows)
+        self.expansions = sum(row.expansions for row in rows.values())
+
+    def ingresses(self) -> Tuple[Tuple[str, int], ...]:
+        return self._order
+
+    def row(self, ref: Tuple[str, int]) -> Optional[MatrixRow]:
+        return self._rows.get(ref)
+
+    def arrived_space(
+        self, ref: Tuple[str, int], zone: ZoneKey, query_bits: int
+    ) -> int:
+        """Atom set of query traffic *as it arrives* at ``zone`` (image)."""
+        row = self._rows.get(ref)
+        if row is None:
+            return 0
+        arrived = 0
+        for pins, bits in row.zones.get(zone, {}).items():
+            segment = bits & query_bits
+            if segment:
+                arrived |= self.space.apply_pins(segment, pins)
+        return arrived
+
+
+class AtomNetwork:
+    """The network transfer function, compiled into the atom domain."""
+
+    def __init__(self, network_tf, space: AtomSpace, *, max_depth: int = 64):
+        self.space = space
+        self.max_depth = max_depth
+        self._role_of = network_tf.role_of
+        self.switches: Dict[str, _AtomSwitch] = {
+            name: _AtomSwitch(space, tf)
+            for name, tf in network_tf.transfer_functions.items()
+        }
+
+    def propagate(self, start_switch: str, start_port: int) -> MatrixRow:
+        """Inject the *full* header space at one ingress; record arrivals.
+
+        The coverage guard is keyed (switch, in-port, pins) over
+        *injected* atoms: a later branch arriving with the same rewrite
+        history re-expands only injected headers not yet propagated
+        through that ingress — which both terminates loops and keeps the
+        per-ingress attribution exact (the covered part's downstream
+        arrivals were recorded by the earlier branch with the same
+        injected bits).
+        """
+        space = self.space
+        row = MatrixRow()
+        seen: Dict[Tuple[str, int, Pins], int] = {}
+        stack: List[Tuple[str, int, int, Pins, int]] = [
+            (start_switch, start_port, space.full_bits, (), 0)
+        ]
+        max_depth = self.max_depth
+        while stack:
+            switch, in_port, injected, pins, depth = stack.pop()
+            if not injected or depth > max_depth:
+                continue
+            key = (switch, in_port, pins)
+            covered = seen.get(key, 0)
+            injected &= ~covered
+            if not injected:
+                continue
+            seen[key] = covered | injected
+            row.expansions += 1
+            row.traversed[switch] = row.traversed.get(switch, 0) | injected
+            atom_switch = self.switches.get(switch)
+            if atom_switch is None:
+                continue
+            emissions: List[Tuple[int, int, Pins]] = []
+            atom_switch.apply(0, in_port, injected, pins, emissions.append)
+            children: List[Tuple[str, int, int, Pins, int]] = []
+            for out_port, out_bits, out_pins in emissions:
+                if not out_bits:
+                    continue
+                if out_port == _CONTROLLER_PORT:
+                    row.record_zone(
+                        ("controller", switch, out_port), out_pins, out_bits
+                    )
+                    continue
+                role = self._role_of(switch, out_port)
+                if role.kind == "edge":
+                    row.record_zone(("edge", switch, out_port), out_pins, out_bits)
+                elif role.kind == "link" and role.peer is not None:
+                    peer_switch, peer_port = role.peer
+                    children.append(
+                        (peer_switch, peer_port, out_bits, out_pins, depth + 1)
+                    )
+                else:
+                    row.record_zone(
+                        ("unbound", switch, out_port), out_pins, out_bits
+                    )
+            stack.extend(reversed(children))
+        return row

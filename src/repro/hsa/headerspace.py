@@ -19,13 +19,14 @@ from repro.hsa.wildcard import Wildcard
 class HeaderSpace:
     """An immutable union of wildcards (possibly empty)."""
 
-    __slots__ = ("_wildcards",)
+    __slots__ = ("_wildcards", "_fingerprint")
 
     def __init__(self, wildcards: Iterable[Wildcard] = (), *, prune: bool = False):
         items = list(wildcards)
         if prune:
             items = _prune_subsets(items)
         self._wildcards: tuple[Wildcard, ...] = tuple(items)
+        self._fingerprint: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -40,6 +41,7 @@ class HeaderSpace:
         """
         made = object.__new__(cls)
         made._wildcards = tuple(pieces)
+        made._fingerprint = None
         return made
 
     @classmethod
@@ -193,9 +195,16 @@ class HeaderSpace:
 
         Two spaces with the same fingerprint are identical unions of
         wildcards; semantically-equal spaces built differently may hash
-        apart, which only costs a cache miss, never a wrong hit.
+        apart, which only costs a cache miss, never a wrong hit.  Cached
+        after the first call — fingerprints key both the engine's
+        propagation memo and the atom backend's query-encoding cache, so
+        a served query should not pay the sort twice.
         """
-        return tuple(sorted((w.value, w.mask) for w in self._wildcards))
+        if self._fingerprint is None:
+            self._fingerprint = tuple(
+                sorted((w.value, w.mask) for w in self._wildcards)
+            )
+        return self._fingerprint
 
     def sample(self, rng: random.Random) -> Optional[int]:
         """A concrete header from this space, or None when empty."""

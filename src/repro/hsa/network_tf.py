@@ -86,6 +86,18 @@ class NetworkTransferFunction:
     def total_rules(self) -> int:
         return sum(tf.rule_count() for tf in self.transfer_functions.values())
 
+    def atom_constraints(self) -> tuple:
+        """The deduplicated predicate set of the whole network.
+
+        Union of every switch pipeline's
+        :meth:`~repro.hsa.transfer.SwitchTransferFunction.constraint_wildcards`,
+        sorted for a deterministic atom-space interning key.
+        """
+        seen = set()
+        for name in sorted(self.transfer_functions):
+            seen.update(self.transfer_functions[name].constraint_wildcards())
+        return tuple(sorted(seen, key=lambda w: (w.value, w.mask)))
+
     def kernel_stats(self) -> Dict[str, int]:
         """Summed fast-path counters across every switch TF (telemetry).
 

@@ -376,3 +376,39 @@ def _fan_analyze(context, port_ref: PortRef) -> ReachabilityResult:
     analyze, space = context
     switch, port = port_ref
     return analyze(switch, port, space)
+
+
+# ----------------------------------------------------------------------
+# All-ingress matrix precomputation (atom backend)
+# ----------------------------------------------------------------------
+
+
+def build_reachability_matrix(
+    network_tf,
+    atom_space,
+    *,
+    max_depth: int = 64,
+    workers: int = 1,
+    pool_mode: str = "thread",
+):
+    """Propagate the full header space from every edge ingress, bitwise.
+
+    One :class:`~repro.hsa.atoms.MatrixRow` per edge port, computed in
+    the atom domain and fanned out over the same order-preserving
+    :class:`FanOutPool` the wildcard sweeps use — so the matrix is
+    deterministic for any worker count.  Thread mode only: the compiled
+    :class:`~repro.hsa.atoms.AtomNetwork` shares per-rule preimage
+    caches across rows, which a process pool would silently discard.
+    """
+    from repro.hsa.atoms import AtomNetwork, ReachabilityMatrix
+
+    atom_network = AtomNetwork(network_tf, atom_space, max_depth=max_depth)
+    ingresses = network_tf.all_edge_ports()
+    rows = FanOutPool(workers, "thread" if pool_mode == "process" else pool_mode).map(
+        _fan_matrix_row, atom_network, ingresses
+    )
+    return ReachabilityMatrix(atom_space, dict(zip(ingresses, rows)))
+
+
+def _fan_matrix_row(atom_network, port_ref: PortRef):
+    return atom_network.propagate(*port_ref)

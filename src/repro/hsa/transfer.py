@@ -533,6 +533,39 @@ class SwitchTransferFunction:
             collected.extend(self._tables[table_id])
         return collected
 
+    def iter_tables(self) -> List[Tuple[int, Tuple[TransferRule, ...]]]:
+        """(table_id, priority-ordered rules) pairs, in table order."""
+        return [
+            (table_id, tuple(self._tables[table_id]))
+            for table_id in sorted(self._tables)
+        ]
+
+    def constraint_wildcards(self) -> List[Wildcard]:
+        """Every header predicate this pipeline can distinguish.
+
+        Match wildcards plus singleton wildcards for each constant a
+        rewrite action writes — exactly the predicate set whose induced
+        partition the atomic-predicate engine (:mod:`repro.hsa.atoms`)
+        must refine for atom-granularity reasoning to be exact.
+        """
+        out: List[Wildcard] = []
+        for rule in self.rules():
+            out.append(rule.match_wc)
+            for action in rule.actions:
+                if isinstance(action, SetField):
+                    raw = action.value
+                    raw = (
+                        raw.value
+                        if isinstance(raw, (MacAddress, IPv4Address))
+                        else int(raw)
+                    )
+                    out.append(Wildcard.from_fields(**{action.field: raw}))
+                elif isinstance(action, PushVlan):
+                    out.append(Wildcard.from_fields(vlan_id=action.vlan_id))
+                elif isinstance(action, PopVlan):
+                    out.append(Wildcard.from_fields(vlan_id=VLAN_NONE))
+        return out
+
 
 def _shadow_flags(rules: Sequence[TransferRule]) -> Tuple[bool, ...]:
     """flag[i]: does any later rule overlap rule i's match wildcard?

@@ -1,0 +1,449 @@
+"""Differential tests: the atomic-predicate backend vs the wildcard path.
+
+The atom engine (bitset header sets over equivalence classes, plus the
+precomputed all-ingress reachability matrix) must be *byte-identical* to
+the wildcard fast path on every query it serves — not merely
+semantically equal.  Three layers of evidence:
+
+* **Verifier level** — random snapshots + random queries, answered by
+  two :class:`LogicalVerifier` instances that differ only in the
+  engine's backend.  The answer dataclasses are frozen, so ``==`` is a
+  byte-for-byte comparison of the signed payload content.
+* **Kernel level** — the matrix's per-ingress arrival sets, decoded
+  back to wildcards, against the frozen :mod:`repro.hsa.reference`
+  oracle (the pre-rewrite kernel that also guards the PR-2 fast path).
+* **Unit level** — :class:`AtomTable` interning, encode/decode
+  round-trips, and delta-driven invalidation through the engine's
+  artifact cache.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import SnapshotDelta, VerificationEngine
+from repro.core.protocol import ClientRegistration, HostRecord
+from repro.core.queries import TrafficScope
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+from repro.crypto.keys import PublicKey
+from repro.hsa.atoms import GLOBAL_ATOM_TABLE, AtomTable
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.reachability import build_reachability_matrix
+from repro.hsa.reference import (
+    ReferenceReachabilityAnalyzer,
+    reference_network_tf,
+)
+from repro.hsa.transfer import SnapshotRule
+from repro.hsa.wildcard import Wildcard
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import (
+    Drop,
+    Flood,
+    GotoTable,
+    Output,
+    PopVlan,
+    PushVlan,
+    SetField,
+    ToController,
+)
+from repro.openflow.match import Match
+
+# Three switches in a chain; ports: 1 = edge, 2 = toward next, 3 = toward prev.
+SWITCHES = ("s1", "s2", "s3")
+WIRING = {
+    ("s1", 2): ("s2", 3),
+    ("s2", 3): ("s1", 2),
+    ("s2", 2): ("s3", 3),
+    ("s3", 3): ("s2", 2),
+}
+EDGE_PORTS = {name: frozenset([1]) for name in SWITCHES}
+SWITCH_PORTS = {name: (1, 2, 3) for name in SWITCHES}
+
+IPS = [IPv4Address.parse("10.0.0.1"), IPv4Address.parse("10.0.0.2")]
+TP_PORTS = [80, 81]
+
+_KEY = PublicKey(n=1, e=1)
+
+REGISTRATIONS = {
+    "alice": ClientRegistration(
+        name="alice",
+        public_key=_KEY,
+        hosts=(
+            HostRecord(
+                name="a1", ip=IPS[0].value, switch="s1", port=1, public_key=_KEY
+            ),
+        ),
+    ),
+    "bob": ClientRegistration(
+        name="bob",
+        public_key=_KEY,
+        hosts=(
+            HostRecord(
+                name="b1", ip=IPS[1].value, switch="s3", port=1, public_key=_KEY
+            ),
+        ),
+    ),
+}
+
+
+def match_strategy():
+    return st.builds(
+        Match,
+        in_port=st.sampled_from([None, None, 1, 2, 3]),
+        ip_dst=st.sampled_from([None, *IPS]),
+        ip_src=st.sampled_from([None, *IPS]),
+        tp_dst=st.sampled_from([None, *TP_PORTS]),
+        vlan_id=st.sampled_from([None, 0, 5]),
+    )
+
+
+def action_strategy(allow_goto: bool):
+    options = [
+        st.builds(Output, port=st.sampled_from([1, 2, 3])),
+        st.just(Drop()),
+        st.just(Flood()),
+        st.just(ToController()),
+        st.builds(
+            SetField, field=st.just("tp_dst"), value=st.sampled_from(TP_PORTS)
+        ),
+        st.builds(PushVlan, vlan_id=st.just(5)),
+        st.just(PopVlan()),
+    ]
+    if allow_goto:
+        options.append(st.just(GotoTable(1)))
+    return st.one_of(options)
+
+
+def rule_strategy():
+    def build(table, match, actions, priority):
+        return SnapshotRule(
+            table_id=table, priority=priority, match=match, actions=tuple(actions)
+        )
+
+    return st.sampled_from([0, 0, 0, 1]).flatmap(
+        lambda table: st.builds(
+            build,
+            st.just(table),
+            match_strategy(),
+            st.lists(action_strategy(allow_goto=table == 0), min_size=1, max_size=3),
+            st.integers(min_value=0, max_value=3),
+        )
+    )
+
+
+def config_strategy():
+    return st.fixed_dictionaries(
+        {name: st.lists(rule_strategy(), max_size=6) for name in SWITCHES}
+    )
+
+
+def scope_strategy():
+    # 80 appears in seeded rules often; 443 is deliberately never
+    # registered, forcing the per-query fallback path.
+    return st.builds(
+        TrafficScope,
+        tp_dst=st.sampled_from([None, None, 80, 443]),
+        ip_proto=st.sampled_from([None, 17]),
+    )
+
+
+def space_strategy():
+    def build(dst, dport, vlan):
+        fields = {}
+        if dst is not None:
+            fields["ip_dst"] = dst.value
+        if dport is not None:
+            fields["tp_dst"] = dport
+        if vlan is not None:
+            fields["vlan_id"] = vlan
+        return HeaderSpace.single(
+            Wildcard.from_fields(**fields) if fields else Wildcard.all()
+        )
+
+    return st.builds(
+        build,
+        st.sampled_from([None, *IPS]),
+        st.sampled_from([None, *TP_PORTS]),
+        st.sampled_from([None, 0, 5]),
+    )
+
+
+def snapshot_from(config, version: int = 1) -> NetworkSnapshot:
+    return NetworkSnapshot(
+        version=version,
+        taken_at=0.0,
+        rules={name: tuple(rules) for name, rules in config.items()},
+        meters=(),
+        wiring=WIRING,
+        edge_ports=EDGE_PORTS,
+        switch_ports=SWITCH_PORTS,
+    )
+
+
+# ----------------------------------------------------------------------
+# Verifier level: byte-identical signed-answer payloads
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=config_strategy(), scope=scope_strategy())
+def test_atom_backend_answers_byte_identical(config, scope):
+    snapshot = snapshot_from(config)
+    wildcard = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="wildcard")
+    )
+    atom = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="atom")
+    )
+    for registration in REGISTRATIONS.values():
+        assert wildcard.reachable_destinations(
+            registration, snapshot, scope
+        ) == atom.reachable_destinations(registration, snapshot, scope)
+        assert wildcard.reaching_sources(
+            registration, snapshot, scope
+        ) == atom.reaching_sources(registration, snapshot, scope)
+        assert wildcard.isolation(registration, snapshot, scope) == atom.isolation(
+            registration, snapshot, scope
+        )
+        assert wildcard.geo_location(
+            registration, snapshot, scope
+        ) == atom.geo_location(registration, snapshot, scope)
+        assert wildcard.waypoint_avoidance(
+            registration, snapshot, ("eu",), scope
+        ) == atom.waypoint_avoidance(registration, snapshot, ("eu",), scope)
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=config_strategy())
+def test_atom_backend_actually_serves_from_matrix(config):
+    """The comparison above must not pass merely because everything
+    fell back: unscoped queries from seeded hosts are always served."""
+    snapshot = snapshot_from(config)
+    atom = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="atom")
+    )
+    for registration in REGISTRATIONS.values():
+        atom.reachable_destinations(registration, snapshot)
+    metrics = atom.engine.metrics
+    assert metrics.atom_served_queries >= len(REGISTRATIONS)
+    assert metrics.atom_fallbacks == 0
+    assert metrics.atom_matrix_builds == 1
+
+
+# ----------------------------------------------------------------------
+# Kernel level: matrix arrivals vs the frozen reference oracle
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=config_strategy(), space=space_strategy())
+def test_matrix_matches_reference_oracle(config, space):
+    ntf = snapshot_from(config).network_tf()
+    atom_space = GLOBAL_ATOM_TABLE.space_for(
+        list(ntf.atom_constraints()) + list(space.wildcards)
+    )
+    assert atom_space is not None
+    query_bits = atom_space.encode_space(space)
+    assert query_bits is not None, "seeded query space must encode exactly"
+    matrix = build_reachability_matrix(ntf, atom_space)
+    reference = ReferenceReachabilityAnalyzer(reference_network_tf(ntf))
+    for switch in SWITCHES:
+        result = reference.analyze(switch, 1, space)
+        row = matrix.row((switch, 1))
+        # Same set of reached zones...
+        expected = {}
+        for zone in result.zones:
+            key = (zone.kind, zone.switch, zone.port)
+            expected[key] = (
+                expected.get(key, HeaderSpace.empty()).union(zone.space)
+            )
+        served = {
+            key
+            for key, bits in row.reach.items()
+            if bits & query_bits
+        }
+        assert served == set(expected), (
+            f"zones diverged from {switch}: {served} != {set(expected)}"
+        )
+        # ...and the same arrival spaces, decoded back to wildcards.
+        for key, want in expected.items():
+            arrived = matrix.arrived_space((switch, 1), key, query_bits)
+            assert atom_space.decode(arrived) == want, (
+                f"arrival space diverged at {key} from {switch}"
+            )
+        # Traversed switches agree too (geo queries depend on them).
+        traversed = {
+            name
+            for name, bits in row.traversed.items()
+            if bits & query_bits
+        }
+        assert traversed == result.switches_traversed
+
+
+# ----------------------------------------------------------------------
+# Unit level: interning, round-trips, invalidation
+# ----------------------------------------------------------------------
+
+
+def test_atom_table_interns_by_constraint_content():
+    table = AtomTable()
+    constraints = [
+        Wildcard.from_fields(ip_dst=IPS[0].value),
+        Wildcard.from_fields(tp_dst=80),
+    ]
+    first = table.space_for(constraints)
+    # Same content, different order and duplicates: same object.
+    second = table.space_for(list(reversed(constraints)) + constraints[:1])
+    assert first is second
+    assert table.stats()["builds"] == 1
+    assert table.stats()["hits"] == 1
+    # Different content: different universe.
+    third = table.space_for(constraints + [Wildcard.from_fields(vlan_id=5)])
+    assert third is not first
+    assert table.stats()["builds"] == 2
+
+
+def test_atom_table_overflow_returns_none():
+    table = AtomTable(atom_limit=4)
+    constraints = [
+        Wildcard.from_fields(ip_dst=IPS[0].value),
+        Wildcard.from_fields(ip_src=IPS[0].value),
+        Wildcard.from_fields(tp_dst=80),
+    ]
+    assert table.space_for(constraints) is None
+    assert table.stats()["overflows"] == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wildcards=st.lists(
+        st.builds(
+            lambda ip, tp, vlan: Wildcard.from_fields(
+                **{
+                    k: v
+                    for k, v in (
+                        ("ip_dst", ip),
+                        ("tp_dst", tp),
+                        ("vlan_id", vlan),
+                    )
+                    if v is not None
+                }
+            ),
+            st.sampled_from([None, IPS[0].value, IPS[1].value]),
+            st.sampled_from([None, *TP_PORTS]),
+            st.sampled_from([None, 0, 5]),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_encode_decode_round_trip(wildcards):
+    table = AtomTable()
+    space = table.space_for(wildcards)
+    assert space is not None
+    for wildcard in wildcards:
+        bits = space.encode_space(HeaderSpace.single(wildcard))
+        assert bits is not None, "registered constraints must encode exactly"
+        decoded = space.decode(bits)
+        # decode is a right-inverse of encode (bit-exact)...
+        assert space.encode_space(decoded) == bits
+        # ...and semantically the identity on registered spaces.
+        assert decoded == HeaderSpace.single(wildcard)
+    # The full and empty sets round-trip too.
+    assert space.decode(space.full_bits) == HeaderSpace.all()
+    assert space.decode(0).is_empty()
+    assert space.encode_space(HeaderSpace.all()) == space.full_bits
+
+
+def test_unregistered_constraint_refuses_to_encode():
+    table = AtomTable()
+    space = table.space_for([Wildcard.from_fields(tp_dst=80)])
+    assert space is not None
+    # tp_dst=81 splits the "everything but 80" cell: inexact, so refused.
+    assert space.encode_space(
+        HeaderSpace.single(Wildcard.from_fields(tp_dst=81))
+    ) is None
+
+
+def test_delta_invalidation_rebuilds_atom_artifacts():
+    base = {
+        "s1": [
+            SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),)),
+        ],
+        "s2": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+        "s3": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(1),))],
+    }
+    engine = VerificationEngine(backend="atom")
+    engine.compile(snapshot_from(base, version=1))
+    assert engine.metrics.atom_matrix_builds == 1
+
+    # Same content, new version: artifact hit, no rebuild.
+    engine.compile(snapshot_from(base, version=2))
+    assert engine.metrics.atom_matrix_builds == 1
+    assert engine.metrics.atom_intern_hits >= 1
+
+    # Rule churn changes the content hash: rebuild.
+    changed = dict(base)
+    changed["s1"] = base["s1"] + [
+        SnapshotRule(0, 9, Match(tp_dst=81), (Drop(),))
+    ]
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=2, version=3, changed_switches=frozenset(["s1"])
+        )
+    )
+    engine.compile(snapshot_from(changed, version=3))
+    assert engine.metrics.atom_matrix_builds == 2
+
+    # A wiring change clears the artifact cache outright.
+    engine.apply_delta(
+        SnapshotDelta(since_version=3, version=4, wiring_changed=True)
+    )
+    engine.compile(snapshot_from(changed, version=4))
+    assert engine.metrics.atom_matrix_builds == 3
+
+
+def test_seed_atoms_changes_artifact_key_not_staleness():
+    base = {
+        "s1": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+        "s2": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+        "s3": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(1),))],
+    }
+    engine = VerificationEngine(backend="atom")
+    snapshot = snapshot_from(base)
+    pair = engine.atom_artifacts(snapshot)
+    assert pair is not None
+    space, _matrix = pair
+    # tp_dst=81 is not registered: refused before seeding...
+    probe = HeaderSpace.single(Wildcard.from_fields(tp_dst=81))
+    assert space.encode_space(probe) is None
+    # ...after seeding, a *new* universe (fresh artifact key) serves it.
+    engine.seed_atoms([Wildcard.from_fields(tp_dst=81)])
+    seeded_space, _ = engine.atom_artifacts(snapshot)
+    assert seeded_space is not space
+    assert seeded_space.encode_space(probe) is not None
+
+
+def test_wildcard_backend_builds_no_matrix():
+    base = {
+        "s1": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+        "s2": [],
+        "s3": [],
+    }
+    engine = VerificationEngine(backend="wildcard")
+    engine.compile(snapshot_from(base))
+    assert engine.metrics.atom_matrix_builds == 0
+    assert engine.atom_artifacts(snapshot_from(base)) is None
+
+
+def test_backend_flag_validation():
+    with pytest.raises(ValueError):
+        VerificationEngine(backend="quantum")

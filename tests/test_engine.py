@@ -166,8 +166,12 @@ class TestSwitchTFCache:
 
 
 class TestReachabilityMemo:
+    # These two tests assert the *wildcard* propagation memo's counters;
+    # under the atom backend the same queries are served from the
+    # reachability matrix and never propagate at all, so the engine is
+    # pinned to the mechanism under test.
     def test_repeated_query_reuses_propagation(self):
-        engine = VerificationEngine()
+        engine = VerificationEngine(backend="wildcard")
         verifier = LogicalVerifier(
             REGISTRATIONS, engine=engine, exclude_own_interception=False
         )
@@ -181,7 +185,7 @@ class TestReachabilityMemo:
         assert engine.metrics.reach_hits >= 2  # one per host
 
     def test_isolation_reuses_destination_propagations(self):
-        engine = VerificationEngine()
+        engine = VerificationEngine(backend="wildcard")
         verifier = LogicalVerifier(
             REGISTRATIONS, engine=engine, exclude_own_interception=False
         )

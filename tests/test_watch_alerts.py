@@ -101,6 +101,45 @@ class TestWatchAlerts:
         )
         assert client.notices == []
 
+    def test_unchanged_snapshot_skips_reverification(self, bed):
+        """A watch round against a byte-identical configuration is one
+        hash comparison, not a re-answered isolation query per client."""
+        bed.run(0.5)
+        bed.service._run_watch_check()  # ensure a verified baseline exists
+        skipped = bed.service.watch_checks_skipped
+        metrics = bed.service.engine.metrics
+        queries = metrics.reach_hits + metrics.reach_misses
+        bed.service._run_watch_check()
+        assert bed.service.watch_checks_skipped == skipped + 1
+        # The skipped round ran zero propagation queries.
+        assert metrics.reach_hits + metrics.reach_misses == queries
+
+    def test_missing_verdict_forces_full_check(self, bed):
+        """An unchanged content hash never skips a client that has no
+        recorded verdict (subscription records one immediately; this
+        guards the coalesced path if that invariant ever weakens)."""
+        bed.run(0.5)
+        bed.service._run_watch_check()
+        bed.service.watch_isolation("bob")
+        del bed.service._watch_verdicts["bob"]
+        skipped = bed.service.watch_checks_skipped
+        bed.service._run_watch_check()
+        assert bed.service.watch_checks_skipped == skipped
+        assert "bob" in bed.service._watch_verdicts
+
+    def test_skip_never_suppresses_alerts(self, bed):
+        """Changed configuration after a run of skipped rounds still
+        re-verifies and alerts."""
+        alerts = []
+        bed.clients["alice"].on_notice(alerts.append)
+        bed.run(0.5)
+        bed.service._run_watch_check()
+        bed.service._run_watch_check()
+        assert bed.service.watch_checks_skipped >= 1
+        bed.provider.compromise(JoinAttack("h_ber2", "h_fra1"))
+        bed.run(0.5)
+        assert len(alerts) == 1
+
     def test_alert_latency_sub_snapshot_interval(self, bed):
         """The alert arrives at event-batch latency, far below any
         polling interval a client could reasonably use."""
