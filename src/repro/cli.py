@@ -12,11 +12,17 @@ Commands
     List the built-in topology generators with their sizes.
 ``experiments``
     List the reproduction's experiment index (DESIGN.md §4).
+``stats``
+    Run the query battery on a fresh deployment and print the engine's
+    cache/serving counters, including the per-query-class breakdown of
+    matrix-served vs wildcard-fallback answers and the matrix-repair
+    counters under FlowMod churn.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -75,6 +81,11 @@ EXPERIMENTS = [
     ("E13", "attack traceback from history", "bench_traceback.py"),
     ("E14", "HSA vs emulation backends", "bench_verification_backends.py"),
     ("E15", "proactive alerts vs polling", "bench_proactive_alerts.py"),
+    ("E16", "delta-driven vs full recompilation", "bench_incremental_engine.py"),
+    ("E17", "fast-path HSA kernel vs reference", "bench_hsa_kernel.py"),
+    ("E18", "resilience under lossy control channels", "bench_fault_resilience.py"),
+    ("E19", "atomic-predicate backend vs wildcard", "bench_atom_engine.py"),
+    ("E20", "matrix repair vs full atom recompile", "bench_matrix_repair.py"),
 ]
 
 
@@ -192,6 +203,105 @@ def cmd_topologies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run the query battery and print the engine's serving counters."""
+    from repro.core.engine import BACKEND_ENV_VAR
+    from repro.hsa.atoms import GLOBAL_ATOM_TABLE
+    from repro.openflow.actions import Output
+    from repro.openflow.messages import Match
+
+    clients = args.clients.split(",")
+    topology = parse_topology(args.topology, clients)
+    saved = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = args.backend
+    try:
+        bed = build_testbed(topology, isolate_clients=True, seed=args.seed)
+    finally:
+        if saved is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = saved
+    client = bed.client_names()[0]
+
+    def battery() -> None:
+        for name in sorted(QUERIES):
+            bed.service.answer_locally(client, QUERIES[name]())
+
+    battery()
+    # Optional FlowMod churn between batteries, to exercise the
+    # delta-driven matrix-repair path (atom backend).
+    switch = sorted(bed.topology.switches)[0]
+    for i in range(args.churn):
+        bed.provider.install_flow(
+            switch,
+            Match.build(tp_dst=31000 + i),
+            (Output(1),),
+            priority=400 + i,
+        )
+        bed.run(0.5)
+        battery()
+
+    metrics = bed.service.engine.metrics
+    counters = metrics.snapshot_counters()
+    print(f"backend            : {bed.service.engine.backend}")
+    print(f"topology           : {args.topology} ({topology.describe()})")
+    print(f"queries run        : {len(QUERIES) * (1 + args.churn)}")
+    print(
+        "switch tf          : "
+        f"hits={counters['switch_tf_hits']} "
+        f"misses={counters['switch_tf_misses']}"
+    )
+    print(
+        "network tf         : "
+        f"hits={counters['network_tf_hits']} "
+        f"builds={counters['network_tf_builds']} "
+        f"incremental={counters['incremental_builds']}"
+    )
+    print(
+        "reachability       : "
+        f"hits={counters['reach_hits']} misses={counters['reach_misses']}"
+    )
+    if bed.service.engine.backend == "atom":
+        print(
+            "atom universe      : "
+            f"atoms={counters['atom_count']} "
+            f"space_builds={counters['atom_space_builds']} "
+            f"overflows={counters['atom_overflows']}"
+        )
+        print(
+            "atom matrix        : "
+            f"builds={counters['atom_matrix_builds']} "
+            f"repairs={counters['matrix_repairs']} "
+            f"repair_fallbacks={counters['matrix_repair_fallbacks']}"
+        )
+        print(
+            "matrix repair rows : "
+            f"reused={counters['rows_reused']} "
+            f"repaired={counters['rows_repaired']} "
+            f"atoms_split={counters['atoms_split']}"
+        )
+        table = GLOBAL_ATOM_TABLE.stats()
+        print(
+            "atom interner      : "
+            f"hits={table['hits']} builds={table['builds']} "
+            f"revivals={table['revivals']}"
+        )
+        print(
+            "query serving      : "
+            f"matrix={counters['atom_served_queries']} "
+            f"fallback={counters['atom_fallbacks']}"
+        )
+        served = counters["atom_served_by_class"]
+        fallbacks = counters["atom_fallbacks_by_class"]
+        print("per query class    :")
+        for name in sorted(set(served) | set(fallbacks)):
+            print(
+                f"  {name:<24} matrix={served.get(name, 0):<5} "
+                f"fallback={fallbacks.get(name, 0)}"
+            )
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     for exp_id, title, bench in EXPERIMENTS:
         print(f"{exp_id:<5} {title:<42} benchmarks/{bench}")
@@ -230,6 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="list the experiment index")
     experiments.set_defaults(func=cmd_experiments)
+
+    stats = sub.add_parser(
+        "stats", help="run the query battery and print engine counters"
+    )
+    stats.add_argument(
+        "--backend",
+        choices=("wildcard", "atom"),
+        default="atom",
+        help="HSA header-set backend for the deployment's engine",
+    )
+    stats.add_argument("--clients", default="alice,bob")
+    stats.add_argument("--topology", default="isp", help="e.g. isp, linear:6")
+    stats.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="FlowMods to install between query batteries (exercises "
+        "delta-driven matrix repair on the atom backend)",
+    )
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -46,8 +46,10 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from repro.core.snapshot import NetworkSnapshot
 from repro.hsa.atoms import (
     GLOBAL_ATOM_TABLE,
+    AtomNetwork,
     AtomSpace,
     ReachabilityMatrix,
+    RemapInexact,
     constraint_seed_hash,
 )
 from repro.hsa.headerspace import HeaderSpace
@@ -57,6 +59,7 @@ from repro.hsa.reachability import (
     ReachabilityAnalyzer,
     ReachabilityResult,
     build_reachability_matrix,
+    repair_reachability_matrix,
 )
 from repro.hsa.transfer import SwitchTransferFunction
 from repro.hsa.wildcard import Wildcard
@@ -138,13 +141,62 @@ class EngineMetrics:
     atom_served_queries: int = 0  # queries answered from the matrix
     atom_fallbacks: int = 0  # queries bounced to the wildcard path
     atom_overflows: int = 0  # universes rejected for exceeding the limit
+    # Matrix repair telemetry (E20): delta-driven maintenance of the
+    # all-ingress matrix instead of full recompilation.
+    matrix_repairs: int = 0  # matrices produced by repairing a predecessor
+    rows_repaired: int = 0  # rows re-propagated during repairs
+    rows_reused: int = 0  # rows carried over (renumbered) during repairs
+    atoms_split: int = 0  # old cells refined by the new universe, summed
+    matrix_repair_fallbacks: int = 0  # repairs abandoned for a full rebuild
+    # Per-query-class serving breakdown (which classes the matrix serves
+    # and which still fall back to wildcard propagation); dict-valued,
+    # keyed by query-class name.
+    atom_served_by_class: Dict[str, int] = field(default_factory=dict)
+    atom_fallbacks_by_class: Dict[str, int] = field(default_factory=dict)
 
     @property
     def recompilations(self) -> int:
         return self.switch_tf_misses
 
+    def count_query_class(self, query_class: str, served: bool) -> None:
+        """Record one atom-backend query as matrix-served or fallback."""
+        if served:
+            self.atom_served_queries += 1
+            bucket = self.atom_served_by_class
+        else:
+            self.atom_fallbacks += 1
+            bucket = self.atom_fallbacks_by_class
+        bucket[query_class] = bucket.get(query_class, 0) + 1
+
     def snapshot_counters(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        counters = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            # Dict-valued breakdowns are copied so a "before" snapshot
+            # is not mutated by later counting.
+            counters[f.name] = dict(value) if isinstance(value, dict) else value
+        return counters
+
+
+@dataclass
+class _AtomState:
+    """Predecessor state for delta-driven matrix repair.
+
+    One per cached ``("atoms", seed_key, content)`` artifact: everything
+    :func:`~repro.hsa.reachability.repair_reachability_matrix` needs to
+    produce the successor matrix without a full recompilation.
+    ``switch_sigs`` is the per-switch (rule-content hash, ports)
+    signature map — the touched-switch set of a delta is computed by
+    diffing signatures, never by trusting the delta's own contents, so a
+    missed or wrong delta can only cost extra re-propagation.
+    """
+
+    content: str
+    network_tf: NetworkTransferFunction
+    switch_sigs: Dict[str, tuple]
+    space: AtomSpace
+    matrix: ReachabilityMatrix
+    atom_network: AtomNetwork
 
 
 class VerificationEngine:
@@ -166,6 +218,8 @@ class VerificationEngine:
         max_artifact_entries: int = 8,
         workers: int = 1,
         backend: Optional[str] = None,
+        matrix_repair: bool = True,
+        repair_max_fraction: float = 0.5,
     ) -> None:
         if backend is None:
             backend = os.environ.get(BACKEND_ENV_VAR, "wildcard")
@@ -176,6 +230,14 @@ class VerificationEngine:
         #: universe + all-ingress reachability matrix, and the verifier
         #: serves eligible queries from it (falling back per query).
         self.backend = backend
+        #: repair the predecessor matrix on rule churn instead of
+        #: rebuilding it (atom backend only); off = always cold-build,
+        #: which is the E20 baseline and a CI lever
+        self.matrix_repair = matrix_repair
+        #: safety valve: a delta touching more than this fraction of the
+        #: network's switches falls back to a full rebuild (repairing
+        #: nearly everything costs more than a clean fan-out)
+        self.repair_max_fraction = repair_max_fraction
         self.metrics = EngineMetrics()
         self._max_switch_entries = max_switch_entries
         self._max_network_entries = max_network_entries
@@ -210,6 +272,11 @@ class VerificationEngine:
         #: part of the artifact key, so seeding is never a staleness bug
         self._atom_seeds: Tuple[Wildcard, ...] = ()
         self._atom_seed_key: str = constraint_seed_hash(())
+        #: (seed key, content hash) -> predecessor state for matrix
+        #: repair; MRU-ordered, bounded like the artifact cache
+        self._atom_states: "OrderedDict[Tuple[str, str], _AtomState]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -253,7 +320,7 @@ class VerificationEngine:
             if self.backend == "atom":
                 # The NTF survived but the (space, matrix) artifact may
                 # have been evicted or the seed set may have grown.
-                self._ensure_atoms(cached, content)
+                self._ensure_atoms(cached, content, snapshot)
             return cached
         with self._lock:
             self.metrics.network_tf_builds += 1
@@ -297,7 +364,7 @@ class VerificationEngine:
             self._last_ntf = network_tf
             self._evict(self._network_tfs, self._max_network_entries)
         if self.backend == "atom":
-            self._ensure_atoms(network_tf, content)
+            self._ensure_atoms(network_tf, content, snapshot)
         return network_tf
 
     # ------------------------------------------------------------------
@@ -453,26 +520,41 @@ class VerificationEngine:
         return built  # type: ignore[return-value]
 
     def _ensure_atoms(
-        self, network_tf: NetworkTransferFunction, content: str
+        self,
+        network_tf: NetworkTransferFunction,
+        content: str,
+        snapshot: NetworkSnapshot,
     ) -> None:
-        """Build (or re-hit) the atom universe + matrix for one snapshot.
+        """Build, repair, or re-hit the atom universe + matrix.
 
         Stored in the generic artifact cache under a key that includes
         the seed digest, so PR-1 delta invalidation (wiring changes
         clear artifacts; rule churn changes the content hash) applies
         unchanged.  Overflowed universes are cached as ``(None, None)``
         so the limit check is paid once per snapshot, not per query.
+
+        On a miss with :attr:`matrix_repair` enabled, the engine first
+        looks for a predecessor ``("atoms", seed_key, old_hash)`` state
+        whose wiring matches and whose per-switch signature diff stays
+        under :attr:`repair_max_fraction` — if found, the new matrix is
+        produced by :func:`repair_reachability_matrix` (re-propagating
+        only rows that traverse a touched switch) instead of a full
+        rebuild; an inexact cell renumbering falls back cleanly.
         """
         key = ("atoms", self._atom_seed_key, content)
+        state_key = (self._atom_seed_key, content)
         with self._lock:
             cached = self._artifacts.get(key)
             if cached is not None:
                 self.metrics.atom_intern_hits += 1
                 self._artifacts.move_to_end(key)
+                if state_key in self._atom_states:
+                    self._atom_states.move_to_end(state_key)
                 return
         constraints = list(network_tf.atom_constraints())
         constraints.extend(self._atom_seeds)
         space = GLOBAL_ATOM_TABLE.space_for(constraints)
+        state: Optional[_AtomState] = None
         if space is None:
             self.metrics.atom_overflows += 1
             built: Tuple[Optional[AtomSpace], Optional[ReachabilityMatrix]] = (
@@ -482,15 +564,106 @@ class VerificationEngine:
         else:
             self.metrics.atom_space_builds += 1
             self.metrics.atom_count = space.n_atoms
-            matrix = build_reachability_matrix(
-                network_tf, space, workers=self.workers
-            )
-            self.metrics.atom_matrix_builds += 1
+            switch_sigs = {
+                name: (
+                    snapshot.switch_content_hash(name),
+                    tuple(snapshot.switch_ports.get(name, ())),
+                )
+                for name in snapshot.rules
+            }
+            matrix: Optional[ReachabilityMatrix] = None
+            atom_network: Optional[AtomNetwork] = None
+            candidate = self._repair_candidate(network_tf, switch_sigs)
+            if candidate is not None:
+                predecessor, touched = candidate
+                try:
+                    matrix, atom_network, stats = repair_reachability_matrix(
+                        predecessor.matrix,
+                        network_tf,
+                        space,
+                        touched,
+                        previous_network=predecessor.atom_network,
+                        workers=self.workers,
+                    )
+                except RemapInexact:
+                    self.metrics.matrix_repair_fallbacks += 1
+                    matrix = None
+                else:
+                    self.metrics.matrix_repairs += 1
+                    self.metrics.rows_repaired += stats.rows_repaired
+                    self.metrics.rows_reused += stats.rows_reused
+                    self.metrics.atoms_split += stats.atoms_split
+            elif self.matrix_repair and self._atom_states:
+                # A predecessor existed but was ineligible (wiring
+                # changed or the delta touched too much of the network).
+                self.metrics.matrix_repair_fallbacks += 1
+            if matrix is None:
+                atom_network = AtomNetwork(network_tf, space)
+                matrix = build_reachability_matrix(
+                    network_tf,
+                    space,
+                    workers=self.workers,
+                    atom_network=atom_network,
+                )
+                self.metrics.atom_matrix_builds += 1
             self.metrics.atom_matrix_expansions = matrix.expansions
             built = (space, matrix)
+            state = _AtomState(
+                content=content,
+                network_tf=network_tf,
+                switch_sigs=switch_sigs,
+                space=space,
+                matrix=matrix,
+                atom_network=atom_network,
+            )
         with self._lock:
             self._artifacts[key] = built
             self._evict(self._artifacts, self._max_artifact_entries)
+            if state is not None:
+                self._atom_states[state_key] = state
+                self._evict(self._atom_states, self._max_artifact_entries)
+
+    def _repair_candidate(
+        self,
+        network_tf: NetworkTransferFunction,
+        switch_sigs: Dict[str, tuple],
+    ) -> Optional[Tuple[_AtomState, frozenset]]:
+        """The best predecessor to repair from, with its touched set.
+
+        Candidates are scanned most-recent first among states built
+        under the current seed key; a candidate qualifies when its
+        wiring plan and edge-port sets are unchanged (repair never
+        handles topology surgery) and the per-switch signature diff
+        stays within :attr:`repair_max_fraction` of the network.
+        """
+        if not self.matrix_repair:
+            return None
+        with self._lock:
+            states = [
+                state
+                for (seed_key, _content), state in reversed(
+                    self._atom_states.items()
+                )
+                if seed_key == self._atom_seed_key
+            ]
+        total = max(len(network_tf.transfer_functions), 1)
+        for state in states:
+            previous = state.network_tf
+            if (
+                previous.wiring != network_tf.wiring
+                or previous.edge_ports != network_tf.edge_ports
+            ):
+                continue
+            names = set(switch_sigs) | set(state.switch_sigs)
+            touched = frozenset(
+                name
+                for name in names
+                if state.switch_sigs.get(name) != switch_sigs.get(name)
+            )
+            if len(touched) > self.repair_max_fraction * total:
+                continue
+            return state, touched
+        return None
 
     # ------------------------------------------------------------------
     # Generic derived artifacts (emulation backend, etc.)
@@ -554,12 +727,14 @@ class VerificationEngine:
                     del self._switch_tfs[key]
                     evicted += 1
             if delta.wiring_changed:
-                # The shared role map is wrong for every cached NTF.
+                # The shared role map is wrong for every cached NTF, and
+                # matrix repair never handles topology surgery.
                 evicted += len(self._network_tfs) + len(self._reach)
                 self._network_tfs.clear()
                 self._analyzers.clear()
                 self._reach.clear()
                 self._artifacts.clear()
+                self._atom_states.clear()
                 self._last_ntf = None
             self.metrics.delta_invalidations += evicted
         return evicted
@@ -572,6 +747,7 @@ class VerificationEngine:
             self._analyzers.clear()
             self._reach.clear()
             self._artifacts.clear()
+            self._atom_states.clear()
             self._last_ntf = None
 
     # ------------------------------------------------------------------

@@ -378,13 +378,25 @@ class LogicalVerifier:
                     regions.add(location.region)
         return regions
 
-    def _count_serving(self, served) -> bool:
-        """Telemetry: record a matrix-served query or a fallback."""
-        if served is None:
-            self.engine.metrics.atom_fallbacks += 1
-            return False
-        self.engine.metrics.atom_served_queries += 1
-        return True
+    def _count_serving(self, served, query_class: str) -> bool:
+        """Telemetry: record a matrix-served query or a fallback.
+
+        Counted per host and per query class, so operators can read
+        from :class:`EngineMetrics` (and the CLI ``stats`` command)
+        exactly which classes the matrix serves and which still bounce
+        to wildcard propagation.
+        """
+        self.engine.metrics.count_query_class(query_class, served is not None)
+        return served is not None
+
+    def _count_wildcard_only(self, query_class: str, registration) -> None:
+        """Per-class fallback accounting for classes the matrix never
+        serves (path enumeration and per-path attributes need concrete
+        hop sequences, which the endpoint-level matrix does not keep)."""
+        if self.engine.backend != "atom":
+            return
+        for _host in registration.hosts:
+            self.engine.metrics.count_query_class(query_class, False)
 
     # ------------------------------------------------------------------
     # Query implementations
@@ -419,7 +431,9 @@ class LogicalVerifier:
                 if pair is not None
                 else None
             )
-            if pair is not None and self._count_serving(served):
+            if pair is not None and self._count_serving(
+                served, "reachable_destinations"
+            ):
                 endpoints.update(served)
                 continue
             result = self._outbound_result(analysis, host, scope)
@@ -449,7 +463,9 @@ class LogicalVerifier:
                 if pair is not None
                 else None
             )
-            if pair is not None and self._count_serving(served):
+            if pair is not None and self._count_serving(
+                served, "reaching_sources"
+            ):
                 endpoints.update(served)
                 continue
             sources = self.engine.sources_reaching(
@@ -509,7 +525,7 @@ class LogicalVerifier:
                 if pair is not None
                 else None
             )
-            if pair is not None and self._count_serving(served):
+            if pair is not None and self._count_serving(served, "geo_location"):
                 regions.update(served)
                 continue
             result = self._outbound_result(analysis, host, scope)
@@ -543,6 +559,7 @@ class LogicalVerifier:
     ) -> PathLengthAnswer:
         """Route-optimality: actual worst-case hops vs topology shortest."""
         analysis = self._analysis_snapshot(snapshot)
+        self._count_wildcard_only("path_length", registration)
         graph = _graph_from_wiring(snapshot)
         reports: List[PathLengthReport] = []
         for host in registration.hosts:
@@ -667,6 +684,7 @@ class LogicalVerifier:
         — without revealing which links exist.
         """
         analysis = self._analysis_snapshot(snapshot)
+        self._count_wildcard_only("bandwidth", registration)
         per_destination: Dict[Tuple[str, int], List[float]] = {}
         for host in registration.hosts:
             result = self._outbound_result(analysis, host, scope)
@@ -705,6 +723,7 @@ class LogicalVerifier:
     ) -> TransferFunctionAnswer:
         """Endpoint-level compact transfer function of the routing service."""
         analysis = self._analysis_snapshot(snapshot)
+        self._count_wildcard_only("transfer_function", registration)
         entries: List[TransferFunctionEntry] = []
         for host in registration.hosts:
             ingress = self.resolve_endpoint(*host.access_point)

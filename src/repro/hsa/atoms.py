@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -243,6 +244,7 @@ class AtomSpace:
         "_union_cache",
         "_encode_cache",
         "signature",
+        "__weakref__",
     )
 
     #: Bound on cached per-space query encodings (cleared when full).
@@ -445,6 +447,15 @@ class AtomTable:
     share one :class:`AtomSpace` (and all its spread masks and caches).
     Keys are the sorted (value, mask) constraint set, so interning is by
     semantic content, never by snapshot identity.
+
+    Eviction is keyed on liveness: the bounded LRU only controls how
+    many spaces the table itself keeps *alive*; every built space is
+    additionally tracked in a :class:`weakref.WeakValueDictionary`, so a
+    space that was LRU-evicted while a cached
+    :class:`ReachabilityMatrix` (or any other artifact) still references
+    it is revived on the next request instead of being rebuilt as a
+    distinct object.  Bitsets from two matrices over "the same" universe
+    are therefore always over the *identical* space object.
     """
 
     def __init__(self, max_entries: int = 32, atom_limit: int = 1 << 17) -> None:
@@ -453,8 +464,14 @@ class AtomTable:
         self.hits = 0
         self.builds = 0
         self.overflows = 0
+        self.revivals = 0  # live-but-evicted spaces re-pinned into the LRU
         self._lock = threading.Lock()
         self._spaces: "OrderedDict[tuple, Optional[AtomSpace]]" = OrderedDict()
+        #: every space ever built and still referenced by *someone*;
+        #: entries vanish automatically when the last reference dies
+        self._live: "weakref.WeakValueDictionary[tuple, AtomSpace]" = (
+            weakref.WeakValueDictionary()
+        )
 
     def space_for(self, constraints: Iterable[Wildcard]) -> Optional[AtomSpace]:
         """The interned atom space for a constraint set, or None.
@@ -470,12 +487,23 @@ class AtomTable:
                 self.hits += 1
                 self._spaces.move_to_end(key)
                 return cached
+            alive = self._live.get(key)
+            if alive is not None:
+                # Evicted from the LRU but still referenced by a live
+                # artifact: revive it instead of building a twin.
+                self.hits += 1
+                self.revivals += 1
+                self._spaces[key] = alive
+                while len(self._spaces) > self.max_entries:
+                    self._spaces.popitem(last=False)
+                return alive
         space = self._build(key)
         with self._lock:
             if space is None:
                 self.overflows += 1
             else:
                 self.builds += 1
+                self._live[key] = space
             self._spaces[key] = space
             while len(self._spaces) > self.max_entries:
                 self._spaces.popitem(last=False)
@@ -507,6 +535,7 @@ class AtomTable:
             "hits": self.hits,
             "builds": self.builds,
             "overflows": self.overflows,
+            "revivals": self.revivals,
             "entries": len(self._spaces),
         }
 
@@ -520,6 +549,159 @@ def constraint_seed_hash(wildcards: Iterable[Wildcard]) -> str:
     """Short stable digest of a seed wildcard set, for cache keying."""
     pairs = sorted({(w.value, w.mask) for w in wildcards})
     return hashlib.sha256(repr(pairs).encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Cell renumbering between interned universes (matrix repair)
+# ----------------------------------------------------------------------
+
+
+class RemapInexact(Exception):
+    """An old-space atom set is not a union of new-space atoms.
+
+    Raised while translating bitsets between two atom universes when a
+    merge (the new partition is coarser somewhere) would lose
+    information — the caller must fall back to a full matrix rebuild.
+    """
+
+
+class FieldRemap:
+    """Cell-renumbering table for one field between two partitions.
+
+    ``new_to_old[c']`` lists the old cells whose value regions intersect
+    new cell ``c'``; ``old_to_new[c]`` is the bitmask of new cells old
+    cell ``c`` intersects.  Both partitions cover the full range, so
+    every list is non-empty and every mask non-zero.  An old cell whose
+    mask has several bits was *split* by the new partition (new
+    constants refined it); a new cell with several old cells *merged*
+    old cells (constants were retired).
+    """
+
+    __slots__ = ("new_to_old", "old_to_new", "splits")
+
+    def __init__(self, old: FieldCells, new: FieldCells) -> None:
+        new_to_old: List[Tuple[int, ...]] = []
+        old_to_new: List[int] = [0] * len(old.cells)
+        for c_new, new_cell in enumerate(new.cells):
+            olds: List[int] = []
+            for c_old, old_cell in enumerate(old.cells):
+                if any(
+                    _fl_intersects(p, q) for p in new_cell for q in old_cell
+                ):
+                    olds.append(c_old)
+                    old_to_new[c_old] |= 1 << c_new
+            new_to_old.append(tuple(olds))
+        self.new_to_old: Tuple[Tuple[int, ...], ...] = tuple(new_to_old)
+        self.old_to_new: Tuple[int, ...] = tuple(old_to_new)
+        self.splits = sum(1 for mask in old_to_new if mask & (mask - 1))
+
+
+class AtomRemap:
+    """Exact bitset translation between two interned atom universes.
+
+    Built once per matrix repair; :meth:`apply` then translates every
+    reused row's bitsets through the per-field renumbering tables.  The
+    translation is chunk-recursive (mirroring
+    :meth:`AtomSpace._decode_rec`): at each field, a *split* old cell
+    replicates its sub-chunk into every new cell refining it, and a
+    *merged* new cell requires all its old cells' sub-chunks to be
+    identical — otherwise the set genuinely distinguishes value regions
+    the new universe cannot, and :class:`RemapInexact` is raised.  Both
+    directions are exact: ``decode(apply(bits))`` equals the old
+    ``decode(bits)`` whenever ``apply`` succeeds.
+    """
+
+    __slots__ = ("old", "new", "identity", "fields", "splits", "_memo")
+
+    def __init__(self, old_space: AtomSpace, new_space: AtomSpace) -> None:
+        self.old = old_space
+        self.new = new_space
+        self.identity = old_space is new_space
+        if self.identity:
+            self.fields: Tuple[FieldRemap, ...] = ()
+            self.splits = 0
+            self._memo: Tuple[Dict[int, int], ...] = ()
+            return
+        self.fields = tuple(
+            FieldRemap(old, new)
+            for old, new in zip(old_space.field_cells, new_space.field_cells)
+        )
+        self.splits = sum(remap.splits for remap in self.fields)
+        # Per-field memo of translated sub-chunks, shared across every
+        # row of one repair: identical sub-bitsets (common — most rows
+        # agree on the low fields) translate once.
+        self._memo = tuple({} for _ in self.fields)
+
+    def apply(self, bits: int) -> int:
+        """The new-space bitset denoting the same header set as ``bits``."""
+        if self.identity:
+            return bits
+        return self._rec(bits, len(self.fields) - 1)
+
+    def _rec(self, bits: int, f_idx: int) -> int:
+        if f_idx < 0:
+            return bits  # the unit chunk: 0 or 1
+        memo = self._memo[f_idx]
+        cached = memo.get(bits)
+        if cached is not None:
+            return cached
+        old_stride = self.old.strides[f_idx]
+        new_stride = self.new.strides[f_idx]
+        chunk_mask = (1 << old_stride) - 1
+        out = 0
+        for c_new, old_cells in enumerate(self.fields[f_idx].new_to_old):
+            chunk = (bits >> (old_cells[0] * old_stride)) & chunk_mask
+            for c_old in old_cells[1:]:
+                if ((bits >> (c_old * old_stride)) & chunk_mask) != chunk:
+                    raise RemapInexact(
+                        f"field {self.old.field_cells[f_idx].name}: merged "
+                        f"cells carry different sub-sets"
+                    )
+            if chunk:
+                out |= self._rec(chunk, f_idx - 1) << (c_new * new_stride)
+        memo[bits] = out
+        return out
+
+    def remap_pins(self, pins: Pins) -> Pins:
+        """Renumber a rewrite-pin tuple into the new universe.
+
+        Pinned cells are singletons of registered rewrite constants, so
+        each maps to exactly one new cell; a pin whose old cell was
+        split or straddles new cells (its constant was retired) makes
+        the translation ambiguous and raises :class:`RemapInexact`.
+        """
+        if self.identity or not pins:
+            return pins
+        out: List[Tuple[int, int]] = []
+        for f_idx, cell in pins:
+            mask = self.fields[f_idx].old_to_new[cell]
+            if mask & (mask - 1):
+                raise RemapInexact(
+                    f"field {self.old.field_cells[f_idx].name}: pinned cell "
+                    f"{cell} no longer maps to a single cell"
+                )
+            out.append((f_idx, mask.bit_length() - 1))
+        return tuple(out)
+
+    def remap_row(self, row: "MatrixRow") -> "MatrixRow":
+        """A :class:`MatrixRow` with every bitset/pin renumbered."""
+        if self.identity:
+            return row
+        out = MatrixRow()
+        for zone, per_pins in row.zones.items():
+            translated: Dict[Pins, int] = {}
+            for pins, bits in per_pins.items():
+                new_pins = self.remap_pins(pins)
+                translated[new_pins] = translated.get(new_pins, 0) | self.apply(
+                    bits
+                )
+            out.zones[zone] = translated
+        for zone, bits in row.reach.items():
+            out.reach[zone] = self.apply(bits)
+        for switch, bits in row.traversed.items():
+            out.traversed[switch] = self.apply(bits)
+        out.expansions = row.expansions
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -755,14 +937,37 @@ class ReachabilityMatrix:
 
 
 class AtomNetwork:
-    """The network transfer function, compiled into the atom domain."""
+    """The network transfer function, compiled into the atom domain.
 
-    def __init__(self, network_tf, space: AtomSpace, *, max_depth: int = 64):
+    ``reuse_from`` enables the repair path: compiled
+    :class:`_AtomSwitch` pipelines (with their warm preimage caches) are
+    carried over from a predecessor network for every switch not in
+    ``touched`` — sound only when the atom universe is the identical
+    object, so a changed space recompiles everything.
+    """
+
+    def __init__(
+        self,
+        network_tf,
+        space: AtomSpace,
+        *,
+        max_depth: int = 64,
+        reuse_from: Optional["AtomNetwork"] = None,
+        touched: Iterable[str] = (),
+    ):
         self.space = space
         self.max_depth = max_depth
         self._role_of = network_tf.role_of
+        reusable: Dict[str, _AtomSwitch] = {}
+        if reuse_from is not None and reuse_from.space is space:
+            stale = frozenset(touched)
+            reusable = {
+                name: compiled
+                for name, compiled in reuse_from.switches.items()
+                if name not in stale
+            }
         self.switches: Dict[str, _AtomSwitch] = {
-            name: _AtomSwitch(space, tf)
+            name: reusable.get(name) or _AtomSwitch(space, tf)
             for name, tf in network_tf.transfer_functions.items()
         }
 

@@ -390,6 +390,7 @@ def build_reachability_matrix(
     max_depth: int = 64,
     workers: int = 1,
     pool_mode: str = "thread",
+    atom_network=None,
 ):
     """Propagate the full header space from every edge ingress, bitwise.
 
@@ -399,15 +400,101 @@ def build_reachability_matrix(
     deterministic for any worker count.  Thread mode only: the compiled
     :class:`~repro.hsa.atoms.AtomNetwork` shares per-rule preimage
     caches across rows, which a process pool would silently discard.
+
+    Callers that keep a predecessor state for matrix repair pass a
+    pre-built ``atom_network`` so the compiled pipelines survive the
+    build and can seed the next repair.
     """
     from repro.hsa.atoms import AtomNetwork, ReachabilityMatrix
 
-    atom_network = AtomNetwork(network_tf, atom_space, max_depth=max_depth)
+    if atom_network is None:
+        atom_network = AtomNetwork(network_tf, atom_space, max_depth=max_depth)
     ingresses = network_tf.all_edge_ports()
     rows = FanOutPool(workers, "thread" if pool_mode == "process" else pool_mode).map(
         _fan_matrix_row, atom_network, ingresses
     )
     return ReachabilityMatrix(atom_space, dict(zip(ingresses, rows)))
+
+
+@dataclass
+class MatrixRepairStats:
+    """What one :func:`repair_reachability_matrix` call did."""
+
+    rows_reused: int = 0  # rows carried over (renumbered, not re-propagated)
+    rows_repaired: int = 0  # rows re-propagated from their ingress
+    atoms_split: int = 0  # old cells the new universe refined
+    space_changed: bool = False  # the constraint set itself changed
+
+
+def repair_reachability_matrix(
+    previous_matrix,
+    network_tf,
+    atom_space,
+    touched_switches,
+    *,
+    previous_network=None,
+    max_depth: int = 64,
+    workers: int = 1,
+    pool_mode: str = "thread",
+):
+    """Repair a predecessor matrix in place of a full rebuild.
+
+    The dependency argument: a row's propagation expanded only at the
+    switches in its ``traversed`` set, so if none of those switches'
+    transfer entries changed, re-propagating it would walk the identical
+    rule sequence and record the identical arrivals — the row is carried
+    over, with its bitsets renumbered through the
+    :class:`~repro.hsa.atoms.AtomRemap` cell-renumbering table when the
+    delta grew or shrank the constraint set.  Only rows whose traversed
+    set intersects ``touched_switches`` (plus ingresses the predecessor
+    never saw) are re-propagated, fanned out exactly like a cold build.
+
+    Raises :class:`~repro.hsa.atoms.RemapInexact` when a reused row's
+    bitsets are not exactly representable in the new universe (a retired
+    constant merged cells a live set still distinguishes) — the caller
+    falls back to :func:`build_reachability_matrix`.
+
+    Returns ``(matrix, atom_network, stats)``; ``atom_network`` reuses
+    the predecessor's compiled pipelines for untouched switches and
+    seeds the *next* repair.
+    """
+    from repro.hsa.atoms import AtomNetwork, AtomRemap, ReachabilityMatrix
+
+    remap = AtomRemap(previous_matrix.space, atom_space)
+    atom_network = AtomNetwork(
+        network_tf,
+        atom_space,
+        max_depth=max_depth,
+        reuse_from=previous_network,
+        touched=touched_switches,
+    )
+    touched = frozenset(touched_switches)
+    ingresses = network_tf.all_edge_ports()
+    dirty: List[PortRef] = []
+    for ref in ingresses:
+        row = previous_matrix.row(ref)
+        if row is None or not touched.isdisjoint(row.traversed):
+            dirty.append(ref)
+    # Renumber the reused rows *before* paying the fan-out, so an
+    # inexact remap falls back without wasted propagation work.
+    stats = MatrixRepairStats(
+        atoms_split=remap.splits, space_changed=not remap.identity
+    )
+    rows: Dict[PortRef, "object"] = {}
+    dirty_set = frozenset(dirty)
+    for ref in ingresses:
+        if ref in dirty_set:
+            rows[ref] = None  # filled from the fan-out below
+        else:
+            rows[ref] = remap.remap_row(previous_matrix.row(ref))
+            stats.rows_reused += 1
+    fresh = FanOutPool(
+        workers, "thread" if pool_mode == "process" else pool_mode
+    ).map(_fan_matrix_row, atom_network, dirty)
+    for ref, row in zip(dirty, fresh):
+        rows[ref] = row
+        stats.rows_repaired += 1
+    return ReachabilityMatrix(atom_space, rows), atom_network, stats
 
 
 def _fan_matrix_row(atom_network, port_ref: PortRef):

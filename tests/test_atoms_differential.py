@@ -390,7 +390,9 @@ def test_delta_invalidation_rebuilds_atom_artifacts():
     assert engine.metrics.atom_matrix_builds == 1
     assert engine.metrics.atom_intern_hits >= 1
 
-    # Rule churn changes the content hash: rebuild.
+    # Rule churn changes the content hash: the stale artifact is never
+    # served again — the matrix is *repaired* from the predecessor (the
+    # new tp_dst=81 constant splits an atom; only s1's rows re-run).
     changed = dict(base)
     changed["s1"] = base["s1"] + [
         SnapshotRule(0, 9, Match(tp_dst=81), (Drop(),))
@@ -401,14 +403,26 @@ def test_delta_invalidation_rebuilds_atom_artifacts():
         )
     )
     engine.compile(snapshot_from(changed, version=3))
-    assert engine.metrics.atom_matrix_builds == 2
+    assert engine.metrics.atom_matrix_builds == 1
+    assert engine.metrics.matrix_repairs == 1
+    assert engine.metrics.rows_repaired >= 1
+    assert engine.metrics.atoms_split >= 1
 
-    # A wiring change clears the artifact cache outright.
+    # A wiring change clears artifacts *and* repair predecessors: the
+    # next compile is a cold rebuild, not a repair.
     engine.apply_delta(
         SnapshotDelta(since_version=3, version=4, wiring_changed=True)
     )
     engine.compile(snapshot_from(changed, version=4))
-    assert engine.metrics.atom_matrix_builds == 3
+    assert engine.metrics.atom_matrix_builds == 2
+    assert engine.metrics.matrix_repairs == 1
+
+    # With repair disabled, churn pays the full rebuild (E20 baseline).
+    cold = VerificationEngine(backend="atom", matrix_repair=False)
+    cold.compile(snapshot_from(base, version=1))
+    cold.compile(snapshot_from(changed, version=2))
+    assert cold.metrics.atom_matrix_builds == 2
+    assert cold.metrics.matrix_repairs == 0
 
 
 def test_seed_atoms_changes_artifact_key_not_staleness():

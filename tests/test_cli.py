@@ -26,8 +26,9 @@ class TestParsing:
             factory()  # constructible
 
     def test_experiment_index_shape(self):
-        assert len(EXPERIMENTS) == 15
+        assert len(EXPERIMENTS) == 20
         assert all(exp[0].startswith("E") for exp in EXPERIMENTS)
+        assert any(exp[0] == "E20" for exp in EXPERIMENTS)
 
 
 class TestCommands:
@@ -68,3 +69,33 @@ class TestCommands:
     def test_query_unknown_attack_exits(self):
         with pytest.raises(SystemExit):
             main(["query", "geo", "--attack", "ddos"])
+
+    def test_stats_command_reports_repairs(self, capsys):
+        assert (
+            main(
+                [
+                    "stats",
+                    "--topology",
+                    "linear:3",
+                    "--churn",
+                    "1",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "atom matrix" in out
+        assert "repairs=1" in out
+        assert "per query class" in out
+        assert "reachable_destinations" in out
+
+    def test_stats_command_wildcard_backend(self, capsys):
+        assert (
+            main(["stats", "--backend", "wildcard", "--topology", "linear:3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend" in out and "wildcard" in out
+        assert "atom matrix" not in out

@@ -1,0 +1,482 @@
+"""Differential tests for delta-driven reachability-matrix repair.
+
+The repair path (PR 6) must be invisible in every answer: a matrix
+produced by :func:`~repro.hsa.reachability.repair_reachability_matrix`
+(rows carried over and renumbered, only touched rows re-propagated) must
+be *byte-identical* to the matrix a cold rebuild would produce for the
+same snapshot.  Three layers of evidence, mirroring the PR-4 suite:
+
+* **Matrix level** — random FlowMod/port-change delta streams applied
+  to one repairing engine vs a repair-disabled engine; every version's
+  matrices must agree on rows, zones, reach and traversed sets (the
+  ``expansions`` telemetry counter is deliberately excluded: merged
+  rewrite pins can legally change how often a covered branch re-expands
+  without changing any recorded set).
+* **Oracle level** — repaired matrices against the frozen
+  :mod:`repro.hsa.reference` analyzer on the final snapshot.
+* **Verifier level** — signed answer payloads under churn from a
+  repairing atom engine vs the wildcard engine.
+
+Plus unit tests for the safety valves (touched-fraction fallback, wiring
+surgery, atom-count overflow) and the row-reuse/identity guarantees.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import SnapshotDelta, VerificationEngine
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+from repro.hsa.atoms import GLOBAL_ATOM_TABLE, AtomRemap, RemapInexact
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.reference import (
+    ReferenceReachabilityAnalyzer,
+    reference_network_tf,
+)
+from repro.hsa.transfer import SnapshotRule
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from tests.test_atoms_differential import (
+    EDGE_PORTS,
+    IPS,
+    REGISTRATIONS,
+    SWITCHES,
+    SWITCH_PORTS,
+    WIRING,
+    config_strategy,
+    rule_strategy,
+    scope_strategy,
+    snapshot_from,
+)
+
+EXTENDED_PORTS = (1, 2, 3, 4)  # port 4 is unbound: Flood grows a zone
+
+
+def snapshot_with(config, ports, version: int) -> NetworkSnapshot:
+    return NetworkSnapshot(
+        version=version,
+        taken_at=0.0,
+        rules={name: tuple(rules) for name, rules in config.items()},
+        meters=(),
+        wiring=WIRING,
+        edge_ports=EDGE_PORTS,
+        switch_ports=dict(ports),
+    )
+
+
+def op_strategy():
+    """One delta-stream operation: FlowMod add/remove or a port change."""
+    adds = st.tuples(
+        st.just("add"), st.sampled_from(SWITCHES), rule_strategy()
+    )
+    removes = st.tuples(
+        st.just("remove"),
+        st.sampled_from(SWITCHES),
+        st.integers(min_value=0, max_value=7),
+    )
+    ports = st.tuples(
+        st.just("ports"), st.sampled_from(SWITCHES), st.none()
+    )
+    return st.one_of(adds, adds, removes, ports)
+
+
+def apply_op(state, ports, op) -> str:
+    """Mutate the config/ports in place; return the touched switch."""
+    kind, switch, payload = op
+    if kind == "add":
+        state[switch] = list(state[switch]) + [payload]
+    elif kind == "remove":
+        rules = list(state[switch])
+        if rules:
+            rules.pop(payload % len(rules))
+        state[switch] = rules
+    else:  # "ports"
+        ports[switch] = (
+            EXTENDED_PORTS if ports[switch] == SWITCH_PORTS[switch] else SWITCH_PORTS[switch]
+        )
+    return switch
+
+
+def assert_matrices_equal(repaired, cold, context=""):
+    """Byte-level agreement on everything queries can observe."""
+    assert repaired.space is cold.space, context
+    assert repaired.ingresses() == cold.ingresses(), context
+    for ref in cold.ingresses():
+        fixed = repaired.row(ref)
+        fresh = cold.row(ref)
+        assert fixed.zones == fresh.zones, (context, ref)
+        assert fixed.reach == fresh.reach, (context, ref)
+        assert fixed.traversed == fresh.traversed, (context, ref)
+
+
+def atom_pair(engine, snapshot):
+    pair = engine.atom_artifacts(snapshot)
+    assert pair is not None, "universe unexpectedly overflowed"
+    return pair
+
+
+# ----------------------------------------------------------------------
+# Matrix level: repaired == cold rebuild across random delta streams
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    config=config_strategy(),
+    ops=st.lists(op_strategy(), min_size=1, max_size=5),
+)
+def test_repaired_matrix_equals_cold_rebuild(config, ops):
+    repairing = VerificationEngine(backend="atom")
+    rebuilding = VerificationEngine(backend="atom", matrix_repair=False)
+    state = {name: list(rules) for name, rules in config.items()}
+    ports = dict(SWITCH_PORTS)
+    version = 1
+    snapshot = snapshot_with(state, ports, version)
+    assert_matrices_equal(
+        atom_pair(repairing, snapshot)[1],
+        atom_pair(rebuilding, snapshot)[1],
+        "cold start",
+    )
+    for op in ops:
+        touched = apply_op(state, ports, op)
+        since, version = version, version + 1
+        snapshot = snapshot_with(state, ports, version)
+        delta = SnapshotDelta(
+            since_version=since,
+            version=version,
+            changed_switches=frozenset([touched]),
+        )
+        repairing.apply_delta(delta)
+        rebuilding.apply_delta(delta)
+        _, repaired = atom_pair(repairing, snapshot)
+        _, cold = atom_pair(rebuilding, snapshot)
+        assert_matrices_equal(repaired, cold, f"after {op}")
+    assert rebuilding.metrics.matrix_repairs == 0
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    config=config_strategy(),
+    ops=st.lists(op_strategy(), min_size=1, max_size=4),
+)
+def test_repaired_matrix_matches_reference_oracle(config, ops):
+    """The final repaired matrix agrees with the frozen oracle."""
+    engine = VerificationEngine(backend="atom")
+    state = {name: list(rules) for name, rules in config.items()}
+    ports = dict(SWITCH_PORTS)
+    version = 1
+    engine.compile(snapshot_with(state, ports, version))
+    for op in ops:
+        touched = apply_op(state, ports, op)
+        since, version = version, version + 1
+        engine.apply_delta(
+            SnapshotDelta(
+                since_version=since,
+                version=version,
+                changed_switches=frozenset([touched]),
+            )
+        )
+    snapshot = snapshot_with(state, ports, version)
+    space, matrix = atom_pair(engine, snapshot)
+    ntf = snapshot.network_tf()
+    reference = ReferenceReachabilityAnalyzer(reference_network_tf(ntf))
+    full = space.full_bits
+    for switch in SWITCHES:
+        result = reference.analyze(switch, 1, HeaderSpace.all())
+        row = matrix.row((switch, 1))
+        expected = {}
+        for zone in result.zones:
+            key = (zone.kind, zone.switch, zone.port)
+            expected[key] = expected.get(key, HeaderSpace.empty()).union(
+                zone.space
+            )
+        assert {k for k, bits in row.reach.items() if bits} == set(expected)
+        for key, want in expected.items():
+            arrived = matrix.arrived_space((switch, 1), key, full)
+            assert space.decode(arrived) == want, (switch, key)
+        assert {
+            name for name, bits in row.traversed.items() if bits
+        } == result.switches_traversed
+
+
+# ----------------------------------------------------------------------
+# Verifier level: signed answers under churn, repairing vs wildcard
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    config=config_strategy(),
+    ops=st.lists(op_strategy(), min_size=1, max_size=3),
+    scope=scope_strategy(),
+)
+def test_repaired_answers_byte_identical_under_churn(config, ops, scope):
+    wildcard = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="wildcard")
+    )
+    atom = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="atom")
+    )
+    state = {name: list(rules) for name, rules in config.items()}
+    ports = dict(SWITCH_PORTS)
+    version = 1
+    snapshots = [snapshot_with(state, ports, version)]
+    deltas = [None]
+    for op in ops:
+        touched = apply_op(state, ports, op)
+        since, version = version, version + 1
+        snapshots.append(snapshot_with(state, ports, version))
+        deltas.append(
+            SnapshotDelta(
+                since_version=since,
+                version=version,
+                changed_switches=frozenset([touched]),
+            )
+        )
+    for snapshot, delta in zip(snapshots, deltas):
+        if delta is not None:
+            wildcard.engine.apply_delta(delta)
+            atom.engine.apply_delta(delta)
+        for registration in REGISTRATIONS.values():
+            assert wildcard.reachable_destinations(
+                registration, snapshot, scope
+            ) == atom.reachable_destinations(registration, snapshot, scope)
+            assert wildcard.reaching_sources(
+                registration, snapshot, scope
+            ) == atom.reaching_sources(registration, snapshot, scope)
+            assert wildcard.geo_location(
+                registration, snapshot, scope
+            ) == atom.geo_location(registration, snapshot, scope)
+
+
+# ----------------------------------------------------------------------
+# Unit level: row reuse, safety valves, renumbering corners
+# ----------------------------------------------------------------------
+
+BASE = {
+    "s1": [],  # edge-only: its row never leaves s1
+    "s2": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+    "s3": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(1),))],
+}
+
+
+def churn_s3(base):
+    changed = {name: list(rules) for name, rules in base.items()}
+    changed["s3"] = changed["s3"] + [
+        SnapshotRule(0, 9, Match(ip_dst=IPS[0]), (Drop(),))
+    ]
+    return changed
+
+
+def test_repair_reuses_untouched_rows_by_identity():
+    """Same universe + untouched traversal set => the very same row."""
+    engine = VerificationEngine(backend="atom")
+    _, before = atom_pair(engine, snapshot_from(BASE, version=1))
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=1, version=2, changed_switches=frozenset(["s3"])
+        )
+    )
+    # The added rule uses only already-registered constants, so the
+    # universe is unchanged and reused rows are carried by identity.
+    _, after = atom_pair(engine, snapshot_from(churn_s3(BASE), version=2))
+    metrics = engine.metrics
+    assert metrics.matrix_repairs == 1
+    assert metrics.atom_matrix_builds == 1
+    assert metrics.rows_reused == 1  # s1's row: traverses only s1
+    assert metrics.rows_repaired == 2  # s2 and s3 rows traverse s3
+    assert after.row(("s1", 1)) is before.row(("s1", 1))
+    assert after.row(("s3", 1)) is not before.row(("s3", 1))
+
+
+def test_repair_split_renumbers_reused_rows():
+    """A new match constant refines the universe: reused rows are
+    renumbered through the cell table, and answers still agree."""
+    engine = VerificationEngine(backend="atom")
+    engine.compile(snapshot_from(BASE, version=1))
+    changed = {name: list(rules) for name, rules in BASE.items()}
+    changed["s3"] = changed["s3"] + [
+        SnapshotRule(0, 9, Match(tp_dst=4242), (Drop(),))  # new constant
+    ]
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=1, version=2, changed_switches=frozenset(["s3"])
+        )
+    )
+    _, repaired = atom_pair(engine, snapshot_from(changed, version=2))
+    assert engine.metrics.matrix_repairs == 1
+    assert engine.metrics.atoms_split >= 1
+    cold = VerificationEngine(backend="atom", matrix_repair=False)
+    _, rebuilt = atom_pair(cold, snapshot_from(changed, version=2))
+    assert_matrices_equal(repaired, rebuilt, "after split")
+
+
+def test_repair_merge_when_constant_retired():
+    """Removing the only rule naming a constant coarsens the universe;
+    the merge direction must also match a cold rebuild byte for byte."""
+    base = churn_s3(BASE)
+    base["s2"] = base["s2"] + [
+        SnapshotRule(0, 9, Match(tp_dst=4242), (Drop(),))
+    ]
+    engine = VerificationEngine(backend="atom")
+    engine.compile(snapshot_from(base, version=1))
+    shrunk = {name: list(rules) for name, rules in base.items()}
+    shrunk["s2"] = shrunk["s2"][:-1]  # retire tp_dst=4242
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=1, version=2, changed_switches=frozenset(["s2"])
+        )
+    )
+    _, repaired = atom_pair(engine, snapshot_from(shrunk, version=2))
+    cold = VerificationEngine(backend="atom", matrix_repair=False)
+    _, rebuilt = atom_pair(cold, snapshot_from(shrunk, version=2))
+    assert_matrices_equal(repaired, rebuilt, "after merge")
+
+
+def test_repair_fraction_safety_valve():
+    """repair_max_fraction=0 disables repair without disabling caching."""
+    engine = VerificationEngine(backend="atom", repair_max_fraction=0.0)
+    engine.compile(snapshot_from(BASE, version=1))
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=1, version=2, changed_switches=frozenset(["s3"])
+        )
+    )
+    engine.compile(snapshot_from(churn_s3(BASE), version=2))
+    assert engine.metrics.matrix_repairs == 0
+    assert engine.metrics.matrix_repair_fallbacks == 1
+    assert engine.metrics.atom_matrix_builds == 2
+
+
+def test_wiring_surgery_never_repairs():
+    engine = VerificationEngine(backend="atom")
+    engine.compile(snapshot_from(BASE, version=1))
+    engine.apply_delta(
+        SnapshotDelta(since_version=1, version=2, wiring_changed=True)
+    )
+    rewired = NetworkSnapshot(
+        version=2,
+        taken_at=0.0,
+        rules={name: tuple(rules) for name, rules in BASE.items()},
+        meters=(),
+        wiring={("s1", 2): ("s3", 3), ("s3", 3): ("s1", 2)},
+        edge_ports=EDGE_PORTS,
+        switch_ports=SWITCH_PORTS,
+    )
+    engine.compile(rewired)
+    assert engine.metrics.matrix_repairs == 0
+    assert engine.metrics.atom_matrix_builds == 2
+
+
+def test_port_change_delta_repairs():
+    """A switch-port change (no rule churn) is repairable: only rows
+    traversing the resized switch re-propagate."""
+    base = {
+        "s1": [],
+        "s2": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(2),))],
+        "s3": [SnapshotRule(0, 5, Match(ip_dst=IPS[0]), (Output(1),))],
+    }
+    engine = VerificationEngine(backend="atom")
+    engine.compile(snapshot_from(base, version=1))
+    ports = dict(SWITCH_PORTS)
+    ports["s3"] = EXTENDED_PORTS
+    engine.apply_delta(
+        SnapshotDelta(
+            since_version=1, version=2, changed_switches=frozenset(["s3"])
+        )
+    )
+    _, repaired = atom_pair(engine, snapshot_with(base, ports, 2))
+    assert engine.metrics.matrix_repairs == 1
+    cold = VerificationEngine(backend="atom", matrix_repair=False)
+    _, rebuilt = atom_pair(cold, snapshot_with(base, ports, 2))
+    assert_matrices_equal(repaired, rebuilt, "after port change")
+
+
+def test_remap_round_trips_registered_sets():
+    """apply() translates exactly between a universe and its refinement."""
+    from repro.hsa.wildcard import Wildcard
+
+    old = GLOBAL_ATOM_TABLE.space_for([Wildcard.from_fields(tp_dst=80)])
+    new = GLOBAL_ATOM_TABLE.space_for(
+        [Wildcard.from_fields(tp_dst=80), Wildcard.from_fields(tp_dst=81)]
+    )
+    remap = AtomRemap(old, new)
+    assert remap.splits >= 1
+    for wc in (Wildcard.from_fields(tp_dst=80), Wildcard.all()):
+        space = HeaderSpace.single(wc)
+        old_bits = old.encode_space(space)
+        assert remap.apply(old_bits) == new.encode_space(space)
+        assert new.decode(remap.apply(old_bits)) == old.decode(old_bits)
+    # The reverse direction (merge) is inexact for the set only the
+    # finer universe can express.
+    shrink = AtomRemap(new, old)
+    fine = new.encode_space(
+        HeaderSpace.single(Wildcard.from_fields(tp_dst=81))
+    )
+    with pytest.raises(RemapInexact):
+        shrink.apply(fine)
+    # ...but exact on sets both can express.
+    coarse = new.encode_space(HeaderSpace.single(Wildcard.from_fields(tp_dst=80)))
+    assert shrink.apply(coarse) == old.encode_space(
+        HeaderSpace.single(Wildcard.from_fields(tp_dst=80))
+    )
+
+
+def test_atom_table_pins_live_spaces_across_eviction():
+    """Satellite: LRU eviction must not split a universe two artifacts
+    share.  A space referenced by a live matrix is revived — the *same*
+    object — instead of being rebuilt as a bitset-incompatible twin."""
+    import gc
+
+    from repro.hsa.atoms import AtomTable
+    from repro.hsa.wildcard import Wildcard
+
+    table = AtomTable(max_entries=1)
+    c1 = [Wildcard.from_fields(tp_dst=80)]
+    c2 = [Wildcard.from_fields(tp_dst=81)]
+    first = table.space_for(c1)
+    assert first is not None and table.builds == 1
+    second = table.space_for(c2)  # evicts first from the strong LRU
+    assert second is not None and table.builds == 2
+    # "first" is still referenced (as a matrix's space would be):
+    revived = table.space_for(c1)
+    assert revived is first
+    assert table.builds == 2  # no rebuild
+    assert table.revivals == 1
+    # Once the last reference truly dies, a rebuild is correct again.
+    del first, revived
+    table.space_for(c2)  # push c1 out of the strong LRU once more
+    gc.collect()
+    rebuilt = table.space_for(c1)
+    assert rebuilt is not None
+    assert table.builds == 3
+
+
+def test_per_query_class_breakdown():
+    """Satellite: operators can see which classes the matrix serves."""
+    verifier = LogicalVerifier(
+        REGISTRATIONS, engine=VerificationEngine(backend="atom")
+    )
+    snapshot = snapshot_from(BASE)
+    registration = REGISTRATIONS["alice"]
+    verifier.reachable_destinations(registration, snapshot)
+    verifier.path_length(registration, snapshot)
+    metrics = verifier.engine.metrics
+    assert metrics.atom_served_by_class.get("reachable_destinations", 0) >= 1
+    assert metrics.atom_fallbacks_by_class.get("path_length", 0) >= 1
+    served = sum(metrics.atom_served_by_class.values())
+    fallbacks = sum(metrics.atom_fallbacks_by_class.values())
+    assert served == metrics.atom_served_queries
+    assert fallbacks == metrics.atom_fallbacks
