@@ -15,8 +15,13 @@ Commands
 ``stats``
     Run the query battery on a fresh deployment and print the engine's
     cache/serving counters, including the per-query-class breakdown of
-    matrix-served vs wildcard-fallback answers and the matrix-repair
-    counters under FlowMod churn.
+    matrix-served vs wildcard-fallback answers, the matrix-repair
+    counters under FlowMod churn, and the serving tier's scheduler
+    counters (admission, coalescing, batching).
+``serve-bench``
+    Drive the closed-loop multi-tenant workload generator against both
+    the serial frontend and the serving tier and print the throughput /
+    latency-percentile table (the E21 quick-look).
 """
 
 from __future__ import annotations
@@ -86,6 +91,7 @@ EXPERIMENTS = [
     ("E18", "resilience under lossy control channels", "bench_fault_resilience.py"),
     ("E19", "atomic-predicate backend vs wildcard", "bench_atom_engine.py"),
     ("E20", "matrix repair vs full atom recompile", "bench_matrix_repair.py"),
+    ("E21", "multi-tenant serving tier throughput", "bench_serving_tier.py"),
 ]
 
 
@@ -210,12 +216,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.openflow.actions import Output
     from repro.openflow.messages import Match
 
+    from repro.serving import ServingConfig
+
     clients = args.clients.split(",")
     topology = parse_topology(args.topology, clients)
     saved = os.environ.get(BACKEND_ENV_VAR)
     os.environ[BACKEND_ENV_VAR] = args.backend
     try:
-        bed = build_testbed(topology, isolate_clients=True, seed=args.seed)
+        bed = build_testbed(
+            topology,
+            isolate_clients=True,
+            seed=args.seed,
+            serving=ServingConfig(),
+        )
     finally:
         if saved is None:
             os.environ.pop(BACKEND_ENV_VAR, None)
@@ -299,6 +312,126 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"  {name:<24} matrix={served.get(name, 0):<5} "
                 f"fallback={fallbacks.get(name, 0)}"
             )
+
+    # Push the battery through the serving tier twice so the scheduler
+    # counters show admission, coalescing and the batch histogram.
+    scheduler = bed.service.scheduler
+    assert scheduler is not None
+    for _ in range(2):
+        for name in sorted(QUERIES):
+            scheduler.submit(
+                client, QUERIES[name](), on_done=lambda _p, _o: None
+            )
+    scheduler.flush()
+    serving = scheduler.metrics.snapshot_counters()
+    print(
+        "scheduler          : "
+        f"admitted={serving['admitted']} served={serving['served']} "
+        f"coalesced={serving['coalesced']} shed={serving['shed']} "
+        f"rate_limited={serving['rate_limited']}"
+    )
+    print(
+        "batches            : "
+        f"count={serving['batches']} max={serving['max_batch']} "
+        f"queue_peak={serving['queue_peak']} "
+        f"hist={serving['batch_size_hist']}"
+    )
+    print(
+        "serving caches     : "
+        f"answer_hits={serving['answer_cache_hits']} "
+        f"engine_calls={serving['engine_calls']} "
+        f"row_hits={bed.service.verifier.row_cache_hits} "
+        f"row_misses={bed.service.verifier.row_cache_misses}"
+    )
+    print(
+        "degraded serving   : "
+        f"stale_served={serving['stale_served']} "
+        f"overload_responses={serving['overload_responses']} "
+        f"warm_compiles={serving['warm_compiles']}"
+    )
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Closed-loop serving-tier quick-look: serial vs scheduler."""
+    from repro.core.engine import BACKEND_ENV_VAR
+    from repro.serving import (
+        QueryScheduler,
+        ServingConfig,
+        VirtualClock,
+        WorkloadSpec,
+        drive_scheduler,
+        drive_serial,
+        generate_arrivals,
+        percentile_table,
+        scope_wildcard_seeds,
+    )
+
+    clients = args.clients.split(",")
+    topology = parse_topology(args.topology, clients)
+    spec = WorkloadSpec(
+        requests=args.requests,
+        population=args.population,
+        duplicate_fraction=args.duplicates,
+        scope_pool=args.scope_pool,
+        seed=args.seed,
+    )
+    # Fresh testbed per mode: sharing one bed would hand the serving
+    # run the serial run's warm engine caches (or vice versa) and skew
+    # the comparison.  One untimed query per bed keeps first-compile
+    # cost out of both measurement windows identically.
+    def fresh_bed():
+        saved = os.environ.get(BACKEND_ENV_VAR)
+        os.environ[BACKEND_ENV_VAR] = args.backend
+        try:
+            bed = build_testbed(topology, isolate_clients=True, seed=args.seed)
+        finally:
+            if saved is None:
+                os.environ.pop(BACKEND_ENV_VAR, None)
+            else:
+                os.environ[BACKEND_ENV_VAR] = saved
+        bed.service.engine.seed_atoms(scope_wildcard_seeds(spec))
+        bed.service.answer_locally(clients[0], QUERIES["isolation"]())
+        return bed
+
+    serial_bed = fresh_bed()
+    arrivals = generate_arrivals(serial_bed.registrations, spec)
+    print(
+        f"workload: {spec.requests} requests, {spec.population} simulated "
+        f"clients, {spec.duplicate_fraction:.0%} duplicates, "
+        f"backend={serial_bed.service.engine.backend}"
+    )
+
+    serial = drive_serial(serial_bed.service.answer_locally, arrivals)
+
+    service = fresh_bed().service
+    service.verifier.enable_row_cache()
+    clock = VirtualClock()
+    scheduler = QueryScheduler(
+        answer_fn=service._scheduler_answer,
+        snapshot_fn=service.snapshot,
+        freshness_fn=service._freshness,
+        clock=clock,
+        config=ServingConfig(shard_workers=args.workers),
+        ready_fn=service.verifier.ready,
+        warm_fn=service.verifier.warm,
+    )
+    serving = drive_scheduler(scheduler, clock, arrivals)
+
+    header = ["mode", "served", "refused", "req/s", "p50ms", "p99ms", "p999ms"]
+    rows = [header] + percentile_table([serial, serving])
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]
+    for row in rows:
+        print("  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(row)))
+    if serial.throughput > 0:
+        print(f"speedup: {serving.throughput / serial.throughput:.2f}x")
+    counters = scheduler.metrics.snapshot_counters()
+    print(
+        f"coalesced={counters['coalesced']} "
+        f"answer_cache_hits={counters['answer_cache_hits']} "
+        f"engine_calls={counters['engine_calls']} "
+        f"batches={counters['batches']} max_batch={counters['max_batch']}"
+    )
     return 0
 
 
@@ -361,6 +494,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="serial vs serving-tier throughput on a synthetic workload",
+    )
+    serve.add_argument(
+        "--backend", choices=("wildcard", "atom"), default="atom"
+    )
+    serve.add_argument("--clients", default="alice,bob")
+    serve.add_argument("--topology", default="fat-tree:4")
+    serve.add_argument("--requests", type=int, default=1000)
+    serve.add_argument(
+        "--population", type=int, default=10_000, help="simulated client count"
+    )
+    serve.add_argument(
+        "--duplicates",
+        type=float,
+        default=0.5,
+        help="fraction of requests repeating an earlier (client, query) pair",
+    )
+    serve.add_argument("--scope-pool", type=int, default=16)
+    serve.add_argument(
+        "--workers", type=int, default=1, help="shard fan-out width"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve_bench)
     return parser
 
 

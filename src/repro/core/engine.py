@@ -148,6 +148,11 @@ class EngineMetrics:
     rows_reused: int = 0  # rows carried over (renumbered) during repairs
     atoms_split: int = 0  # old cells refined by the new universe, summed
     matrix_repair_fallbacks: int = 0  # repairs abandoned for a full rebuild
+    # Batch query API telemetry (E21, serving tier): multi-ingress
+    # propagation requests deduped and fanned out in one call.
+    batched_analyses: int = 0  # analyze_batch invocations
+    batch_jobs: int = 0  # jobs submitted across all batches
+    batch_unique_jobs: int = 0  # jobs remaining after in-batch dedup
     # Per-query-class serving breakdown (which classes the matrix serves
     # and which still fall back to wildcard propagation); dict-valued,
     # keyed by query-class name.
@@ -428,6 +433,56 @@ class VerificationEngine:
             self._sample_kernel_stats(analyzer.network_tf)
         return result
 
+    def analyze_batch(
+        self,
+        snapshot: NetworkSnapshot,
+        jobs: Iterable[Tuple[str, int, HeaderSpace]],
+        *,
+        collect_drops: bool = False,
+    ) -> list:
+        """Memoized propagation for many ingress jobs in one fan-out.
+
+        ``jobs`` is a sequence of ``(switch, port, space)`` triples; the
+        result list is positionally aligned with it.  Duplicate jobs
+        (same ingress and space fingerprint) are computed once, and the
+        distinct misses fan out over the engine's worker pool — the
+        serving tier's "batch compatible matrix-row lookups" primitive.
+        Results land in the shared memo table, so a batch is exactly as
+        correct (and as cached) as the equivalent loop of
+        :meth:`analyze` calls, merged in input order for determinism.
+        """
+        jobs = list(jobs)
+        self.metrics.batched_analyses += 1
+        self.metrics.batch_jobs += len(jobs)
+        unique: "OrderedDict[tuple, Tuple[str, int, HeaderSpace]]" = OrderedDict()
+        for switch, port, space in jobs:
+            key = (switch, port, space.fingerprint())
+            if key not in unique:
+                unique[key] = (switch, port, space)
+        self.metrics.batch_unique_jobs += len(unique)
+        distinct = list(unique.values())
+        if self.workers > 1 and len(distinct) > 1:
+            self.metrics.pool_tasks += len(distinct)
+            results = self._pool.map(
+                lambda _ctx, job: self.analyze(
+                    snapshot, job[0], job[1], job[2], collect_drops=collect_drops
+                ),
+                None,
+                distinct,
+            )
+        else:
+            results = [
+                self.analyze(
+                    snapshot, switch, port, space, collect_drops=collect_drops
+                )
+                for switch, port, space in distinct
+            ]
+        by_key = dict(zip(unique.keys(), results))
+        return [
+            by_key[(switch, port, space.fingerprint())]
+            for switch, port, space in jobs
+        ]
+
     def sources_reaching(
         self,
         snapshot: NetworkSnapshot,
@@ -702,6 +757,22 @@ class VerificationEngine:
     def content_hash(self, snapshot: NetworkSnapshot) -> str:
         self.metrics.content_hashes += 1
         return snapshot.content_hash()
+
+    def is_compiled(self, content: str) -> bool:
+        """Whether serving ``content`` costs only lookups, no compile.
+
+        The scheduler's stale-but-honest fast path asks this before
+        routing a batch at a mid-churn snapshot: ``True`` means the
+        network transfer function (and, on the atom backend, the
+        (space, matrix) artifact) is already cached, so serving fresh
+        is cheap; ``False`` means the first query would pay a compile.
+        """
+        with self._lock:
+            if content not in self._network_tfs:
+                return False
+            if self.backend != "atom":
+                return True
+            return ("atoms", self._atom_seed_key, content) in self._artifacts
 
     def apply_delta(self, delta: SnapshotDelta) -> int:
         """Evict cache entries the delta proves stale.

@@ -114,19 +114,31 @@ class FreshnessReport:
         return bool(self.degraded_switches or self.lost_switches)
 
 
+#: Response statuses (ISSUE 7).  ``OVERLOADED`` and ``RATE_LIMITED``
+#: replies carry ``answer=None`` plus the freshest report the service
+#: has — an explicit, signed refusal instead of a silent drop, so a
+#: shed client can distinguish overload from an attack on the channel.
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_RATE_LIMITED = "rate-limited"
+
+
 @dataclass(frozen=True)
 class QueryResponse:
     """The plaintext RVaaS signs and encrypts back to the client."""
 
     client: str
     nonce: int
-    answer: Answer
+    answer: Optional[Answer]
     snapshot_version: int
     answered_at: float
     auth_requests_issued: int = 0
     auth_replies_received: int = 0
     #: staleness disclosure; None only for pre-ISSUE-3 peers
     freshness: Optional[FreshnessReport] = None
+    #: serving status; anything but STATUS_OK means ``answer`` is None
+    #: and the client should retry after backing off
+    status: str = STATUS_OK
 
 
 @dataclass(frozen=True)

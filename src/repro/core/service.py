@@ -27,6 +27,7 @@ from repro.core.inband import (
 )
 from repro.core.monitor import ConfigurationMonitor, MonitorMode
 from repro.core.protocol import (
+    STATUS_OK,
     ClientRegistration,
     FreshnessReport,
     QueryRequest,
@@ -63,6 +64,13 @@ from repro.netlib.constants import (
     RVAAS_MAGIC_PORT,
 )
 from repro.openflow.messages import FlowMonitorUpdate, PacketIn
+from repro.serving.clock import MonotonicClock
+from repro.serving.scheduler import (
+    PendingQuery,
+    QueryScheduler,
+    ServeOutcome,
+    ServingConfig,
+)
 
 
 from repro.core.queries import TrafficScope as _TrafficScope
@@ -98,6 +106,7 @@ class RVaaSController(ControllerApp):
         poll_timeout: float = 0.25,
         max_poll_retries: int = 3,
         record_history: bool = True,
+        serving: Optional[ServingConfig] = None,
     ) -> None:
         super().__init__(name)
         self.keypair = keypair
@@ -126,6 +135,14 @@ class RVaaSController(ControllerApp):
         self._last_history_version = -1
         self.monitor: Optional[ConfigurationMonitor] = None
         self.inband: Optional[InBandTester] = None
+        #: monotonic view of controller time: freshness ages are
+        #: computed on it so a replayed or rewound simulator can never
+        #: make a reply claim evidence from the future (ISSUE 7)
+        self.clock = MonotonicClock(lambda: self.now)
+        self._serving_config = serving
+        #: the multi-tenant serving tier; None runs the historical
+        #: synchronous one-request-at-a-time path
+        self.scheduler: Optional[QueryScheduler] = None
         # Invariant watching (proactive alerting).
         self._watched_clients: List[str] = []
         self._watch_verdicts: Dict[str, bool] = {}  # client -> isolated?
@@ -164,6 +181,23 @@ class RVaaSController(ControllerApp):
         self.monitor.on_poll_complete(self._after_poll)
         self.monitor.on_delta(self.engine.apply_delta)
         self.monitor.start()
+        if self._serving_config is not None:
+            # The serving tier shares the controller's monotonic clock
+            # (one high-water mark for freshness and rate limiting) and
+            # unlocks the verifier's row-level sub-answer cache: batches
+            # of distinct queries over one snapshot decode each matrix
+            # row once instead of once per query class.
+            self.verifier.enable_row_cache()
+            self.scheduler = QueryScheduler(
+                answer_fn=self._scheduler_answer,
+                snapshot_fn=self.snapshot,
+                freshness_fn=self._freshness,
+                clock=self.clock,
+                config=self._serving_config,
+                ready_fn=self.verifier.ready,
+                warm_fn=self.verifier.warm,
+                schedule_fn=lambda delay, cb: network.sim.schedule(delay, cb),
+            )
 
     # ------------------------------------------------------------------
     # Event handling
@@ -257,6 +291,15 @@ class RVaaSController(ControllerApp):
                 )
             )
             return
+        if self.scheduler is not None:
+            self.scheduler.submit(
+                request.client,
+                request.query,
+                nonce=request.nonce,
+                on_done=self._on_scheduled,
+                context=(request, origin),
+            )
+            return
         self._serve(request, origin)
 
     def _unseal(self, sealed: SealedRequest) -> QueryRequest:
@@ -295,6 +338,76 @@ class RVaaSController(ControllerApp):
             )
         else:
             self._respond(request, origin, snapshot, answer, issued=0, received=0)
+
+    # ------------------------------------------------------------------
+    # Scheduled serving (the ISSUE 7 tier)
+    # ------------------------------------------------------------------
+
+    def _scheduler_answer(self, client: str, query: Query, snapshot):
+        """The scheduler's engine entry point: one answer per unique key."""
+        if isinstance(query, ExposureHistoryQuery):
+            return self.exposure_history(client, victim_host=query.victim_host)
+        return self.verifier.answer(query, self.registrations[client], snapshot)
+
+    def _on_scheduled(self, pending: PendingQuery, outcome: ServeOutcome) -> None:
+        """Fan one scheduler outcome back out into a sealed reply."""
+        request, origin = pending.context
+        if outcome.status != STATUS_OK:
+            self._respond_refusal(request, origin, outcome)
+            return
+        self.queries_served += 1
+        snapshot = outcome.snapshot
+        answer = outcome.answer
+        if self._needs_auth_round(request.query):
+            # Authentication is per-request evidence (liveness *now*),
+            # so it is never coalesced: each admitted request runs its
+            # own round and grafts the evidence onto the shared answer.
+            assert self.inband is not None
+            registration = self.registrations[request.client]
+            targets = self.verifier.auth_targets(
+                registration, snapshot, request.query.scope
+            )
+            self.inband.start_round(
+                targets,
+                request.nonce,
+                lambda auth_outcome: self._respond_with_auth(
+                    request, origin, snapshot, answer, auth_outcome
+                ),
+            )
+        else:
+            self._respond(request, origin, snapshot, answer, issued=0, received=0)
+
+    def _respond_refusal(
+        self, request: QueryRequest, origin: tuple[str, int], outcome: ServeOutcome
+    ) -> None:
+        """Seal an explicit OVERLOADED / RATE_LIMITED reply (no answer).
+
+        The refusal is still signed and still carries the freshest
+        report the service has: a shed client can tell honest overload
+        from an adversary eating its packets.
+        """
+        assert self.network is not None and self.inband is not None
+        registration = self.registrations[request.client]
+        snapshot = outcome.snapshot
+        response = QueryResponse(
+            client=request.client,
+            nonce=request.nonce,
+            answer=None,
+            snapshot_version=snapshot.version if snapshot is not None else -1,
+            answered_at=self.clock.now(),
+            freshness=outcome.freshness,
+            status=outcome.status,
+        )
+        sealed = seal_response(
+            response,
+            registration.public_key,
+            self.keypair.private,
+            self.network.sim.rng,
+        )
+        switch, port = origin
+        record = registration.host_at(switch, port)
+        client_ip = IPv4Address(record.ip) if record else IPv4Address(0)
+        self.inband.send_response(switch, port, client_ip, sealed)
 
     @staticmethod
     def _needs_auth_round(query: Query) -> bool:
@@ -378,11 +491,17 @@ class RVaaSController(ControllerApp):
         Degrade honestly: the verdict is computed on the evidence we
         have, and the reply states exactly how old that evidence is and
         which switches we currently cannot vouch for.
+
+        Ages are computed on the controller's monotonic clock: under
+        replayed or simulated time ``self.now`` can step backwards
+        across a snapshot's ``taken_at``, and a clamped-to-zero age
+        would silently hide real staleness while a raw subtraction
+        would report a *negative* one (evidence from the future).
         """
         assert self.monitor is not None
         staleness = self.monitor.switch_staleness()
         return FreshnessReport(
-            snapshot_age=max(0.0, self.now - snapshot.taken_at),
+            snapshot_age=max(0.0, self.clock.now() - snapshot.taken_at),
             max_switch_staleness=max(staleness.values(), default=0.0),
             degraded_switches=self.monitor.health.degraded(),
             lost_switches=self.monitor.health.lost(),

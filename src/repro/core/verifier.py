@@ -11,7 +11,9 @@ confidentiality).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
@@ -108,6 +110,18 @@ class LogicalVerifier:
         self._analysis_cache: Tuple[
             Optional[int], Optional[NetworkSnapshot], Optional[NetworkSnapshot]
         ] = (None, None, None)
+        #: row-level sub-answer cache (ISSUE 7): decoded endpoint sets
+        #: keyed by (direction, content hash, access point, ip, scope).
+        #: Distinct query classes on the same (client, scope, snapshot)
+        #: share these sets — isolation re-reads what reachable just
+        #: decoded — so the serving tier enables it (entries > 0) to
+        #: amortise matrix-row decoding across a batch.  Off by default:
+        #: the synchronous frontend keeps its historical cost profile.
+        self._row_cache: "OrderedDict[tuple, Optional[frozenset]]" = OrderedDict()
+        self._row_cache_entries = 0
+        self._row_lock = threading.Lock()
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
         if self.engine.backend == "atom":
             # Register the predicates our query spaces are built from, so
             # they are unions of atoms and the matrix can serve them
@@ -355,6 +369,14 @@ class LogicalVerifier:
                 endpoints.add(self.resolve_endpoint(*ref))
         return endpoints
 
+    def _locations_key(self, snapshot: NetworkSnapshot) -> tuple:
+        """Fingerprint of the switch→region assignment (geo cache key)."""
+        entries = []
+        for name in sorted(snapshot.switch_names()):
+            location = snapshot.location_of(name)
+            entries.append((name, location.region if location else None))
+        return tuple(entries)
+
     def _matrix_regions(
         self,
         pair,
@@ -377,6 +399,134 @@ class LogicalVerifier:
                 if location is not None:
                     regions.add(location.region)
         return regions
+
+    # ------------------------------------------------------------------
+    # Row-level sub-answer cache (serving tier)
+    # ------------------------------------------------------------------
+
+    def enable_row_cache(self, entries: int = 8192) -> None:
+        """Turn on endpoint-set memoisation for matrix-served lookups.
+
+        Safe because the cached value is a pure function of the cache
+        key: the analysis snapshot's content hash pins the matrix, the
+        access point + host address pin the row, and the scope pins the
+        encoded header set (geo lookups add a fingerprint of the switch
+        locations, which are not part of the content hash).  Entries are
+        frozensets handed back by reference — callers union them into
+        their own accumulators and must never mutate them.
+        """
+        self._row_cache_entries = max(0, int(entries))
+        if self._row_cache_entries == 0:
+            with self._row_lock:
+                self._row_cache.clear()
+
+    def _cached_rows(
+        self,
+        kind: str,
+        analysis: NetworkSnapshot,
+        host: HostRecord,
+        scope: TrafficScope,
+        compute,
+        extra: object = None,
+    ) -> Optional[frozenset]:
+        if self._row_cache_entries <= 0:
+            computed = compute()
+            return None if computed is None else frozenset(computed)
+        key = (
+            kind,
+            analysis.content_hash(),
+            host.switch,
+            host.port,
+            host.ip,
+            scope,
+            extra,
+        )
+        with self._row_lock:
+            if key in self._row_cache:
+                self.row_cache_hits += 1
+                self._row_cache.move_to_end(key)
+                return self._row_cache[key]
+            self.row_cache_misses += 1
+        computed = compute()
+        frozen = None if computed is None else frozenset(computed)
+        with self._row_lock:
+            self._row_cache[key] = frozen
+            while len(self._row_cache) > self._row_cache_entries:
+                self._row_cache.popitem(last=False)
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Serving-tier hooks (scheduler integration)
+    # ------------------------------------------------------------------
+
+    def ready(self, snapshot: NetworkSnapshot) -> bool:
+        """Whether answering on ``snapshot`` costs lookups, not compiles.
+
+        The scheduler's stale-but-honest fast path routes a batch at the
+        last verified snapshot when this returns ``False`` for a
+        mid-churn one.
+        """
+        analysis = self._analysis_snapshot(snapshot)
+        return self.engine.is_compiled(analysis.content_hash())
+
+    def warm(self, snapshot: NetworkSnapshot) -> None:
+        """Compile ``snapshot``'s artifacts so later queries are lookups."""
+        self.engine.compile(self._analysis_snapshot(snapshot))
+
+    def propagation_jobs(
+        self,
+        registration: ClientRegistration,
+        query: Query,
+        analysis: NetworkSnapshot,
+    ) -> List[Tuple[str, int, HeaderSpace]]:
+        """The forward propagations answering ``query`` would run.
+
+        Used by :meth:`prewarm` to batch compatible reachability lookups
+        across a whole scheduler batch before the per-query answering
+        loop (which then hits the engine's memo table).  Only forward
+        query classes enumerate jobs; inverse sweeps and history queries
+        return an empty list.
+        """
+        if not isinstance(
+            query,
+            (
+                ReachableDestinationsQuery,
+                IsolationQuery,
+                GeoLocationQuery,
+                WaypointAvoidanceQuery,
+                PathLengthQuery,
+                BandwidthQuery,
+                TransferFunctionQuery,
+            ),
+        ):
+            return []
+        return [
+            (host.switch, host.port, self._outbound_space(host, query.scope))
+            for host in registration.hosts
+        ]
+
+    def prewarm(
+        self, pairs: Iterable[Tuple[str, Query]], snapshot: NetworkSnapshot
+    ) -> int:
+        """Run a batch's forward propagations in one engine fan-out.
+
+        On the atom backend the matrix already serves these classes, so
+        prewarming would only duplicate fallback work; the wildcard
+        backend genuinely shares the fan-out.  Returns the number of
+        jobs submitted.
+        """
+        if self.engine.backend == "atom":
+            return 0
+        analysis = self._analysis_snapshot(snapshot)
+        jobs: List[Tuple[str, int, HeaderSpace]] = []
+        for client, query in pairs:
+            registration = self.registrations.get(client)
+            if registration is None:
+                continue
+            jobs.extend(self.propagation_jobs(registration, query, analysis))
+        if jobs:
+            self.engine.analyze_batch(analysis, jobs)
+        return len(jobs)
 
     def _count_serving(self, served, query_class: str) -> bool:
         """Telemetry: record a matrix-served query or a fallback.
@@ -427,7 +577,13 @@ class LogicalVerifier:
         endpoints: set[Endpoint] = set()
         for host in registration.hosts:
             served = (
-                self._matrix_outbound_endpoints(pair, host, scope)
+                self._cached_rows(
+                    "out",
+                    analysis,
+                    host,
+                    scope,
+                    lambda: self._matrix_outbound_endpoints(pair, host, scope),
+                )
                 if pair is not None
                 else None
             )
@@ -459,7 +615,13 @@ class LogicalVerifier:
         pair = self._atom_pair(analysis)
         for host in hosts:
             served = (
-                self._matrix_reaching_sources(pair, host, scope)
+                self._cached_rows(
+                    "in",
+                    analysis,
+                    host,
+                    scope,
+                    lambda: self._matrix_reaching_sources(pair, host, scope),
+                )
                 if pair is not None
                 else None
             )
@@ -519,9 +681,21 @@ class LogicalVerifier:
         analysis = self._analysis_snapshot(snapshot)
         pair = self._atom_pair(analysis)
         regions: set[str] = set()
+        # Switch locations are not covered by the content hash, so geo
+        # rows carry a fingerprint of them in the cache key.
+        locations = (
+            self._locations_key(snapshot) if pair is not None else None
+        )
         for host in registration.hosts:
             served = (
-                self._matrix_regions(pair, host, scope, snapshot)
+                self._cached_rows(
+                    "geo",
+                    analysis,
+                    host,
+                    scope,
+                    lambda: self._matrix_regions(pair, host, scope, snapshot),
+                    extra=locations,
+                )
                 if pair is not None
                 else None
             )

@@ -1,0 +1,76 @@
+"""Clock sources for the serving tier.
+
+Freshness disclosure (:class:`~repro.core.protocol.FreshnessReport`)
+subtracts timestamps, and the serving tier runs under three different
+time regimes — live simulator time, replayed/simulated time in the
+workload driver, and wall-clock benchmarks.  A subtraction across
+regimes (or across a simulator rewind in a replayed scenario) must never
+produce a *negative* age: a reply claiming evidence from the future is
+dishonest in the one place RVaaS promises honesty.
+
+:class:`MonotonicClock` wraps any base clock and clamps it to be
+non-decreasing; :class:`VirtualClock` is the manually-advanced clock the
+closed-loop workload driver uses to couple measured wall-clock service
+times to virtual arrival times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class MonotonicClock:
+    """A never-decreasing view of a base clock.
+
+    Reads pass through while the base clock moves forward; if the base
+    clock ever steps backwards (scenario replay, a simulator swapped
+    under a long-lived service, coarse timer granularity), reads hold at
+    the high-water mark instead of going back in time.  ``regressions``
+    counts how often the clamp engaged, for telemetry.
+    """
+
+    def __init__(self, base: Callable[[], float]) -> None:
+        self._base = base
+        self._high_water = float("-inf")
+        self.regressions = 0
+
+    def now(self) -> float:
+        reading = self._base()
+        if reading < self._high_water:
+            self.regressions += 1
+            return self._high_water
+        self._high_water = reading
+        return reading
+
+    def __call__(self) -> float:
+        return self.now()
+
+
+class VirtualClock:
+    """A manually-advanced clock for closed-loop workload driving.
+
+    The workload driver interleaves request admission (at virtual
+    arrival times) with batch service (advancing by the *measured*
+    wall-clock cost of each pump), which turns wall-clock service times
+    into honest virtual-time latency percentiles.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"negative advance: {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump forward to ``when`` (never backwards)."""
+        self._now = max(self._now, when)
+        return self._now

@@ -1,0 +1,360 @@
+"""Closed-loop workload generation for the serving tier (E21).
+
+Builds reproducible multi-tenant query streams — a *population* of
+simulated clients mapped onto the deployment's registered tenants, a
+catalog of distinct ``(client, query)`` pairs, Poisson arrivals, and a
+zipfian popularity law over the catalog — and drives them through
+either the serial frontend or a :class:`~repro.serving.scheduler.QueryScheduler`
+while measuring throughput and latency percentiles.
+
+The duplicate rate is constructed, not emergent: a stream of ``n``
+requests contains exactly ``round(n * duplicate_fraction)`` repeats of
+earlier requests, with the repeat mass distributed zipf(``zipf_s``)
+across the catalog (a few very hot pairs, a long cold tail).  That
+makes "≥5× at a 50% duplicate workload" a statement about a precisely
+known workload shape.
+
+Latency methodology: the driver advances a
+:class:`~repro.serving.clock.VirtualClock` by the *measured wall-clock
+cost* of each service step, and admits arrivals at their virtual
+arrival times.  Latency is (virtual completion − virtual arrival) — a
+closed-loop hybrid simulation in which queueing delay is real but the
+arrival process is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.protocol import STATUS_OK, ClientRegistration
+from repro.core.queries import (
+    BandwidthQuery,
+    FairnessQuery,
+    GeoLocationQuery,
+    IsolationQuery,
+    PathLengthQuery,
+    Query,
+    ReachableDestinationsQuery,
+    ReachingSourcesQuery,
+    TrafficScope,
+    TransferFunctionQuery,
+    WaypointAvoidanceQuery,
+)
+from repro.serving.clock import VirtualClock
+from repro.serving.metrics import percentile
+from repro.serving.scheduler import QueryScheduler
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one synthetic multi-tenant workload."""
+
+    requests: int = 600
+    #: simulated end-user population; each request is attributed to one
+    #: simulated client, which maps onto a registered tenant
+    population: int = 10_000
+    #: fraction of requests that repeat an earlier (client, query) pair
+    duplicate_fraction: float = 0.5
+    #: zipf exponent for the popularity of repeated pairs
+    zipf_s: float = 1.1
+    #: mean arrival rate, requests per (virtual) second
+    arrival_rate: float = 4000.0
+    #: distinct TrafficScope tp_dst values the catalog draws from;
+    #: kept modest so seeding them cannot overflow the atom universe
+    #: (more tenants, not more scopes, is how the catalog scales)
+    scope_pool: int = 16
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request in the generated stream."""
+
+    at: float
+    client: str
+    query: Query
+    #: index of the (client, query) pair in the catalog (telemetry)
+    key_id: int
+
+
+@dataclass
+class DriveResult:
+    """What one driven run measured."""
+
+    label: str
+    completed: int = 0
+    refused: int = 0
+    wall_seconds: float = 0.0
+    virtual_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second of service work."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": percentile(self.latencies, 50),
+            "p99": percentile(self.latencies, 99),
+            "p999": percentile(self.latencies, 99.9),
+        }
+
+
+# ----------------------------------------------------------------------
+# Catalog and arrival-stream construction
+# ----------------------------------------------------------------------
+
+
+def scope_wildcard_seeds(spec: WorkloadSpec):
+    """The tp_dst scope constants this workload's queries are built from.
+
+    Seeding them into the engine's atom universe
+    (:meth:`~repro.core.engine.VerificationEngine.seed_atoms`) lets the
+    matrix serve scoped queries exactly instead of falling back to
+    wildcard propagation — the serving tier registers popular scope
+    constants the same way the verifier registers host addresses.
+    """
+    from repro.hsa.wildcard import Wildcard
+
+    return [
+        Wildcard.from_fields(tp_dst=_scope_port(i))
+        for i in range(spec.scope_pool)
+    ]
+
+
+def _scope_port(i: int) -> int:
+    return 20000 + i
+
+
+def build_catalog(
+    registrations: Dict[str, ClientRegistration],
+    spec: WorkloadSpec,
+    *,
+    unique_pairs: int,
+) -> List[Tuple[str, Query]]:
+    """``unique_pairs`` distinct (client, query) pairs, deterministically.
+
+    The variant space crosses registered tenants, query classes,
+    per-host parameters and a pool of traffic scopes; pairs are drawn
+    without replacement in a seeded shuffle so the same spec always
+    yields the same catalog.
+
+    The class mix models a monitoring-heavy tenant: the bulk of the
+    catalog is tenant-level invariant checks (isolation, reachability,
+    geo, waypoint — all matrix-servable lookups on the atom backend),
+    while per-host diagnostics and the propagation-heavy audit classes
+    (path length, bandwidth, transfer function) appear once per tenant
+    rather than once per scope, the cadence a real operator runs them at.
+    """
+    rng = random.Random(spec.seed ^ 0xCA7A)
+    scopes = [TrafficScope()] + [
+        TrafficScope(tp_dst=_scope_port(i)) for i in range(spec.scope_pool)
+    ]
+    variants: List[Tuple[str, Query]] = []
+    for name in sorted(registrations):
+        registration = registrations[name]
+        hosts = [h.name for h in registration.hosts]
+        for scope in scopes:
+            variants.append((name, IsolationQuery(scope=scope)))
+            variants.append(
+                (name, IsolationQuery(scope=scope, authenticate=False))
+            )
+            variants.append(
+                (name, ReachableDestinationsQuery(scope=scope))
+            )
+            variants.append(
+                (
+                    name,
+                    ReachableDestinationsQuery(scope=scope, authenticate=False),
+                )
+            )
+            variants.append((name, GeoLocationQuery(scope=scope)))
+            # One avoidance policy per region of interest: distinct
+            # queries, but all derived from the same geo rows.
+            for region in (
+                ("offshore",),
+                ("apac",),
+                ("us-east", "us-west"),
+                ("eu-central", "eu-west"),
+            ):
+                variants.append(
+                    (
+                        name,
+                        WaypointAvoidanceQuery(
+                            scope=scope, forbidden_regions=region
+                        ),
+                    )
+                )
+            variants.append((name, ReachingSourcesQuery(scope=scope)))
+            for host in hosts[:2]:
+                variants.append(
+                    (
+                        name,
+                        ReachingSourcesQuery(scope=scope, destination_host=host),
+                    )
+                )
+        # Audit-class queries: once per tenant, unscoped.
+        for host in hosts:
+            variants.append((name, PathLengthQuery(destination_host=host)))
+        variants.append((name, FairnessQuery()))
+        variants.append((name, BandwidthQuery(minimum_mbps=500)))
+        variants.append((name, TransferFunctionQuery()))
+    rng.shuffle(variants)
+    if unique_pairs > len(variants):
+        raise ValueError(
+            f"catalog supports at most {len(variants)} unique pairs, "
+            f"{unique_pairs} requested (grow scope_pool)"
+        )
+    return variants[:unique_pairs]
+
+
+def generate_arrivals(
+    registrations: Dict[str, ClientRegistration], spec: WorkloadSpec
+) -> List[Arrival]:
+    """The full request stream: Poisson arrivals over a zipfian catalog."""
+    rng = random.Random(spec.seed ^ 0xA221)
+    n = spec.requests
+    duplicates = int(round(n * spec.duplicate_fraction))
+    unique = max(1, n - duplicates)
+    catalog = build_catalog(registrations, spec, unique_pairs=unique)
+    # One occurrence of every catalog pair, plus the duplicate mass
+    # distributed zipf across the catalog.
+    key_ids = list(range(unique))
+    if duplicates:
+        weights = [1.0 / (rank + 1) ** spec.zipf_s for rank in range(unique)]
+        key_ids.extend(rng.choices(range(unique), weights=weights, k=duplicates))
+    rng.shuffle(key_ids)
+    arrivals: List[Arrival] = []
+    at = 0.0
+    for key_id in key_ids:
+        at += rng.expovariate(spec.arrival_rate)
+        client, query = catalog[key_id]
+        arrivals.append(Arrival(at=at, client=client, query=query, key_id=key_id))
+    return arrivals
+
+
+def simulated_client_of(arrival: Arrival, spec: WorkloadSpec) -> int:
+    """Which of the ``population`` simulated clients issued this arrival.
+
+    Deterministic hash of the catalog key: the same (client, query)
+    pair always belongs to the same simulated end user, so per-client
+    rate limits and attribution are stable across runs.
+    """
+    return hash((arrival.client, arrival.key_id)) % max(1, spec.population)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+
+def drive_serial(
+    answer_fn: Callable[[str, Query], object],
+    arrivals: Sequence[Arrival],
+    *,
+    label: str = "serial",
+) -> DriveResult:
+    """The baseline: one synchronous engine walk per request."""
+    result = DriveResult(label=label)
+    clock = VirtualClock()
+    for arrival in arrivals:
+        clock.advance_to(arrival.at)
+        t0 = time.perf_counter()
+        answer_fn(arrival.client, arrival.query)
+        dt = time.perf_counter() - t0
+        clock.advance(dt)
+        result.wall_seconds += dt
+        result.completed += 1
+        result.latencies.append(clock.now() - arrival.at)
+    result.virtual_seconds = clock.now()
+    return result
+
+
+def drive_scheduler(
+    scheduler: QueryScheduler,
+    clock: VirtualClock,
+    arrivals: Sequence[Arrival],
+    *,
+    label: str = "serving",
+    sink: Optional[Dict[int, object]] = None,
+) -> DriveResult:
+    """Closed-loop drive: admit due arrivals, pump, advance virtual time.
+
+    ``clock`` must be the same :class:`VirtualClock` the scheduler was
+    constructed over, so token buckets and freshness ages see the
+    driver's time.  Arrival times are relative to the clock's position
+    at entry, so consecutive streams against one scheduler (a service
+    lifetime) measure honest latencies rather than a stale-clock offset.
+    """
+    result = DriveResult(label=label)
+    start = clock.now()
+
+    def on_done(pending, outcome) -> None:
+        if sink is not None:
+            # Keyed by stream index (the submit nonce): lets callers
+            # compare exactly what was served — including coalesced and
+            # cache-served responses — against a reference run.
+            sink[pending.nonce] = outcome
+        if outcome.status == STATUS_OK:
+            result.completed += 1
+            result.latencies.append(clock.now() - pending.context)
+        else:
+            result.refused += 1
+
+    drain = scheduler.config.drain_interval
+    index = 0
+    n = len(arrivals)
+    while index < n or scheduler.backlog:
+        if not scheduler.backlog and index < n:
+            clock.advance_to(start + arrivals[index].at)
+        # Batch window: the drain interval opens when the first request
+        # of the batch is waiting, and everything arriving before it
+        # closes joins the same pump — the admission/batching trade the
+        # scheduler is configured for (throughput bought with a bounded
+        # wait, which the measured latencies include).
+        deadline = clock.now() + drain
+        while index < n and start + arrivals[index].at <= deadline:
+            arrival = arrivals[index]
+            scheduler.submit(
+                arrival.client,
+                arrival.query,
+                nonce=index,
+                on_done=on_done,
+                context=start + arrival.at,
+            )
+            index += 1
+        if drain:
+            clock.advance_to(deadline)
+        t0 = time.perf_counter()
+        scheduler.pump()
+        dt = time.perf_counter() - t0
+        clock.advance(dt)
+        result.wall_seconds += dt
+    result.virtual_seconds = clock.now()
+    return result
+
+
+def percentile_table(results: Sequence[DriveResult]) -> List[List[object]]:
+    """Rows for an aligned table: label, served, throughput, p50/p99/p999."""
+    rows: List[List[object]] = []
+    for result in results:
+        pcts = result.latency_percentiles()
+        rows.append(
+            [
+                result.label,
+                result.completed,
+                result.refused,
+                f"{result.throughput:,.0f}",
+                f"{pcts['p50'] * 1e3:.2f}",
+                f"{pcts['p99'] * 1e3:.2f}",
+                f"{pcts['p999'] * 1e3:.2f}",
+            ]
+        )
+    return rows

@@ -29,6 +29,7 @@ from repro.crypto.keys import KeyPair, generate_keypair
 from repro.dataplane.network import Network
 from repro.dataplane.topology import Topology
 from repro.faults import FaultInjector, FaultPlan
+from repro.serving.scheduler import ServingConfig
 
 
 @dataclass
@@ -128,6 +129,7 @@ def build_testbed(
     silent_hosts: Sequence[str] = (),
     record_history: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    serving: Optional[ServingConfig] = None,
     settle: bool = True,
 ) -> Testbed:
     """Build and start a complete deployment on ``topology``.
@@ -139,6 +141,9 @@ def build_testbed(
     * ``fault_plan`` installs a :class:`~repro.faults.FaultInjector`
       before any control channel opens, so every session (provider and
       RVaaS alike) sees the planned impairments from its first record.
+    * ``serving`` enables the multi-tenant serving tier
+      (:class:`~repro.serving.scheduler.QueryScheduler`) in front of the
+      engine; ``None`` keeps the synchronous per-request path.
     * ``settle`` drains the event queue once so rule installation and the
       initial monitoring poll complete before the scenario starts.
     """
@@ -183,6 +188,7 @@ def build_testbed(
         poll_timeout=poll_timeout,
         max_poll_retries=max_poll_retries,
         record_history=record_history,
+        serving=serving,
     )
     service.start(network)
 

@@ -26,9 +26,9 @@ class TestParsing:
             factory()  # constructible
 
     def test_experiment_index_shape(self):
-        assert len(EXPERIMENTS) == 20
+        assert len(EXPERIMENTS) == 21
         assert all(exp[0].startswith("E") for exp in EXPERIMENTS)
-        assert any(exp[0] == "E20" for exp in EXPERIMENTS)
+        assert any(exp[0] == "E21" for exp in EXPERIMENTS)
 
 
 class TestCommands:

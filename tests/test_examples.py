@@ -37,4 +37,5 @@ def test_expected_examples_present():
         "multi_provider_federation",
         "forensics_and_replication",
         "proactive_alerts",
+        "serving_demo",
     } <= names
