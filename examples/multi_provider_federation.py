@@ -90,9 +90,12 @@ def main() -> None:
     print(f"\ndomains involved    : {', '.join(answer.domains_involved)}")
     print(f"federated messages  : {answer.federated_messages}")
     print(f"max recursion depth : {answer.max_chain_depth}")
+    print(f"answer mode         : {answer.mode}")
+    print(f"truncated           : {answer.truncated} "
+          f"(dropped {answer.dropped_items} items)")
 
     regions = federation.regions_traversed(registration)
-    print(f"regions traversed   : {', '.join(regions)}")
+    print(f"regions traversed   : {', '.join(regions.regions)}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ Commands
     Drive the closed-loop multi-tenant workload generator against both
     the serial frontend and the serving tier and print the throughput /
     latency-percentile table (the E21 quick-look).
+``federate``
+    Generate a synthetic AS-level internetwork, partition it into one
+    provider domain per AS, run a federated reachability query in each
+    mode with timings, and print the herd-immunity audit (the E22
+    quick-look).
 """
 
 from __future__ import annotations
@@ -92,6 +97,7 @@ EXPERIMENTS = [
     ("E19", "atomic-predicate backend vs wildcard", "bench_atom_engine.py"),
     ("E20", "matrix repair vs full atom recompile", "bench_matrix_repair.py"),
     ("E21", "multi-tenant serving tier throughput", "bench_serving_tier.py"),
+    ("E22", "AS-scale federation + herd immunity", "bench_federation.py"),
 ]
 
 
@@ -435,6 +441,66 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federate(args: argparse.Namespace) -> int:
+    """AS-scale federation quick-look: query modes + herd audit."""
+    import time
+
+    from repro.core.herd import herd_immunity_report
+    from repro.dataplane.asgraph import (
+        as_graph_topology,
+        build_snapshot,
+        client_registration,
+        federation_from_asgraph,
+    )
+
+    asg = as_graph_topology(
+        args.domains, seed=args.seed, client_sites=args.client_sites
+    )
+    snapshot = build_snapshot(asg)
+    federation = federation_from_asgraph(
+        asg, snapshot=snapshot, backend=args.backend
+    )
+    registration = client_registration(asg)
+    print(
+        f"internetwork: {args.domains} ASes, "
+        f"{len(asg.topology.switches)} switches, "
+        f"{sum(len(r) for r in snapshot.rules.values())} rules, "
+        f"{len(registration.hosts)} client sites, backend={args.backend}"
+    )
+
+    modes = args.modes.split(",")
+    answer = None
+    for mode in modes:
+        start = time.perf_counter()
+        answer = federation.federated_query(registration, mode=mode)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(
+            f"{mode:<9}: {elapsed:8.1f} ms  "
+            f"endpoints={len(answer.endpoints)} "
+            f"regions={len(answer.regions)} "
+            f"domains={len(answer.domains_involved)} "
+            f"messages={answer.federated_messages} "
+            f"depth={answer.max_chain_depth} "
+            f"truncated={answer.truncated} dropped={answer.dropped_items}"
+        )
+
+    rel = asg.relationships()
+    cones = rel.cone_sizes()
+    verified = {n for n, c in cones.items() if c >= args.cone_threshold}
+    report = herd_immunity_report(rel, verified)
+    print(
+        f"\nherd immunity: {len(verified)} verified ASes "
+        f"(cone >= {args.cone_threshold}), {len(report.verdicts)} pairs"
+    )
+    for verdict, count in report.summary_rows():
+        print(f"  {verdict:<17} {count:>6}")
+    print(
+        f"protected fraction {report.protected_fraction:.3f}, "
+        f"verified-cone coverage {report.verified_cone_coverage:.2f}"
+    )
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     for exp_id, title, bench in EXPERIMENTS:
         print(f"{exp_id:<5} {title:<42} benchmarks/{bench}")
@@ -520,6 +586,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=cmd_serve_bench)
+
+    federate = sub.add_parser(
+        "federate",
+        help="AS-scale federated query + herd-immunity audit",
+    )
+    federate.add_argument(
+        "--backend", choices=("wildcard", "atom"), default="atom"
+    )
+    federate.add_argument("--domains", type=int, default=40)
+    federate.add_argument("--client-sites", type=int, default=3)
+    federate.add_argument(
+        "--modes",
+        default="matrix,serial",
+        help="comma-separated federation modes to time "
+        "(matrix, serial, recompile)",
+    )
+    federate.add_argument(
+        "--cone-threshold",
+        type=int,
+        default=8,
+        help="an AS runs RVaaS when its customer cone is at least this big",
+    )
+    federate.add_argument("--seed", type=int, default=11)
+    federate.set_defaults(func=cmd_federate)
     return parser
 
 

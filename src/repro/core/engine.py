@@ -153,6 +153,10 @@ class EngineMetrics:
     batched_analyses: int = 0  # analyze_batch invocations
     batch_jobs: int = 0  # jobs submitted across all batches
     batch_unique_jobs: int = 0  # jobs remaining after in-batch dedup
+    # Federation telemetry (E22): matrix rows computed on demand for
+    # ingress ports outside the edge-port set (inter-domain boundary
+    # ports a peer provider hands traffic to).
+    atom_boundary_rows: int = 0
     # Per-query-class serving breakdown (which classes the matrix serves
     # and which still fall back to wildcard propagation); dict-valued,
     # keyed by query-class name.
@@ -573,6 +577,74 @@ class VerificationEngine:
         if built is None or built[0] is None:
             return None
         return built  # type: ignore[return-value]
+
+    def atom_rows(
+        self, snapshot: NetworkSnapshot, ingresses: Iterable[PortRef]
+    ) -> Optional[Tuple[AtomSpace, ReachabilityMatrix]]:
+        """Matrix rows for arbitrary ingress ports, or None.
+
+        The all-ingress matrix precomputes rows for *edge* ports only;
+        a federated query enters a domain at an inter-domain boundary
+        port, which a domain-restricted snapshot classifies as
+        "unbound" (the cross-domain wire is not in its wiring plan).
+        This is the boundary-port interface: any requested ingress
+        without a row is propagated through the cached
+        :class:`~repro.hsa.atoms.AtomNetwork` and the row is added to
+        the cached matrix, so each (domain snapshot, boundary port)
+        pays at most one propagation.  Returns ``None`` exactly when
+        :meth:`atom_artifacts` does (wildcard backend / atom overflow).
+
+        Rows added here are reachable via
+        :meth:`~repro.hsa.atoms.ReachabilityMatrix.row` but do not join
+        :meth:`~repro.hsa.atoms.ReachabilityMatrix.ingresses`, so
+        column scans over edge ingresses (reaching-sources) are
+        unaffected.
+        """
+        artifacts = self.atom_artifacts(snapshot)
+        if artifacts is None:
+            return None
+        space, matrix = artifacts
+        missing = [ref for ref in ingresses if matrix.row(ref) is None]
+        if not missing:
+            return artifacts
+        content = self.content_hash(snapshot)
+        state_key = (self._atom_seed_key, content)
+        with self._lock:
+            state = self._atom_states.get(state_key)
+        if state is not None and state.matrix is matrix:
+            atom_network = state.atom_network
+        else:
+            # Predecessor state evicted while the artifact survived:
+            # rebuild the atom network once (content-addressed pieces,
+            # so only the pipeline wrappers are recompiled) and re-admit
+            # it so later boundary rows are lookups again.
+            network_tf = self.compile(snapshot)
+            atom_network = AtomNetwork(network_tf, space)
+            state = _AtomState(
+                content=content,
+                network_tf=network_tf,
+                switch_sigs={
+                    name: (
+                        snapshot.switch_content_hash(name),
+                        tuple(snapshot.switch_ports.get(name, ())),
+                    )
+                    for name in snapshot.rules
+                },
+                space=space,
+                matrix=matrix,
+                atom_network=atom_network,
+            )
+            with self._lock:
+                self._atom_states[state_key] = state
+                self._evict(self._atom_states, self._max_artifact_entries)
+        for ref in missing:
+            row = atom_network.propagate(ref[0], ref[1])
+            with self._lock:
+                # A concurrent query may have raced us to the same row;
+                # first write wins and both are equivalent.
+                matrix._rows.setdefault(ref, row)
+                self.metrics.atom_boundary_rows += 1
+        return space, matrix
 
     def _ensure_atoms(
         self,

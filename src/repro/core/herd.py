@@ -1,0 +1,301 @@
+"""Herd-immunity audit over an AS-level federation.
+
+Not every provider runs RVaaS.  This module answers the fleet-level
+question anyway: *which client pairs are protected because every
+valley-free transit path between them crosses a verified provider?*
+The verdict taxonomy ports from AS-graph ROV-adoption audits
+(SECURE-local / SECURE-inherited / PARTIAL / VULNERABLE — "inherited"
+protection is the herd-immunity effect): a pair whose own providers are
+unverified can still be safe when the transit core it must cross is.
+
+Everything here is pure relationship-graph logic — provider/customer
+and peer edge sets — deliberately independent of the data plane, so it
+audits both generated internetworks
+(:func:`repro.dataplane.asgraph.as_graph_topology` exposes its edges
+via :meth:`~repro.dataplane.asgraph.ASGraph.relationships`) and
+externally supplied AS graphs.
+
+Valley-free paths follow the Gao-Rexford export rules as a two-phase
+automaton: a path climbs customer->provider edges, takes at most one
+peering edge, then descends provider->customer edges.  Reachability,
+"a path avoiding verified transit exists", and "a path crossing
+verified transit exists" are all BFS over (AS, phase[, crossed]) states
+— walks and simple paths coincide for reachability because phases only
+ever advance, and the brute-force oracle in :func:`brute_force_verdict`
+enumerates the same walk set for cross-checking on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+SECURE_LOCAL = "SECURE-local"
+SECURE_INHERITED = "SECURE-inherited"
+PARTIAL = "PARTIAL"
+VULNERABLE = "VULNERABLE"
+VERDICTS = (SECURE_LOCAL, SECURE_INHERITED, PARTIAL, VULNERABLE)
+
+_UP, _DOWN = 0, 1  # phase automaton: up*(peer)?down*
+
+
+@dataclass(frozen=True)
+class ASRelationships:
+    """Business relationships of an AS graph (the audit's only input)."""
+
+    order: Tuple[str, ...]
+    providers: Mapping[str, Tuple[str, ...]]
+    customers: Mapping[str, Tuple[str, ...]]
+    peers: Mapping[str, Tuple[str, ...]]
+
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Iterable[str],
+        p2c: Iterable[Tuple[str, str]],
+        p2p: Iterable[Tuple[str, str]],
+    ) -> "ASRelationships":
+        """Build from (provider, customer) and unordered peering pairs."""
+        order = tuple(nodes)
+        known = set(order)
+        prov: Dict[str, List[str]] = {n: [] for n in order}
+        cust: Dict[str, List[str]] = {n: [] for n in order}
+        peer: Dict[str, List[str]] = {n: [] for n in order}
+        for p, c in p2c:
+            if p not in known or c not in known:
+                raise ValueError(f"p2c edge ({p}, {c}) references unknown AS")
+            prov[c].append(p)
+            cust[p].append(c)
+        for a, b in p2p:
+            if a not in known or b not in known:
+                raise ValueError(f"p2p edge ({a}, {b}) references unknown AS")
+            peer[a].append(b)
+            peer[b].append(a)
+        return cls(
+            order=order,
+            providers={n: tuple(sorted(v)) for n, v in prov.items()},
+            customers={n: tuple(sorted(v)) for n, v in cust.items()},
+            peers={n: tuple(sorted(v)) for n, v in peer.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Customer cones
+    # ------------------------------------------------------------------
+
+    def customer_cone(self, name: str) -> FrozenSet[str]:
+        """The AS plus everything reachable down customer edges."""
+        seen = {name}
+        stack = [name]
+        while stack:
+            for c in self.customers[stack.pop()]:
+                if c not in seen:
+                    seen.add(c)
+                    stack.append(c)
+        return frozenset(seen)
+
+    def cone_sizes(self) -> Dict[str, int]:
+        return {n: len(self.customer_cone(n)) for n in self.order}
+
+    # ------------------------------------------------------------------
+    # Valley-free reachability sweeps (one source, all destinations)
+    # ------------------------------------------------------------------
+
+    def _sweep(
+        self, source: str, verified: FrozenSet[str], want_crossed: bool
+    ) -> FrozenSet[str]:
+        """BFS over (AS, phase[, crossed]) states from ``source``.
+
+        ``want_crossed=False``: destinations reachable by a path with
+        **no** verified intermediate (transit) AS — expansion simply
+        stops at verified nodes other than the source, which still lets
+        them be reached as endpoints.  ``want_crossed=True``:
+        destinations reachable by a path with **at least one** verified
+        intermediate — the crossed bit is set when expanding *through*
+        a verified non-source node.
+        """
+        start = (source, _UP, False)
+        seen = {start}
+        frontier = [start]
+        reached: set = set()
+        while frontier:
+            node, phase, crossed = frontier.pop()
+            if node != source and (not want_crossed or crossed):
+                reached.add(node)
+            blocked = node != source and node in verified
+            if not want_crossed and blocked:
+                continue  # verified transit breaks the unprotected path
+            crossed_next = crossed or (want_crossed and blocked)
+            steps: List[Tuple[str, int]] = []
+            if phase == _UP:
+                steps.extend((p, _UP) for p in self.providers[node])
+                steps.extend((y, _DOWN) for y in self.peers[node])
+            steps.extend((c, _DOWN) for c in self.customers[node])
+            for nxt, nxt_phase in steps:
+                state = (nxt, nxt_phase, crossed_next)
+                if state not in seen:
+                    seen.add(state)
+                    frontier.append(state)
+        reached.discard(source)
+        return frozenset(reached)
+
+    def reachable(self, source: str) -> FrozenSet[str]:
+        """All ASes a valley-free path from ``source`` can reach."""
+        return self._sweep(source, frozenset(), want_crossed=False)
+
+
+@dataclass(frozen=True)
+class HerdImmunityReport:
+    """Fleet-level protection summary for a set of client-site pairs."""
+
+    verified: FrozenSet[str]
+    verdicts: Dict[Tuple[str, str], str]
+    counts: Dict[str, int]
+    protected_fraction: float
+    cone_sizes: Dict[str, int]
+    #: fraction of all ASes inside at least one verified AS's cone
+    verified_cone_coverage: float
+
+    def summary_rows(self) -> List[Tuple[str, int]]:
+        return [(v, self.counts.get(v, 0)) for v in VERDICTS]
+
+
+def _classify(
+    s: str,
+    d: str,
+    verified: FrozenSet[str],
+    reachable: FrozenSet[str],
+    unprotected: FrozenSet[str],
+    protected: FrozenSet[str],
+) -> str:
+    """The verdict ladder for one pair, given ``s``'s three sweeps."""
+    if d not in reachable:
+        return VULNERABLE  # no connectivity at all: nothing to trust
+    if s in verified and d in verified:
+        return SECURE_LOCAL
+    if d not in unprotected:
+        return SECURE_INHERITED  # every transit path crosses a verified AS
+    if s in verified or d in verified or d in protected:
+        return PARTIAL
+    return VULNERABLE
+
+
+def herd_immunity_report(
+    rel: ASRelationships,
+    verified: Iterable[str],
+    pairs: Optional[Iterable[Tuple[str, str]]] = None,
+) -> HerdImmunityReport:
+    """Classify every pair (default: all unordered AS pairs).
+
+    Valley-free paths reverse into valley-free paths (each climb
+    becomes a descent), so verdicts are symmetric and pairs are
+    canonicalised to graph order (the earlier AS first).  One source
+    needs at most three sweeps, shared across all its pairs —
+    all-pairs is O(n * edges).
+    """
+    verified_set = frozenset(verified)
+    unknown = verified_set - set(rel.order)
+    if unknown:
+        raise ValueError(f"verified set names unknown ASes: {sorted(unknown)}")
+    rank = {name: i for i, name in enumerate(rel.order)}
+    if pairs is None:
+        wanted = [
+            (a, b)
+            for i, a in enumerate(rel.order)
+            for b in rel.order[i + 1:]
+        ]
+    else:
+        wanted = []
+        for a, b in pairs:
+            if a == b:
+                raise ValueError(f"self-pair ({a}, {b}) has no transit path")
+            if a not in rank or b not in rank:
+                raise ValueError(f"pair ({a}, {b}) references unknown AS")
+            wanted.append((a, b) if rank[a] < rank[b] else (b, a))
+    by_source: Dict[str, List[str]] = {}
+    for a, b in wanted:
+        by_source.setdefault(a, []).append(b)
+
+    verdicts: Dict[Tuple[str, str], str] = {}
+    for source, dests in by_source.items():
+        reach = rel._sweep(source, frozenset(), want_crossed=False)
+        unprot = rel._sweep(source, verified_set, want_crossed=False)
+        prot = rel._sweep(source, verified_set, want_crossed=True)
+        for d in dests:
+            verdicts[(source, d)] = _classify(
+                source, d, verified_set, reach, unprot, prot
+            )
+
+    counts: Dict[str, int] = {v: 0 for v in VERDICTS}
+    for verdict in verdicts.values():
+        counts[verdict] += 1
+    total = len(verdicts)
+    secure = counts[SECURE_LOCAL] + counts[SECURE_INHERITED]
+    covered: set = set()
+    for v in verified_set:
+        covered |= rel.customer_cone(v)
+    return HerdImmunityReport(
+        verified=verified_set,
+        verdicts=verdicts,
+        counts=counts,
+        protected_fraction=(secure / total) if total else 0.0,
+        cone_sizes=rel.cone_sizes(),
+        verified_cone_coverage=(
+            len(covered) / len(rel.order) if rel.order else 0.0
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracle (small instances only)
+# ----------------------------------------------------------------------
+
+def brute_force_verdict(
+    rel: ASRelationships,
+    verified: Iterable[str],
+    s: str,
+    d: str,
+) -> str:
+    """Enumerate every valley-free walk from ``s`` to ``d`` by DFS.
+
+    States (AS, phase) never repeat along a valley-free walk (each
+    segment is strictly monotone in the provider hierarchy), so plain
+    DFS terminates.  Classifies with the same ladder as
+    :func:`herd_immunity_report` but from exhaustively enumerated
+    walks — the oracle the sweeps must agree with.
+    """
+    verified_set = frozenset(verified)
+    found = {"any": False, "unprotected": False, "protected": False}
+
+    def walk(node: str, phase: int, on_stack: set, crossed: bool) -> None:
+        if node == d:
+            found["any"] = True
+            if crossed:
+                found["protected"] = True
+            else:
+                found["unprotected"] = True
+            return  # d is the endpoint; longer walks through d are
+            # classified by their own visits when reached again
+        crossed_next = crossed or (node != s and node in verified_set)
+        steps: List[Tuple[str, int]] = []
+        if phase == _UP:
+            steps.extend((p, _UP) for p in rel.providers[node])
+            steps.extend((y, _DOWN) for y in rel.peers[node])
+        steps.extend((c, _DOWN) for c in rel.customers[node])
+        for nxt, nxt_phase in steps:
+            state = (nxt, nxt_phase)
+            if state in on_stack:
+                continue
+            on_stack.add(state)
+            walk(nxt, nxt_phase, on_stack, crossed_next)
+            on_stack.discard(state)
+
+    walk(s, _UP, {(s, _UP)}, False)
+    if not found["any"]:
+        return VULNERABLE
+    if s in verified_set and d in verified_set:
+        return SECURE_LOCAL
+    if not found["unprotected"]:
+        return SECURE_INHERITED
+    if s in verified_set or d in verified_set or found["protected"]:
+        return PARTIAL
+    return VULNERABLE

@@ -8,6 +8,15 @@ for the standard shapes used in experiments live in
 :mod:`~repro.dataplane.topologies`.
 """
 
+from repro.dataplane.asgraph import (
+    ASGraph,
+    ASNode,
+    as_graph_topology,
+    build_snapshot,
+    client_registration,
+    federation_from_asgraph,
+    valley_free_next_hops,
+)
 from repro.dataplane.host import Host
 from repro.dataplane.link import Link
 from repro.dataplane.network import Network
@@ -25,8 +34,15 @@ from repro.dataplane.topologies import (
 )
 
 __all__ = [
+    "ASGraph",
+    "ASNode",
     "Event",
     "abilene_topology",
+    "as_graph_topology",
+    "build_snapshot",
+    "client_registration",
+    "federation_from_asgraph",
+    "valley_free_next_hops",
     "GeoLocation",
     "Host",
     "HostSpec",

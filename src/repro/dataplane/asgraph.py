@@ -1,0 +1,559 @@
+"""Synthetic AS-level internetworks for federation at scale.
+
+Generates an internet-like provider graph — hundreds of autonomous
+systems with power-law customer-cone sizes and valley-free
+provider/customer/peer edge labels (Gao-Rexford) — then realises it as
+a concrete :class:`~repro.dataplane.topology.Topology` with OpenFlow
+forwarding state, so the *same* HSA/atom verification stack that checks
+a single provider's data plane can audit inter-domain routing across a
+whole federation.
+
+Construction (deterministic per seed):
+
+* ``n_roots`` tier-1 ASes form a full peering mesh; every later AS
+  attaches under one or two providers chosen among earlier ASes with
+  probability proportional to current customer-cone size (preferential
+  attachment — the classic recipe for heavy-tailed cones), plus
+  occasional lateral peering links.  Providers always precede their
+  customers in creation order, so the provider hierarchy is a DAG.
+* Each AS owns a /24 out of ``10.0.0.0/8``, a small switch chain
+  (border router first, access switch last), one anchor host, and —
+  at a few stub ASes — a host belonging to the federation's client.
+* Forwarding state implements valley-free best-route selection per
+  destination prefix (customer routes preferred over peer routes over
+  provider routes, then path length, then a deterministic name
+  tie-break): the border switch holds one rule per destination prefix,
+  internal switches a default-up / own-prefix-down pair, the access
+  switch per-host delivery rules.  No rewrites — inter-domain handoffs
+  stay exactly encodable in every domain's atom universe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.topology import GeoLocation, Topology
+from repro.hsa.transfer import SnapshotRule
+from repro.netlib.addresses import IPv4Address, IPv4Network
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+
+#: regions cycle across ASes so federated region queries span several
+REGIONS = ("us-east", "eu-west", "ap-south", "sa-east", "af-north")
+
+
+@dataclass(frozen=True)
+class ASNode:
+    """One autonomous system: its prefix, switch chain, and hosts."""
+
+    name: str
+    index: int
+    prefix: IPv4Network
+    switches: Tuple[str, ...]  # border first, access last
+    hosts: Tuple[str, ...]
+    region: str
+
+    @property
+    def border(self) -> str:
+        return self.switches[0]
+
+    @property
+    def access(self) -> str:
+        return self.switches[-1]
+
+
+@dataclass
+class ASGraph:
+    """A generated AS internetwork: topology plus business relationships."""
+
+    topology: Topology
+    nodes: Dict[str, ASNode]
+    order: Tuple[str, ...]
+    #: (provider, customer) pairs — money flows customer -> provider
+    p2c: Tuple[Tuple[str, str], ...]
+    #: unordered settlement-free peerings, stored (min, max)
+    p2p: Tuple[Tuple[str, str], ...]
+    providers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    customers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    peers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    _domain_of_switch: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            prov: Dict[str, List[str]] = {n: [] for n in self.order}
+            cust: Dict[str, List[str]] = {n: [] for n in self.order}
+            peer: Dict[str, List[str]] = {n: [] for n in self.order}
+            for p, c in self.p2c:
+                prov[c].append(p)
+                cust[p].append(c)
+            for a, b in self.p2p:
+                peer[a].append(b)
+                peer[b].append(a)
+            self.providers = {n: tuple(sorted(v)) for n, v in prov.items()}
+            self.customers = {n: tuple(sorted(v)) for n, v in cust.items()}
+            self.peers = {n: tuple(sorted(v)) for n, v in peer.items()}
+        if not self._domain_of_switch:
+            self._domain_of_switch = {
+                switch: node.name
+                for node in self.nodes.values()
+                for switch in node.switches
+            }
+
+    def domain_of_switch(self, switch: str) -> str:
+        return self._domain_of_switch[switch]
+
+    def relationships(self):
+        """The pure relationship view consumed by the herd-immunity audit."""
+        from repro.core.herd import ASRelationships
+
+        return ASRelationships.from_edges(self.order, self.p2c, self.p2p)
+
+    def customer_cone(self, name: str) -> frozenset:
+        return self.relationships().customer_cone(name)
+
+    def stubs(self) -> Tuple[str, ...]:
+        """ASes with no customers — where client hosts live."""
+        return tuple(n for n in self.order if not self.customers[n])
+
+
+def _weighted_pick(
+    rng: random.Random, candidates: List[int], weights: List[int], k: int
+) -> List[int]:
+    """k distinct indices drawn with probability proportional to weight."""
+    chosen: List[int] = []
+    pool = list(zip(candidates, weights))
+    for _ in range(min(k, len(pool))):
+        total = sum(w for _, w in pool)
+        shot = rng.uniform(0.0, total)
+        acc = 0.0
+        for pos, (cand, w) in enumerate(pool):
+            acc += w
+            if shot <= acc:
+                chosen.append(cand)
+                pool.pop(pos)
+                break
+        else:  # float edge: uniform() returned exactly total
+            chosen.append(pool.pop()[0])
+    return chosen
+
+
+def as_graph_topology(
+    n_domains: int,
+    *,
+    seed: int = 0,
+    n_roots: int = 3,
+    switches_per_as: int = 2,
+    max_providers: int = 2,
+    multihome_prob: float = 0.35,
+    peer_prob: float = 0.12,
+    client: str = "acme",
+    client_sites: int = 4,
+) -> ASGraph:
+    """Generate a deterministic AS internetwork with forwarding state."""
+    if n_domains < 2 or n_roots < 1 or n_roots > n_domains:
+        raise ValueError("need n_domains >= 2 and 1 <= n_roots <= n_domains")
+    if n_domains > 65534:
+        raise ValueError("prefix plan supports at most 65534 ASes")
+    if switches_per_as < 1:
+        raise ValueError("each AS needs at least one switch")
+    rng = random.Random(seed)
+    names = [f"as{i:03d}" for i in range(n_domains)]
+    index = {n: i for i, n in enumerate(names)}
+    providers: Dict[str, List[str]] = {n: [] for n in names}
+    p2c: List[Tuple[str, str]] = []
+    p2p: List[Tuple[str, str]] = []
+    peered: set = set()
+    cone = [1] * n_domains  # customer-cone size incl. self
+
+    for i in range(n_roots):
+        for j in range(i):
+            p2p.append((names[j], names[i]))
+            peered.add(frozenset((names[j], names[i])))
+
+    for i in range(n_roots, n_domains):
+        k = 2 if (max_providers > 1 and rng.random() < multihome_prob) else 1
+        weights = [cone[j] + 1 for j in range(i)]
+        for j in _weighted_pick(rng, list(range(i)), weights, k):
+            p2c.append((names[j], names[i]))
+            providers[names[i]].append(names[j])
+            # the new AS joins the cone of every provider-ancestor
+            stack, seen = [j], set()
+            while stack:
+                a = stack.pop()
+                if a in seen:
+                    continue
+                seen.add(a)
+                cone[a] += 1
+                stack.extend(index[p] for p in providers[names[a]])
+        if rng.random() < peer_prob:
+            candidates = [
+                j
+                for j in range(n_roots, i)
+                if names[j] not in providers[names[i]]
+                and frozenset((names[j], names[i])) not in peered
+            ]
+            if candidates:
+                j = rng.choice(candidates)
+                p2p.append((names[j], names[i]))
+                peered.add(frozenset((names[j], names[i])))
+
+    # ------------------------------------------------------------------
+    # Realise the graph as switches, links, and hosts
+    # ------------------------------------------------------------------
+    topo = Topology(name=f"asgraph-{n_domains}")
+    nodes: Dict[str, ASNode] = {}
+    for i, name in enumerate(names):
+        region = REGIONS[i % len(REGIONS)]
+        location = GeoLocation(
+            region=region,
+            latitude=round(rng.uniform(-60.0, 60.0), 3),
+            longitude=round(rng.uniform(-180.0, 180.0), 3),
+        )
+        switches = tuple(f"{name}-r{k}" for k in range(switches_per_as))
+        for s in switches:
+            topo.add_switch(s, location=location)
+        for k in range(switches_per_as - 1):
+            topo.add_link(
+                switches[k], switches[k + 1], latency=0.0002,
+                bandwidth_mbps=40000.0,
+            )
+        prefix_value = (10 << 24) | ((i + 1) << 8)
+        prefix = IPv4Network(IPv4Address(prefix_value), 24)
+        anchor = f"h-{name}"
+        topo.add_host(
+            anchor,
+            switches[-1],
+            ip=IPv4Address(prefix_value | 1),
+            location=location,
+        )
+        nodes[name] = ASNode(
+            name=name,
+            index=i,
+            prefix=prefix,
+            switches=switches,
+            hosts=(anchor,),
+            region=region,
+        )
+
+    for provider, customer in p2c:
+        topo.add_link(
+            nodes[provider].border, nodes[customer].border,
+            latency=0.004, bandwidth_mbps=10000.0,
+        )
+    for a, b in p2p:
+        topo.add_link(
+            nodes[a].border, nodes[b].border,
+            latency=0.002, bandwidth_mbps=20000.0,
+        )
+
+    asg = ASGraph(
+        topology=topo,
+        nodes=nodes,
+        order=tuple(names),
+        p2c=tuple(p2c),
+        p2p=tuple(sorted(tuple(sorted(pair)) for pair in p2p)),
+    )
+
+    # Client hosts at a few stub ASes (deterministic sample)
+    stubs = list(asg.stubs())
+    sites = stubs if len(stubs) <= client_sites else rng.sample(stubs, client_sites)
+    for k, site in enumerate(sorted(sites)):
+        node = nodes[site]
+        host = f"{client}-{k}"
+        topo.add_host(
+            host,
+            node.access,
+            ip=IPv4Address(node.prefix.address.value | 2),
+            location=topo.switches[node.access].location,
+            client=client,
+        )
+        nodes[site] = ASNode(
+            name=node.name,
+            index=node.index,
+            prefix=node.prefix,
+            switches=node.switches,
+            hosts=node.hosts + (host,),
+            region=node.region,
+        )
+    asg.nodes = nodes
+    topo.validate()
+    return asg
+
+
+# ----------------------------------------------------------------------
+# Valley-free route computation (Gao-Rexford preferences)
+# ----------------------------------------------------------------------
+
+def valley_free_next_hops(asg: ASGraph, dest: str) -> Dict[str, str]:
+    """Best next-hop AS toward ``dest`` for every AS that has a route.
+
+    Three phases mirror BGP export policy: customer routes propagate to
+    everyone (walk provider edges up from the destination), peer routes
+    one lateral hop from any customer-route holder, provider routes
+    flow down customer edges from every routed AS.  Preference order is
+    customer > peer > provider, then fewest AS hops, then lowest
+    neighbour name — all deterministic.
+    """
+    next_hop: Dict[str, str] = {}
+
+    # Phase 1 — customer routes: dest's provider-ancestors route down.
+    routed = {dest}
+    level = [dest]
+    while level:
+        gained: Dict[str, str] = {}
+        for x in sorted(level):
+            for p in asg.providers[x]:
+                if p in routed:
+                    continue
+                if p not in gained or x < gained[p]:
+                    gained[p] = x
+        for p, via in gained.items():
+            next_hop[p] = via
+            routed.add(p)
+        level = sorted(gained)
+
+    customer_routed = frozenset(routed)
+
+    # Phase 2 — peer routes: one settlement-free hop.
+    for x in asg.order:
+        if x in routed:
+            continue
+        for y in asg.peers[x]:  # already name-sorted
+            if y in customer_routed:
+                next_hop[x] = y
+                break
+    routed |= set(next_hop) | {dest}
+
+    # Phase 3 — provider routes trickle down customer edges.
+    level = sorted(routed)
+    while level:
+        gained = {}
+        for p in level:
+            for c in asg.customers[p]:
+                if c in routed:
+                    continue
+                if c not in gained or p < gained[c]:
+                    gained[c] = p
+        for c, via in gained.items():
+            next_hop[c] = via
+            routed.add(c)
+        level = sorted(gained)
+
+    return next_hop
+
+
+def _border_port(asg: ASGraph, here: str, there: str) -> int:
+    """The border-switch port of ``here`` wired to ``there``'s border."""
+    link = asg.topology.link_between(asg.nodes[here].border, asg.nodes[there].border)
+    if link is None:
+        raise ValueError(f"no inter-AS link between {here} and {there}")
+    return link.port_a if link.switch_a == asg.nodes[here].border else link.port_b
+
+
+def build_rules(asg: ASGraph) -> Dict[str, Tuple[SnapshotRule, ...]]:
+    """Valley-free forwarding state for every switch in the internetwork.
+
+    Border switches carry one rule per destination prefix (the BGP FIB);
+    internal switches carry a default-up rule plus an own-prefix-down
+    rule; access switches deliver per host and drop unknown own-prefix
+    traffic (rather than bouncing it back up, which would loop).
+    """
+    topo = asg.topology
+    rules: Dict[str, List[SnapshotRule]] = {s: [] for s in topo.switches}
+    # "up" points toward the border switch, "down" toward the access one
+    up_port: Dict[str, int] = {}
+    down_port: Dict[str, int] = {}
+    for node in asg.nodes.values():
+        for k in range(len(node.switches) - 1):
+            link = topo.link_between(node.switches[k], node.switches[k + 1])
+            if link.switch_a == node.switches[k]:
+                down_port[node.switches[k]] = link.port_a
+                up_port[node.switches[k + 1]] = link.port_b
+            else:
+                down_port[node.switches[k]] = link.port_b
+                up_port[node.switches[k + 1]] = link.port_a
+
+    # One valley-free computation per destination prefix, scattered into
+    # every border FIB.
+    for dest in asg.order:
+        hops = valley_free_next_hops(asg, dest)
+        prefix = asg.nodes[dest].prefix
+        for x, via in hops.items():
+            if x == dest:
+                continue
+            out_port = _border_port(asg, x, via)
+            rules[asg.nodes[x].border].append(
+                SnapshotRule(
+                    table_id=0,
+                    priority=100,
+                    match=Match(ip_dst=prefix),
+                    actions=(Output(out_port),),
+                )
+            )
+
+    for name in asg.order:
+        node = asg.nodes[name]
+        prefix = node.prefix
+        # Own-prefix handling along the chain.
+        for k, switch in enumerate(node.switches):
+            if switch != node.access:
+                rules[switch].append(
+                    SnapshotRule(
+                        table_id=0,
+                        priority=150,
+                        match=Match(ip_dst=prefix),
+                        actions=(Output(down_port[switch]),),
+                    )
+                )
+            if k > 0:
+                rules[switch].append(
+                    SnapshotRule(
+                        table_id=0,
+                        priority=10,
+                        match=Match(),
+                        actions=(Output(up_port[switch]),),
+                    )
+                )
+        # Host delivery at the access switch.
+        for host_name in node.hosts:
+            host = topo.hosts[host_name]
+            rules[node.access].append(
+                SnapshotRule(
+                    table_id=0,
+                    priority=200,
+                    match=Match(ip_dst=host.ip),
+                    actions=(Output(host.port),),
+                )
+            )
+        if len(node.switches) > 1:
+            # Unknown own-prefix traffic dies at the access switch
+            # instead of bouncing off the default-up rule forever.
+            rules[node.access].append(
+                SnapshotRule(
+                    table_id=0,
+                    priority=150,
+                    match=Match(ip_dst=prefix),
+                    actions=(Drop(),),
+                )
+            )
+
+    return {s: tuple(r) for s, r in rules.items()}
+
+
+def build_snapshot(asg: ASGraph, *, version: int = 1):
+    """Freeze the whole internetwork into one verifiable snapshot.
+
+    Federation never verifies this directly — each
+    :class:`~repro.core.multiprovider.ProviderDomain` restricts it to
+    its own switches — but building it once keeps the generator output
+    in the same currency as every other verification entry point.
+    """
+    from repro.core.snapshot import NetworkSnapshot
+
+    topo = asg.topology
+    rules = build_rules(asg)
+    edge_ports: Dict[str, frozenset] = {s: frozenset() for s in topo.switches}
+    for host in topo.hosts.values():
+        edge_ports[host.switch] = edge_ports[host.switch] | {host.port}
+    internal = topo.internal_port_map()
+    switch_ports = {
+        s: tuple(sorted(internal[s] | set(edge_ports[s]))) for s in topo.switches
+    }
+    locations = {
+        s: spec.location
+        for s, spec in topo.switches.items()
+        if spec.location is not None
+    }
+    link_capacities = {
+        frozenset((link.switch_a, link.switch_b)): link.bandwidth_mbps
+        for link in topo.links
+    }
+    return NetworkSnapshot(
+        version=version,
+        taken_at=0.0,
+        rules=rules,
+        meters=(),
+        wiring=topo.wiring(),
+        edge_ports=edge_ports,
+        switch_ports=switch_ports,
+        locations=locations,
+        link_capacities=link_capacities,
+    )
+
+
+def client_registration(asg: ASGraph, client: str = "acme"):
+    """A signed-protocol registration for the generator's client hosts."""
+    from repro.core.protocol import ClientRegistration, HostRecord
+    from repro.crypto.keys import generate_keypair
+
+    rng = random.Random(0xC11E47)
+    client_key = generate_keypair(f"client:{client}", rng=rng)
+    records = []
+    for host in sorted(asg.topology.client_hosts(client), key=lambda h: h.name):
+        key = generate_keypair(f"host:{host.name}", rng=rng)
+        records.append(
+            HostRecord(
+                name=host.name,
+                ip=host.ip.value,
+                switch=host.switch,
+                port=host.port,
+                public_key=key.public,
+            )
+        )
+    return ClientRegistration(
+        name=client, public_key=client_key.public, hosts=tuple(records)
+    )
+
+
+def federation_from_asgraph(
+    asg: ASGraph,
+    *,
+    max_depth: int = 64,
+    backend: Optional[str] = None,
+    snapshot=None,
+):
+    """An :class:`RVaaSFederation` of service-less per-AS domains.
+
+    Every domain restricts the same global snapshot and runs its own
+    :class:`~repro.core.engine.VerificationEngine` (``backend=None``
+    keeps each engine's environment default).  One shared resolver maps
+    edge ports back to generator hosts, so endpoint answers carry host
+    and client labels without any live controller.
+    """
+    from repro.core.engine import VerificationEngine
+    from repro.core.multiprovider import ProviderDomain, RVaaSFederation
+    from repro.core.queries import Endpoint
+
+    if snapshot is None:
+        snapshot = build_snapshot(asg)
+    by_port = {
+        (h.switch, h.port): h for h in asg.topology.hosts.values()
+    }
+
+    def resolve(switch: str, port: int) -> Endpoint:
+        host = by_port.get((switch, port))
+        if host is None:
+            return Endpoint(switch=switch, port=port)
+        return Endpoint(
+            switch=switch, port=port, host=host.name, client=host.client
+        )
+
+    domains = []
+    for name in asg.order:
+        node = asg.nodes[name]
+        engine = (
+            VerificationEngine(backend=backend) if backend is not None
+            else VerificationEngine()
+        )
+        domains.append(
+            ProviderDomain.from_snapshot(
+                name,
+                frozenset(node.switches),
+                snapshot,
+                engine=engine,
+                resolve_fn=resolve,
+            )
+        )
+    return RVaaSFederation(domains, asg.topology, max_depth=max_depth)

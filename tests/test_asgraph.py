@@ -1,0 +1,179 @@
+"""Tests for the synthetic AS-graph generator (experiment E22).
+
+The generator must be deterministic per seed, honour Gao-Rexford
+structure (providers precede customers, roots form a peering mesh,
+valley-free route patterns), produce heavy-tailed customer cones, and
+emit forwarding state under which every host can actually reach every
+other host's delivery port.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import VerificationEngine
+from repro.dataplane.asgraph import (
+    as_graph_topology,
+    build_rules,
+    build_snapshot,
+    client_registration,
+    valley_free_next_hops,
+)
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.wildcard import Wildcard
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = as_graph_topology(15, seed=4)
+        b = as_graph_topology(15, seed=4)
+        assert a.p2c == b.p2c
+        assert a.p2p == b.p2p
+        assert [n.prefix for n in a.nodes.values()] == [
+            n.prefix for n in b.nodes.values()
+        ]
+        c = as_graph_topology(15, seed=5)
+        assert a.p2c != c.p2c
+
+    def test_providers_precede_customers(self):
+        asg = as_graph_topology(30, seed=0)
+        index = {n: i for i, n in enumerate(asg.order)}
+        for provider, customer in asg.p2c:
+            assert index[provider] < index[customer]
+
+    def test_roots_fully_peered(self):
+        asg = as_graph_topology(20, seed=2, n_roots=4)
+        roots = asg.order[:4]
+        for i, a in enumerate(roots):
+            for b in roots[i + 1:]:
+                assert b in asg.peers[a]
+        # Roots have no providers; every non-root has at least one.
+        for name in roots:
+            assert not asg.providers[name]
+        for name in asg.order[4:]:
+            assert asg.providers[name]
+
+    def test_heavy_tailed_cones(self):
+        asg = as_graph_topology(60, seed=0)
+        cones = sorted(asg.relationships().cone_sizes().values(), reverse=True)
+        # The biggest transit cone dwarfs the median; most ASes are stubs.
+        assert cones[0] >= 10 * cones[len(cones) // 2]
+        assert sum(1 for c in cones if c == 1) >= len(cones) // 3
+
+    def test_unique_prefixes_and_valid_topology(self):
+        asg = as_graph_topology(25, seed=1)
+        prefixes = [n.prefix for n in asg.nodes.values()]
+        assert len(set(prefixes)) == len(prefixes)
+        asg.topology.validate()  # no port reused across links/hosts
+        assert len(asg.topology.client_hosts("acme")) >= 1
+
+    def test_domain_of_switch_partition(self):
+        asg = as_graph_topology(10, seed=9)
+        for name, node in asg.nodes.items():
+            for switch in node.switches:
+                assert asg.domain_of_switch(switch) == name
+
+
+class TestValleyFreeRouting:
+    def _edge_kind(self, asg, a, b):
+        """Label of the directed step a -> b."""
+        if b in asg.providers[a]:
+            return "up"
+        if b in asg.customers[a]:
+            return "down"
+        if b in asg.peers[a]:
+            return "peer"
+        raise AssertionError(f"{a} -> {b} is not an adjacency")
+
+    def test_full_reachability_and_valley_free_paths(self):
+        asg = as_graph_topology(18, seed=6)
+        for dest in asg.order:
+            hops = valley_free_next_hops(asg, dest)
+            assert set(hops) == set(asg.order) - {dest}
+            for start in asg.order:
+                if start == dest:
+                    continue
+                # Follow next hops; the label sequence must match
+                # up*(peer)?down* and terminate at dest.
+                labels = []
+                node = start
+                for _ in range(len(asg.order)):
+                    if node == dest:
+                        break
+                    nxt = hops[node]
+                    labels.append(self._edge_kind(asg, node, nxt))
+                    node = nxt
+                assert node == dest, f"route {start}->{dest} did not converge"
+                phase = 0  # 0=climbing, 1=descending
+                peers_seen = 0
+                for label in labels:
+                    if label == "up":
+                        assert phase == 0, labels
+                    elif label == "peer":
+                        assert phase == 0, labels
+                        peers_seen += 1
+                        phase = 1
+                    else:
+                        phase = 1
+                assert peers_seen <= 1
+
+    def test_next_hops_deterministic(self):
+        asg = as_graph_topology(18, seed=6)
+        dest = asg.order[-1]
+        assert valley_free_next_hops(asg, dest) == valley_free_next_hops(
+            asg, dest
+        )
+
+
+class TestForwardingState:
+    def test_border_fib_covers_all_prefixes(self):
+        asg = as_graph_topology(12, seed=3)
+        rules = build_rules(asg)
+        for name, node in asg.nodes.items():
+            fib = [
+                r
+                for r in rules[node.border]
+                if r.priority == 100 and r.match.ip_dst is not None
+            ]
+            # One route per other AS (full valley-free reachability).
+            assert len(fib) == len(asg.order) - 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_host_reaches_every_host(self, seed):
+        asg = as_graph_topology(8, seed=seed, client_sites=2)
+        snapshot = build_snapshot(asg)
+        engine = VerificationEngine()
+        all_ports = {
+            (h.switch, h.port): h.name for h in asg.topology.hosts.values()
+        }
+        source = next(iter(asg.topology.hosts.values()))
+        space = HeaderSpace.single(
+            Wildcard.from_fields(ip_src=source.ip.value, vlan_id=0)
+        )
+        result = engine.analyze(snapshot, source.switch, source.port, space)
+        reached = {
+            (z.switch, z.port) for z in result.zones if z.kind == "edge"
+        }
+        assert reached == set(all_ports)
+        assert not result.loops
+
+    def test_registration_covers_client_hosts(self):
+        asg = as_graph_topology(16, seed=0, client="acme", client_sites=3)
+        reg = client_registration(asg)
+        assert reg.name == "acme"
+        assert len(reg.hosts) == len(asg.topology.client_hosts("acme"))
+        by_name = {h.name: h for h in asg.topology.hosts.values()}
+        for record in reg.hosts:
+            spec = by_name[record.name]
+            assert record.ip == spec.ip.value
+            assert (record.switch, record.port) == (spec.switch, spec.port)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            as_graph_topology(1)
+        with pytest.raises(ValueError):
+            as_graph_topology(5, n_roots=9)
+        with pytest.raises(ValueError):
+            as_graph_topology(5, switches_per_as=0)

@@ -26,9 +26,9 @@ class TestParsing:
             factory()  # constructible
 
     def test_experiment_index_shape(self):
-        assert len(EXPERIMENTS) == 21
+        assert len(EXPERIMENTS) == 22
         assert all(exp[0].startswith("E") for exp in EXPERIMENTS)
-        assert any(exp[0] == "E21" for exp in EXPERIMENTS)
+        assert any(exp[0] == "E22" for exp in EXPERIMENTS)
 
 
 class TestCommands:

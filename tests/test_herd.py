@@ -1,0 +1,152 @@
+r"""Tests for the herd-immunity audit (verdict taxonomy, cones, oracle).
+
+The fixture graph::
+
+        r          (tier-1 root)
+       / \
+      t1  t2       (transit)
+     / \  / \
+    a  b c  d      (stubs; a--b also peer directly)
+    |
+    e              (stub under a)
+
+With ``verified = {t1, a}`` every verdict class appears (verifying the
+root would give every pair a protected up-and-back-down walk through
+it, erasing VULNERABLE), and the sweep-based report must agree
+pair-for-pair with the brute-force walk enumeration on DAG-structured
+graphs (which the generator guarantees).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from itertools import combinations
+
+from repro.core.herd import (
+    PARTIAL,
+    SECURE_INHERITED,
+    SECURE_LOCAL,
+    VERDICTS,
+    VULNERABLE,
+    ASRelationships,
+    brute_force_verdict,
+    herd_immunity_report,
+)
+from repro.dataplane.asgraph import as_graph_topology
+
+NODES = ["r", "t1", "t2", "a", "b", "c", "d", "e"]
+P2C = [
+    ("r", "t1"),
+    ("r", "t2"),
+    ("t1", "a"),
+    ("t1", "b"),
+    ("t2", "c"),
+    ("t2", "d"),
+    ("a", "e"),
+]
+P2P = [("a", "b")]
+REL = ASRelationships.from_edges(NODES, P2C, P2P)
+VERIFIED = frozenset({"t1", "a"})
+
+
+class TestCones:
+    def test_customer_cones(self):
+        assert REL.customer_cone("r") == frozenset(NODES)
+        assert REL.customer_cone("t1") == frozenset({"t1", "a", "b", "e"})
+        assert REL.customer_cone("a") == frozenset({"a", "e"})
+        assert REL.customer_cone("e") == frozenset({"e"})
+
+    def test_cone_sizes(self):
+        sizes = REL.cone_sizes()
+        assert sizes["r"] == len(NODES)
+        assert sizes["e"] == 1
+        assert sizes["t2"] == 3
+
+
+class TestVerdicts:
+    def test_all_four_classes_appear(self):
+        report = herd_immunity_report(REL, VERIFIED)
+        assert all(report.counts[v] >= 1 for v in VERDICTS), report.counts
+
+    def test_individual_verdicts(self):
+        report = herd_immunity_report(REL, VERIFIED)
+        # Both endpoints verified.
+        assert report.verdicts[("t1", "a")] == SECURE_LOCAL
+        # b's only ways out run through t1 (its peer a dead-ends at e),
+        # so every b<->d path crosses verified transit.
+        assert report.verdicts[("b", "d")] == SECURE_INHERITED
+        # Every path to e enters through its sole provider a.
+        assert report.verdicts[("b", "e")] == SECURE_INHERITED
+        # a--b peer directly: the transit-free path is unprotected, but
+        # endpoint a is verified.
+        assert report.verdicts[("a", "b")] == PARTIAL
+        # r--t1 adjacent (transit-free path), but endpoint t1 is
+        # verified.
+        assert report.verdicts[("r", "t1")] == PARTIAL
+        # c and d sit under unverified t2/r with no walk touching the
+        # verified t1-subtree on the way.
+        assert report.verdicts[("c", "d")] == VULNERABLE
+        assert report.verdicts[("t2", "c")] == VULNERABLE
+
+    def test_protected_fraction_matches_counts(self):
+        report = herd_immunity_report(REL, VERIFIED)
+        secure = (
+            report.counts[SECURE_LOCAL] + report.counts[SECURE_INHERITED]
+        )
+        assert report.protected_fraction == pytest.approx(
+            secure / len(report.verdicts)
+        )
+
+    def test_cone_coverage(self):
+        report = herd_immunity_report(REL, VERIFIED)
+        # t1's cone is {t1, a, b, e}; a's adds nothing new -> 4 of 8.
+        assert report.verified_cone_coverage == 0.5
+        none = herd_immunity_report(REL, frozenset())
+        assert none.verified_cone_coverage == 0.0
+        assert none.counts[SECURE_LOCAL] == 0
+        assert none.counts[SECURE_INHERITED] == 0
+
+    def test_explicit_pairs_and_symmetry(self):
+        report = herd_immunity_report(REL, VERIFIED, pairs=[("d", "b")])
+        # Canonicalised to (b, d); valley-free paths reverse.
+        assert report.verdicts == {("b", "d"): SECURE_INHERITED}
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            herd_immunity_report(REL, {"nope"})
+        with pytest.raises(ValueError):
+            herd_immunity_report(REL, VERIFIED, pairs=[("a", "a")])
+        with pytest.raises(ValueError):
+            ASRelationships.from_edges(["x"], [("x", "y")], [])
+
+    def test_unreachable_pair_is_vulnerable(self):
+        rel = ASRelationships.from_edges(["x", "y"], [], [])
+        report = herd_immunity_report(rel, {"x", "y"})
+        assert report.verdicts[("x", "y")] == VULNERABLE
+
+
+class TestOracle:
+    def test_fixture_graph_matches_oracle(self):
+        report = herd_immunity_report(REL, VERIFIED)
+        for s, d in combinations(NODES, 2):
+            assert report.verdicts[(s, d)] == brute_force_verdict(
+                REL, VERIFIED, s, d
+            ), (s, d)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        verified_mask=st.integers(min_value=0, max_value=(1 << 10) - 1),
+    )
+    def test_seeded_graphs_match_oracle(self, seed, verified_mask):
+        asg = as_graph_topology(10, seed=seed)
+        rel = asg.relationships()
+        verified = frozenset(
+            name
+            for i, name in enumerate(asg.order)
+            if verified_mask & (1 << i)
+        )
+        report = herd_immunity_report(rel, verified)
+        for s, d in combinations(asg.order, 2):
+            assert report.verdicts[(s, d)] == brute_force_verdict(
+                rel, verified, s, d
+            ), (s, d, sorted(verified))

@@ -1,8 +1,10 @@
-"""Tests for multi-provider federation (§IV-C a, experiment E9)."""
+"""Tests for multi-provider federation (§IV-C a, experiments E9/E22)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.controlplane.provider import ProviderController
+from repro.core.engine import VerificationEngine
 from repro.core.monitor import MonitorMode
 from repro.core.multiprovider import (
     ProviderDomain,
@@ -11,9 +13,18 @@ from repro.core.multiprovider import (
 )
 from repro.core.protocol import ClientRegistration, HostRecord
 from repro.core.service import RVaaSController
+from repro.core.snapshot import NetworkSnapshot, SnapshotMeter
 from repro.crypto.keys import generate_keypair
+from repro.dataplane.asgraph import (
+    as_graph_topology,
+    build_snapshot,
+    client_registration,
+    federation_from_asgraph,
+)
 from repro.dataplane.network import Network
 from repro.dataplane.topologies import linear_topology
+from repro.hsa.headerspace import HeaderSpace
+from repro.hsa.wildcard import Wildcard
 
 
 def build_federation(n_domains=2, switches_per_domain=2, seed=0):
@@ -143,9 +154,205 @@ class TestFederatedQueries:
 
     def test_regions_traversed_union(self):
         topo, net, federation, reg = build_federation()
-        regions = federation.regions_traversed(reg)
-        assert regions  # every switch has a generated region
+        answer = federation.regions_traversed(reg)
+        assert answer.regions  # every switch has a generated region
         # Must include regions from both ends of the chain.
         first = topo.switches["s1"].location.region
         last = topo.switches[f"s{len(topo.switches)}"].location.region
-        assert first in regions and last in regions
+        assert first in answer.regions and last in answer.regions
+
+    def test_region_query_accounting_matches_reachability(self):
+        # Satellite: regions_traversed used to return a bare tuple with
+        # no message/depth accounting — both query classes now share
+        # one envelope with identical accounting.
+        topo, net, federation, reg = build_federation(n_domains=3)
+        reach = federation.reachable_destinations(reg)
+        region = federation.regions_traversed(reg)
+        assert region.federated_messages == reach.federated_messages
+        assert region.max_chain_depth == reach.max_chain_depth
+        assert region.domains_involved == reach.domains_involved
+        assert region.endpoints == reach.endpoints
+        assert region.regions == reach.regions
+        assert region.federated_messages >= 2
+        assert region.max_chain_depth == 2
+
+    def test_truncation_is_reported(self):
+        # Satellite: items beyond max_depth used to vanish silently; a
+        # truncated answer must be distinguishable from a complete one.
+        topo, net, federation, reg = build_federation(n_domains=3)
+        # One source host in the first domain only.
+        reg_one = ClientRegistration(
+            name=reg.name, public_key=reg.public_key, hosts=(reg.hosts[0],)
+        )
+        full = federation.reachable_destinations(reg_one)
+        assert not full.truncated and full.dropped_items == 0
+        federation.max_depth = 0
+        answer = federation.reachable_destinations(reg_one)
+        assert answer.truncated
+        assert answer.dropped_items >= 1
+        # Only the home domain was explored.
+        assert set(answer.domains_involved) == {"P0"}
+        assert set(answer.endpoints) < set(full.endpoints)
+
+    def test_modes_agree(self):
+        # serial, matrix and the legacy recompile baseline must produce
+        # byte-identical envelopes (accounting aside, which is per-mode).
+        topo, net, federation, reg = build_federation(n_domains=3)
+        answers = {
+            mode: federation.federated_query(reg, mode=mode)
+            for mode in ("serial", "matrix", "recompile")
+        }
+        baseline = answers["serial"]
+        for mode, answer in answers.items():
+            assert answer.endpoints == baseline.endpoints, mode
+            assert answer.regions == baseline.regions, mode
+            assert answer.domains_involved == baseline.domains_involved, mode
+            assert answer.max_chain_depth == baseline.max_chain_depth, mode
+            assert not answer.truncated
+
+    def test_unknown_mode_rejected(self):
+        topo, net, federation, reg = build_federation()
+        with pytest.raises(ValueError):
+            federation.federated_query(reg, mode="psychic")
+
+
+class TestCompileCaching:
+    def test_one_compile_per_domain_snapshot_per_query(self):
+        # Regression for the cache-bypassing hot path: every work item
+        # used to rebuild ReachabilityAnalyzer(snapshot.network_tf()).
+        # Routed through VerificationEngine, a domain compiles its
+        # restricted snapshot once, no matter how many hops cross it.
+        topo, net, federation, reg = build_federation(n_domains=3)
+        answer = federation.federated_query(reg, mode="serial")
+        assert len(answer.endpoints) == len(topo.hosts)
+        for domain in federation.domains.values():
+            assert domain.verification_engine().metrics.network_tf_builds == 1
+        # A second query reuses every compiled artifact.
+        federation.federated_query(reg, mode="serial")
+        for domain in federation.domains.values():
+            assert domain.verification_engine().metrics.network_tf_builds == 1
+
+    def test_domain_context_reused_across_queries(self):
+        topo, net, federation, reg = build_federation()
+        federation.reachable_destinations(reg)
+        contexts = {
+            name: federation._contexts[name] for name in federation.domains
+        }
+        federation.regions_traversed(reg)
+        for name, ctx in contexts.items():
+            assert federation._contexts[name] is ctx
+
+
+class TestRestrictSnapshot:
+    def _asgraph_state(self, n=6, seed=7):
+        asg = as_graph_topology(n, seed=seed)
+        return asg, build_snapshot(asg)
+
+    def test_boundary_ports_become_unbound_never_edge(self):
+        asg, snapshot = self._asgraph_state()
+        name = asg.order[0]
+        switches = frozenset(asg.nodes[name].switches)
+        restricted = restrict_snapshot(snapshot, switches)
+        tf = restricted.network_tf()
+        cross_domain = [
+            here
+            for here, there in snapshot.wiring.items()
+            if here[0] in switches and there[0] not in switches
+        ]
+        assert cross_domain  # the AS has at least one provider/peer link
+        for switch, port in cross_domain:
+            role = tf.role_of(switch, port)
+            assert role.kind == "unbound"
+            assert role.kind != "edge"
+        # Host attachments stay edge ports.
+        for switch, ports in restricted.edge_ports.items():
+            for port in ports:
+                assert tf.role_of(switch, port).kind == "edge"
+
+    def test_meters_locations_capacities_filtered(self):
+        from repro.openflow.meters import MeterBand
+
+        asg, base = self._asgraph_state()
+        inside = asg.order[0]
+        outside = asg.order[1]
+        switches = frozenset(asg.nodes[inside].switches)
+        meters = (
+            SnapshotMeter(
+                switch=asg.nodes[inside].border,
+                meter_id=1,
+                band=MeterBand(rate_kbps=1000),
+            ),
+            SnapshotMeter(
+                switch=asg.nodes[outside].border,
+                meter_id=2,
+                band=MeterBand(rate_kbps=2000),
+            ),
+        )
+        snapshot = NetworkSnapshot(
+            version=base.version,
+            taken_at=base.taken_at,
+            rules=base.rules,
+            meters=meters,
+            wiring=base.wiring,
+            edge_ports=base.edge_ports,
+            switch_ports=base.switch_ports,
+            locations=base.locations,
+            link_capacities=base.link_capacities,
+        )
+        restricted = restrict_snapshot(snapshot, switches)
+        assert [m.meter_id for m in restricted.meters] == [1]
+        assert set(restricted.locations) == set(switches)
+        for pair in restricted.link_capacities:
+            assert pair <= switches
+        # The source snapshot had strictly more of each.
+        assert len(snapshot.locations) > len(restricted.locations)
+        assert len(snapshot.link_capacities) > len(restricted.link_capacities)
+
+    def test_restricted_content_hash_matches_unseeded(self):
+        # The _switch_hashes seeding is a pure optimisation: the hash
+        # must equal the one computed from scratch.
+        asg, snapshot = self._asgraph_state()
+        switches = frozenset(asg.nodes[asg.order[0]].switches)
+        seeded = restrict_snapshot(snapshot, switches)
+        bare = NetworkSnapshot(
+            version=seeded.version,
+            taken_at=seeded.taken_at,
+            rules=seeded.rules,
+            meters=seeded.meters,
+            wiring=seeded.wiring,
+            edge_ports=seeded.edge_ports,
+            switch_ports=seeded.switch_ports,
+            locations=seeded.locations,
+            link_capacities=seeded.link_capacities,
+        )
+        assert seeded.content_hash() == bare.content_hash()
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_composition_equals_whole_network_analysis(self, seed):
+        # Property: federated per-domain analyses composed across the
+        # boundary equal one whole-network analysis of the
+        # unpartitioned snapshot — for every source host.
+        asg = as_graph_topology(7, seed=seed, client_sites=2)
+        snapshot = build_snapshot(asg)
+        federation = federation_from_asgraph(asg, snapshot=snapshot)
+        engine = VerificationEngine()
+        reg = client_registration(asg)
+        whole_ports = set()
+        whole_regions = set()
+        for host in reg.hosts:
+            space = HeaderSpace.single(
+                Wildcard.from_fields(ip_src=host.ip, vlan_id=0)
+            )
+            result = engine.analyze(snapshot, host.switch, host.port, space)
+            whole_ports |= {
+                (z.switch, z.port) for z in result.zones if z.kind == "edge"
+            }
+            for switch in result.switches_traversed:
+                location = snapshot.location_of(switch)
+                if location is not None:
+                    whole_regions.add(location.region)
+        answer = federation.reachable_destinations(reg)
+        assert {(e.switch, e.port) for e in answer.endpoints} == whole_ports
+        assert set(answer.regions) == whole_regions
+        assert not answer.truncated
