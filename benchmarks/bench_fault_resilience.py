@@ -180,6 +180,13 @@ def test_fault_resilience_sweep(benchmark, report):
     rep.line("convergence); rising drop rates cost retries/resyncs and may")
     rep.line("flag answers degraded, but the mirror always reconverges to")
     rep.line("the live tables and the verdict always matches ground truth.")
+    rep.save_json(
+        {
+            "chaos_window": [ACTIVE_FROM, ACTIVE_UNTIL],
+            "convergence_limit_s": CONVERGENCE_LIMIT,
+            "sweep": results,
+        }
+    )
     rep.finish()
 
     clean = results[0]

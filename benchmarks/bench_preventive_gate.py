@@ -1,0 +1,472 @@
+"""E23 — Preventive verify-then-install gate: stop attacks before install.
+
+Detection mode (E5-E18) lets a compromised provider's FlowMods reach the
+switches and catches the damage at the next poll; prevention mode
+interposes a :class:`~repro.core.gate.PreventiveGate` on the
+provider->switch path and verifies every FlowMod against the client
+contracts *before* it touches the data plane.  Three measurements:
+
+1. **Prevention vs detection.**  Each of the five armed attacks
+   (blackhole, diversion, exfiltration, geo violation, short-lived
+   reconfiguration) runs once against a gated and once against a
+   gateless deployment.  Scored on *ground truth* (rules read straight
+   off the switches, a fresh verifier per sample): the gated run's
+   client-contract answers must be byte-identical to the pre-attack
+   baseline — zero post-install detections — while the gateless run
+   must actually violate them, proving the attacks are live.
+
+2. **Per-FlowMod overhead** on a quiet switch (atom backend): the gate
+   decision (speculative snapshot + full contract sweep + signed
+   verdict) vs what detection mode pays for the *same* FlowMod — the
+   PR-5 incremental matrix repair plus re-verifying and re-signing the
+   same contracts once the rule has landed.  The bar: gate <= 2x the
+   detection-mode refresh.  The single-answer repair cost (E20's
+   measure) is disclosed alongside; the gate is necessarily more
+   expensive than that because it checks every contract, not one.
+
+3. **Degraded-mode honesty.**  A burst-evasion adversary saturates the
+   admission queue.  Fail-open: every waved-through rule leaves a
+   *signed* audit record and is re-verified at recovery (the smuggled
+   attack is remediated).  Fail-closed: nothing unverified installs and
+   the inner attack never lands.
+"""
+
+import statistics
+import time
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.attacks import (
+    BlackholeAttack,
+    BurstEvasionAttack,
+    DiversionAttack,
+    ExfiltrationAttack,
+    GeoViolationAttack,
+    ShortLivedReconfigurationAttack,
+)
+from repro.core.engine import BACKEND_ENV_VAR, SnapshotDelta, VerificationEngine
+from repro.core.gate import (
+    GATE_ALLOW,
+    GateConfig,
+    GatePolicy,
+    _Pending,
+    verify_gate_record,
+)
+from repro.core.snapshot import NetworkSnapshot
+from repro.core.verifier import LogicalVerifier
+from repro.crypto.sign import sign
+from repro.dataplane.topologies import isp_topology
+from repro.faults import ground_truth_snapshot
+from repro.hsa.transfer import SnapshotRule
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import Drop
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.testbed import build_testbed
+
+FORBIDDEN = ("offshore",)
+
+#: Rounds for the overhead section: the first WARMUP rounds register
+#: every atom/constant both pipelines touch (the global interner makes
+#: cold rounds unrepresentative), the rest are timed.
+WARMUP = 2
+ROUNDS = 10
+
+
+def gated_bed(seed=23, fail_open=True, **overrides):
+    policy = GatePolicy(forbidden_regions=FORBIDDEN, fail_open=fail_open)
+    config = GateConfig(policy=policy, **overrides)
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]),
+        isolate_clients=True,
+        seed=seed,
+        gate=config,
+    )
+
+
+def plain_bed(seed=23):
+    return build_testbed(
+        isp_topology(clients=["alice", "bob"]), isolate_clients=True, seed=seed
+    )
+
+
+def contract_answers(bed):
+    """Every client's contract, answered from data-plane ground truth.
+
+    A fresh verifier per call: ground-truth snapshots share a version
+    sentinel, and the analysis cache is keyed by version.
+    """
+    truth = ground_truth_snapshot(bed.service.monitor, bed.network)
+    verifier = LogicalVerifier(bed.registrations, engine=VerificationEngine())
+    answers = {}
+    for name in sorted(bed.registrations):
+        registration = bed.registrations[name]
+        per_host = {}
+        for host in registration.hosts:
+            sub = dc_replace(registration, hosts=(host,))
+            per_host[host.name] = verifier.reachable_destinations(sub, truth)
+        answers[name] = (
+            per_host,
+            verifier.isolation(registration, truth),
+            verifier.waypoint_avoidance(registration, truth, FORBIDDEN),
+        )
+    return answers
+
+
+ATTACKS = (
+    ("blackhole", lambda: BlackholeAttack("h_ber1", "h_fra1")),
+    ("diversion", lambda: DiversionAttack("h_ber1", "h_fra1", "off")),
+    ("exfiltration", lambda: ExfiltrationAttack("h_fra1", "h_ber2")),
+    ("geo-violation", lambda: GeoViolationAttack("h_ber1", "h_par1", "offshore")),
+    (
+        "reconfiguration",
+        lambda: ShortLivedReconfigurationAttack(
+            BlackholeAttack("h_ber1", "h_fra1"), period=2.0, active_duration=0.8
+        ),
+    ),
+)
+
+
+def run_attack(bed, make_attack):
+    attack = make_attack()
+    baseline = contract_answers(bed)
+    attack.arm(bed.provider, bed.topology)
+    if isinstance(attack, ShortLivedReconfigurationAttack):
+        # Sample inside the first active window: the pulse disarms
+        # itself, so a late sample would acquit even the ungated run.
+        bed.run(0.4)
+        during = contract_answers(bed)
+        attack.stop()
+        bed.run(0.5)
+        return baseline, during
+    bed.run(3.0)
+    return baseline, contract_answers(bed)
+
+
+# ----------------------------------------------------------------------
+# Section 2 helpers: matched per-FlowMod churn on a quiet switch
+# ----------------------------------------------------------------------
+
+CHURN_SWITCH = "ams"
+
+
+def churn_mod(bed, index):
+    """A registered-constant drop rule: no atom splits, pure repair cost."""
+    pinned = IPv4Address(bed.registrations["alice"].hosts[0].ip)
+    return FlowMod(
+        command=FlowModCommand.ADD,
+        match=Match(ip_dst=pinned),
+        actions=(Drop(),),
+        priority=100 + index,
+    )
+
+
+def time_gate_decisions(bed):
+    gate = bed.gate
+    channel = next(
+        ch
+        for ch in bed.network.channels
+        if ch.controller_end.name == bed.provider.name
+        and ch.switch_end.name == CHURN_SWITCH
+    )
+    samples = []
+    for i in range(ROUNDS):
+        item = _Pending(
+            channel=channel,
+            message=churn_mod(bed, i),
+            switch=CHURN_SWITCH,
+            controller=bed.provider.name,
+            enqueued_at=bed.network.sim.now,
+            batch_key=None,
+        )
+        start = time.perf_counter()
+        gate._decide(item)
+        samples.append((time.perf_counter() - start) * 1000.0)
+        bed.run(0.2)
+    verdicts = {d.verdict for d in gate.decisions_for(CHURN_SWITCH)}
+    assert verdicts == {GATE_ALLOW}, f"churn rules must be benign, got {verdicts}"
+    return statistics.median(samples[WARMUP:])
+
+
+def time_detection_refresh(bed):
+    """What detection mode pays once the same FlowMod has landed.
+
+    Incremental repair of the atom matrix (PR-5) + re-answering the
+    identical contract sweep + re-signing the refreshed answer bundle —
+    the detection-side work the gate's pre-install verdict replaces.
+    Returns (refresh_median_ms, single_answer_median_ms).
+    """
+    registrations = bed.registrations
+    verifier = LogicalVerifier(registrations, engine=VerificationEngine())
+    service_key = bed.attested.service_keypair.private
+    base = bed.service.snapshot()
+    pinned = IPv4Address(registrations["alice"].hosts[0].ip)
+
+    def sweep(snapshot):
+        bundle = []
+        for name in sorted(registrations):
+            registration = registrations[name]
+            for host in registration.hosts:
+                sub = dc_replace(registration, hosts=(host,))
+                bundle.append(verifier.reachable_destinations(sub, snapshot))
+            bundle.append(verifier.isolation(registration, snapshot))
+            bundle.append(verifier.traversal_switches(registration, snapshot))
+            bundle.append(
+                verifier.waypoint_avoidance(registration, snapshot, FORBIDDEN)
+            )
+        return sign(tuple(bundle), service_key)
+
+    def single(snapshot):
+        registration = registrations["alice"]
+        sub = dc_replace(registration, hosts=(registration.hosts[0],))
+        return verifier.reachable_destinations(sub, snapshot)
+
+    sweep(base)
+    config = {switch: list(rules) for switch, rules in base.rules.items()}
+    version = base.version
+    previous = base
+    refresh, answer = [], []
+    for i in range(2 * ROUNDS):
+        config[CHURN_SWITCH].append(
+            SnapshotRule(
+                table_id=0,
+                priority=100 + i,
+                match=Match(ip_dst=pinned),
+                actions=(Drop(),),
+            )
+        )
+        version += 1
+        snapshot = NetworkSnapshot(
+            version=version,
+            taken_at=float(version),
+            rules={switch: tuple(rules) for switch, rules in config.items()},
+            meters=base.meters,
+            wiring=base.wiring,
+            edge_ports=base.edge_ports,
+            switch_ports=base.switch_ports,
+            locations=base.locations,
+            link_capacities=base.link_capacities,
+        )
+        delta = SnapshotDelta(
+            since_version=previous.version,
+            version=snapshot.version,
+            changed_switches=frozenset({CHURN_SWITCH}),
+        )
+        if i % 2 == 0:
+            verifier.engine.apply_delta(delta)
+            start = time.perf_counter()
+            sweep(snapshot)
+            refresh.append((time.perf_counter() - start) * 1000.0)
+        else:
+            verifier.engine.apply_delta(delta)
+            start = time.perf_counter()
+            single(snapshot)
+            answer.append((time.perf_counter() - start) * 1000.0)
+        previous = snapshot
+    return (
+        statistics.median(refresh[WARMUP:]),
+        statistics.median(answer[WARMUP:]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 3 helper: burst evasion against both failure dispositions
+# ----------------------------------------------------------------------
+
+
+def run_burst(fail_open):
+    bed = gated_bed(
+        seed=31,
+        fail_open=fail_open,
+        verify_deadline=0.05,
+        max_pending=16,
+        verify_cost=0.02,
+    )
+    baseline = contract_answers(bed)
+    attack = BurstEvasionAttack(BlackholeAttack("h_ber1", "h_fra1"), burst=96)
+    attack.arm(bed.provider, bed.topology)
+    bed.run(12.0)
+    return bed, baseline, contract_answers(bed)
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_preventive_gate(report, monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "atom")
+    rep = report("E23", "Preventive verify-then-install gate")
+
+    # ---- Section 1: prevention vs detection --------------------------
+    rows = []
+    prevention = {}
+    for name, make_attack in ATTACKS:
+        gated = gated_bed()
+        before, after = run_attack(gated, make_attack)
+        stats = gated.gate.stats()
+        stopped = stats["blocked"] + stats["repaired"] + stats["quarantined"]
+        intact = before == after
+
+        plain = plain_bed()
+        p_before, p_after = run_attack(plain, make_attack)
+        landed = p_before != p_after
+
+        rows.append(
+            [
+                name,
+                "intact" if intact else "VIOLATED",
+                stopped,
+                "violated" if landed else "no effect",
+            ]
+        )
+        prevention[name] = {
+            "gated_contracts_intact": intact,
+            "gated_stopped_flowmods": stopped,
+            "ungated_contracts_violated": landed,
+        }
+        assert intact, f"{name}: contract answers changed despite the gate"
+        assert stopped >= 1, f"{name}: gate never refused anything"
+        assert landed, f"{name}: attack has no effect even without a gate"
+    rep.line("Ground-truth contract answers, before vs after each attack:")
+    rep.table(
+        ["attack", "gated contracts", "flowmods stopped", "ungated contracts"], rows
+    )
+
+    # ---- Section 2: per-FlowMod overhead -----------------------------
+    refresh_ms, answer_ms = time_detection_refresh(plain_bed(seed=29))
+    gate_ms = time_gate_decisions(gated_bed(seed=29))
+    ratio_refresh = gate_ms / refresh_ms
+    ratio_answer = gate_ms / answer_ms
+    rep.line("")
+    rep.line(f"Per-FlowMod cost on quiet switch '{CHURN_SWITCH}' (atom backend):")
+    rep.table(
+        ["pipeline", "median ms", "vs gate"],
+        [
+            ["gate decision (verify + sign, pre-install)", f"{gate_ms:.2f}", "1.00x"],
+            [
+                "detection refresh (repair + sweep + sign)",
+                f"{refresh_ms:.2f}",
+                f"{ratio_refresh:.2f}x",
+            ],
+            [
+                "single-answer repair (E20 measure)",
+                f"{answer_ms:.2f}",
+                f"{ratio_answer:.2f}x",
+            ],
+        ],
+    )
+    assert ratio_refresh <= 2.0, (
+        f"gate decision {gate_ms:.2f}ms exceeds 2x the detection-mode "
+        f"refresh {refresh_ms:.2f}ms"
+    )
+
+    # ---- Section 3: degraded-mode honesty ----------------------------
+    open_bed, open_before, open_after = run_burst(fail_open=True)
+    open_stats = open_bed.gate.stats()
+    service_public = open_bed.attested.service_keypair.public
+    audits_signed = all(
+        verify_gate_record(record, service_public)
+        for record in open_bed.gate.audit_log
+    )
+    decisions_signed = all(
+        verify_gate_record(record, service_public)
+        for record in open_bed.gate.decisions
+    )
+    assert open_stats["passed_through"] >= 1, "fail-open never waved anything through"
+    assert open_stats["fail_open_windows"] >= 1
+    assert open_stats["backlog_reverified"] >= 1, "fail-open debt never re-verified"
+    assert audits_signed and decisions_signed, "unsigned gate records"
+    assert open_stats["backlog_remediated"] >= 1, (
+        "the smuggled attack survived recovery"
+    )
+    assert open_before == open_after, "fail-open damage outlived recovery"
+
+    closed_bed, closed_before, closed_after = run_burst(fail_open=False)
+    closed_stats = closed_bed.gate.stats()
+    assert closed_stats["passed_through"] == 0, "fail-closed installed unverified"
+    assert closed_stats["fail_closed_rejects"] >= 1
+    assert closed_before == closed_after, "attack landed despite fail-closed"
+
+    rep.line("")
+    rep.line("Burst evasion (96 decoys against a 16-slot queue):")
+    rep.table(
+        ["disposition", "passed unverified", "signed audits", "re-verified", "contracts"],
+        [
+            [
+                "fail-open",
+                open_stats["passed_through"],
+                len(open_bed.gate.audit_log),
+                open_stats["backlog_reverified"],
+                "intact after recovery",
+            ],
+            [
+                "fail-closed",
+                closed_stats["passed_through"],
+                len(closed_bed.gate.audit_log),
+                0,
+                "intact throughout",
+            ],
+        ],
+    )
+
+    rep.save_json(
+        {
+            "prevention": prevention,
+            "overhead": {
+                "switch": CHURN_SWITCH,
+                "backend": "atom",
+                "per_flowmod_ms": {
+                    "gate_decision": gate_ms,
+                    "detection_refresh": refresh_ms,
+                    "single_answer_repair": answer_ms,
+                },
+                "ratio_vs_detection_refresh": ratio_refresh,
+                "ratio_vs_single_answer": ratio_answer,
+                "bound": 2.0,
+            },
+            "degraded": {
+                "fail_open": {
+                    key: open_stats[key]
+                    for key in (
+                        "passed_through",
+                        "fail_open_windows",
+                        "backlog_reverified",
+                        "backlog_remediated",
+                        "shed",
+                        "deadline_misses",
+                    )
+                },
+                "fail_open_records_signed": audits_signed and decisions_signed,
+                "fail_closed": {
+                    key: closed_stats[key]
+                    for key in ("passed_through", "fail_closed_rejects", "shed")
+                },
+            },
+        }
+    )
+    rep.finish()
+
+
+def test_gate_decision_smoke(benchmark, monkeypatch):
+    """One benign gate decision, timed (CI smoke: --benchmark-disable)."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "atom")
+    bed = gated_bed(seed=7)
+    channel = next(
+        ch
+        for ch in bed.network.channels
+        if ch.controller_end.name == bed.provider.name
+        and ch.switch_end.name == CHURN_SWITCH
+    )
+    counter = iter(range(1000))
+
+    def decide():
+        item = _Pending(
+            channel=channel,
+            message=churn_mod(bed, next(counter)),
+            switch=CHURN_SWITCH,
+            controller=bed.provider.name,
+            enqueued_at=bed.network.sim.now,
+            batch_key=None,
+        )
+        bed.gate._decide(item)
+        bed.run(0.1)
+
+    benchmark(decide)

@@ -11,6 +11,7 @@ Attacks carry their own ground truth (victim, violated property) so the
 experiments can score detection without peeking into RVaaS internals.
 """
 
+from repro.attacks.adaptive import BurstEvasionAttack, InterleavedDiversionAttack
 from repro.attacks.base import Attack, AttackReport
 from repro.attacks.blackhole import BlackholeAttack
 from repro.attacks.diversion import DiversionAttack
@@ -23,9 +24,11 @@ __all__ = [
     "Attack",
     "AttackReport",
     "BlackholeAttack",
+    "BurstEvasionAttack",
     "DiversionAttack",
     "ExfiltrationAttack",
     "GeoViolationAttack",
+    "InterleavedDiversionAttack",
     "JoinAttack",
     "ShortLivedReconfigurationAttack",
 ]

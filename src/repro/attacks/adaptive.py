@@ -1,0 +1,150 @@
+"""Adaptive adversaries that target the preventive gate itself.
+
+The :class:`~repro.core.gate.PreventiveGate` changes the attacker's
+problem: rules are verified *before* they install, so a naive attack
+never lands.  An adaptive adversary attacks the verification pipeline
+instead:
+
+* :class:`BurstEvasionAttack` probes the gate's capacity — a burst of
+  individually benign decoy FlowMods floods the bounded admission queue
+  until deadlines slip and the gate degrades, then slips the real attack
+  through the fail-open window.  A fail-closed gate is immune at the
+  price of rejecting the decoys too; a fail-open gate owes (and the
+  implementation pays) a signed audit trail plus re-verification of
+  everything waved through once the pressure ends.
+
+* :class:`InterleavedDiversionAttack` targets the gate's *speculative*
+  state instead of its capacity: the diversion rules are installed one
+  per FlowMod, spaced out in time and in reverse path order, so that at
+  every step the rules already installed are individually inert (the
+  VLAN tagger that activates them comes last).  Only a gate that verifies
+  each FlowMod against mirror **plus** its own not-yet-polled forwarded
+  rules sees the final tagger complete the detour; verifying against the
+  stale mirror alone scores every step benign.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.attacks.base import Attack, AttackReport
+from repro.attacks.diversion import DiversionAttack
+from repro.controlplane.controller import ControllerApp
+from repro.dataplane.topology import Topology
+from repro.netlib.addresses import IPv4Address
+from repro.openflow.actions import Drop
+from repro.openflow.match import Match
+
+#: TEST-NET-3 (RFC 5737): guaranteed not to collide with any host IP the
+#: topologies assign, so decoy rules can never perturb real reachability.
+_DECOY_BASE = IPv4Address.parse("203.0.113.0").value
+
+
+class BurstEvasionAttack(Attack):
+    """Flood the gate's admission queue, then arm ``inner`` while degraded."""
+
+    name = "burst-evasion"
+
+    def __init__(self, inner: Attack, *, burst: int = 128) -> None:
+        super().__init__()
+        self.inner = inner
+        self.burst = burst
+        self.decoys_installed = 0
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        switch = sorted(topology.switches)[0]
+        for i in range(self.burst):
+            # Each decoy is verifiably benign: it drops traffic of an
+            # address block no host owns, so every per-client answer is
+            # unchanged.  The damage is purely queueing.
+            match = Match(
+                ip_src=IPv4Address(_DECOY_BASE + (i % 256)),
+                ip_dst=IPv4Address(_DECOY_BASE + ((i // 256) % 256)),
+                tp_dst=40000 + i,
+            )
+            self._install(controller, switch, match, (Drop(),), priority=2)
+            self.decoys_installed += 1
+        inner_report = self.inner.arm(controller, topology)
+        self.armed = True
+        return AttackReport(
+            name=self.name,
+            victim_client=inner_report.victim_client,
+            violated_property=inner_report.violated_property,
+            details=(
+                f"{self.burst} decoys to saturate the gate, then "
+                f"{inner_report.name}: {inner_report.details}"
+            ),
+        )
+
+    def disarm(self, controller: ControllerApp) -> None:
+        self.inner.disarm(controller)
+        super().disarm(controller)
+
+
+class InterleavedDiversionAttack(DiversionAttack):
+    """A diversion installed backwards, one delayed FlowMod at a time.
+
+    Install order is reversed (delivery segment first, tagger last) and
+    each rule goes out ``stage_gap`` seconds after the previous one, in
+    its own implicit transaction.  Until the final tagger lands every
+    installed rule matches traffic that does not exist (VLAN 1337 is
+    never applied), so any per-rule verifier that forgets its own recent
+    ALLOWs sees only no-risk rules.
+    """
+
+    name = "interleaved-diversion"
+
+    def __init__(
+        self, src_host: str, dst_host: str, via_switch: str, *, stage_gap: float = 0.05
+    ) -> None:
+        super().__init__(src_host, dst_host, via_switch)
+        self.stage_gap = stage_gap
+        self._staged: List[Tuple[str, Match, tuple, int]] = []
+        self._buffering = False
+        self.stages_sent = 0
+
+    def _install(
+        self,
+        controller: ControllerApp,
+        switch: str,
+        match,
+        actions,
+        *,
+        priority: int = 20,
+    ) -> None:
+        if self._buffering:
+            self._staged.append((switch, match, tuple(actions), priority))
+        else:
+            super()._install(controller, switch, match, actions, priority=priority)
+
+    def arm(self, controller: ControllerApp, topology: Topology) -> AttackReport:
+        assert controller.network is not None, "controller must be attached"
+        self._buffering = True
+        try:
+            report = super().arm(controller, topology)
+        finally:
+            self._buffering = False
+        sim = controller.network.sim
+        # Reverse order: the tagger (installed first by the parent) fires
+        # last, after every downstream rule is already in place.
+        for index, staged in enumerate(reversed(self._staged)):
+            sim.schedule(
+                (index + 1) * self.stage_gap,
+                lambda s=staged: self._send_stage(controller, s),
+            )
+        return AttackReport(
+            name=self.name,
+            victim_client=report.victim_client,
+            violated_property="path",
+            details=(
+                f"{len(self._staged)} rules, reverse order, "
+                f"{self.stage_gap:.3f}s apart: {report.details}"
+            ),
+        )
+
+    def _send_stage(
+        self, controller: ControllerApp, staged: Tuple[str, Match, tuple, int]
+    ) -> None:
+        switch, match, actions, priority = staged
+        super()._install(controller, switch, match, actions, priority=priority)
+        self.stages_sent += 1

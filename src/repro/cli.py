@@ -98,6 +98,7 @@ EXPERIMENTS = [
     ("E20", "matrix repair vs full atom recompile", "bench_matrix_repair.py"),
     ("E21", "multi-tenant serving tier throughput", "bench_serving_tier.py"),
     ("E22", "AS-scale federation + herd immunity", "bench_federation.py"),
+    ("E23", "preventive verify-then-install gate", "bench_preventive_gate.py"),
 ]
 
 
@@ -226,6 +227,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     clients = args.clients.split(",")
     topology = parse_topology(args.topology, clients)
+    gate_config = None
+    if getattr(args, "gate", False):
+        from repro.core.gate import GateConfig
+
+        gate_config = GateConfig()
     saved = os.environ.get(BACKEND_ENV_VAR)
     os.environ[BACKEND_ENV_VAR] = args.backend
     try:
@@ -234,6 +240,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             isolate_clients=True,
             seed=args.seed,
             serving=ServingConfig(),
+            gate=gate_config,
         )
     finally:
         if saved is None:
@@ -355,6 +362,33 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"overload_responses={serving['overload_responses']} "
         f"warm_compiles={serving['warm_compiles']}"
     )
+    if bed.gate is not None:
+        gate = bed.gate.stats()
+        print(
+            "gate               : "
+            f"state={gate['state']} intercepted={gate['intercepted']} "
+            f"allowed={gate['allowed']} noop={gate['noop_allowed']}"
+        )
+        print(
+            "gate refusals      : "
+            f"blocked={gate['blocked']} repaired={gate['repaired']} "
+            f"quarantined={gate['quarantined']} "
+            f"rollbacks={gate['rollbacks']}"
+        )
+        print(
+            "gate robustness    : "
+            f"shed={gate['shed']} deadline_misses={gate['deadline_misses']} "
+            f"retries={gate['retries']} "
+            f"passed_through={gate['passed_through']} "
+            f"fail_closed_rejects={gate['fail_closed_rejects']}"
+        )
+        print(
+            "gate ledger        : "
+            f"decisions={gate['decisions']} "
+            f"audit_records={gate['audit_records']} "
+            f"shadow_entries={gate['shadow_entries']} "
+            f"backlog={gate['backlog']}"
+        )
     return 0
 
 
@@ -559,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
         "delta-driven matrix repair on the atom backend)",
     )
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--gate",
+        action="store_true",
+        help="install the preventive verify-then-install gate on every "
+        "control channel and print its decision counters",
+    )
     stats.set_defaults(func=cmd_stats)
 
     serve = sub.add_parser(

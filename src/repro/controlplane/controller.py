@@ -9,7 +9,8 @@ authenticated channel (:meth:`attach`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, Optional
 
 from repro.dataplane.network import Network
 from repro.netlib.packet import Packet
@@ -48,6 +49,12 @@ class ControllerApp:
         self.channels: Dict[str, ControlChannel] = {}
         self._dpid_to_switch: Dict[int, str] = {}
         self._stats_callbacks: Dict[int, Callable[[OpenFlowMessage], None]] = {}
+        # Transaction bookkeeping read by the preventive gate: FlowMods
+        # sent inside one flow_transaction() block share a transaction id
+        # and are verified/installed all-or-nothing (mid-batch rejection
+        # rolls back the already-forwarded prefix).
+        self._transaction_depth = 0
+        self._transaction_counter = 0
 
     # ------------------------------------------------------------------
     # Attachment
@@ -64,6 +71,7 @@ class ControllerApp:
             channel.controller_end.set_handler(
                 lambda message, _sw=switch_name: self._dispatch(_sw, message)
             )
+            channel.controller_app = self
             self.channels[switch_name] = channel
             self._dpid_to_switch[network.switches[switch_name].dpid] = switch_name
 
@@ -129,6 +137,33 @@ class ControllerApp:
 
     def on_control_reply(self, switch: str, message: OpenFlowMessage) -> None:
         """Echo/Barrier/Features replies."""
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def flow_transaction(self) -> Iterator[int]:
+        """Group the FlowMods sent inside the block into one transaction.
+
+        Without a gate this is pure bookkeeping (FlowMods flow exactly as
+        before).  With a :class:`~repro.core.gate.PreventiveGate`
+        interposed, the gate treats the group as all-or-nothing: a
+        mid-batch BLOCK rolls back the already-installed prefix with
+        strict deletes.  Nesting joins the outermost transaction.
+        """
+        self._transaction_depth += 1
+        if self._transaction_depth == 1:
+            self._transaction_counter += 1
+        try:
+            yield self._transaction_counter
+        finally:
+            self._transaction_depth -= 1
+
+    @property
+    def current_transaction(self) -> Optional[int]:
+        """The open transaction id, or None outside any transaction."""
+        return self._transaction_counter if self._transaction_depth else None
 
     # ------------------------------------------------------------------
     # Senders

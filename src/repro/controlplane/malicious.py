@@ -29,7 +29,12 @@ class CompromisedController(ProviderController):
     def compromise(self, attack: Attack) -> AttackReport:
         """Execute ``attack`` through this controller's channels."""
         assert self.topology is not None, "attach() and deploy() first"
-        report = attack.arm(self, self.topology)
+        # The attacker naturally batches its rules (it wants the attack
+        # installed atomically); under a preventive gate the same
+        # grouping means a mid-attack BLOCK rolls back the prefix, so a
+        # half-armed attack never lingers on the data plane.
+        with self.flow_transaction():
+            report = attack.arm(self, self.topology)
         self.active_attacks.append(attack)
         self.attack_reports.append(report)
         return report

@@ -61,24 +61,27 @@ class ProviderController(ControllerApp):
         go into table 0 directly.
         """
         assert self.topology is not None, "attach() before deploy()"
-        if isolate_clients:
-            plan = compute_pair_route_plan(
-                self.topology, isolation_pairs(self.topology)
-            )
-            self._install_ingress_guards()
-            route_table = 1
-        else:
-            plan = compute_route_plan(self.topology)
-            route_table = 0
-        for rule in plan.rules:
-            self.install_flow(
-                rule.switch,
-                rule.match,
-                rule.actions,
-                priority=rule.priority,
-                table_id=route_table,
-                cookie=1,  # provider cookie, distinguishes provider rules
-            )
+        # One transaction: a policy deployment is all-or-nothing under a
+        # preventive gate (a rejected rule rolls the whole deploy back).
+        with self.flow_transaction():
+            if isolate_clients:
+                plan = compute_pair_route_plan(
+                    self.topology, isolation_pairs(self.topology)
+                )
+                self._install_ingress_guards()
+                route_table = 1
+            else:
+                plan = compute_route_plan(self.topology)
+                route_table = 0
+            for rule in plan.rules:
+                self.install_flow(
+                    rule.switch,
+                    rule.match,
+                    rule.actions,
+                    priority=rule.priority,
+                    table_id=route_table,
+                    cookie=1,  # provider cookie, distinguishes provider rules
+                )
         self.route_plan = plan
         self.isolated = isolate_clients
         self.deployed = True

@@ -286,6 +286,11 @@ class VerificationEngine:
         self._atom_states: "OrderedDict[Tuple[str, str], _AtomState]" = (
             OrderedDict()
         )
+        #: content hashes exempt from eviction.  The preventive gate pins
+        #: the live snapshot's content while it compiles a burst of
+        #: speculative variants, so adversarial FlowMod floods cannot
+        #: evict the serving artifacts and force a cold rebuild.
+        self._pinned: set = set()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -897,7 +902,37 @@ class VerificationEngine:
     # Internals
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _evict(cache: OrderedDict, limit: int) -> None:
-        while len(cache) > limit:
-            cache.popitem(last=False)
+    def pin_content(self, content: str) -> None:
+        """Exempt every artifact of ``content`` from cache eviction."""
+        with self._lock:
+            self._pinned.add(content)
+
+    def unpin_content(self, content: str) -> None:
+        with self._lock:
+            self._pinned.discard(content)
+
+    def _key_pinned(self, key: object) -> bool:
+        if isinstance(key, str):
+            return key in self._pinned
+        if isinstance(key, tuple):
+            return any(
+                isinstance(part, str) and part in self._pinned for part in key
+            )
+        return False
+
+    def _evict(self, cache: OrderedDict, limit: int) -> None:
+        if len(cache) <= limit:
+            return
+        if not self._pinned:
+            while len(cache) > limit:
+                cache.popitem(last=False)
+            return
+        # Oldest-first, skipping pinned keys; if only pinned entries
+        # remain the cache is allowed to overshoot (bounded by the pin
+        # set, which the gate keeps at one live content hash).
+        for key in list(cache):
+            if len(cache) <= limit:
+                break
+            if self._key_pinned(key):
+                continue
+            del cache[key]

@@ -1,0 +1,1293 @@
+"""Preventive verify-then-install gate (ISSUE 9).
+
+Detection-mode RVaaS (the monitor + verifier pipeline) notices a
+malicious configuration *after* it reaches the data plane; this module
+closes the window entirely.  A :class:`PreventiveGate` interposes on the
+provider->switch FlowMod path (the :class:`~repro.openflow.channel.ControlChannel`
+gate hook fires before the record is sequenced, so a gate that never
+intercepts is byte-identical to no gate at all).  Every intercepted
+FlowMod is applied to a *speculative* snapshot — the verified mirror
+plus an overlay of gate-forwarded-but-not-yet-polled rules — and checked
+against the registered client policies before anything is forwarded:
+
+* **ALLOW** — no new violation; forward unchanged.
+* **REPAIR** — a minimal rewrite (priority demotion below the provider's
+  routing/guard tiers) removes the violation; forward the rewrite.
+* **QUARANTINE** — unrepairable ADD/MODIFY; held in a shadow table the
+  verifier tracks, the mirror marks the identity untrusted.
+* **BLOCK** — unrepairable DELETE (or a rule of an aborted batch).
+
+Every decision is signed with the service key, so clients can audit that
+the gate really verified (or honestly declined to verify) each rule.
+
+Robustness is the point, not an afterthought: per-decision verification
+deadlines with jittered retries against transient verifier faults, a
+bounded admission queue that sheds oldest-first, explicit fail-open /
+fail-closed dispositions that always leave a signed audit record, and a
+health state machine (ACTIVE -> DEGRADED -> RECOVERING -> ACTIVE) that
+re-verifies everything that was waved through while degraded.
+FlowMods grouped by a :meth:`~repro.controlplane.controller.ControllerApp.flow_transaction`
+form transactional batches: one BLOCK rolls back the already-installed
+prefix (strict deletes, retried at recovery if a channel is down).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.inband import INTERCEPT_PRIORITY, RVAAS_COOKIE, interception_matches
+from repro.core.snapshot import NetworkSnapshot
+from repro.crypto.sign import sign as _sign, verify as _verify_sig
+from repro.hsa.transfer import SnapshotRule
+from repro.openflow.actions import Drop, ToController
+from repro.openflow.channel import ChannelError, ControlChannel
+from repro.openflow.messages import FlowMod, FlowModCommand, OpenFlowMessage
+from repro.serving.metrics import counters_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.service import RVaaSController
+    from repro.dataplane.network import Network
+
+# Decision verdicts.
+GATE_ALLOW = "allow"
+GATE_BLOCK = "block"
+GATE_REPAIR = "repair"
+GATE_QUARANTINE = "quarantine"
+
+# Gate health states.
+GATE_ACTIVE = "active"
+GATE_DEGRADED = "degraded"
+GATE_RECOVERING = "recovering"
+
+
+class TransientVerifyError(Exception):
+    """A verification attempt failed transiently (retry may succeed)."""
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientGatePolicy:
+    """What the gate enforces preventively for one registered client."""
+
+    client: str
+    #: no new endpoint may become reachable to/from this client's hosts
+    isolation: bool = True
+    #: no endpoint the client can currently reach may become unreachable
+    protect_delivery: bool = True
+    #: the client's outbound traffic may not traverse *new* switches
+    #: (catches diversions whose endpoints and regions stay identical)
+    pin_traversal: bool = True
+    #: the client's outbound traffic may not enter new forwarding loops
+    #: (the data plane has no TTL; a looping mirror copy floods links)
+    loop_free: bool = True
+    #: regions the client's traffic must never enter
+    forbidden_regions: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """The gate's full enforcement policy.
+
+    With ``auto_clients`` (the default) and no explicit ``clients``, a
+    :class:`ClientGatePolicy` is derived for every registration when the
+    gate binds to the service — the common "protect everyone" case.
+    :meth:`null` builds the do-nothing policy used by differential tests
+    (a null-policy gate run is byte-identical to a gateless run).
+    """
+
+    clients: Tuple[ClientGatePolicy, ...] = ()
+    #: refuse FlowMods that delete or shadow the RVaaS punt rules
+    protect_interception: bool = True
+    #: disposition when verification cannot complete (deadline, faults,
+    #: degraded health): True forwards unverified (audited + re-verified
+    #: at recovery), False rejects — never installing an unverified rule
+    fail_open: bool = True
+    #: roll back the installed prefix of a flow_transaction() batch when
+    #: a later member is refused
+    transactional: bool = True
+    #: attempt minimal rewrites (priority demotion) before refusing
+    repair: bool = True
+    #: track unrepairable ADD/MODIFYs in the shadow table instead of
+    #: silently dropping them
+    quarantine: bool = True
+    #: derive per-client policies from the registrations at bind time
+    auto_clients: bool = True
+    #: forbidden regions applied to auto-derived client policies
+    forbidden_regions: Tuple[str, ...] = ()
+
+    def is_null(self) -> bool:
+        """True when this policy can never refuse (or even inspect) a rule."""
+        return (
+            not self.clients
+            and not self.auto_clients
+            and not self.protect_interception
+        )
+
+    @classmethod
+    def null(cls) -> "GatePolicy":
+        return cls(auto_clients=False, protect_interception=False)
+
+    @classmethod
+    def for_registrations(
+        cls,
+        registrations: Dict[str, object],
+        *,
+        forbidden_regions: Tuple[str, ...] = (),
+        **kwargs: object,
+    ) -> "GatePolicy":
+        clients = tuple(
+            ClientGatePolicy(client=name, forbidden_regions=forbidden_regions)
+            for name in sorted(registrations)
+        )
+        return cls(clients=clients, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Tunables of one :class:`PreventiveGate`."""
+
+    policy: GatePolicy = field(default_factory=GatePolicy)
+    #: max seconds a FlowMod may wait for its verdict before the gate
+    #: takes the fail-open/fail-closed disposition instead
+    verify_deadline: float = 0.25
+    #: virtual-time cost charged per verification (queue spacing)
+    verify_cost: float = 0.002
+    #: admission-queue bound; beyond it the oldest entry is shed
+    max_pending: int = 64
+    #: retries after a transient verification fault
+    verify_retries: int = 2
+    #: base backoff before a retry; jittered by the gate's own RNG stream
+    retry_backoff: float = 0.01
+    #: consecutive pressure events (deadline miss / shed / fault
+    #: exhaustion) that flip the gate ACTIVE -> DEGRADED
+    degrade_after: int = 3
+    #: quiet seconds required before DEGRADED attempts recovery
+    recover_after: float = 0.5
+    #: seconds a forwarded rule stays in the speculative overlay while
+    #: waiting for the monitor's mirror to catch up
+    overlay_ttl: float = 10.0
+    #: verify against mirror + not-yet-polled forwarded rules; disabling
+    #: this (ablation) verifies against the stale mirror alone
+    speculative_overlay: bool = True
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """One signed verdict about one intercepted FlowMod."""
+
+    sequence: int
+    time: float
+    switch: str
+    verdict: str  # GATE_ALLOW | GATE_BLOCK | GATE_REPAIR | GATE_QUARANTINE
+    rule: str
+    reason: str
+    violations: Tuple[str, ...]
+    state: str  # gate health state at decision time
+    signature: int = 0
+
+
+@dataclass(frozen=True)
+class GateAuditRecord:
+    """One signed non-verdict event (shed, pass-through, rollback, ...)."""
+
+    sequence: int
+    time: float
+    switch: str
+    event: str
+    rule: str
+    reason: str
+    state: str
+    signature: int = 0
+
+
+def verify_gate_record(record: object, public_key: object) -> bool:
+    """Check the service signature on a decision or audit record."""
+    unsigned = dc_replace(record, signature=0)  # type: ignore[type-var]
+    return _verify_sig(unsigned, record.signature, public_key)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class ShadowEntry:
+    """One quarantined rule the gate refused to install."""
+
+    time: float
+    switch: str
+    rule: SnapshotRule
+    reason: str
+
+
+class ShadowTable:
+    """The quarantine ledger: refused rules the verifier keeps tracking."""
+
+    def __init__(self) -> None:
+        self.entries: List[ShadowEntry] = []
+
+    def add(self, entry: ShadowEntry) -> None:
+        self.entries.append(entry)
+
+    def for_switch(self, switch: str) -> Tuple[ShadowEntry, ...]:
+        return tuple(e for e in self.entries if e.switch == switch)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class GateMetrics:
+    """Counters for one gate (``snapshot_counters`` convention)."""
+
+    intercepted: int = 0
+    allowed: int = 0
+    noop_allowed: int = 0
+    blocked: int = 0
+    repaired: int = 0
+    quarantined: int = 0
+    deadline_misses: int = 0
+    shed: int = 0
+    passed_through: int = 0
+    fail_closed_rejects: int = 0
+    rollbacks: int = 0
+    rollbacks_deferred: int = 0
+    batches_aborted: int = 0
+    retries: int = 0
+    verify_faults: int = 0
+    forward_failures: int = 0
+    fail_open_windows: int = 0
+    degraded_entries: int = 0
+    recovery_drains: int = 0
+    backlog_reverified: int = 0
+    backlog_remediated: int = 0
+    queue_peak: int = 0
+
+    def snapshot_counters(self) -> Dict[str, object]:
+        return counters_dict(self)
+
+
+# ----------------------------------------------------------------------
+# FlowMod semantics on snapshot rule tuples
+# ----------------------------------------------------------------------
+
+
+def rule_from_mod(mod: FlowMod) -> SnapshotRule:
+    return SnapshotRule(
+        table_id=mod.table_id,
+        priority=mod.priority,
+        match=mod.match,
+        actions=mod.actions,
+        cookie=mod.cookie,
+    )
+
+
+def apply_flowmod(
+    rules: Tuple[SnapshotRule, ...], mod: FlowMod
+) -> Tuple[SnapshotRule, ...]:
+    """Apply one FlowMod to a rule tuple, mirroring the switch semantics
+    (:meth:`repro.openflow.switch.Switch._handle_flow_mod` exactly)."""
+    cmd = mod.command
+    if cmd is FlowModCommand.ADD:
+        kept = tuple(
+            r
+            for r in rules
+            if not (
+                r.table_id == mod.table_id
+                and r.match == mod.match
+                and r.priority == mod.priority
+            )
+        )
+        return kept + (rule_from_mod(mod),)
+    if cmd is FlowModCommand.MODIFY:
+        out: List[SnapshotRule] = []
+        hit = False
+        for r in rules:
+            if (
+                r.table_id == mod.table_id
+                and r.match == mod.match
+                and r.priority == mod.priority
+            ):
+                out.append(
+                    SnapshotRule(
+                        table_id=r.table_id,
+                        priority=r.priority,
+                        match=r.match,
+                        actions=mod.actions,
+                        cookie=mod.cookie,
+                    )
+                )
+                hit = True
+            else:
+                out.append(r)
+        if not hit:
+            out.append(rule_from_mod(mod))
+        return tuple(out)
+    if cmd is FlowModCommand.DELETE:
+        cookie = mod.cookie or None
+        return tuple(
+            r
+            for r in rules
+            if not (
+                r.table_id == mod.table_id
+                and r.match.is_subset_of(mod.match)
+                and (cookie is None or r.cookie == cookie)
+            )
+        )
+    # DELETE_STRICT
+    return tuple(
+        r
+        for r in rules
+        if not (
+            r.table_id == mod.table_id
+            and r.match == mod.match
+            and r.priority == mod.priority
+        )
+    )
+
+
+def describe_mod(mod: FlowMod) -> str:
+    actions = ",".join(type(a).__name__ for a in mod.actions)
+    return (
+        f"{mod.command.value} t{mod.table_id} p{mod.priority} "
+        f"c{mod.cookie} [{mod.match.describe()}] -> ({actions})"
+    )
+
+
+def _identities(rules: Sequence[SnapshotRule]) -> Set[tuple]:
+    return {r.identity() for r in rules}
+
+
+def _cannot_create_loops(mod: FlowMod) -> bool:
+    """True when ``mod`` provably cannot introduce a forwarding loop.
+
+    An ADD/MODIFY whose actions only drop shrinks the forwarding
+    relation (it replaces an identical (table, match, priority) rule or
+    masks lower priorities, and forwards nothing itself), and a subset
+    of a loop-free relation is loop-free.  A DELETE can unmask a looping
+    lower-priority rule, so it never qualifies.  Lets the gate skip the
+    full-propagation loop query for ACL-style churn.
+    """
+    if mod.command not in (FlowModCommand.ADD, FlowModCommand.MODIFY):
+        return False
+    return all(isinstance(action, Drop) for action in mod.actions)
+
+
+# ----------------------------------------------------------------------
+# Internal bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """One intercepted FlowMod awaiting its verdict."""
+
+    channel: ControlChannel
+    message: FlowMod
+    switch: str
+    controller: str
+    enqueued_at: float
+    batch_key: Optional[tuple]
+
+
+@dataclass
+class _Batch:
+    """One flow_transaction() worth of FlowMods (transactional unit)."""
+
+    key: tuple
+    forwarded: List[Tuple[ControlChannel, FlowMod]] = field(default_factory=list)
+    aborted: bool = False
+
+
+@dataclass
+class _BacklogEntry:
+    """A FlowMod forwarded unverified (pass-through), owed a re-check."""
+
+    channel: ControlChannel
+    message: FlowMod
+    switch: str
+    forwarded_at: float
+
+
+class PreventiveGate:
+    """Verify-then-install interposition on the FlowMod path."""
+
+    #: repair ladder: priorities tried for the demotion rewrite, all
+    #: below the provider's guard tier (6/8) and routing tier (10)
+    REPAIR_PRIORITIES = (1, 0)
+
+    def __init__(self, network: "Network", config: Optional[GateConfig] = None) -> None:
+        self.network = network
+        self.config = config or GateConfig()
+        self.policy = self.config.policy
+        self.metrics = GateMetrics()
+        self.decisions: List[GateDecision] = []
+        self.audit_log: List[GateAuditRecord] = []
+        self.shadow = ShadowTable()
+        self.state = GATE_ACTIVE
+        self.armed = False
+        self._service: Optional["RVaaSController"] = None
+        self._exempt: Set[str] = set()
+        self._queue: List[_Pending] = []
+        self._pump_scheduled = False
+        self._probe_scheduled = False
+        self._sequence = 0
+        #: monotone negative versions for speculative snapshots — must
+        #: never collide with a real mirror version (the verifier's
+        #: analysis cache is version-keyed)
+        self._spec_version = 0
+        self._batches: Dict[tuple, _Batch] = {}
+        #: switch -> [(forwarded_at, FlowMod)] not yet visible in mirror
+        self._overlay: Dict[str, List[Tuple[float, FlowMod]]] = {}
+        self._backlog: List[_BacklogEntry] = []
+        self._pending_rollbacks: List[Tuple[ControlChannel, str, FlowMod]] = []
+        self._pressure = 0
+        self._last_pressure_at = 0.0
+        self._rng: Optional[random.Random] = None
+        self._pinned_content: Optional[str] = None
+        #: base-snapshot answers memoised per content hash (one dict per
+        #: client policy); quiet switches re-verify against a cached base
+        self._base_answers: Dict[str, Dict[str, Dict[str, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def install(self) -> "PreventiveGate":
+        """Register on the network so every control channel (present and
+        future) routes its to-switch FlowMods through this gate."""
+        self.network.flowmod_gate = self
+        for channel in self.network.channels:
+            self.attach(channel)
+        return self
+
+    def attach(self, channel: ControlChannel) -> None:
+        channel.flowmod_gate = self
+
+    def bind_service(self, service: "RVaaSController") -> None:
+        """Adopt the verification machinery of ``service`` and arm.
+
+        The gate reuses the service's engine (content-addressed compiled
+        artifacts + incremental atom-matrix repair), verifier, monitor
+        mirror, and signing key.  The service's own FlowMods (punt-rule
+        installs, repairs) are exempt — the gate must never deadlock the
+        verifier against itself.
+        """
+        self._service = service
+        self._exempt.add(service.name)
+        self._rng = self.network.sim.derive_rng("gate")
+        policy = self.config.policy
+        if not policy.clients and policy.auto_clients:
+            derived = GatePolicy.for_registrations(
+                service.registrations,
+                forbidden_regions=policy.forbidden_regions,
+                protect_interception=policy.protect_interception,
+                fail_open=policy.fail_open,
+                transactional=policy.transactional,
+                repair=policy.repair,
+                quarantine=policy.quarantine,
+            )
+            policy = derived
+        self.policy = policy
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    # FlowModGateHook protocol
+    # ------------------------------------------------------------------
+
+    def intercepts(self, channel: ControlChannel, message: OpenFlowMessage) -> bool:
+        if not self.armed or self.policy.is_null():
+            return False
+        if not isinstance(message, FlowMod):
+            return False
+        return channel.controller_end.name not in self._exempt
+
+    def intercept(self, channel: ControlChannel, message: OpenFlowMessage) -> None:
+        assert isinstance(message, FlowMod)
+        self.metrics.intercepted += 1
+        now = self.network.sim.now
+        batch_key = self._batch_key(channel)
+        item = _Pending(
+            channel=channel,
+            message=message,
+            switch=channel.switch_end.name,
+            controller=channel.controller_end.name,
+            enqueued_at=now,
+            batch_key=batch_key,
+        )
+        batch = self._batch_for(batch_key)
+        if batch is not None and batch.aborted:
+            # A sibling was refused: the whole transaction is dead.
+            self._finish(item, GATE_BLOCK, reason="batch-aborted")
+            return
+        self._check_health()
+        if self.state != GATE_ACTIVE:
+            self._disposition(item, "gate-degraded")
+            return
+        if len(self._queue) >= self.config.max_pending:
+            oldest = self._queue.pop(0)
+            self.metrics.shed += 1
+            self._audit(oldest.switch, "shed", oldest.message, "admission queue full")
+            self._pressure_tick()
+            self._disposition(oldest, "shed")
+            if self.state != GATE_ACTIVE:
+                # Shedding tipped the gate over; newcomer takes the
+                # degraded disposition rather than a doomed queue slot.
+                self._disposition(item, "gate-degraded")
+                return
+        self._queue.append(item)
+        if len(self._queue) > self.metrics.queue_peak:
+            self.metrics.queue_peak = len(self._queue)
+        self._schedule_pump()
+
+    # ------------------------------------------------------------------
+    # Queue pump (virtual-time verification deadline accounting)
+    # ------------------------------------------------------------------
+
+    def _schedule_pump(self) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.network.sim.schedule(self.config.verify_cost, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if not self._queue:
+            return
+        item = self._queue.pop(0)
+        now = self.network.sim.now
+        if now - item.enqueued_at > self.config.verify_deadline:
+            self.metrics.deadline_misses += 1
+            self._audit(
+                item.switch,
+                "deadline-missed",
+                item.message,
+                f"waited {now - item.enqueued_at:.3f}s",
+            )
+            self._pressure_tick()
+            self._disposition(item, "deadline-missed")
+        else:
+            self._process(item)
+        if self._queue:
+            self._schedule_pump()
+
+    def _process(self, item: _Pending, attempt: int = 0) -> None:
+        batch = self._batch_for(item.batch_key)
+        if batch is not None and batch.aborted:
+            self._finish(item, GATE_BLOCK, reason="batch-aborted")
+            return
+        injector = self.network.fault_injector
+        if injector is not None and getattr(injector, "gate_verify_fails", None):
+            if injector.gate_verify_fails(item.switch):
+                self.metrics.verify_faults += 1
+                if attempt >= self.config.verify_retries:
+                    self._audit(
+                        item.switch,
+                        "verify-exhausted",
+                        item.message,
+                        f"{attempt + 1} attempts failed",
+                    )
+                    self._pressure_tick()
+                    self._disposition(item, "verify-exhausted")
+                    return
+                self.metrics.retries += 1
+                assert self._rng is not None
+                delay = self.config.retry_backoff * (1.0 + self._rng.random())
+                self.network.sim.schedule(
+                    delay, lambda: self._retry(item, attempt + 1)
+                )
+                return
+        self._decide(item)
+        self._pressure = 0
+
+    def _retry(self, item: _Pending, attempt: int) -> None:
+        now = self.network.sim.now
+        if now - item.enqueued_at > self.config.verify_deadline:
+            self.metrics.deadline_misses += 1
+            self._pressure_tick()
+            self._disposition(item, "deadline-missed")
+            return
+        self._process(item, attempt)
+
+    # ------------------------------------------------------------------
+    # The verdict
+    # ------------------------------------------------------------------
+
+    def _decide(self, item: _Pending) -> None:
+        mod = item.message
+        base_rules = self._base_rules(item.switch)
+        spec_rules = apply_flowmod(base_rules, mod)
+        if _identities(base_rules) == _identities(spec_rules):
+            # No-op on the data plane (re-ADD of an identical rule,
+            # DELETE of nothing): forward without spending a verification.
+            self.metrics.noop_allowed += 1
+            self._forward(item, mod, GATE_ALLOW, reason="no-op", violations=())
+            return
+        violations = self._interception_violations(base_rules, spec_rules, mod)
+        structural = bool(violations)
+        if not structural:
+            violations = self._policy_violations(
+                item.switch, base_rules, spec_rules, mod
+            )
+        if not violations:
+            self._forward(item, mod, GATE_ALLOW, reason="verified", violations=())
+            return
+        # Try the minimal rewrite before refusing.
+        if self.policy.repair and mod.command in (
+            FlowModCommand.ADD,
+            FlowModCommand.MODIFY,
+        ):
+            repaired = self._try_repair(item, base_rules, mod)
+            if repaired is not None:
+                self._forward(
+                    item,
+                    repaired,
+                    GATE_REPAIR,
+                    reason=f"priority demoted to {repaired.priority}",
+                    violations=tuple(violations),
+                )
+                return
+        if (
+            self.policy.quarantine
+            and not structural
+            and mod.command in (FlowModCommand.ADD, FlowModCommand.MODIFY)
+        ):
+            self._quarantine(item, tuple(violations))
+            return
+        self._refuse(item, GATE_BLOCK, tuple(violations))
+
+    def _try_repair(
+        self, item: _Pending, base_rules: Tuple[SnapshotRule, ...], mod: FlowMod
+    ) -> Optional[FlowMod]:
+        for priority in self.REPAIR_PRIORITIES:
+            if priority >= mod.priority:
+                continue
+            candidate = dc_replace(mod, priority=priority)
+            spec_rules = apply_flowmod(base_rules, candidate)
+            if self._interception_violations(base_rules, spec_rules, candidate):
+                continue
+            if not self._policy_violations(
+                item.switch, base_rules, spec_rules, candidate
+            ):
+                return candidate
+        return None
+
+    def _quarantine(self, item: _Pending, violations: Tuple[str, ...]) -> None:
+        rule = rule_from_mod(item.message)
+        self.shadow.add(
+            ShadowEntry(
+                time=self.network.sim.now,
+                switch=item.switch,
+                rule=rule,
+                reason="; ".join(violations),
+            )
+        )
+        monitor = self._service.monitor if self._service else None
+        if monitor is not None:
+            monitor.mark_untrusted(item.switch, rule.identity())
+        self.metrics.quarantined += 1
+        self._finish(
+            item, GATE_QUARANTINE, reason="quarantined", violations=violations
+        )
+        self._abort_batch(item)
+
+    def _refuse(
+        self, item: _Pending, verdict: str, violations: Tuple[str, ...]
+    ) -> None:
+        self._finish(item, verdict, reason="refused", violations=violations)
+        self._abort_batch(item)
+
+    def _forward(
+        self,
+        item: _Pending,
+        mod: FlowMod,
+        verdict: str,
+        *,
+        reason: str,
+        violations: Tuple[str, ...],
+    ) -> None:
+        try:
+            item.channel.transmit_to_switch(mod)
+        except ChannelError:
+            self.metrics.forward_failures += 1
+            self._audit(item.switch, "forward-failed", mod, "channel closed")
+            self._finish(item, GATE_BLOCK, reason="channel closed", violations=())
+            return
+        if self.config.speculative_overlay:
+            self._overlay.setdefault(item.switch, []).append(
+                (self.network.sim.now, mod)
+            )
+        batch = self._batch_for(item.batch_key, create=True)
+        if batch is not None:
+            batch.forwarded.append((item.channel, mod))
+        if verdict == GATE_REPAIR:
+            self.metrics.repaired += 1
+        else:
+            self.metrics.allowed += 1
+        self._record(item, verdict, reason, violations, rule=mod)
+
+    def _finish(
+        self,
+        item: _Pending,
+        verdict: str,
+        *,
+        reason: str = "",
+        violations: Tuple[str, ...] = (),
+    ) -> None:
+        if verdict == GATE_BLOCK:
+            self.metrics.blocked += 1
+        self._record(item, verdict, reason, violations, rule=item.message)
+
+    def _record(
+        self,
+        item: _Pending,
+        verdict: str,
+        reason: str,
+        violations: Tuple[str, ...],
+        *,
+        rule: FlowMod,
+    ) -> None:
+        decision = GateDecision(
+            sequence=self._next_sequence(),
+            time=self.network.sim.now,
+            switch=item.switch,
+            verdict=verdict,
+            rule=describe_mod(rule),
+            reason=reason,
+            violations=violations,
+            state=self.state,
+        )
+        self.decisions.append(self._signed(decision))
+
+    # ------------------------------------------------------------------
+    # Verification backends
+    # ------------------------------------------------------------------
+
+    def _base_rules(self, switch: str) -> Tuple[SnapshotRule, ...]:
+        monitor = self._require_monitor()
+        rules = monitor.current_rules(switch)
+        for mod in self._overlay_mods(switch):
+            rules = apply_flowmod(rules, mod)
+        return rules
+
+    def _overlay_mods(self, switch: str) -> Tuple[FlowMod, ...]:
+        entries = self._overlay.get(switch)
+        if not entries:
+            return ()
+        monitor = self._require_monitor()
+        mirror = monitor.current_rules(switch)
+        now = self.network.sim.now
+        kept: List[Tuple[float, FlowMod]] = []
+        for when, mod in entries:
+            if now - when > self.config.overlay_ttl:
+                continue
+            # Mirror caught up when applying the mod changes nothing.
+            if _identities(apply_flowmod(mirror, mod)) == _identities(mirror):
+                continue
+            kept.append((when, mod))
+        if kept:
+            self._overlay[switch] = kept
+        else:
+            self._overlay.pop(switch, None)
+        return tuple(mod for _when, mod in kept)
+
+    def _speculative(
+        self, overrides: Dict[str, Tuple[SnapshotRule, ...]]
+    ) -> NetworkSnapshot:
+        monitor = self._require_monitor()
+        self._spec_version -= 1
+        return monitor.speculative_snapshot(overrides, version=self._spec_version)
+
+    def _interception_violations(
+        self,
+        base_rules: Tuple[SnapshotRule, ...],
+        spec_rules: Tuple[SnapshotRule, ...],
+        mod: FlowMod,
+    ) -> List[str]:
+        if not self.policy.protect_interception:
+            return []
+        violations: List[str] = []
+        if mod.command in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            removed = _identities(base_rules) - _identities(spec_rules)
+            for rule in base_rules:
+                if rule.identity() in removed and rule.cookie == RVAAS_COOKIE:
+                    violations.append(
+                        f"interception:deletes punt rule [{rule.match.describe()}]"
+                    )
+        else:
+            punts = any(isinstance(a, ToController) for a in mod.actions)
+            if (
+                mod.table_id == 0
+                and mod.priority >= INTERCEPT_PRIORITY
+                and not punts
+            ):
+                for punt_match in interception_matches():
+                    if mod.match.overlaps(punt_match):
+                        violations.append(
+                            "interception:shadows punt traffic "
+                            f"[{punt_match.describe()}] at p{mod.priority}"
+                        )
+                        break
+        return violations
+
+    def _policy_violations(
+        self,
+        switch: str,
+        base_rules: Tuple[SnapshotRule, ...],
+        spec_rules: Tuple[SnapshotRule, ...],
+        mod: Optional[FlowMod] = None,
+    ) -> List[str]:
+        if not self.policy.clients:
+            return []
+        overrides = {
+            name: self._base_rules(name)
+            for name in list(self._overlay)
+            if name != switch
+        }
+        base_overrides = dict(overrides)
+        # Always pin the caller's view of the decided switch: base_rules
+        # may differ from the raw mirror (overlay applied, or a backlog
+        # re-verification diffing around an already-installed rule).
+        base_overrides[switch] = base_rules
+        base_snap = self._speculative(base_overrides)
+        spec_overrides = dict(overrides)
+        spec_overrides[switch] = spec_rules
+        spec_snap = self._speculative(spec_overrides)
+        base = self._baseline_answers(base_snap)
+        violations: List[str] = []
+        spec_answers: Dict[str, Dict[str, object]] = {}
+        reuse_loops = mod is not None and _cannot_create_loops(mod)
+        for cp in self.policy.clients:
+            base_ans = base[cp.client]
+            spec_ans = self._client_answers(
+                spec_snap,
+                cp,
+                loops_reuse=(
+                    base_ans.get("loops") if reuse_loops else None  # type: ignore[arg-type]
+                ),
+            )
+            spec_answers[cp.client] = spec_ans
+            violations.extend(self._compare(cp, base_ans, spec_ans))
+        if not violations:
+            # A clean speculative state is about to become the real one
+            # (the rule forwards, the mirror catches up): remembering its
+            # answers makes the next decision's baseline a cache hit, so
+            # steady-state churn costs one verification sweep, not two.
+            self._remember_answers(spec_snap.content_hash(), spec_answers)
+        return violations
+
+    def _baseline_answers(
+        self, base_snap: NetworkSnapshot
+    ) -> Dict[str, Dict[str, object]]:
+        content = base_snap.content_hash()
+        cached = self._base_answers.get(content)
+        if cached is not None:
+            return cached
+        self._pin(content)
+        answers = {
+            cp.client: self._client_answers(base_snap, cp)
+            for cp in self.policy.clients
+        }
+        self._remember_answers(content, answers)
+        return answers
+
+    def _remember_answers(
+        self, content: str, answers: Dict[str, Dict[str, object]]
+    ) -> None:
+        if len(self._base_answers) >= 8:
+            self._base_answers.pop(next(iter(self._base_answers)))
+        self._base_answers[content] = answers
+
+    def _client_answers(
+        self,
+        snapshot: NetworkSnapshot,
+        cp: ClientGatePolicy,
+        *,
+        loops_reuse: Optional[frozenset] = None,
+    ) -> Dict[str, object]:
+        service = self._service
+        assert service is not None
+        registration = service.registrations[cp.client]
+        verifier = service.verifier
+        answers: Dict[str, object] = {}
+        if cp.protect_delivery:
+            # Per host, not per client: the client-level union would mask
+            # a blackhole of one host pair behind another host's intact
+            # reachability.
+            per_host: Dict[str, frozenset] = {}
+            for host in registration.hosts:
+                sub = dc_replace(registration, hosts=(host,))
+                per_host[host.name] = frozenset(
+                    verifier.reachable_destinations(sub, snapshot).endpoints
+                )
+            answers["endpoints"] = per_host
+        if cp.isolation:
+            answers["violating"] = frozenset(
+                verifier.isolation(registration, snapshot).violating_endpoints
+            )
+        if cp.pin_traversal:
+            answers["traversal"] = verifier.traversal_switches(
+                registration, snapshot
+            )
+        if cp.loop_free:
+            if loops_reuse is not None:
+                # The FlowMod provably cannot create a loop (drop-only
+                # ADD/MODIFY): spec loops are a subset of base loops, so
+                # the diff is empty by construction — skip the full
+                # propagation and carry the baseline answer forward.
+                answers["loops"] = loops_reuse
+            else:
+                answers["loops"] = frozenset(
+                    verifier.forwarding_loops(registration, snapshot)
+                )
+        if cp.forbidden_regions:
+            answers["regions"] = frozenset(
+                verifier.waypoint_avoidance(
+                    registration, snapshot, cp.forbidden_regions
+                ).violating_regions
+            )
+        return answers
+
+    @staticmethod
+    def _compare(
+        cp: ClientGatePolicy,
+        base: Dict[str, object],
+        spec: Dict[str, object],
+    ) -> List[str]:
+        violations: List[str] = []
+        if cp.protect_delivery:
+            base_hosts: Dict[str, frozenset] = base["endpoints"]  # type: ignore[assignment]
+            spec_hosts: Dict[str, frozenset] = spec["endpoints"]  # type: ignore[assignment]
+            for host_name, had in sorted(base_hosts.items()):
+                lost = had - spec_hosts.get(host_name, frozenset())
+                if lost:
+                    where = sorted((e.switch, e.port) for e in lost)
+                    violations.append(
+                        f"delivery:{cp.client}:{host_name}:lost={where}"
+                    )
+        if cp.isolation:
+            fresh = spec["violating"] - base["violating"]  # type: ignore[operator]
+            if fresh:
+                where = sorted((e.switch, e.port) for e in fresh)
+                violations.append(f"isolation:{cp.client}:new={where}")
+        if cp.pin_traversal:
+            detour = spec["traversal"] - base["traversal"]  # type: ignore[operator]
+            if detour:
+                violations.append(
+                    f"traversal:{cp.client}:new={sorted(detour)}"
+                )
+        if cp.loop_free:
+            loops = spec["loops"] - base["loops"]  # type: ignore[operator]
+            if loops:
+                violations.append(f"loop:{cp.client}:at={sorted(loops)}")
+        if cp.forbidden_regions:
+            entered = spec["regions"] - base["regions"]  # type: ignore[operator]
+            if entered:
+                violations.append(f"geo:{cp.client}:regions={sorted(entered)}")
+        return violations
+
+    def _pin(self, content: str) -> None:
+        service = self._service
+        if service is None or content == self._pinned_content:
+            return
+        if self._pinned_content is not None:
+            service.engine.unpin_content(self._pinned_content)
+        service.engine.pin_content(content)
+        self._pinned_content = content
+
+    # ------------------------------------------------------------------
+    # Batches and rollback
+    # ------------------------------------------------------------------
+
+    def _batch_key(self, channel: ControlChannel) -> Optional[tuple]:
+        if not self.policy.transactional:
+            return None
+        app = channel.controller_app
+        txn = getattr(app, "current_transaction", None)
+        if txn is None:
+            return None
+        return (channel.controller_end.name, txn)
+
+    def _batch_for(
+        self, key: Optional[tuple], *, create: bool = False
+    ) -> Optional[_Batch]:
+        if key is None:
+            return None
+        batch = self._batches.get(key)
+        if batch is None and create:
+            batch = _Batch(key=key)
+            self._batches[key] = batch
+        return batch
+
+    def _abort_batch(self, item: _Pending) -> None:
+        batch = self._batch_for(item.batch_key, create=item.batch_key is not None)
+        if batch is None or batch.aborted:
+            return
+        batch.aborted = True
+        self.metrics.batches_aborted += 1
+        for channel, mod in reversed(batch.forwarded):
+            self._rollback_one(channel, channel.switch_end.name, mod)
+        batch.forwarded.clear()
+
+    def _rollback_one(
+        self, channel: ControlChannel, switch: str, mod: FlowMod
+    ) -> None:
+        if mod.command in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            # Forwarded deletes cannot be undone without the deleted
+            # rule's full definition; record the debt honestly.
+            self._audit(switch, "rollback-skipped", mod, "cannot restore a delete")
+            return
+        undo = FlowMod(
+            command=FlowModCommand.DELETE_STRICT,
+            match=mod.match,
+            priority=mod.priority,
+            table_id=mod.table_id,
+        )
+        entries = self._overlay.get(switch)
+        if entries:
+            self._overlay[switch] = [(w, m) for w, m in entries if m is not mod]
+        try:
+            channel.transmit_to_switch(undo)
+        except ChannelError:
+            self.metrics.rollbacks_deferred += 1
+            self._pending_rollbacks.append((channel, switch, undo))
+            self._audit(switch, "rollback-deferred", mod, "channel closed")
+            return
+        self.metrics.rollbacks += 1
+        self._audit(switch, "rollback", mod, "transaction aborted")
+
+    # ------------------------------------------------------------------
+    # Degradation and recovery
+    # ------------------------------------------------------------------
+
+    def _check_health(self) -> None:
+        if self.state != GATE_ACTIVE or self._service is None:
+            return
+        monitor = self._service.monitor
+        if monitor is None:
+            return
+        lost = monitor.health.lost()
+        if lost:
+            self._enter_degraded(f"control channels lost: {', '.join(lost)}")
+
+    def _pressure_tick(self) -> None:
+        self._pressure += 1
+        self._last_pressure_at = self.network.sim.now
+        if self._pressure >= self.config.degrade_after and self.state == GATE_ACTIVE:
+            self._enter_degraded(
+                f"{self._pressure} consecutive verification pressure events"
+            )
+
+    def _enter_degraded(self, reason: str) -> None:
+        self.state = GATE_DEGRADED
+        self.metrics.degraded_entries += 1
+        if self.policy.fail_open:
+            self.metrics.fail_open_windows += 1
+        self._audit("", "degraded", None, reason)
+        # Everything queued takes the degraded disposition immediately;
+        # holding it for a verdict that is not coming would be worse.
+        drained, self._queue = self._queue, []
+        for queued in drained:
+            self._disposition(queued, "gate-degraded")
+        self._schedule_probe()
+
+    def _schedule_probe(self) -> None:
+        if self._probe_scheduled:
+            return
+        self._probe_scheduled = True
+        self.network.sim.schedule(self.config.recover_after, self._recovery_probe)
+
+    def _recovery_probe(self) -> None:
+        self._probe_scheduled = False
+        if self.state != GATE_DEGRADED:
+            return
+        monitor = self._service.monitor if self._service else None
+        lost = monitor.health.lost() if monitor is not None else ()
+        quiet = (
+            self.network.sim.now - self._last_pressure_at
+            >= self.config.recover_after
+        )
+        if lost or not quiet:
+            self._schedule_probe()
+            return
+        self._recover()
+
+    def _recover(self) -> None:
+        self.state = GATE_RECOVERING
+        self._audit("", "recovering", None, "draining unverified backlog")
+        backlog, self._backlog = self._backlog, []
+        for entry in backlog:
+            self._reverify(entry)
+        rollbacks, self._pending_rollbacks = self._pending_rollbacks, []
+        for channel, switch, undo in rollbacks:
+            try:
+                channel.transmit_to_switch(undo)
+            except ChannelError:
+                self._pending_rollbacks.append((channel, switch, undo))
+                continue
+            self.metrics.rollbacks += 1
+            self._audit(switch, "rollback", undo, "deferred rollback flushed")
+        self.metrics.recovery_drains += 1
+        self.state = GATE_ACTIVE
+        self._pressure = 0
+        self._audit("", "recovered", None, "gate active")
+
+    def _reverify(self, entry: _BacklogEntry) -> None:
+        """Re-check one pass-through rule against the *current* state."""
+        mod = entry.message
+        monitor = self._require_monitor()
+        mirror = monitor.current_rules(entry.switch)
+        if mod.command in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            # A delete cannot be re-derived; check the surviving state
+            # against the contracts in absolute terms instead.
+            violations = self._absolute_violations()
+        else:
+            identity = rule_from_mod(mod).identity()
+            minus = tuple(r for r in mirror if r.identity() != identity)
+            plus = apply_flowmod(minus, mod)
+            violations = self._interception_violations(minus, plus, mod)
+            if not violations:
+                violations = self._policy_violations(entry.switch, minus, plus, mod)
+        if not violations:
+            self.metrics.backlog_reverified += 1
+            self._audit(entry.switch, "reverify-clean", mod, "pass-through upheld")
+            return
+        self.metrics.backlog_remediated += 1
+        self._audit(
+            entry.switch, "reverify-violation", mod, "; ".join(violations)
+        )
+        if mod.command in (FlowModCommand.ADD, FlowModCommand.MODIFY):
+            rule = rule_from_mod(mod)
+            self.shadow.add(
+                ShadowEntry(
+                    time=self.network.sim.now,
+                    switch=entry.switch,
+                    rule=rule,
+                    reason="; ".join(violations),
+                )
+            )
+            monitor.mark_untrusted(entry.switch, rule.identity())
+            undo = FlowMod(
+                command=FlowModCommand.DELETE_STRICT,
+                match=mod.match,
+                priority=mod.priority,
+                table_id=mod.table_id,
+            )
+            try:
+                entry.channel.transmit_to_switch(undo)
+                self.metrics.rollbacks += 1
+                self._audit(entry.switch, "rollback", mod, "reverify remediation")
+            except ChannelError:
+                self.metrics.rollbacks_deferred += 1
+                self._pending_rollbacks.append((entry.channel, entry.switch, undo))
+
+    def _absolute_violations(self) -> List[str]:
+        """Contract checks on the live mirror (no base to diff against)."""
+        service = self._service
+        assert service is not None
+        snapshot = self._speculative({})
+        violations: List[str] = []
+        for cp in self.policy.clients:
+            if not cp.isolation:
+                continue
+            registration = service.registrations[cp.client]
+            answer = service.verifier.isolation(registration, snapshot)
+            if not answer.isolated:
+                where = sorted(
+                    (e.switch, e.port) for e in answer.violating_endpoints
+                )
+                violations.append(f"isolation:{cp.client}:new={where}")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Dispositions (what happens when verification cannot)
+    # ------------------------------------------------------------------
+
+    def _disposition(self, item: _Pending, reason: str) -> None:
+        """Fail-open or fail-closed an item the gate could not verify."""
+        if self.policy.fail_open:
+            try:
+                item.channel.transmit_to_switch(item.message)
+            except ChannelError:
+                self.metrics.forward_failures += 1
+                self._audit(item.switch, "forward-failed", item.message, reason)
+                return
+            self.metrics.passed_through += 1
+            self._audit(item.switch, "pass-through", item.message, reason)
+            self._backlog.append(
+                _BacklogEntry(
+                    channel=item.channel,
+                    message=item.message,
+                    switch=item.switch,
+                    forwarded_at=self.network.sim.now,
+                )
+            )
+            if self.config.speculative_overlay:
+                self._overlay.setdefault(item.switch, []).append(
+                    (self.network.sim.now, item.message)
+                )
+            batch = self._batch_for(item.batch_key, create=True)
+            if batch is not None:
+                batch.forwarded.append((item.channel, item.message))
+        else:
+            self.metrics.fail_closed_rejects += 1
+            self._audit(item.switch, "fail-closed-reject", item.message, reason)
+            self._abort_batch(item)
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+
+    def _audit(
+        self, switch: str, event: str, mod: Optional[FlowMod], reason: str
+    ) -> None:
+        record = GateAuditRecord(
+            sequence=self._next_sequence(),
+            time=self.network.sim.now,
+            switch=switch,
+            event=event,
+            rule=describe_mod(mod) if mod is not None else "",
+            reason=reason,
+            state=self.state,
+        )
+        self.audit_log.append(self._signed(record))
+
+    def _signed(self, record):
+        service = self._service
+        if service is None:
+            return record
+        return dc_replace(record, signature=_sign(record, service.keypair.private))
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _require_monitor(self):
+        assert self._service is not None and self._service.monitor is not None, (
+            "gate used before bind_service()/service.start()"
+        )
+        return self._service.monitor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        counters = self.metrics.snapshot_counters()
+        counters["state"] = self.state
+        counters["decisions"] = len(self.decisions)
+        counters["audit_records"] = len(self.audit_log)
+        counters["shadow_entries"] = len(self.shadow)
+        counters["pending"] = len(self._queue)
+        counters["backlog"] = len(self._backlog)
+        return counters
+
+    def decisions_for(self, switch: str) -> Tuple[GateDecision, ...]:
+        return tuple(d for d in self.decisions if d.switch == switch)

@@ -194,6 +194,10 @@ class ConfigurationMonitor:
         #: consumers like the serving tier pay O(1) per snapshot() call
         self._snapshot_cache: Optional[NetworkSnapshot] = None
         self.last_delta: Optional[SnapshotDelta] = None
+        #: (switch, rule identity) pairs the preventive gate quarantined:
+        #: tracked by the verifier but never to be trusted if they ever
+        #: surface in the mirror (e.g. installed out-of-band).
+        self._untrusted: Set[Tuple[str, tuple]] = set()
 
     # ------------------------------------------------------------------
     # Startup
@@ -527,6 +531,91 @@ class ConfigurationMonitor:
             switch: self.health.staleness(switch, now)
             for switch in self.controller.channels
         }
+
+    def mark_untrusted(self, switch: str, identity: tuple) -> None:
+        """Record a gate-quarantined rule identity as untrusted."""
+        self._untrusted.add((switch, identity))
+
+    def clear_untrusted(self, switch: str, identity: tuple) -> None:
+        self._untrusted.discard((switch, identity))
+
+    def untrusted_in_mirror(self) -> Set[Tuple[str, tuple]]:
+        """Quarantined identities that nevertheless appear in the mirror.
+
+        Non-empty means a rule the gate refused to install surfaced
+        anyway (installed out-of-band or replayed); the verifier treats
+        any such switch as tampered.
+        """
+        return {
+            (switch, identity)
+            for (switch, identity) in self._untrusted
+            if identity in self._rules.get(switch, {})
+        }
+
+    def speculative_snapshot(
+        self,
+        overrides: Dict[str, Tuple[SnapshotRule, ...]],
+        *,
+        version: int,
+    ) -> NetworkSnapshot:
+        """Freeze a *hypothetical* snapshot: the mirror with some switches'
+        rule tuples replaced.
+
+        Used by the preventive gate to verify a would-be configuration
+        before any FlowMod is forwarded.  Unlike :meth:`snapshot` this
+        never touches the delta accumulators, the snapshot cache, or any
+        listener — it is a pure read.  Unchanged switches keep their
+        cached content hashes, so engine artifacts (and the atom-matrix
+        repair path) are structurally shared with the live snapshot;
+        only overridden switches are rehashed.
+
+        ``version`` must be unique per call and distinct from any real
+        mirror version (the verifier's analysis cache is version-keyed);
+        the gate passes a monotone negative counter.
+        """
+        assert self.controller.network is not None
+        rules = {
+            switch: tuple(mirror.values())
+            for switch, mirror in self._rules.items()
+        }
+        for switch, switch_rules in overrides.items():
+            rules[switch] = tuple(switch_rules)
+        hashes = {
+            switch: digest
+            for switch, digest in self._switch_hash_cache.items()
+            if switch not in overrides and switch in rules
+        }
+        switch_ports = {
+            name: tuple(sorted(self.controller.network.switches[name].ports))
+            for name in self.controller.network.switches
+        }
+        edge_ports = {
+            name: frozenset(host.port for host in self.topology.hosts_on(name))
+            for name in self.topology.switches
+        }
+        locations = {
+            name: spec.location
+            for name, spec in self.topology.switches.items()
+            if spec.location is not None
+        }
+        link_capacities = {
+            frozenset((link.switch_a, link.switch_b)): link.bandwidth_mbps
+            for link in self.topology.links
+        }
+        return NetworkSnapshot(
+            version=version,
+            taken_at=self.controller.now,
+            rules=rules,
+            meters=tuple(
+                meter for meters in self._meters.values() for meter in meters
+            ),
+            wiring=self.topology.wiring(),
+            edge_ports=edge_ports,
+            switch_ports=switch_ports,
+            locations=locations,
+            link_capacities=link_capacities,
+            _switch_hashes=hashes,
+        )
 
     def snapshot(self, locations: Optional[Dict[str, GeoLocation]] = None) -> NetworkSnapshot:
         """Freeze the current mirror into a verifiable snapshot.

@@ -153,6 +153,8 @@ class RVaaSController(ControllerApp):
         self._watch_content_hash: Optional[str] = None
         self.watch_checks_skipped = 0
         self.notices_pushed = 0
+        #: the preventive verify-then-install gate, once attached
+        self.gate = None
 
     # ------------------------------------------------------------------
     # Startup
@@ -198,6 +200,19 @@ class RVaaSController(ControllerApp):
                 warm_fn=self.verifier.warm,
                 schedule_fn=lambda delay, cb: network.sim.schedule(delay, cb),
             )
+
+    def attach_gate(self, gate) -> None:
+        """Arm a :class:`~repro.core.gate.PreventiveGate` on this service.
+
+        The gate adopts this controller's engine, verifier, monitor
+        mirror and signing key (and exempts this controller's own
+        FlowMods from interception).  Call after :meth:`start` so the
+        monitor exists; the gate itself must have been installed on the
+        network *before* any provider channel opened.
+        """
+        assert self.monitor is not None, "start() before attach_gate()"
+        self.gate = gate
+        gate.bind_service(self)
 
     # ------------------------------------------------------------------
     # Event handling

@@ -724,6 +724,74 @@ class LogicalVerifier:
             avoided=not violating, violating_regions=violating
         )
 
+    def traversal_switches(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> frozenset:
+        """Switches the client's outbound traffic can traverse.
+
+        The preventive gate's path-pinning primitive: a diversion detour
+        routes traffic through *new* switches while leaving endpoints
+        (and possibly regions) identical, so comparing this set between
+        the live and a speculative snapshot catches rerouting that the
+        isolation and geo checks cannot.  Served from matrix rows on the
+        atom backend (one AND per traversed switch), wildcard propagation
+        otherwise.
+        """
+        analysis = self._analysis_snapshot(snapshot)
+        pair = self._atom_pair(analysis)
+        traversed: set = set()
+        for host in registration.hosts:
+            served = None
+            if pair is not None:
+                space, matrix = pair
+                bits = space.encode_space(self._outbound_space(host, scope))
+                row = (
+                    matrix.row((host.switch, host.port))
+                    if bits is not None
+                    else None
+                )
+                if row is not None:
+                    served = {
+                        switch
+                        for switch, traversed_bits in row.traversed.items()
+                        if traversed_bits & bits
+                    }
+            if pair is not None and self._count_serving(
+                served, "traversal_switches"
+            ):
+                traversed.update(served)
+                continue
+            result = self._outbound_result(analysis, host, scope)
+            traversed.update(result.switches_traversed)
+        return frozenset(traversed)
+
+    def forwarding_loops(
+        self,
+        registration: ClientRegistration,
+        snapshot: NetworkSnapshot,
+        scope: TrafficScope = TrafficScope(),
+    ) -> Tuple[Tuple[str, int], ...]:
+        """Ports at which the client's outbound traffic enters a loop.
+
+        The emulated (and any real) data plane has no TTL safety net, so
+        the preventive gate refuses configurations that introduce
+        forwarding loops — e.g. a mirror rule whose duplicated copy is
+        routed straight back to the mirroring switch.  Loops are only
+        surfaced by full propagation, so this is a wildcard-path query
+        (the atom matrix terminates loops instead of reporting them).
+        """
+        analysis = self._analysis_snapshot(snapshot)
+        self._count_wildcard_only("forwarding_loops", registration)
+        points: set = set()
+        for host in registration.hosts:
+            result = self._outbound_result(analysis, host, scope)
+            for loop in result.loops:
+                points.add((loop.switch, loop.port))
+        return tuple(sorted(points))
+
     def path_length(
         self,
         registration: ClientRegistration,

@@ -40,6 +40,18 @@ class ChannelFaultSource(Protocol):
     def attach(self, channel: ControlChannel) -> None: ...
 
 
+class FlowModGateSource(Protocol):
+    """Anything that interposes on the FlowMod path of new channels.
+
+    Implemented by :class:`repro.core.gate.PreventiveGate`; mirroring the
+    fault-injector pattern, the network attaches the gate to every channel
+    opened after installation so late-attaching (and malicious) controllers
+    cannot route around it.
+    """
+
+    def attach(self, channel: ControlChannel) -> None: ...
+
+
 class Network:
     """A running emulated network."""
 
@@ -56,6 +68,8 @@ class Network:
         self.channels: List[ControlChannel] = []
         #: set by FaultInjector.install(); impairs future channels too.
         self.fault_injector: Optional[ChannelFaultSource] = None
+        #: set by PreventiveGate.install(); gates future channels too.
+        self.flowmod_gate: Optional[FlowModGateSource] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -154,6 +168,8 @@ class Network:
         self.channels.append(channel)
         if self.fault_injector is not None:
             self.fault_injector.attach(channel)
+        if self.flowmod_gate is not None:
+            self.flowmod_gate.attach(channel)
         return channel
 
     def channels_for_switch(self, switch_name: str) -> List[ControlChannel]:

@@ -32,6 +32,8 @@ class FaultMetrics:
     records_passed: int = 0
     restarts_fired: int = 0
     flaps_fired: int = 0
+    #: transient gate-verification failures injected (gate path chaos)
+    gate_verify_failures: int = 0
 
 
 class ChannelFaultState:
@@ -96,6 +98,10 @@ class FaultInjector:
         self.metrics = FaultMetrics()
         self._states: List[Tuple[ControlChannel, ChannelFaultState]] = []
         self._installed = False
+        #: per-switch RNG streams for gate-verification faults, derived
+        #: lazily (same discipline as channel streams: deterministic,
+        #: never touching the main simulation RNG)
+        self._gate_rngs: dict = {}
 
     def install(self) -> "FaultInjector":
         """Wrap existing channels, hook future ones, schedule events."""
@@ -134,6 +140,34 @@ class FaultInjector:
         """Stop injecting channel faults (scheduled events still fire)."""
         for _channel, state in self._states:
             state.enabled = False
+
+    def gate_verify_fails(self, switch: str) -> bool:
+        """Should this gate verification fail transiently? (chaos hook)
+
+        Called by :class:`~repro.core.gate.PreventiveGate` once per
+        verification attempt; a True return makes the gate raise a
+        transient error and take its jittered-retry path.  Draws from a
+        dedicated per-switch RNG stream so a plan with
+        ``gate_verify_failure=0`` is byte-identical to no hook at all.
+        """
+        spec = self.plan.spec_for(switch)
+        if not spec.gate_verify_failure:
+            return False
+        now = self.network.sim.now
+        if now < self.plan.active_from:
+            return False
+        if self.plan.active_until is not None and now >= self.plan.active_until:
+            return False
+        rng = self._gate_rngs.get(switch)
+        if rng is None:
+            rng = self.network.sim.derive_rng(
+                f"faults:{self.plan.seed}:gate:{switch}"
+            )
+            self._gate_rngs[switch] = rng
+        if rng.random() < spec.gate_verify_failure:
+            self.metrics.gate_verify_failures += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Scheduled events

@@ -40,9 +40,14 @@ class ChannelFaultSpec:
     duplicate: float = 0.0
     #: P(record is held back long enough to land behind later records).
     reorder: float = 0.0
+    #: P(one preventive-gate verification of a FlowMod for this switch
+    #: fails transiently — a stand-in for verifier brownouts: an engine
+    #: worker stall, an OOM-killed compile, a timed-out helper).  Drives
+    #: the gate's jittered-retry path; ignored when no gate is installed.
+    gate_verify_failure: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop", "delay", "duplicate", "reorder"):
+        for name in ("drop", "delay", "duplicate", "reorder", "gate_verify_failure"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value}")
@@ -51,7 +56,13 @@ class ChannelFaultSpec:
 
     def is_null(self) -> bool:
         """True when this spec cannot impair any record."""
-        return not (self.drop or self.delay or self.duplicate or self.reorder)
+        return not (
+            self.drop
+            or self.delay
+            or self.duplicate
+            or self.reorder
+            or self.gate_verify_failure
+        )
 
 
 @dataclass(frozen=True)
@@ -109,6 +120,7 @@ class FaultPlan:
         max_extra_delay: float = 0.05,
         duplicate: float = 0.0,
         reorder: float = 0.0,
+        gate_verify_failure: float = 0.0,
         seed: int = 0,
         active_from: float = 0.0,
         active_until: Optional[float] = None,
@@ -123,6 +135,7 @@ class FaultPlan:
                 max_extra_delay=max_extra_delay,
                 duplicate=duplicate,
                 reorder=reorder,
+                gate_verify_failure=gate_verify_failure,
             ),
             seed=seed,
             active_from=active_from,

@@ -47,6 +47,21 @@ REPLAY_WINDOW = 1024
 FaultFilter = Callable[[str, float], Sequence[float]]
 
 
+class FlowModGateHook(Protocol):
+    """A verify-then-install gate interposed on the to-switch path.
+
+    Implemented by :class:`repro.core.gate.PreventiveGate`.  The hook sits
+    *before* sequence-number assignment: an intercepted message consumes no
+    sequence number until the gate forwards it via
+    :meth:`ControlChannel.transmit_to_switch`, so allowed traffic is
+    byte-identical to an ungated channel and held traffic leaves no gaps.
+    """
+
+    def intercepts(self, channel: "ControlChannel", message: OpenFlowMessage) -> bool: ...
+
+    def intercept(self, channel: "ControlChannel", message: OpenFlowMessage) -> None: ...
+
+
 class Scheduler(Protocol):
     """The slice of the simulator the channel layer needs."""
 
@@ -129,6 +144,12 @@ class ControlChannel:
         self.online = True
         #: Optional fault injection hook (see :data:`FaultFilter`).
         self.fault_filter: Optional[FaultFilter] = None
+        #: Optional verify-then-install gate (see :class:`FlowModGateHook`).
+        self.flowmod_gate: Optional[FlowModGateHook] = None
+        #: Back-reference to the ControllerApp driving this channel, set by
+        #: :meth:`repro.controlplane.controller.ControllerApp.attach`; lets
+        #: the gate read transaction boundaries declared by the sender.
+        self.controller_app: Optional[object] = None
         self.impairments = ChannelImpairments()
 
     # ------------------------------------------------------------------
@@ -146,7 +167,32 @@ class ControlChannel:
     def close(self) -> None:
         self.open = False
 
+    def transmit_to_switch(self, message: OpenFlowMessage) -> None:
+        """Controller -> switch, bypassing the gate hook.
+
+        Used by the gate itself to forward allowed/repaired FlowMods and to
+        issue rollback deletes; the message is sealed and sequenced exactly
+        as an ungated send would be.
+        """
+        self._transmit(self.controller_end, self.switch_end, message, "to_switch")
+
     def _send(
+        self,
+        sender: ChannelEndpoint,
+        receiver: ChannelEndpoint,
+        message: OpenFlowMessage,
+        direction: str,
+    ) -> None:
+        if (
+            direction == "to_switch"
+            and self.flowmod_gate is not None
+            and self.flowmod_gate.intercepts(self, message)
+        ):
+            self.flowmod_gate.intercept(self, message)
+            return
+        self._transmit(sender, receiver, message, direction)
+
+    def _transmit(
         self,
         sender: ChannelEndpoint,
         receiver: ChannelEndpoint,

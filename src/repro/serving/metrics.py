@@ -15,6 +15,21 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Sequence
 
 
+def counters_dict(metrics: object) -> Dict[str, object]:
+    """Deep-copy a counters dataclass into a plain dict.
+
+    Shared by :class:`SchedulerMetrics` and
+    :class:`~repro.core.gate.GateMetrics`: integer fields are copied by
+    value, dict-valued breakdowns are shallow-copied so a "before"
+    snapshot is never mutated by later counting.
+    """
+    counters: Dict[str, object] = {}
+    for f in fields(metrics):
+        value = getattr(metrics, f.name)
+        counters[f.name] = dict(value) if isinstance(value, dict) else value
+    return counters
+
+
 def batch_bucket(size: int) -> str:
     """The histogram bucket label for a batch of ``size`` requests."""
     if size <= 1:
@@ -57,11 +72,7 @@ class SchedulerMetrics:
         self.batch_size_hist[bucket] = self.batch_size_hist.get(bucket, 0) + 1
 
     def snapshot_counters(self) -> Dict[str, object]:
-        counters: Dict[str, object] = {}
-        for f in fields(self):
-            value = getattr(self, f.name)
-            counters[f.name] = dict(value) if isinstance(value, dict) else value
-        return counters
+        return counters_dict(self)
 
 
 def percentile(samples: Sequence[float], p: float) -> float:

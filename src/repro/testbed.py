@@ -26,6 +26,7 @@ from repro.core.queries import Query
 from repro.core.service import RVaaSController
 from repro.crypto.enclave import AttestationVerifier, make_attestation_root
 from repro.crypto.keys import KeyPair, generate_keypair
+from repro.core.gate import GateConfig, GatePolicy, PreventiveGate
 from repro.dataplane.network import Network
 from repro.dataplane.topology import Topology
 from repro.faults import FaultInjector, FaultPlan
@@ -49,6 +50,7 @@ class Testbed:
     responders: Dict[str, AuthResponder] = field(default_factory=dict)
     silent: Dict[str, SilentResponder] = field(default_factory=dict)
     fault_injector: Optional[FaultInjector] = None
+    gate: Optional[PreventiveGate] = None
 
     # ------------------------------------------------------------------
     # Convenience
@@ -130,6 +132,7 @@ def build_testbed(
     record_history: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     serving: Optional[ServingConfig] = None,
+    gate: Optional[GateConfig] = None,
     settle: bool = True,
 ) -> Testbed:
     """Build and start a complete deployment on ``topology``.
@@ -144,6 +147,12 @@ def build_testbed(
     * ``serving`` enables the multi-tenant serving tier
       (:class:`~repro.serving.scheduler.QueryScheduler`) in front of the
       engine; ``None`` keeps the synchronous per-request path.
+    * ``gate`` installs a :class:`~repro.core.gate.PreventiveGate` on
+      every control channel (prevention mode).  The gate is wired before
+      the provider attaches — so both honest and malicious providers
+      pass through it — but only arms once the RVaaS service starts
+      (the agreed policy deploys ungated, as it predates onboarding).
+      Pass a :class:`~repro.core.gate.GatePolicy` for the defaults.
     * ``settle`` drains the event queue once so rule installation and the
       initial monitoring poll complete before the scenario starts.
     """
@@ -152,6 +161,11 @@ def build_testbed(
     if fault_plan is not None:
         fault_injector = FaultInjector(network, fault_plan)
         fault_injector.install()
+    preventive_gate: Optional[PreventiveGate] = None
+    if gate is not None:
+        if isinstance(gate, GatePolicy):
+            gate = GateConfig(policy=gate)
+        preventive_gate = PreventiveGate(network, gate).install()
     key_rng = random.Random(seed ^ 0x5EED)
 
     provider = CompromisedController()
@@ -191,6 +205,8 @@ def build_testbed(
         serving=serving,
     )
     service.start(network)
+    if preventive_gate is not None:
+        service.attach_gate(preventive_gate)
 
     # Client libraries verify attestation before trusting the service key.
     rvaas_public = attested.service_keypair.public
@@ -239,6 +255,7 @@ def build_testbed(
         responders=responders,
         silent=silent,
         fault_injector=fault_injector,
+        gate=preventive_gate,
     )
     if settle:
         # Let FlowMods, monitor subscriptions, and the seed poll land.

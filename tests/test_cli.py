@@ -26,9 +26,9 @@ class TestParsing:
             factory()  # constructible
 
     def test_experiment_index_shape(self):
-        assert len(EXPERIMENTS) == 22
+        assert len(EXPERIMENTS) == 23
         assert all(exp[0].startswith("E") for exp in EXPERIMENTS)
-        assert any(exp[0] == "E22" for exp in EXPERIMENTS)
+        assert any(exp[0] == "E23" for exp in EXPERIMENTS)
 
 
 class TestCommands:
@@ -90,6 +90,34 @@ class TestCommands:
         assert "repairs=1" in out
         assert "per query class" in out
         assert "reachable_destinations" in out
+
+    def test_stats_command_gate_counters(self, capsys):
+        assert (
+            main(
+                [
+                    "stats",
+                    "--topology",
+                    "linear:3",
+                    "--churn",
+                    "1",
+                    "--gate",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gate               : state=active" in out
+        assert "gate refusals" in out
+        assert "gate ledger" in out
+        # The churn FlowMod crossed the gate and got a verdict.
+        assert "intercepted=" in out and "intercepted=0" not in out
+
+    def test_stats_command_without_gate_is_silent(self, capsys):
+        assert main(["stats", "--topology", "linear:3"]) == 0
+        out = capsys.readouterr().out
+        assert "gate " not in out
 
     def test_stats_command_wildcard_backend(self, capsys):
         assert (

@@ -7,6 +7,8 @@ chaos run is exactly reproducible from its seeds.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.crypto.cipher import SecureChannelKeys
 from repro.dataplane.simulator import Simulator
@@ -218,6 +220,34 @@ class TestDeterminism:
         )
         ia, ib = tb_a.fault_injector.metrics, tb_b.fault_injector.metrics
         assert ia != ib
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        drop=st.floats(min_value=0.0, max_value=0.4),
+        delay=st.floats(min_value=0.0, max_value=0.3),
+        duplicate=st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_identical_seeds_are_byte_identical(
+        self, fault_seed, drop, delay, duplicate
+    ):
+        """The chaos layer's reproducibility contract, property-style:
+        any plan replayed under the same seed yields byte-identical
+        injector metrics, simulator state, and final mirror."""
+        plan = FaultPlan.uniform(
+            drop=drop, delay=delay, duplicate=duplicate, seed=fault_seed
+        )
+        tb_a, tb_b = _run_pair(plan, plan, duration=6.0)
+        assert tb_a.fault_injector.metrics == tb_b.fault_injector.metrics
+        sim_a, sim_b = tb_a.network.sim, tb_b.network.sim
+        assert sim_a.now == sim_b.now
+        assert sim_a.rng.getstate() == sim_b.rng.getstate()
+        assert (
+            tb_a.service.monitor.poll_times == tb_b.service.monitor.poll_times
+        )
+        snap_a, snap_b = tb_a.service.snapshot(), tb_b.service.snapshot()
+        assert snap_a.rules == snap_b.rules
+        assert snap_a.content_hash() == snap_b.content_hash()
 
 
 class TestRecovery:

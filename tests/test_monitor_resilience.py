@@ -108,6 +108,41 @@ class TestChannelHealth:
         tracker.record_success("s1", 4.0)
         assert tracker.staleness("s1", 10.0) == pytest.approx(6.0)
 
+    def test_rapid_flapping_yields_one_reconnect_per_loss_episode(self):
+        """A flapping channel must not amplify into a resync storm: the
+        tracker reports "reconnected" exactly once per LOST episode, and
+        steady successes after recovery report nothing at all."""
+        tracker = ChannelHealthTracker(degraded_after=1, lost_after=3)
+        events = []
+        now = 0.0
+        for _flap in range(5):
+            for _ in range(3):
+                now += 0.1
+                events.append(tracker.record_timeout("s1", now))
+            for _ in range(4):  # several confirmations in a row
+                now += 0.1
+                events.append(tracker.record_success("s1", now))
+        assert events.count("reconnected") == 5  # one per episode
+        assert events.count("recovered") == 0  # never double-reported
+        kinds = [(t.from_state, t.to_state) for t in tracker.transitions]
+        assert len(kinds) == 15  # 5 x (DEGRADED, LOST, HEALTHY): no dupes
+        assert tracker.all_healthy()
+
+    def test_staleness_monotone_between_confirmations(self):
+        tracker = ChannelHealthTracker(degraded_after=1, lost_after=2)
+        tracker.record_success("s1", 1.0)
+        samples = []
+        now = 1.0
+        for _ in range(4):
+            now += 0.5
+            tracker.record_timeout("s1", now)
+            samples.append(tracker.staleness("s1", now))
+        # Timeouts and state demotions never refresh the confirmation
+        # clock: staleness grows strictly until a real success.
+        assert samples == sorted(samples) and samples[0] > 0.0
+        tracker.record_success("s1", now + 0.5)
+        assert tracker.staleness("s1", now + 0.5) == 0.0
+
 
 # ----------------------------------------------------------------------
 # Poll-delay clamping (satellite: bounded blind windows)
@@ -229,6 +264,30 @@ class TestDroppedReplies:
         net.run(4.0)
         assert monitor.health.all_healthy()
         assert monitor.metrics.resyncs >= 3  # one full resync per switch
+        assert mirror_synced(monitor, net)
+
+    def test_rapid_channel_flaps_do_not_storm_resyncs(self):
+        """Two outage/recovery cycles on three switches: the monitor
+        resyncs once per LOST->HEALTHY reconnect and never piles extra
+        resyncs on top of an already-recovered channel."""
+        _topo, net, _provider, _watcher, monitor = build()
+        for _cycle in range(2):
+            for channel in net.channels:
+                channel.fault_filter = drop_replies
+            net.run(6.0)
+            assert monitor.health.lost()
+            for channel in net.channels:
+                channel.fault_filter = None
+            net.run(4.0)
+            assert monitor.health.all_healthy()
+        reconnects = sum(
+            1
+            for t in monitor.health.transitions
+            if t.from_state is ChannelState.LOST
+            and t.to_state is ChannelState.HEALTHY
+        )
+        assert reconnects == 6  # 3 switches x 2 outage cycles
+        assert monitor.metrics.resyncs == reconnects
         assert mirror_synced(monitor, net)
 
     def test_at_most_one_inflight_poll_per_switch(self):
