@@ -1,0 +1,306 @@
+"""E24 — Persistent compile farm vs thread fan-out vs serial.
+
+PR "persistent compile farm" moved the engine's process-mode fan-out
+from a per-call ``multiprocessing.Pool`` (which reshipped the whole
+snapshot to fresh interpreters on every batch) to a persistent
+:class:`~repro.hsa.farm.CompileFarm`: long-lived workers holding a
+content-addressed part cache, so a batch ships only the content keys a
+worker has never seen.  This experiment measures the full atom-backend
+compile (per-switch pipelines + atom universe + all-ingress matrix) on
+the same snapshots three ways:
+
+* ``serial`` — workers=1, the single-core baseline.
+* ``thread-N`` — the thread fan-out (GIL-bound for this pure-Python
+  kernel; exists for determinism and free-threaded builds).
+* ``farm-N`` — the process farm, workers=N.
+
+Protocol: the farm is spawned once before any timing (persistent
+workers are the deployment model — spawn cost is paid at service start,
+not per compile); each timed repeat compiles a *uniquely perturbed*
+snapshot on a fresh engine, so every per-switch part is new content and
+must ship (cold content, warm processes).  The same perturbation
+sequence is replayed for every mode, so all three time identical work.
+Medians over the repeats.  Before any timing is trusted, the three
+modes' artifacts are asserted structurally identical (atom-space
+signature, and zones/reach/traversed per matrix row — never pickled
+bytes, whose dict ordering is insertion-dependent).
+
+The churn section measures the content-addressed delta: after a cold
+compile, a single-switch FlowMod that leaves the atom universe intact
+ships only that switch's rules — asserted via the engine's
+bytes/parts-shipped counters, with the repaired matrix again checked
+against the serial engine's.
+
+Honest disclosure (same as E17): on a single-core host the farm cannot
+beat the serial loop on wall clock — dispatch and shipping overhead with
+no parallelism to pay for it.  The >=2x farm-vs-thread assertion is
+therefore gated on ``os.cpu_count() >= 4``; the JSON records the core
+count so the perf trajectory is interpretable across hosts.
+"""
+
+import dataclasses
+import os
+import statistics
+import time
+
+from repro.core.engine import VerificationEngine
+from repro.dataplane.topologies import fat_tree_topology, waxman_topology
+from repro.hsa.farm import shared_farm
+from repro.openflow.actions import Drop
+from repro.openflow.match import Match
+from repro.hsa.transfer import SnapshotRule
+from repro.testbed import build_testbed
+
+TOPOLOGIES = (
+    ("fat-tree-4", lambda: fat_tree_topology(4, clients=["a", "b"]), 3),
+    ("waxman-16", lambda: waxman_topology(16, seed=7, clients=["a", "b"]), 3),
+)
+
+WORKERS = 4
+
+MODES = (
+    ("serial", 1, "thread"),
+    (f"thread-{WORKERS}", WORKERS, "thread"),
+    (f"farm-{WORKERS}", WORKERS, "process"),
+)
+
+
+def assert_matrices_equal(left, right, context=""):
+    assert left.ingresses() == right.ingresses(), context
+    for ref in left.ingresses():
+        a, b = left.row(ref), right.row(ref)
+        assert a.zones == b.zones, (context, ref)
+        assert a.reach == b.reach, (context, ref)
+        assert a.traversed == b.traversed, (context, ref)
+
+
+def reissued(snapshot, version, rules):
+    """A copy with new rules and *reset* memo caches.
+
+    ``dataclasses.replace`` alone would carry the per-switch hash memo
+    and compiled network TF into the copy — stale fingerprints over new
+    rules.
+    """
+    return dataclasses.replace(
+        snapshot,
+        version=version,
+        rules=rules,
+        _network_tf=None,
+        _switch_hashes={},
+        _content_hash=None,
+    )
+
+
+def perturbed(snapshot, repeat):
+    """A copy whose every switch carries new (repeat-unique) content.
+
+    The added rule is a lowest-priority drop on an otherwise-unused
+    match, so each repeat re-ships every per-switch part — cold content
+    through warm workers, the onboarding-a-new-network shape.
+    """
+    marker = SnapshotRule(
+        table_id=0,
+        priority=0,
+        match=Match(tp_dst=40000 + repeat),
+        actions=(Drop(),),
+    )
+    rules = {
+        switch: tuple(switch_rules) + (marker,)
+        for switch, switch_rules in snapshot.rules.items()
+    }
+    return reissued(snapshot, snapshot.version + 1 + repeat, rules)
+
+
+def churned(snapshot, switch):
+    """One-FlowMod churn on ``switch`` that keeps the atom universe.
+
+    Duplicating an existing rule's match at a new priority changes the
+    switch's content hash without adding an atom constraint, so the
+    farm's delta is the purest possible: one tf part, mirrors patched.
+    """
+    first = snapshot.rules[switch][0]
+    duplicate = SnapshotRule(
+        table_id=first.table_id,
+        priority=first.priority + 101,
+        match=first.match,
+        actions=first.actions,
+    )
+    rules = dict(snapshot.rules)
+    rules[switch] = tuple(rules[switch]) + (duplicate,)
+    return reissued(snapshot, snapshot.version + 100, rules)
+
+
+def median_compile_ms(snapshots, workers, mode):
+    times = []
+    for snapshot in snapshots:
+        engine = VerificationEngine(
+            workers=workers, pool_mode=mode, backend="atom"
+        )
+        try:
+            start = time.perf_counter()
+            engine.compile(snapshot)
+            times.append((time.perf_counter() - start) * 1000)
+            assert engine.metrics.pool_fallbacks == 0
+        finally:
+            engine.close()
+    return statistics.median(times)
+
+
+def test_compile_farm_speedup(benchmark, report):
+    rep = report("E24", "Persistent compile farm vs thread fan-out vs serial")
+    cores = os.cpu_count() or 1
+    shared_farm(WORKERS)  # spawn once, outside every timer
+    rows = []
+    json_topologies = {}
+    churn_lines = []
+    for name, make_topo, repeats in TOPOLOGIES:
+        bed = build_testbed(make_topo(), isolate_clients=True, seed=51)
+        snapshot = bed.service.verifier._analysis_snapshot(
+            bed.service.snapshot()
+        )
+        bed.close()
+
+        # Identity first: all three modes produce the same artifacts.
+        engines = {
+            label: VerificationEngine(
+                workers=workers, pool_mode=mode, backend="atom"
+            )
+            for label, workers, mode in MODES
+        }
+        artifacts = {
+            label: engine.atom_artifacts(snapshot)
+            for label, engine in engines.items()
+        }
+        reference = artifacts["serial"]
+        assert reference is not None, f"{name}: atom universe overflowed"
+        for label, built in artifacts.items():
+            assert built[0].signature == reference[0].signature, (name, label)
+            assert_matrices_equal(built[1], reference[1], (name, label))
+
+        # Churn: the farm ships only the changed switch's content.
+        victim = sorted(snapshot.rules)[0]
+        delta_snapshot = churned(snapshot, victim)
+        farm_engine = engines[f"farm-{WORKERS}"]
+        cold_bytes = farm_engine.metrics.farm_bytes_shipped
+        cold_parts = farm_engine.metrics.farm_parts_shipped
+        serial_delta = engines["serial"].atom_artifacts(delta_snapshot)
+        farm_delta = farm_engine.atom_artifacts(delta_snapshot)
+        assert_matrices_equal(farm_delta[1], serial_delta[1], (name, "churn"))
+        delta_bytes = farm_engine.metrics.farm_bytes_shipped - cold_bytes
+        delta_parts = farm_engine.metrics.farm_parts_shipped - cold_parts
+        # One switch changed out of len(rules): at most one tf part per
+        # worker lane ships, and the byte delta is a sliver of the cold
+        # shipment.
+        assert 0 < delta_parts <= WORKERS, (name, delta_parts)
+        assert delta_bytes * 4 < cold_bytes, (name, delta_bytes, cold_bytes)
+        assert farm_engine.metrics.matrix_repairs >= 1, name
+        churn_lines.append(
+            f"{name}: cold shipped {cold_bytes}B/{cold_parts} parts; "
+            f"1-FlowMod churn on {victim} shipped {delta_bytes}B/"
+            f"{delta_parts} parts "
+            f"(warm_hits={farm_engine.metrics.farm_warm_hits}, "
+            f"mirror_reuses={farm_engine.metrics.farm_mirror_reuses})"
+        )
+        for engine in engines.values():
+            engine.close()
+
+        # Timing: identical perturbed-snapshot sequence through each mode.
+        snapshots = [perturbed(snapshot, i) for i in range(repeats)]
+        medians = {
+            label: median_compile_ms(snapshots, workers, mode)
+            for label, workers, mode in MODES
+        }
+        serial_ms = medians["serial"]
+        thread_ms = medians[f"thread-{WORKERS}"]
+        farm_ms = medians[f"farm-{WORKERS}"]
+        rows.append(
+            (
+                name,
+                snapshot.rule_count(),
+                len(snapshot.rules),
+                f"{serial_ms:.1f}",
+                f"{thread_ms:.1f}",
+                f"{farm_ms:.1f}",
+                f"{thread_ms / farm_ms:.2f}x",
+                f"{serial_ms / farm_ms:.2f}x",
+            )
+        )
+        json_topologies[name] = {
+            "rules": snapshot.rule_count(),
+            "switches": len(snapshot.rules),
+            "serial_median_ms": round(serial_ms, 3),
+            "thread_median_ms": round(thread_ms, 3),
+            "farm_median_ms": round(farm_ms, 3),
+            "farm_vs_thread": round(thread_ms / farm_ms, 3),
+            "farm_vs_serial": round(serial_ms / farm_ms, 3),
+            "churn_cold_bytes": cold_bytes,
+            "churn_delta_bytes": delta_bytes,
+            "churn_delta_parts": delta_parts,
+        }
+
+    rep.table(
+        [
+            "topology",
+            "rules",
+            "switches",
+            "serial_ms",
+            f"thread{WORKERS}_ms",
+            f"farm{WORKERS}_ms",
+            "farm_vs_thr",
+            "farm_vs_ser",
+        ],
+        rows,
+    )
+    rep.line()
+    rep.line(f"host cores: {cores}; farm workers: {WORKERS}")
+    rep.line()
+    rep.line("content-addressed shipping (per topology):")
+    for line in churn_lines:
+        rep.line("  " + line)
+    rep.line()
+    rep.line("protocol: farm spawned once before timing (persistent workers")
+    rep.line("are the deployment model); each timed repeat compiles a fresh")
+    rep.line("engine over a repeat-unique perturbed snapshot, so per-switch")
+    rep.line("parts are always cold content.  The same snapshot sequence is")
+    rep.line("replayed for every mode.  Artifacts asserted structurally")
+    rep.line("identical (space signature + matrix rows) before timing.")
+    rep.line()
+    if cores >= 4:
+        rep.line("shape check: farm >= 2x over threads at workers=4 (the")
+        rep.line("thread pool is GIL-bound on this pure-Python kernel).")
+    else:
+        rep.line(f"shape check SKIPPED: {cores} core(s) — no parallelism to")
+        rep.line("buy, so dispatch overhead makes the farm a loss here by")
+        rep.line("construction.  The >=2x farm-vs-thread gate needs >= 4")
+        rep.line("cores; the identity and delta-shipping assertions above")
+        rep.line("ran regardless.")
+    rep.finish()
+    rep.save_json(
+        {"cores": cores, "workers": WORKERS, "topologies": json_topologies}
+    )
+
+    if cores >= 4:
+        for row in rows:
+            assert float(row[6][:-1]) >= 2.0, (
+                f"{row[0]}: farm speedup over threads below 2x"
+            )
+
+    # pytest-benchmark series: steady-state farm compile of fresh content.
+    bed = build_testbed(
+        fat_tree_topology(4, clients=["a", "b"]), isolate_clients=True, seed=51
+    )
+    snapshot = bed.service.verifier._analysis_snapshot(bed.service.snapshot())
+    bed.close()
+    counter = [0]
+
+    def farm_compile_once():
+        counter[0] += 1
+        engine = VerificationEngine(
+            workers=WORKERS, pool_mode="process", backend="atom"
+        )
+        try:
+            engine.compile(perturbed(snapshot, counter[0]))
+        finally:
+            engine.close()
+
+    benchmark(farm_compile_once)

@@ -220,6 +220,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """Run the query battery and print the engine's serving counters."""
     from repro.core.engine import BACKEND_ENV_VAR
     from repro.hsa.atoms import GLOBAL_ATOM_TABLE
+    from repro.hsa.parallel import POOL_MODE_ENV_VAR, POOL_WORKERS_ENV_VAR
     from repro.openflow.actions import Output
     from repro.openflow.messages import Match
 
@@ -232,8 +233,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
         from repro.core.gate import GateConfig
 
         gate_config = GateConfig()
-    saved = os.environ.get(BACKEND_ENV_VAR)
-    os.environ[BACKEND_ENV_VAR] = args.backend
+    # The deployment's engine and scheduler read their fan-out defaults
+    # from the environment; scope the overrides to testbed construction.
+    overrides = {BACKEND_ENV_VAR: args.backend}
+    if args.pool_workers is not None:
+        overrides[POOL_WORKERS_ENV_VAR] = str(args.pool_workers)
+    if args.pool_mode is not None:
+        overrides[POOL_MODE_ENV_VAR] = args.pool_mode
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
     try:
         bed = build_testbed(
             topology,
@@ -243,10 +251,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
             gate=gate_config,
         )
     finally:
-        if saved is None:
-            os.environ.pop(BACKEND_ENV_VAR, None)
-        else:
-            os.environ[BACKEND_ENV_VAR] = saved
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
     client = bed.client_names()[0]
 
     def battery() -> None:
@@ -362,6 +371,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"overload_responses={serving['overload_responses']} "
         f"warm_compiles={serving['warm_compiles']}"
     )
+    if args.pool:
+        counters = bed.service.engine.metrics.snapshot_counters()
+        print(
+            "fan-out pool       : "
+            f"mode={counters['pool_mode']} "
+            f"workers={counters['pool_workers']} "
+            f"tasks={counters['pool_tasks']} "
+            f"fallbacks={counters['pool_fallbacks']}"
+        )
+        print(
+            "compile farm       : "
+            f"batches={counters['farm_batches']} "
+            f"tasks={counters['farm_tasks']} "
+            f"warm_hits={counters['farm_warm_hits']} "
+            f"mirror_reuses={counters['farm_mirror_reuses']}"
+        )
+        print(
+            "farm shipping      : "
+            f"bytes={counters['farm_bytes_shipped']} "
+            f"parts_shipped={counters['farm_parts_shipped']} "
+            f"parts_cached={counters['farm_parts_cached']}"
+        )
+        print(
+            "farm health        : "
+            f"worker_restarts={counters['farm_worker_restarts']} "
+            f"queue_depth_peak={counters['farm_queue_depth_peak']} "
+            f"scheduler_fallbacks={serving['pool_fallbacks']}"
+        )
     if bed.gate is not None:
         gate = bed.gate.stats()
         print(
@@ -389,6 +426,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"shadow_entries={gate['shadow_entries']} "
             f"backlog={gate['backlog']}"
         )
+    bed.close()
     return 0
 
 
@@ -593,6 +631,26 @@ def build_parser() -> argparse.ArgumentParser:
         "delta-driven matrix repair on the atom backend)",
     )
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--pool",
+        action="store_true",
+        help="print fan-out pool and compile-farm counters (warm hits, "
+        "bytes shipped, worker restarts, queue depth)",
+    )
+    stats.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        help="fan-out width for the deployment's engine and scheduler "
+        "(default: RVAAS_POOL_WORKERS or 1)",
+    )
+    stats.add_argument(
+        "--pool-mode",
+        choices=("thread", "process"),
+        default=None,
+        help="fan-out backend: threads or the persistent compile farm "
+        "(default: RVAAS_POOL_MODE or thread)",
+    )
     stats.add_argument(
         "--gate",
         action="store_true",

@@ -16,7 +16,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.dataplane.topology import GeoLocation
 from repro.hsa.network_tf import NetworkTransferFunction, PortRef
-from repro.hsa.transfer import SnapshotRule, SwitchTransferFunction
+from repro.hsa.transfer import SnapshotRule, SwitchTransferFunction, compile_switch_tf
 from repro.openflow.meters import MeterBand
 
 
@@ -63,12 +63,8 @@ class NetworkSnapshot:
         if self._network_tf is None:
             tfs: Dict[str, SwitchTransferFunction] = {}
             for switch, rules in self.rules.items():
-                n_tables = max((r.table_id for r in rules), default=0) + 1
-                tfs[switch] = SwitchTransferFunction(
-                    switch,
-                    rules,
-                    ports=self.switch_ports.get(switch, ()),
-                    n_tables=max(n_tables, 2),
+                tfs[switch] = compile_switch_tf(
+                    switch, rules, self.switch_ports.get(switch, ())
                 )
             object.__setattr__(
                 self,

@@ -1,13 +1,13 @@
 """Deterministic worker-pool fan-out for whole-network sweeps.
 
 Multi-source analyses (``sources_reaching``, ``detect_all_loops``,
-per-switch TF compilation) are embarrassingly parallel: one independent
-task per ingress port or per switch.  :class:`FanOutPool` runs those
-tasks over a configurable worker pool and returns the results **in input
-order**, so callers that iterate a sorted candidate list and merge
-results positionally produce bit-identical output for any worker count —
-the determinism argument is "sorted inputs + order-preserving map",
-never "threads happened to finish in order".
+per-switch TF compilation, per-ingress matrix rows) are embarrassingly
+parallel: one independent task per ingress port or per switch.
+:class:`FanOutPool` runs those tasks over a persistent worker pool and
+returns the results **in input order**, so callers that iterate a sorted
+candidate list and merge results positionally produce bit-identical
+output for any worker count — the determinism argument is "sorted inputs
++ order-preserving map", never "threads happened to finish in order".
 
 Modes:
 
@@ -15,35 +15,60 @@ Modes:
   keeps working and nothing needs to be picklable.  Under a GIL build
   the win is bounded (HSA propagation is pure Python), but the fan-out
   is still correct and free-threaded builds scale it.
-* ``"process"`` — real parallelism for CPU-bound sweeps.  The shared
-  ``context`` (typically an analyzer) is shipped to each worker exactly
-  once via the pool initializer, not per task, so the pickling cost is
-  amortised over the whole sweep.
+* ``"process"`` — real multi-core parallelism via the persistent
+  :class:`~repro.hsa.farm.CompileFarm`: long-lived worker processes
+  with content-addressed part caches, so the shared ``context`` ships
+  to each worker once per content digest and stays warm across batches.
+  An unpicklable context falls back to threads **loudly** — a
+  :class:`PoolModeFallbackWarning` (once per pool) plus the
+  ``process_fallbacks`` counter — never silently.
 
-``workers <= 1`` (or a single task) short-circuits to an inline loop
-with zero pool overhead, which keeps the serial path the fast path on
-single-core hosts.
+Executors are persistent: one lazily-started thread pool (or farm
+attachment) per :class:`FanOutPool`, reused across every ``map`` call
+and torn down by an idempotent :meth:`FanOutPool.close` (engines and
+the serving scheduler call it on shutdown; a closed pool degrades to
+the inline serial loop).  ``workers <= 1`` (or a single task)
+short-circuits to an inline loop with zero pool overhead, which keeps
+the serial path the fast path on single-core hosts.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+import pickle
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-#: Per-process slot used by process-mode workers; installed once by the
-#: pool initializer so tasks only carry their (small) item payload.
-_WORKER_STATE: Optional[tuple] = None
+from repro.hsa.farm import CompileFarm, FarmShipError, FarmTaskError, shared_farm
+
+#: Environment defaults for consumers that construct pools without
+#: explicit arguments (engines, schedulers, the CLI): ``RVAAS_POOL_MODE``
+#: selects thread/process fan-out, ``RVAAS_POOL_WORKERS`` the width.
+POOL_MODE_ENV_VAR = "RVAAS_POOL_MODE"
+POOL_WORKERS_ENV_VAR = "RVAAS_POOL_WORKERS"
 
 
-def _install_worker(fn: Callable, context: Any) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (fn, context)
+class PoolModeFallbackWarning(UserWarning):
+    """A process-mode fan-out had to run on threads (unpicklable work)."""
 
 
-def _run_installed(item: Any) -> Any:
-    fn, context = _WORKER_STATE  # type: ignore[misc]
-    return fn(context, item)
+def env_pool_mode(default: str = "thread") -> str:
+    """The pool mode requested via ``RVAAS_POOL_MODE`` (or ``default``)."""
+    mode = os.environ.get(POOL_MODE_ENV_VAR, default)
+    if mode not in ("thread", "process"):
+        raise ValueError(f"unknown {POOL_MODE_ENV_VAR}: {mode!r}")
+    return mode
+
+
+def env_pool_workers(default: int = 1) -> int:
+    """The worker count requested via ``RVAAS_POOL_WORKERS``."""
+    raw = os.environ.get(POOL_WORKERS_ENV_VAR)
+    if raw is None:
+        return default
+    return max(1, int(raw))
 
 
 def chunks(items: Sequence[Any], size: int):
@@ -59,16 +84,121 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _run_shard(packed: tuple, shard: List[Any]) -> List[Any]:
+    """One :meth:`FanOutPool.map_chunked` shard: ``fn`` over its items.
+
+    Module-level (not a closure) so a process-mode pool can ship it to
+    the farm — the packed ``(fn, context)`` pair is the content-addressed
+    part, warm across batches.
+    """
+    fn, context = packed
+    return [fn(context, item) for item in shard]
+
+
+#: Farm batch counters a pool attributes to itself (same keys the
+#: farm's per-batch stats dicts carry, plus a batch count).
+_FARM_COUNTER_KEYS = (
+    "tasks",
+    "warm_hits",
+    "mirror_reuses",
+    "bytes_shipped",
+    "parts_shipped",
+    "parts_cached",
+    "worker_restarts",
+)
+
+
 class FanOutPool:
     """Order-preserving parallel map over independent per-item tasks."""
 
-    def __init__(self, workers: int = 1, mode: str = "thread") -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: str = "thread",
+        *,
+        farm: Optional[CompileFarm] = None,
+    ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown pool mode: {mode!r}")
         self.workers = max(1, int(workers))
         self.mode = mode
         self.tasks_submitted = 0
         self.parallel_batches = 0
+        #: process-mode batches that had to run on threads because the
+        #: (fn, context) pair would not pickle — satellite requirement:
+        #: the downgrade is counted and warned, never silent
+        self.process_fallbacks = 0
+        #: farm accounting attributable to this pool (the farm itself is
+        #: shared; these are the deltas of batches this pool submitted)
+        self.farm_counters: Dict[str, int] = {"batches": 0}
+        for key in _FARM_COUNTER_KEYS:
+            self.farm_counters[key] = 0
+        self._fallback_warned = False
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: injected private farm (tests / crash drills) — the injector
+        #: owns its lifecycle; ``None`` attaches to the shared farm
+        self._farm = farm
+        self._owns_farm = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the persistent executor down; idempotent.
+
+        A closed pool still answers every ``map`` call — inline and
+        serial — so shutdown ordering can never deadlock a late query.
+        Shared farms are left running for other pools; ``atexit`` (or
+        :func:`repro.hsa.farm.shutdown_farms`) reaps them.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __del__(self) -> None:  # best-effort leak guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="fanout"
+                )
+            return self._executor
+
+    def farm(self) -> CompileFarm:
+        """The compile farm behind process mode (lazily attached)."""
+        if self._farm is None or self._farm.closed:
+            self._farm = shared_farm(self.workers)
+        return self._farm
+
+    def _account(self, batch: Dict[str, int]) -> None:
+        self.farm_counters["batches"] += 1
+        for key in _FARM_COUNTER_KEYS:
+            self.farm_counters[key] += batch.get(key, 0)
+
+    @property
+    def is_process(self) -> bool:
+        """True when this pool runs real process-farm fan-outs."""
+        return self.mode == "process" and self.workers > 1 and not self._closed
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
 
     def map(
         self, fn: Callable[[Any, Any], Any], context: Any, items: Sequence[Any]
@@ -81,19 +211,28 @@ class FanOutPool:
         """
         items = list(items)
         self.tasks_submitted += len(items)
-        if self.workers <= 1 or len(items) <= 1:
+        if self._closed or self.workers <= 1 or len(items) <= 1:
             return [fn(context, item) for item in items]
         self.parallel_batches += 1
-        n_workers = min(self.workers, len(items))
-        if self.mode == "thread":
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                return list(pool.map(lambda item: fn(context, item), items))
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_install_worker,
-            initargs=(fn, context),
-        ) as pool:
-            return list(pool.map(_run_installed, items))
+        if self.mode == "process":
+            try:
+                blob = pickle.dumps((fn, context), pickle.HIGHEST_PROTOCOL)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                self._loud_fallback(f"context not picklable: {exc!r}")
+            else:
+                ctx_key = ("ctx", hashlib.sha1(blob).hexdigest())
+                try:
+                    results, batch = self.farm().run_generic(ctx_key, blob, items)
+                except (FarmShipError, FarmTaskError) as exc:
+                    # The context failed to unpickle on the worker, or a
+                    # task result (or its exception) would not pickle
+                    # back; the thread rerun reproduces it in-process.
+                    self._loud_fallback(str(exc))
+                else:
+                    self._account(batch)
+                    return results
+        executor = self._thread_executor()
+        return list(executor.map(lambda item: fn(context, item), items))
 
     def map_chunked(
         self,
@@ -114,25 +253,56 @@ class FanOutPool:
         input, merged positionally, are the sorted input.
         """
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1:
+        if self._closed or self.workers <= 1 or len(items) <= 1:
             self.tasks_submitted += len(items)
             return [fn(context, item) for item in items]
         if chunk_size <= 0:
             chunk_size = max(1, -(-len(items) // self.workers))
         shards = list(chunks(items, chunk_size))
-
-        def run_shard(ctx: Any, shard: List[Any]) -> List[Any]:
-            return [fn(ctx, item) for item in shard]
-
         merged: List[Any] = []
-        for shard_result in self.map(run_shard, context, shards):
+        for shard_result in self.map(_run_shard, (fn, context), shards):
             merged.extend(shard_result)
         return merged
 
+    # ------------------------------------------------------------------
+    # Farm pass-throughs (content-addressed specs)
+    # ------------------------------------------------------------------
+
+    def farm_compile(self, keys: Sequence[tuple], payloads: Dict[tuple, Any]) -> List[Any]:
+        """Per-switch pipeline compiles on the farm (``compile`` spec)."""
+        results, batch = self.farm().run_compile(keys, payloads)
+        self._account(batch)
+        return results
+
+    def farm_matrix(self, items: Sequence[tuple], **spec: Any) -> List[Any]:
+        """Matrix-row propagation on delta-patched farm mirrors."""
+        results, batch = self.farm().run_matrix(items=items, **spec)
+        self._account(batch)
+        return results
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _loud_fallback(self, reason: str) -> None:
+        self.process_fallbacks += 1
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                "FanOutPool(mode='process') falling back to threads: "
+                + reason,
+                PoolModeFallbackWarning,
+                stacklevel=3,
+            )
+
     def stats(self) -> dict:
-        return {
+        out = {
             "workers": self.workers,
             "mode": self.mode,
+            "closed": self._closed,
             "tasks_submitted": self.tasks_submitted,
             "parallel_batches": self.parallel_batches,
+            "process_fallbacks": self.process_fallbacks,
         }
+        out.update({f"farm_{k}": v for k, v in self.farm_counters.items()})
+        return out

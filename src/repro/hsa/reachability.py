@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.hsa.farm import FarmError, FarmTaskError
 from repro.hsa.headerspace import HeaderSpace
 from repro.hsa.network_tf import NetworkTransferFunction, PortRef
 from repro.hsa.parallel import FanOutPool
@@ -152,6 +153,19 @@ class ReachabilityAnalyzer:
         self.collect_drops = collect_drops
         self.workers = max(1, workers)
         self.pool_mode = pool_mode
+        #: persistent pools, one per (workers, mode) this analyzer has
+        #: fanned out with — executors are reused across sweeps instead
+        #: of being constructed per call
+        self._pools: Dict[Tuple[int, str], FanOutPool] = {}
+
+    def __getstate__(self) -> dict:
+        # Process-mode sweeps ship ``self.analyze`` (a bound method) to
+        # farm workers; executors and their locks are per-process and
+        # must not ride along.  The worker-side copy re-creates pools
+        # lazily if it ever fans out (it won't — tasks run serially).
+        state = self.__dict__.copy()
+        state["_pools"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Forward reachability
@@ -365,10 +379,20 @@ class ReachabilityAnalyzer:
     def _fan_out(
         self, workers: Optional[int], pool_mode: Optional[str]
     ) -> FanOutPool:
-        return FanOutPool(
-            workers if workers is not None else self.workers,
+        key = (
+            max(1, workers if workers is not None else self.workers),
             pool_mode if pool_mode is not None else self.pool_mode,
         )
+        pool = self._pools.get(key)
+        if pool is None or pool.closed:
+            pool = FanOutPool(*key)
+            self._pools[key] = pool
+        return pool
+
+    def close(self) -> None:
+        """Tear down the persistent fan-out pools (idempotent)."""
+        for pool in self._pools.values():
+            pool.close()
 
 
 def _fan_analyze(context, port_ref: PortRef) -> ReachabilityResult:
@@ -383,6 +407,43 @@ def _fan_analyze(context, port_ref: PortRef) -> ReachabilityResult:
 # ----------------------------------------------------------------------
 
 
+def _matrix_rows(
+    pool: FanOutPool,
+    refs,
+    *,
+    network_tf,
+    atom_space,
+    atom_network,
+    max_depth: int,
+    farm_spec: Optional[dict],
+):
+    """Rows for ``refs``, on the compile farm when one is wired up.
+
+    With a ``farm_spec`` (the engine's content-addressed part payload)
+    and a process-mode pool, the rows are propagated on worker-side
+    :class:`~repro.hsa.atoms.AtomNetwork` mirrors — delta-patched from
+    the previous snapshot version, so churn ships only changed parts.
+    Otherwise the pool's generic map runs ``atom_network`` directly
+    (threads share it; a process pool ships it once per content digest)
+    — process mode is honored either way, never silently downgraded.
+    A failed farm batch falls back loudly to the generic path.
+    """
+    from repro.hsa.atoms import AtomNetwork
+
+    refs = list(refs)
+    if farm_spec is not None and pool.is_process and len(refs) > 1:
+        try:
+            return (
+                pool.farm_matrix(refs, max_depth=max_depth, **farm_spec),
+                atom_network,
+            )
+        except (FarmError, FarmTaskError) as exc:
+            pool._loud_fallback(f"matrix farm batch failed: {exc!r}")
+    if atom_network is None:
+        atom_network = AtomNetwork(network_tf, atom_space, max_depth=max_depth)
+    return pool.map(_fan_matrix_row, atom_network, refs), atom_network
+
+
 def build_reachability_matrix(
     network_tf,
     atom_space,
@@ -391,28 +452,45 @@ def build_reachability_matrix(
     workers: int = 1,
     pool_mode: str = "thread",
     atom_network=None,
+    pool: Optional[FanOutPool] = None,
+    farm_spec: Optional[dict] = None,
 ):
     """Propagate the full header space from every edge ingress, bitwise.
 
     One :class:`~repro.hsa.atoms.MatrixRow` per edge port, computed in
     the atom domain and fanned out over the same order-preserving
     :class:`FanOutPool` the wildcard sweeps use — so the matrix is
-    deterministic for any worker count.  Thread mode only: the compiled
-    :class:`~repro.hsa.atoms.AtomNetwork` shares per-rule preimage
-    caches across rows, which a process pool would silently discard.
+    deterministic for any worker count, thread or process.  Callers
+    with a persistent pool (the engine) pass it via ``pool``; otherwise
+    a transient one is built from ``workers``/``pool_mode`` and closed
+    before returning.  ``farm_spec`` routes the rows to the compile
+    farm's content-addressed mirrors (see :func:`_matrix_rows`) — in
+    that case the parent-side ``atom_network`` is never needed and the
+    build skips compiling one.
 
     Callers that keep a predecessor state for matrix repair pass a
     pre-built ``atom_network`` so the compiled pipelines survive the
     build and can seed the next repair.
     """
-    from repro.hsa.atoms import AtomNetwork, ReachabilityMatrix
+    from repro.hsa.atoms import ReachabilityMatrix
 
-    if atom_network is None:
-        atom_network = AtomNetwork(network_tf, atom_space, max_depth=max_depth)
     ingresses = network_tf.all_edge_ports()
-    rows = FanOutPool(workers, "thread" if pool_mode == "process" else pool_mode).map(
-        _fan_matrix_row, atom_network, ingresses
-    )
+    owned = pool is None
+    if pool is None:
+        pool = FanOutPool(workers, pool_mode)
+    try:
+        rows, _network = _matrix_rows(
+            pool,
+            ingresses,
+            network_tf=network_tf,
+            atom_space=atom_space,
+            atom_network=atom_network,
+            max_depth=max_depth,
+            farm_spec=farm_spec,
+        )
+    finally:
+        if owned:
+            pool.close()
     return ReachabilityMatrix(atom_space, dict(zip(ingresses, rows)))
 
 
@@ -436,6 +514,8 @@ def repair_reachability_matrix(
     max_depth: int = 64,
     workers: int = 1,
     pool_mode: str = "thread",
+    pool: Optional[FanOutPool] = None,
+    farm_spec: Optional[dict] = None,
 ):
     """Repair a predecessor matrix in place of a full rebuild.
 
@@ -456,18 +536,16 @@ def repair_reachability_matrix(
 
     Returns ``(matrix, atom_network, stats)``; ``atom_network`` reuses
     the predecessor's compiled pipelines for untouched switches and
-    seeds the *next* repair.
+    seeds the *next* repair.  On the farm path (``farm_spec`` with a
+    process pool) the dirty rows run on worker-side mirrors — which
+    hold the delta-patched pipelines themselves — so no parent-side
+    :class:`~repro.hsa.atoms.AtomNetwork` is compiled and the returned
+    ``atom_network`` is ``None`` (callers rebuild lazily if they need
+    boundary rows).
     """
-    from repro.hsa.atoms import AtomNetwork, AtomRemap, ReachabilityMatrix
+    from repro.hsa.atoms import AtomRemap, ReachabilityMatrix
 
     remap = AtomRemap(previous_matrix.space, atom_space)
-    atom_network = AtomNetwork(
-        network_tf,
-        atom_space,
-        max_depth=max_depth,
-        reuse_from=previous_network,
-        touched=touched_switches,
-    )
     touched = frozenset(touched_switches)
     ingresses = network_tf.all_edge_ports()
     dirty: List[PortRef] = []
@@ -488,9 +566,36 @@ def repair_reachability_matrix(
         else:
             rows[ref] = remap.remap_row(previous_matrix.row(ref))
             stats.rows_reused += 1
-    fresh = FanOutPool(
-        workers, "thread" if pool_mode == "process" else pool_mode
-    ).map(_fan_matrix_row, atom_network, dirty)
+    owned = pool is None
+    if pool is None:
+        pool = FanOutPool(workers, pool_mode)
+    atom_network = None
+    try:
+        if not (farm_spec is not None and pool.is_process and len(dirty) > 1):
+            # Thread/generic path (and single-row repairs, where the
+            # farm round-trip is not worth it): patch the parent-side
+            # network from its predecessor's compiled pipelines.
+            from repro.hsa.atoms import AtomNetwork
+
+            atom_network = AtomNetwork(
+                network_tf,
+                atom_space,
+                max_depth=max_depth,
+                reuse_from=previous_network,
+                touched=touched_switches,
+            )
+        fresh, atom_network = _matrix_rows(
+            pool,
+            dirty,
+            network_tf=network_tf,
+            atom_space=atom_space,
+            atom_network=atom_network,
+            max_depth=max_depth,
+            farm_spec=farm_spec,
+        )
+    finally:
+        if owned:
+            pool.close()
     for ref, row in zip(dirty, fresh):
         rows[ref] = row
         stats.rows_repaired += 1

@@ -601,3 +601,19 @@ def _rewrite(
     return HeaderSpace._from_pieces(
         [w.rewrite_field(slice_, raw) for w in space.wildcards]
     )
+
+
+def compile_switch_tf(
+    switch: str, rules: Sequence[SnapshotRule], ports: Sequence[int]
+) -> SwitchTransferFunction:
+    """One switch's compiled pipeline from its snapshot rule set.
+
+    The single compile recipe shared by the verification engine, the
+    snapshot's lazy ``network_tf()``, and the compile-farm workers — a
+    pure function of ``(switch, rules, ports)``, so the same content
+    key compiles to behaviourally identical artifacts in any process.
+    """
+    n_tables = max((r.table_id for r in rules), default=0) + 1
+    return SwitchTransferFunction(
+        switch, rules, ports=tuple(ports), n_tables=max(n_tables, 2)
+    )

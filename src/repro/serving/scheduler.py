@@ -50,7 +50,7 @@ from repro.core.protocol import (
 )
 from repro.core.queries import Answer, Query
 from repro.core.snapshot import NetworkSnapshot
-from repro.hsa.parallel import FanOutPool
+from repro.hsa.parallel import FanOutPool, env_pool_mode
 from repro.serving.clock import MonotonicClock
 from repro.serving.metrics import SchedulerMetrics
 
@@ -79,6 +79,12 @@ class ServingConfig:
     answer_cache_entries: int = 8192
     #: fan-out width for unique-key execution within a batch
     shard_workers: int = 1
+    #: "thread" | "process" (the compile farm); ``None`` reads
+    #: ``RVAAS_POOL_MODE`` so a deployment flips the whole serving tier
+    #: with one environment variable.  Process mode needs a picklable
+    #: ``answer_fn``; a closure falls back to threads loudly (counted
+    #: in ``pool_fallbacks``), never silently.
+    pool_mode: Optional[str] = None
     #: serve from the last verified snapshot while a churned one compiles
     stale_serve: bool = True
     #: never serve evidence older than this from the stale fast path
@@ -172,7 +178,14 @@ class QueryScheduler:
         self._queue: Deque[PendingQuery] = deque()
         self._buckets: Dict[str, TokenBucket] = {}
         self._answer_cache: "OrderedDict[tuple, Answer]" = OrderedDict()
-        self._pool = FanOutPool(max(1, self.config.shard_workers), "thread")
+        pool_mode = self.config.pool_mode
+        if pool_mode is None:
+            pool_mode = env_pool_mode("thread")
+        #: the persistent shard-execution pool — one executor for the
+        #: scheduler's lifetime, torn down by :meth:`close`
+        self._pool = FanOutPool(max(1, self.config.shard_workers), pool_mode)
+        self.metrics.pool_mode = pool_mode
+        self.metrics.pool_workers = self._pool.workers
         self._drain_scheduled = False
         #: last snapshot this scheduler served from (the stale-path source)
         self._last_snapshot: Optional[NetworkSnapshot] = None
@@ -310,7 +323,12 @@ class QueryScheduler:
         # shards, merged positionally — byte-identical for any worker
         # count.
         jobs.sort(key=_job_sort_key)
-        results = self._pool.map_chunked(self._run_job, snapshot, jobs)
+        # The context is (answer_fn, snapshot) — not the scheduler — so
+        # process-mode shards only need the answer path to pickle, not
+        # the pool and queue machinery.
+        results = self._pool.map_chunked(
+            _run_serving_job, (self._answer_fn, snapshot), jobs
+        )
         for key, answer in zip(jobs, results):
             answers[key] = answer
             self._cache_put(key, answer)
@@ -357,6 +375,7 @@ class QueryScheduler:
             self.metrics.stale_served += served
         if not self._queue:
             self.idle_work()
+        self._sync_pool_metrics()
         return served
 
     def flush(self) -> int:
@@ -371,9 +390,28 @@ class QueryScheduler:
         if self._pending_warm is not None and self._schedule_fn is None:
             self._run_warm()
 
-    def _run_job(self, snapshot: NetworkSnapshot, key: tuple) -> Answer:
-        client, query, _content = key
-        return self._answer_fn(client, query, snapshot)
+    def close(self) -> None:
+        """Release the persistent shard pool (idempotent).
+
+        A closed scheduler still serves — :meth:`pump` degrades to the
+        inline serial loop — so shutdown ordering cannot lose requests.
+        """
+        self._pool.close()
+
+    def _sync_pool_metrics(self) -> None:
+        """Mirror shard-pool / farm counters into the metrics."""
+        m = self.metrics
+        m.pool_fallbacks = self._pool.process_fallbacks
+        counters = self._pool.farm_counters
+        m.farm_batches = counters["batches"]
+        m.farm_tasks = counters["tasks"]
+        m.farm_bytes_shipped = counters["bytes_shipped"]
+        m.farm_parts_shipped = counters["parts_shipped"]
+        m.farm_parts_cached = counters["parts_cached"]
+        m.farm_worker_restarts = counters["worker_restarts"]
+        farm = self._pool._farm
+        if farm is not None:
+            m.farm_queue_depth_peak = farm.metrics.queue_depth_peak
 
     def _deliver(self, pending: PendingQuery, outcome: ServeOutcome) -> None:
         self.metrics.served += 1
@@ -458,6 +496,13 @@ class QueryScheduler:
         self._answer_cache[key] = answer
         while len(self._answer_cache) > limit:
             self._answer_cache.popitem(last=False)
+
+
+def _run_serving_job(context: tuple, key: tuple) -> Answer:
+    """One shard task: answer a unique (client, query, content) key."""
+    answer_fn, snapshot = context
+    client, query, _content = key
+    return answer_fn(client, query, snapshot)
 
 
 def _canonical(query: Query) -> Query:

@@ -87,6 +87,10 @@ class Testbed:
     def client_names(self) -> List[str]:
         return sorted(self.clients)
 
+    def close(self) -> None:
+        """Release the service's persistent executors (idempotent)."""
+        self.service.shutdown()
+
 
 def build_registrations(
     topology: Topology,

@@ -1,0 +1,443 @@
+"""The persistent compile farm (ISSUE 10): determinism, delta shipping,
+crash recovery, and loud — never silent — degradation.
+
+Four claims, each load-bearing for the E24 benchmark's validity:
+
+* **Byte identity** — compiles, matrix builds, and serving batches on
+  the process farm (any worker count) equal the serial loop exactly,
+  under both engine backends.  Items are assigned round-robin by input
+  index and merged positionally, so this is a structural property, not
+  a scheduling accident.
+* **Content-addressed shipping** — a churned snapshot ships only the
+  changed switch's rules; unchanged parts are satisfied from the
+  workers' caches and counted in ``parts_cached``, and a same-universe
+  delta patches the worker mirrors (``mirror_reuses``) instead of
+  recompiling the network.
+* **Crash recovery** — a worker SIGKILLed mid-batch (or between
+  batches) is respawned, its shard re-dispatched, and the batch result
+  is byte-identical; ``worker_restarts`` counts every respawn.
+* **Loud fallback** — an unpicklable context (or a payload that fails
+  to unpickle on the worker) reruns the batch on threads with a
+  :class:`~repro.hsa.parallel.PoolModeFallbackWarning` and a counter
+  bump; the silent thread downgrade of the pre-farm code is gone.
+"""
+
+import os
+import pickle
+import threading
+import time
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import VerificationEngine
+from repro.hsa.atoms import GLOBAL_ATOM_TABLE
+from repro.hsa.farm import CompileFarm, FarmError, shared_farm
+from repro.hsa.parallel import FanOutPool, PoolModeFallbackWarning
+from repro.hsa.reachability import build_reachability_matrix
+from repro.hsa.transfer import SnapshotRule
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from tests.test_atoms_differential import (
+    EDGE_PORTS,
+    IPS,
+    SWITCH_PORTS,
+    SWITCHES,
+    WIRING,
+    config_strategy,
+    rule_strategy,
+    snapshot_from,
+)
+
+POOLS = [(1, "thread"), (2, "thread"), (2, "process"), (4, "process")]
+
+
+def assert_matrices_equal(left, right, context=""):
+    assert left.ingresses() == right.ingresses(), context
+    for ref in left.ingresses():
+        a, b = left.row(ref), right.row(ref)
+        assert a.zones == b.zones, (context, ref)
+        assert a.reach == b.reach, (context, ref)
+        assert a.traversed == b.traversed, (context, ref)
+
+
+def _double(context, item):
+    return (context, item * 2)
+
+
+def _slow_double(context, item):
+    time.sleep(0.05)
+    return item * 2
+
+
+def _boom(context, item):
+    if item == context:
+        raise ValueError(f"item {item}")
+    return item
+
+
+# ----------------------------------------------------------------------
+# Byte identity: farm == serial for compiles, matrices, and sweeps
+# ----------------------------------------------------------------------
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    config=config_strategy(),
+    churn=rule_strategy(),
+    backend=st.sampled_from(["wildcard", "atom"]),
+)
+def test_farm_engines_byte_identical_to_serial(config, churn, backend):
+    """Every pool shape answers exactly like the serial engine —
+    cold compile, then a one-switch churn (repair path on atoms)."""
+    churned = {name: list(rules) for name, rules in config.items()}
+    churned[SWITCHES[1]] = list(churned[SWITCHES[1]]) + [churn]
+    snapshots = [
+        snapshot_from(config, version=1),
+        snapshot_from(churned, version=2),
+    ]
+    serial = VerificationEngine(workers=1, backend=backend)
+    pooled = [
+        VerificationEngine(workers=w, pool_mode=m, backend=backend)
+        for w, m in POOLS
+    ]
+    try:
+        for snapshot in snapshots:
+            reference_ntf = serial.compile(snapshot)
+            reference = serial.atom_artifacts(snapshot)
+            for engine, (w, m) in zip(pooled, POOLS):
+                ntf = engine.compile(snapshot)
+                assert set(ntf.transfer_functions) == set(
+                    reference_ntf.transfer_functions
+                ), (w, m)
+                if backend != "atom":
+                    continue
+                artifacts = engine.atom_artifacts(snapshot)
+                assert (artifacts is None) == (reference is None), (w, m)
+                if reference is not None:
+                    assert artifacts[0].signature == reference[0].signature
+                    assert_matrices_equal(
+                        artifacts[1], reference[1], context=(w, m)
+                    )
+                assert engine.metrics.pool_fallbacks == 0, (w, m)
+    finally:
+        for engine in [serial, *pooled]:
+            engine.close()
+
+
+def test_build_matrix_honors_process_mode():
+    """The reachability.py silent process→thread downgrade is gone:
+    a process-mode matrix build runs (and matches the serial build)."""
+    rules = {
+        "s1": (
+            SnapshotRule(
+                table_id=0,
+                priority=10,
+                match=Match(ip_dst=IPS[0].value),
+                actions=(Output(2),),
+            ),
+            SnapshotRule(table_id=0, priority=1, match=Match(), actions=(Output(1),)),
+        ),
+        "s2": (
+            SnapshotRule(table_id=0, priority=1, match=Match(), actions=(Output(2),)),
+        ),
+        "s3": (
+            SnapshotRule(table_id=0, priority=1, match=Match(), actions=(Output(1),)),
+        ),
+    }
+    snapshot = snapshot_from({k: list(v) for k, v in rules.items()})
+    network_tf = snapshot.network_tf()
+    space = GLOBAL_ATOM_TABLE.space_for(list(network_tf.atom_constraints()))
+    assert space is not None
+    serial = build_reachability_matrix(network_tf, space, workers=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", PoolModeFallbackWarning)
+        pooled = build_reachability_matrix(
+            network_tf, space, workers=2, pool_mode="process"
+        )
+    assert_matrices_equal(pooled, serial)
+
+
+def test_generic_map_matches_serial_across_batches():
+    pool = FanOutPool(2, "process")
+    try:
+        for batch in ([1, 2, 3, 4, 5], [7, 8], list(range(20))):
+            assert pool.map(_double, "ctx", batch) == [
+                ("ctx", item * 2) for item in batch
+            ]
+        assert pool.process_fallbacks == 0
+        # The shipped (fn, context) part stays warm across batches.
+        assert pool.farm_counters["parts_cached"] >= 2
+    finally:
+        pool.close()
+
+
+def test_exception_propagates_like_serial():
+    """First failing input's exception, exactly as in the serial loop."""
+    pool = FanOutPool(2, "process")
+    try:
+        with pytest.raises(ValueError, match="item 3"):
+            pool.map(_boom, 3, [0, 1, 2, 3, 4, 3])
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Content-addressed shipping: churn ships only the delta
+# ----------------------------------------------------------------------
+
+
+def test_churn_ships_only_changed_switch():
+    base = {
+        name: [
+            SnapshotRule(
+                table_id=0,
+                priority=10,
+                match=Match(ip_dst=IPS[0].value),
+                actions=(Output(2),),
+            ),
+            SnapshotRule(
+                table_id=0, priority=1, match=Match(), actions=(Drop(),)
+            ),
+        ]
+        for name in SWITCHES
+    }
+    snap1 = snapshot_from(base, version=1)
+    churned = {name: list(rules) for name, rules in base.items()}
+    # Re-add an existing match at a new priority: the switch's content
+    # hash changes but the atom constraint set (and hence the space
+    # signature) does not — the purest 1-FlowMod delta.
+    churned["s2"] = list(churned["s2"]) + [
+        SnapshotRule(
+            table_id=0,
+            priority=20,
+            match=Match(ip_dst=IPS[0].value),
+            actions=(Drop(),),
+        )
+    ]
+    snap2 = snapshot_from(churned, version=2)
+    engine = VerificationEngine(workers=2, pool_mode="process", backend="atom")
+    serial = VerificationEngine(workers=1, backend="atom")
+    try:
+        engine.compile(snap1)
+        serial.compile(snap1)
+        cold_bytes = engine.metrics.farm_bytes_shipped
+        cold_parts = engine.metrics.farm_parts_shipped
+        assert cold_parts > 0 and cold_bytes > 0
+
+        engine.compile(snap2)
+        serial.compile(snap2)
+        delta_bytes = engine.metrics.farm_bytes_shipped - cold_bytes
+        delta_parts = engine.metrics.farm_parts_shipped - cold_parts
+        # Only s2's rules are new content; every other part (the other
+        # switches' rules, the space, the topology) is already on the
+        # workers.  At most one tf part per worker lane ships.
+        assert 0 < delta_parts <= 2, engine.metrics.snapshot_counters()
+        assert delta_bytes < cold_bytes / 2
+        assert engine.metrics.farm_parts_cached > 0
+        # Same universe ⇒ the workers patched their predecessor mirror
+        # instead of assembling a new network from scratch.
+        assert engine.metrics.farm_mirror_reuses + engine.metrics.farm_warm_hits > 0
+        assert engine.metrics.matrix_repairs >= 1
+        assert engine.metrics.pool_fallbacks == 0
+        # And the result is still exactly the serial engine's.
+        assert_matrices_equal(
+            engine.atom_artifacts(snap2)[1], serial.atom_artifacts(snap2)[1]
+        )
+    finally:
+        engine.close()
+        serial.close()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+
+def test_worker_killed_mid_batch_is_respawned():
+    farm = CompileFarm(2)
+    pool = FanOutPool(2, "process", farm=farm)
+    try:
+        # Warm the farm so a victim process exists, then murder it
+        # while the next batch is executing (tasks sleep long enough
+        # for the kill to land mid-shard).
+        assert pool.map(_double, "w", [1, 2, 3]) == [("w", 2), ("w", 4), ("w", 6)]
+        victim = farm._workers[0].process
+
+        def assassin():
+            time.sleep(0.02)
+            victim.kill()
+
+        killer = threading.Thread(target=assassin)
+        killer.start()
+        result = pool.map(_slow_double, None, list(range(8)))
+        killer.join()
+        assert result == [item * 2 for item in range(8)]
+        assert farm.metrics.worker_restarts >= 1
+    finally:
+        pool.close()
+        farm.close()
+
+
+def test_worker_killed_between_batches_reships_parts():
+    farm = CompileFarm(2)
+    pool = FanOutPool(2, "process", farm=farm)
+    try:
+        pool.map(_double, "ctx", [1, 2, 3, 4])
+        shipped = pool.farm_counters["parts_shipped"]
+        for worker in farm._workers:
+            worker.process.kill()
+            worker.process.join()
+        pool.map(_double, "ctx", [1, 2, 3, 4])
+        assert farm.metrics.worker_restarts >= 2
+        # Fresh workers hold nothing: the context part ships again.
+        assert pool.farm_counters["parts_shipped"] > shipped
+    finally:
+        pool.close()
+        farm.close()
+
+
+def test_restart_limit_gives_up_loudly():
+    farm = CompileFarm(1, restart_limit=0)
+    try:
+        farm.close()
+        with pytest.raises(FarmError):
+            farm.run_generic(("ctx", "x"), pickle.dumps((_double, None)), [1])
+    finally:
+        farm.close()
+
+
+# ----------------------------------------------------------------------
+# Loud fallback (the satellite that kills the silent downgrade)
+# ----------------------------------------------------------------------
+
+
+def test_unpicklable_context_falls_back_loudly():
+    pool = FanOutPool(2, "process")
+    try:
+        with pytest.warns(PoolModeFallbackWarning):
+            result = pool.map(lambda ctx, item: item + 1, None, [1, 2, 3])
+        assert result == [2, 3, 4]
+        assert pool.process_fallbacks == 1
+        # Warned once per pool; the counter keeps counting.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PoolModeFallbackWarning)
+            assert pool.map(lambda ctx, item: item - 1, None, [1, 2]) == [0, 1]
+        assert pool.process_fallbacks == 2
+    finally:
+        pool.close()
+
+
+def test_fallback_still_raises_task_errors():
+    pool = FanOutPool(2, "process")
+    try:
+        with pytest.warns(PoolModeFallbackWarning):
+            with pytest.raises(ValueError, match="item 1"):
+                fail_on = 1
+
+                def local_boom(ctx, item):
+                    if item == fail_on:
+                        raise ValueError(f"item {item}")
+                    return item
+
+                pool.map(local_boom, None, [0, 1, 2])
+    finally:
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: persistent executors, idempotent close
+# ----------------------------------------------------------------------
+
+
+def test_pool_close_is_idempotent_and_degrades_to_serial():
+    pool = FanOutPool(4, "process")
+    assert pool.map(_double, "a", [1, 2]) == [("a", 2), ("a", 4)]
+    pool.close()
+    pool.close()
+    assert pool.closed
+    # A closed pool still answers — inline, serially.
+    assert pool.map(_double, "b", [3, 4]) == [("b", 6), ("b", 8)]
+    assert not pool.is_process
+
+
+def test_shared_farm_is_per_width_and_survives_pool_close():
+    pool_a = FanOutPool(2, "process")
+    pool_b = FanOutPool(2, "process")
+    try:
+        pool_a.map(_double, "x", [1, 2])
+        pool_b.map(_double, "x", [3, 4])
+        assert pool_a.farm() is pool_b.farm()
+        assert shared_farm(2) is pool_a.farm()
+        pool_a.close()
+        assert not shared_farm(2).closed
+        assert pool_b.map(_double, "x", [5, 6]) == [("x", 10), ("x", 12)]
+    finally:
+        pool_b.close()
+
+
+def test_engine_close_is_idempotent():
+    engine = VerificationEngine(workers=2, pool_mode="process", backend="atom")
+    snapshot = snapshot_from(
+        {name: [] for name in SWITCHES}
+    )
+    engine.compile(snapshot)
+    engine.close()
+    engine.close()
+    # Still serves after close (serial path).
+    assert engine.compile(snapshot) is not None
+
+
+# ----------------------------------------------------------------------
+# Serving batches: scheduler shards byte-identical under the farm
+# ----------------------------------------------------------------------
+
+
+def _pure_answer(client, query, snapshot):
+    return (client, repr(query), snapshot.version)
+
+
+def test_serving_batches_byte_identical_across_pool_shapes():
+    from repro.serving import QueryScheduler, ServingConfig
+    from repro.core.queries import IsolationQuery, ReachableDestinationsQuery
+
+    snapshot = snapshot_from({name: [] for name in SWITCHES})
+    requests = [
+        ("alice", IsolationQuery()),
+        ("bob", ReachableDestinationsQuery()),
+        ("alice", ReachableDestinationsQuery()),
+        ("bob", IsolationQuery()),
+        ("carol", IsolationQuery()),
+    ]
+
+    def run(workers, mode):
+        scheduler = QueryScheduler(
+            answer_fn=_pure_answer,
+            snapshot_fn=lambda: snapshot,
+            config=ServingConfig(shard_workers=workers, pool_mode=mode),
+        )
+        outcomes = []
+        for client, query in requests:
+            scheduler.submit(
+                client,
+                query,
+                on_done=lambda _p, outcome: outcomes.append(outcome.answer),
+            )
+        scheduler.flush()
+        scheduler.close()
+        return outcomes, scheduler.metrics
+
+    reference, _ = run(1, "thread")
+    for workers, mode in POOLS[1:]:
+        outcomes, metrics = run(workers, mode)
+        assert outcomes == reference, (workers, mode)
+        # A picklable answer_fn means the farm really executed the
+        # shards — no loud fallback, and tasks flowed through it.
+        assert metrics.pool_fallbacks == 0, (workers, mode)
+        if mode == "process":
+            assert metrics.farm_tasks > 0, (workers, mode)
